@@ -1,0 +1,72 @@
+//! Microbenchmarks of the paper's analytical kernels: the `interval()`
+//! procedure (Fig. 4), `num_SCP`/`num_CCP` (Fig. 2) under both optimizers,
+//! the renewal closed forms, the exact recursion, and `t_est`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eacp_core::analysis::{
+    ccp_interval_mean_time, checkpoint_interval, estimated_completion_time, num_ccp, num_scp,
+    scp_interval_mean_exact, scp_interval_mean_time, IntervalInputs, OptimizeMethod, RenewalParams,
+};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let scp_params = RenewalParams::new(2.0, 20.0, 0.0, 1.4e-3);
+    let ccp_params = RenewalParams::new(20.0, 2.0, 0.0, 1.4e-3);
+
+    c.bench_function("interval_procedure", |b| {
+        b.iter(|| {
+            checkpoint_interval(black_box(IntervalInputs {
+                rd: 9_000.0,
+                rt: 7_000.0,
+                c: 22.0,
+                rf: 5.0,
+                lambda: 1.4e-3,
+            }))
+        })
+    });
+
+    c.bench_function("num_scp_paper_closed_form", |b| {
+        b.iter(|| {
+            num_scp(
+                black_box(400.0),
+                &scp_params,
+                OptimizeMethod::PaperClosedForm,
+            )
+        })
+    });
+    c.bench_function("num_scp_exact_recursion", |b| {
+        b.iter(|| {
+            num_scp(
+                black_box(400.0),
+                &scp_params,
+                OptimizeMethod::ExactRecursion,
+            )
+        })
+    });
+    c.bench_function("num_ccp_paper_closed_form", |b| {
+        b.iter(|| {
+            num_ccp(
+                black_box(400.0),
+                &ccp_params,
+                OptimizeMethod::PaperClosedForm,
+            )
+        })
+    });
+
+    c.bench_function("r1_closed_form_eval", |b| {
+        b.iter(|| scp_interval_mean_time(black_box(50.0), 400.0, &scp_params))
+    });
+    c.bench_function("r1_exact_recursion_m16", |b| {
+        b.iter(|| scp_interval_mean_exact(black_box(16), 400.0, &scp_params))
+    });
+    c.bench_function("r2_closed_form_eval", |b| {
+        b.iter(|| ccp_interval_mean_time(black_box(50.0), 400.0, &ccp_params))
+    });
+
+    c.bench_function("t_est", |b| {
+        b.iter(|| estimated_completion_time(black_box(7_600.0), 1.0, 22.0, 1.4e-3))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

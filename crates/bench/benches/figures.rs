@@ -1,0 +1,50 @@
+//! Regenerates the paper's Figures 1 and 5 — execution timelines with a
+//! fault, its detection point and the rollback — as a Criterion benchmark
+//! (trace capture + ASCII rendering).
+//!
+//! Human-readable renderings: `cargo run --example trace_timeline`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eacp_core::policies::Adaptive;
+use eacp_energy::DvsConfig;
+use eacp_faults::DeterministicFaults;
+use eacp_sim::{CheckpointCosts, Executor, Scenario, TaskSpec, TraceRecorder};
+use std::hint::black_box;
+
+fn trace_run(costs: CheckpointCosts, scp: bool) -> String {
+    let scenario = Scenario::new(
+        TaskSpec::new(600.0, 50_000.0),
+        costs,
+        DvsConfig::paper_default(),
+    );
+    let mut policy = if scp {
+        Adaptive::scp(2.5e-3, 5, 0)
+    } else {
+        Adaptive::ccp(2.5e-3, 5, 0)
+    };
+    let mut faults = DeterministicFaults::new(vec![260.0]);
+    let mut rec = TraceRecorder::new();
+    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    assert!(out.completed && out.rollbacks == 1);
+    rec.render(100)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figure1_scp_timeline", |b| {
+        b.iter(|| {
+            let r = trace_run(black_box(CheckpointCosts::paper_scp_variant()), true);
+            assert!(r.contains('↩'));
+            r
+        })
+    });
+    c.bench_function("figure5_ccp_timeline", |b| {
+        b.iter(|| {
+            let r = trace_run(black_box(CheckpointCosts::paper_ccp_variant()), false);
+            assert!(r.contains('↩'));
+            r
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Executor throughput: single-run latency per scheme and Monte-Carlo
+//! scaling, at the paper's nominal operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
+use eacp_energy::DvsConfig;
+use eacp_faults::PoissonProcess;
+use eacp_sim::{
+    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    Scenario::new(
+        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+        CheckpointCosts::paper_scp_variant(),
+        DvsConfig::paper_default(),
+    )
+}
+
+fn single_run(make: impl Fn() -> Box<dyn Policy>, seed: u64) -> f64 {
+    let s = scenario();
+    let mut p = make();
+    let mut f = PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed));
+    let out = Executor::new(&s).run(&mut *p, &mut f);
+    out.energy
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("single_run_poisson_baseline", |b| {
+        b.iter(|| single_run(|| Box::new(PoissonArrival::new(1.4e-3, 0)), black_box(1)))
+    });
+    c.bench_function("single_run_kft_baseline", |b| {
+        b.iter(|| single_run(|| Box::new(KFaultTolerant::new(5, 0)), black_box(1)))
+    });
+    c.bench_function("single_run_adt_dvs", |b| {
+        b.iter(|| single_run(|| Box::new(Adaptive::adt_dvs(1.4e-3, 5)), black_box(1)))
+    });
+    c.bench_function("single_run_a_d_s", |b| {
+        b.iter(|| single_run(|| Box::new(Adaptive::dvs_scp(1.4e-3, 5)), black_box(1)))
+    });
+
+    let mut group = c.benchmark_group("monte_carlo_scaling");
+    group.sample_size(10);
+    for reps in [100u64, 1_000] {
+        group.bench_function(format!("a_d_s_{reps}_reps"), |b| {
+            b.iter(|| {
+                let s = scenario();
+                MonteCarlo::new(black_box(reps)).with_seed(3).run(
+                    &s,
+                    ExecutorOptions::default(),
+                    |_| Adaptive::dvs_scp(1.4e-3, 5),
+                    |seed| PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

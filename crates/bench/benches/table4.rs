@@ -1,0 +1,34 @@
+//! Regenerates anchor cells of the paper's Table 4 (P and E for Poisson,
+//! k-f-t, A_D and the proposed scheme) as a Criterion benchmark.
+//!
+//! Full-replication regeneration: `gen-tables --table 4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eacp_bench::{assert_cell_sane, bench_cell};
+use eacp_experiments::TableId;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    // First part-(a) row: U = 0.76 at the lower λ.
+    group.bench_function("part_a_anchor_cell", |b| {
+        b.iter(|| {
+            let cell = bench_cell(TableId::Table4, black_box(0));
+            assert_cell_sane(&cell);
+            cell
+        })
+    });
+    // First part-(b) row: U = 0.92, λ = 1e-4, k = 1.
+    group.bench_function("part_b_anchor_cell", |b| {
+        b.iter(|| {
+            let cell = bench_cell(TableId::Table4, black_box(8));
+            assert_cell_sane(&cell);
+            cell
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,526 @@
+//! Implementation of the `eacp` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `run` — execute one task instance under a chosen scheme, optionally
+//!   with an ASCII execution timeline;
+//! * `mc` — Monte-Carlo summary of a scheme at an operating point;
+//! * `analyze` — print the paper's analysis quantities (`I1/I2/I3`,
+//!   thresholds, `num_SCP`/`num_CCP`, `t_est`, chosen speed);
+//! * `table` — regenerate one of the paper's tables;
+//! * `feasibility` — checkpoint-aware EDF/RM analysis of a periodic task
+//!   set.
+//!
+//! The library portion exists so argument parsing and command execution
+//! are unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eacp_core::analysis::{
+    checkpoint_interval_with_branch, choose_speed, estimated_completion_time, num_ccp, num_scp,
+    IntervalInputs, OptimizeMethod, RenewalParams,
+};
+use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
+use eacp_energy::DvsConfig;
+use eacp_faults::PoissonProcess;
+use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
+use eacp_rtsched::{PeriodicTask, TaskSet};
+use eacp_sim::{
+    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
+    TraceRecorder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+eacp — energy-aware adaptive checkpointing (DATE 2006 reproduction)
+
+USAGE:
+  eacp run        [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
+                  [--variant scp|ccp] [--seed N] [--trace]
+  eacp mc         [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
+                  [--variant scp|ccp] [--reps N] [--seed N]
+  eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
+  eacp table      <1|2|3|4> [--reps N] [--seed N]
+  eacp feasibility --tasks name:wcet:period[:deadline][,...] [--k K] [--speed F]
+
+SCHEMES: poisson | kft | a_d | a_d_s | a_d_c | a_s | a_c (default a_d_s)
+DEFAULTS: util 0.76, lambda 1.4e-3, k 5, deadline 10000, variant scp";
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Scheme name (see [`USAGE`]).
+    pub scheme: String,
+    /// Task utilization at `f1`.
+    pub util: f64,
+    /// Fault rate.
+    pub lambda: f64,
+    /// Fault-tolerance target.
+    pub k: u32,
+    /// Relative deadline.
+    pub deadline: f64,
+    /// Cost variant: `scp` (ts=2, tcp=20) or `ccp` (ts=20, tcp=2).
+    pub variant: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Monte-Carlo replications.
+    pub reps: u64,
+    /// Print a trace timeline (run subcommand).
+    pub trace: bool,
+    /// Task-set spec (feasibility subcommand).
+    pub tasks: String,
+    /// Fixed speed for feasibility (frequency value).
+    pub speed: f64,
+    /// Positional arguments (e.g. the table number).
+    pub positional: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scheme: "a_d_s".into(),
+            util: 0.76,
+            lambda: 1.4e-3,
+            k: 5,
+            deadline: 10_000.0,
+            variant: "scp".into(),
+            seed: 2006,
+            reps: 2_000,
+            trace: false,
+            tasks: String::new(),
+            speed: 1.0,
+            positional: Vec::new(),
+        }
+    }
+}
+
+/// Parses flags following the subcommand.
+///
+/// # Errors
+///
+/// Returns a message for unknown flags or unparsable values.
+pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String> {
+    let mut o = Options::default();
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scheme" => o.scheme = val("--scheme")?,
+            "--util" => o.util = parse_num(&val("--util")?, "--util")?,
+            "--lambda" => o.lambda = parse_num(&val("--lambda")?, "--lambda")?,
+            "--k" => o.k = parse_num(&val("--k")?, "--k")? as u32,
+            "--deadline" => o.deadline = parse_num(&val("--deadline")?, "--deadline")?,
+            "--variant" => o.variant = val("--variant")?,
+            "--seed" => o.seed = parse_num(&val("--seed")?, "--seed")? as u64,
+            "--reps" => o.reps = parse_num(&val("--reps")?, "--reps")? as u64,
+            "--speed" => o.speed = parse_num(&val("--speed")?, "--speed")?,
+            "--tasks" => o.tasks = val("--tasks")?,
+            "--trace" => o.trace = true,
+            other if !other.starts_with("--") => o.positional.push(other.to_owned()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if !["scp", "ccp"].contains(&o.variant.as_str()) {
+        return Err(format!("unknown variant {:?} (use scp|ccp)", o.variant));
+    }
+    Ok(o)
+}
+
+fn parse_num(s: &str, name: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))
+}
+
+fn costs_of(o: &Options) -> CheckpointCosts {
+    if o.variant == "scp" {
+        CheckpointCosts::paper_scp_variant()
+    } else {
+        CheckpointCosts::paper_ccp_variant()
+    }
+}
+
+fn scenario_of(o: &Options) -> Scenario {
+    Scenario::new(
+        TaskSpec::from_utilization(o.util, 1.0, o.deadline),
+        costs_of(o),
+        DvsConfig::paper_default(),
+    )
+}
+
+/// Builds the policy named by `--scheme`.
+///
+/// # Errors
+///
+/// Returns a message for unknown scheme names.
+pub fn build_policy(o: &Options) -> Result<Box<dyn Policy>, String> {
+    Ok(match o.scheme.as_str() {
+        "poisson" => Box::new(PoissonArrival::new(o.lambda, 0)),
+        "kft" => Box::new(KFaultTolerant::new(o.k, 0)),
+        "a_d" => Box::new(Adaptive::adt_dvs(o.lambda, o.k)),
+        "a_d_s" => Box::new(Adaptive::dvs_scp(o.lambda, o.k)),
+        "a_d_c" => Box::new(Adaptive::dvs_ccp(o.lambda, o.k)),
+        "a_s" => Box::new(Adaptive::scp(o.lambda, o.k, 0)),
+        "a_c" => Box::new(Adaptive::ccp(o.lambda, o.k, 0)),
+        other => return Err(format!("unknown scheme {other:?}")),
+    })
+}
+
+/// `eacp run`: one seeded execution, optionally traced.
+pub fn cmd_run(o: &Options) -> Result<String, String> {
+    let scenario = scenario_of(o);
+    let mut policy = build_policy(o)?;
+    let mut faults = PoissonProcess::new(o.lambda, StdRng::seed_from_u64(o.seed));
+    let mut rec = TraceRecorder::new();
+    let out = if o.trace {
+        Executor::new(&scenario).run_traced(&mut *policy, &mut faults, Some(&mut rec))
+    } else {
+        Executor::new(&scenario).run(&mut *policy, &mut faults)
+    };
+    let mut s = format!(
+        "scheme={} N={:.0} D={:.0} λ={:e} k={}\n\
+         completed={} timely={} aborted={}\n\
+         finish={:.1} energy={:.0} faults={} rollbacks={}\n\
+         checkpoints: SCP={} CCP={} CSCP={} fast-fraction={:.2}\n",
+        policy.name(),
+        scenario.task.work_cycles,
+        scenario.task.deadline,
+        o.lambda,
+        o.k,
+        out.completed,
+        out.timely,
+        out.aborted,
+        out.finish_time,
+        out.energy,
+        out.faults,
+        out.rollbacks,
+        out.store_checkpoints,
+        out.compare_checkpoints,
+        out.compare_store_checkpoints,
+        out.fast_fraction(),
+    );
+    if o.trace {
+        s.push('\n');
+        s.push_str(&rec.render(100));
+    }
+    Ok(s)
+}
+
+/// `eacp mc`: Monte-Carlo summary with confidence interval.
+pub fn cmd_mc(o: &Options) -> Result<String, String> {
+    build_policy(o)?; // validate the scheme name up front
+    let scenario = scenario_of(o);
+    let lambda = o.lambda;
+    let summary = MonteCarlo::new(o.reps).with_seed(o.seed).run(
+        &scenario,
+        ExecutorOptions {
+            faults_during_overhead: false,
+            ..ExecutorOptions::default()
+        },
+        |_| build_policy(o).expect("validated above"),
+        |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+    );
+    let (lo, hi) = summary.p_timely_ci(1.96);
+    Ok(format!(
+        "scheme={} reps={}\nP = {:.4} [95% CI {:.4}, {:.4}]\nE(timely) = {:.0}\n\
+         E(all) = {:.0}\nfaults/run = {:.2}  rollbacks/run = {:.2}\n\
+         checkpoints/run = {:.1}  fast-fraction = {:.3}\naborted = {}  anomalies = {}\n",
+        o.scheme,
+        o.reps,
+        summary.p_timely(),
+        lo,
+        hi,
+        summary.mean_energy_timely(),
+        summary.energy_all.mean(),
+        summary.faults.mean(),
+        summary.rollbacks.mean(),
+        summary.checkpoints.mean(),
+        summary.fast_fraction.mean(),
+        summary.aborted,
+        summary.anomalies,
+    ))
+}
+
+/// `eacp analyze`: the paper's analysis quantities at the initial planning
+/// point.
+pub fn cmd_analyze(o: &Options) -> Result<String, String> {
+    let costs = costs_of(o);
+    let dvs = DvsConfig::paper_default();
+    let n = o.util * o.deadline;
+    let c = costs.cscp_cycles();
+    let speed = choose_speed(n, o.deadline, c, o.lambda, &dvs);
+    let f = dvs.level(speed).frequency;
+    let t1 = estimated_completion_time(n, dvs.level(0).frequency, c, o.lambda);
+    let t2 = estimated_completion_time(n, dvs.level(1).frequency, c, o.lambda);
+    let (itv, branch) = checkpoint_interval_with_branch(IntervalInputs {
+        rd: o.deadline,
+        rt: n / f,
+        c: c / f,
+        rf: o.k as f64,
+        lambda: o.lambda,
+    });
+    let params = RenewalParams::new(
+        costs.store_cycles / f,
+        costs.compare_cycles / f,
+        costs.rollback_cycles / f,
+        o.lambda,
+    );
+    let (m, label) = if o.variant == "scp" {
+        (
+            num_scp(itv, &params, OptimizeMethod::PaperClosedForm),
+            "num_SCP",
+        )
+    } else {
+        (
+            num_ccp(itv, &params, OptimizeMethod::PaperClosedForm),
+            "num_CCP",
+        )
+    };
+    Ok(format!(
+        "task: N = {n:.0} cycles, D = {:.0}, λ = {:e}, k = {}, variant = {}\n\
+         t_est(f1) = {t1:.1}   t_est(f2) = {t2:.1}   chosen speed = f{}\n\
+         interval() = {itv:.2} time units  (branch: {branch:?})\n\
+         {label}(interval) = {m}  →  sub-interval = {:.2}\n",
+        o.deadline,
+        o.lambda,
+        o.k,
+        o.variant,
+        speed + 1,
+        itv / m as f64,
+    ))
+}
+
+/// `eacp table`: regenerate one paper table (delegates to
+/// `eacp-experiments`).
+pub fn cmd_table(o: &Options) -> Result<String, String> {
+    use eacp_experiments::TableId;
+    let which = o
+        .positional
+        .first()
+        .ok_or("table: missing table number (1..4)")?;
+    let id = match which.as_str() {
+        "1" => TableId::Table1,
+        "2" => TableId::Table2,
+        "3" => TableId::Table3,
+        "4" => TableId::Table4,
+        other => return Err(format!("unknown table {other:?}")),
+    };
+    let result = eacp_experiments::run_table_with(
+        id,
+        o.reps,
+        o.seed,
+        ExecutorOptions {
+            faults_during_overhead: false,
+            ..ExecutorOptions::default()
+        },
+    );
+    let mut out = eacp_experiments::render::to_text(&result);
+    out.push('\n');
+    out.push_str(&eacp_experiments::compare::render_comparison(&result));
+    Ok(out)
+}
+
+/// Parses `name:wcet:period[:deadline]` task lists.
+///
+/// # Errors
+///
+/// Returns a message for malformed specs.
+pub fn parse_taskset(spec: &str) -> Result<TaskSet, String> {
+    let mut tasks = Vec::new();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        if fields.len() < 3 || fields.len() > 4 {
+            return Err(format!(
+                "task {part:?}: expected name:wcet:period[:deadline]"
+            ));
+        }
+        let wcet: f64 = fields[1]
+            .parse()
+            .map_err(|e| format!("task {part:?}: bad wcet: {e}"))?;
+        let period: u64 = fields[2]
+            .parse()
+            .map_err(|e| format!("task {part:?}: bad period: {e}"))?;
+        let deadline: u64 = match fields.get(3) {
+            Some(d) => d
+                .parse()
+                .map_err(|e| format!("task {part:?}: bad deadline: {e}"))?,
+            None => period,
+        };
+        tasks.push(PeriodicTask::new(fields[0], wcet, period, deadline));
+    }
+    if tasks.is_empty() {
+        return Err("no tasks given".into());
+    }
+    Ok(TaskSet::new(tasks))
+}
+
+/// `eacp feasibility`: checkpoint-aware EDF/RM analysis.
+pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
+    let set = parse_taskset(&o.tasks)?;
+    let costs = costs_of(o);
+    let mut out = String::new();
+    for t in set.tasks() {
+        out.push_str(&format!(
+            "{:<16} N={:<8.0} T={:<8} D={:<8} WCET_k({}) = {:.0}\n",
+            t.name,
+            t.wcet_cycles,
+            t.period,
+            t.deadline,
+            o.k,
+            k_fault_wcet(t.wcet_cycles, costs.cscp_cycles(), o.k)
+        ));
+    }
+    let density = edf_density(&set, &costs, o.k, o.speed);
+    out.push_str(&format!(
+        "hyperperiod = {}\nEDF density at f={} : {:.3} → {}\n",
+        set.hyperperiod(),
+        o.speed,
+        density,
+        if density <= 1.0 {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        }
+    ));
+    match rm_response_times(&set, &costs, o.k, o.speed) {
+        Some(r) => {
+            out.push_str("RM response times:\n");
+            for (t, resp) in set.tasks().iter().zip(&r) {
+                out.push_str(&format!(
+                    "  {:<16} R = {resp:.0} (D = {})\n",
+                    t.name, t.deadline
+                ));
+            }
+        }
+        None => out.push_str("RM: not schedulable\n"),
+    }
+    Ok(out)
+}
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message on any parse or execution failure.
+pub fn dispatch(args: Vec<String>) -> Result<String, String> {
+    let Some(cmd) = args.first().cloned() else {
+        return Ok(USAGE.to_owned());
+    };
+    let rest = args.into_iter().skip(1);
+    match cmd.as_str() {
+        "run" => cmd_run(&parse_options(rest)?),
+        "mc" => cmd_mc(&parse_options(rest)?),
+        "analyze" => cmd_analyze(&parse_options(rest)?),
+        "table" => cmd_table(&parse_options(rest)?),
+        "feasibility" => cmd_feasibility(&parse_options(rest)?),
+        "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        let o = parse_options(args("--scheme a_d --util 0.8 --k 3 --trace").into_iter()).unwrap();
+        assert_eq!(o.scheme, "a_d");
+        assert_eq!(o.util, 0.8);
+        assert_eq!(o.k, 3);
+        assert!(o.trace);
+        assert_eq!(o.lambda, 1.4e-3); // default retained
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        assert!(parse_options(args("--bogus 1").into_iter()).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_variant() {
+        assert!(parse_options(args("--variant xyz").into_iter()).is_err());
+    }
+
+    #[test]
+    fn run_command_produces_report() {
+        let out = dispatch(args("run --seed 7")).unwrap();
+        assert!(out.contains("scheme=A_D_S"));
+        assert!(out.contains("energy="));
+    }
+
+    #[test]
+    fn run_with_trace_renders_timeline() {
+        let out = dispatch(args("run --util 0.3 --lambda 1e-3 --trace --seed 3")).unwrap();
+        assert!(out.contains("compute @f"), "no timeline in:\n{out}");
+    }
+
+    #[test]
+    fn mc_command_reports_ci() {
+        let out = dispatch(args("mc --reps 200 --scheme poisson")).unwrap();
+        assert!(out.contains("95% CI"));
+        assert!(out.contains("anomalies = 0"));
+    }
+
+    #[test]
+    fn analyze_command_matches_paper_operating_point() {
+        let out = dispatch(args("analyze")).unwrap();
+        assert!(out.contains("chosen speed = f2"), "{out}");
+        assert!(out.contains("num_SCP"));
+    }
+
+    #[test]
+    fn analyze_ccp_variant_uses_num_ccp() {
+        let out = dispatch(args("analyze --variant ccp")).unwrap();
+        assert!(out.contains("num_CCP"));
+    }
+
+    #[test]
+    fn table_command_requires_number() {
+        assert!(dispatch(args("table")).is_err());
+        assert!(dispatch(args("table 9")).is_err());
+        let out = dispatch(args("table 1 --reps 30")).unwrap();
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("vs paper"));
+    }
+
+    #[test]
+    fn feasibility_parses_task_lists() {
+        let set = parse_taskset("a:100:1000,b:200:2000:1500").unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.tasks()[1].deadline, 1500);
+        assert!(parse_taskset("").is_err());
+        assert!(parse_taskset("a:1").is_err());
+        assert!(parse_taskset("a:x:1000").is_err());
+    }
+
+    #[test]
+    fn feasibility_command_end_to_end() {
+        let out = dispatch(args(
+            "feasibility --tasks ctrl:900:5000,tele:2600:20000 --k 2",
+        ))
+        .unwrap();
+        assert!(out.contains("EDF density"));
+        assert!(out.contains("feasible"));
+        assert!(out.contains("RM response times"));
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(vec![]).unwrap().contains("USAGE"));
+        assert!(dispatch(args("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn unknown_scheme_is_rejected() {
+        assert!(dispatch(args("run --scheme nope")).is_err());
+    }
+}

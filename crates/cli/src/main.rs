@@ -1,0 +1,12 @@
+//! The `eacp` command-line tool (see `eacp --help`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match eacp_cli::dispatch(args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("eacp: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The DVS feasibility estimate `t_est` and speed selection (paper §3).
+
+use eacp_energy::DvsConfig;
+
+/// `t_est(Rc, f)` — estimated time to finish `rc` remaining cycles at
+/// frequency `f` in the presence of faults and checkpointing:
+///
+/// ```text
+/// t_est = (Rc/f) · (1 + sqrt(λc/f)) / (1 − sqrt(λc/f))
+/// ```
+///
+/// Derivation: to tolerate the `λ·t_est` faults expected during execution,
+/// the checkpoint interval is set to `sqrt(C/λ)` with `C = c/f`, giving a
+/// checkpointing overhead factor `sqrt(λc/f)` and a matching expected
+/// re-execution loss, which solves to the closed form above.
+///
+/// Returns `+inf` when `sqrt(λc/f) >= 1` (the fault rate is too high for
+/// any useful progress at this speed).
+///
+/// # Panics
+///
+/// Panics unless `rc >= 0`, `f > 0`, `c > 0` (all finite) and
+/// `lambda >= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_core::analysis::estimated_completion_time;
+/// let t = estimated_completion_time(7600.0, 1.0, 22.0, 0.0014);
+/// // Overhead factor (1+s)/(1−s) with s = sqrt(0.0308) ≈ 0.1755.
+/// assert!((t / 7600.0 - 1.4256).abs() < 1e-3);
+/// ```
+pub fn estimated_completion_time(rc: f64, f: f64, c: f64, lambda: f64) -> f64 {
+    assert!(
+        rc >= 0.0 && rc.is_finite(),
+        "remaining cycles must be non-negative and finite"
+    );
+    assert!(f > 0.0 && f.is_finite(), "frequency must be positive");
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cycles must be positive"
+    );
+    assert!(
+        lambda >= 0.0 && !lambda.is_nan(),
+        "lambda must be non-negative"
+    );
+    let s = (lambda * c / f).sqrt();
+    if s >= 1.0 {
+        f64::INFINITY
+    } else {
+        (rc / f) * (1.0 + s) / (1.0 - s)
+    }
+}
+
+/// Picks the speed level per the paper's Figs. 6/7 line 2/15: the lowest
+/// (most energy-efficient) level whose estimated completion time fits the
+/// remaining deadline slack `rd`; the fastest level if none fits.
+///
+/// For the paper's two-level processor this is exactly
+/// "`f = f1` if `t_est(Rc, f1) <= Rd`, else `f = f2`"; the generalization
+/// to more levels scans slowest-first.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`estimated_completion_time`].
+pub fn choose_speed(rc: f64, rd: f64, c_cycles: f64, lambda: f64, dvs: &DvsConfig) -> usize {
+    for (idx, level) in dvs.levels().iter().enumerate() {
+        if estimated_completion_time(rc, level.frequency, c_cycles, lambda) <= rd {
+            return idx;
+        }
+    }
+    dvs.fastest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_energy::SpeedLevel;
+
+    #[test]
+    fn t_est_reduces_to_ideal_time_without_faults() {
+        let t = estimated_completion_time(1000.0, 2.0, 22.0, 0.0);
+        assert_eq!(t, 500.0);
+    }
+
+    #[test]
+    fn t_est_monotone_in_lambda_and_rc() {
+        let base = estimated_completion_time(1000.0, 1.0, 22.0, 1e-4);
+        assert!(estimated_completion_time(1000.0, 1.0, 22.0, 1e-3) > base);
+        assert!(estimated_completion_time(2000.0, 1.0, 22.0, 1e-4) > base);
+    }
+
+    #[test]
+    fn t_est_infinite_when_rate_overwhelms() {
+        // λc/f >= 1 ⇒ no progress possible.
+        let t = estimated_completion_time(1000.0, 1.0, 22.0, 1.0 / 22.0);
+        assert_eq!(t, f64::INFINITY);
+    }
+
+    #[test]
+    fn faster_speed_cuts_t_est_superlinearly() {
+        // Doubling f more than halves t_est: fewer faults land in the
+        // shorter exposure window.
+        let slow = estimated_completion_time(1000.0, 1.0, 22.0, 2e-3);
+        let fast = estimated_completion_time(1000.0, 2.0, 22.0, 2e-3);
+        assert!(fast < slow / 2.0);
+    }
+
+    #[test]
+    fn choose_speed_prefers_slow_when_feasible() {
+        let dvs = DvsConfig::paper_default();
+        // Huge slack: run slow.
+        assert_eq!(choose_speed(7600.0, 100_000.0, 22.0, 0.0014, &dvs), 0);
+        // Paper-tight slack at U = 0.76, λ = 0.0014: t_est(f1) ≈ 10835 >
+        // 10000, must run fast.
+        assert_eq!(choose_speed(7600.0, 10_000.0, 22.0, 0.0014, &dvs), 1);
+    }
+
+    #[test]
+    fn choose_speed_falls_back_to_fastest() {
+        let dvs = DvsConfig::paper_default();
+        // Nothing fits: still returns the fastest level.
+        assert_eq!(choose_speed(50_000.0, 10.0, 22.0, 0.0014, &dvs), 1);
+    }
+
+    #[test]
+    fn choose_speed_scans_multiple_levels() {
+        let dvs = DvsConfig::new(vec![
+            SpeedLevel::new(1.0, 1.0),
+            SpeedLevel::new(1.5, 1.5),
+            SpeedLevel::new(2.0, 2.0),
+        ]);
+        // Pick the middle level when the slow one is infeasible but the
+        // middle fits.
+        let rc = 10_000.0;
+        let lambda = 1e-4;
+        let rd_mid = estimated_completion_time(rc, 1.5, 22.0, lambda) * 1.01;
+        let chosen = choose_speed(rc, rd_mid, 22.0, lambda, &dvs);
+        assert_eq!(chosen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn t_est_rejects_zero_frequency() {
+        estimated_completion_time(1.0, 0.0, 22.0, 1e-4);
+    }
+}

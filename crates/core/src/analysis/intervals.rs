@@ -1,0 +1,420 @@
+//! Checkpoint-interval selection (paper Fig. 4, after Zhang & Chakrabarty,
+//! DATE'03).
+//!
+//! All quantities are in wall-clock time units at the *current* processor
+//! speed: the remaining execution time `Rt = Rc / f`, the time left to the
+//! deadline `Rd`, and the checkpoint cost `C = c / f`.
+
+/// Inputs of the interval-selection procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalInputs {
+    /// Time left before the deadline (`Rd`).
+    pub rd: f64,
+    /// Remaining fault-free execution time at the current speed (`Rt`).
+    pub rt: f64,
+    /// Cost of one CSCP at the current speed (`C = c / f`).
+    pub c: f64,
+    /// Remaining number of faults the system still has to tolerate (`Rf`).
+    pub rf: f64,
+    /// Fault arrival rate (`λ`).
+    pub lambda: f64,
+}
+
+/// Which branch of the Fig. 4 decision procedure produced the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalBranch {
+    /// `Rt > Thλ`: deadline-driven interval `I3` (lines 3–4 / 8–9).
+    DeadlineDriven,
+    /// k-fault requirement stringent, moderate slack: `I2(Rt, exp_error, C)`
+    /// (lines 5–6).
+    KFaultExpected,
+    /// k-fault requirement stringent, ample slack: `I2(Rt, Rf, C)` (line 7).
+    KFaultBudget,
+    /// Poisson criterion stringent, ample slack: `I1(C, λ)` (line 10).
+    Poisson,
+}
+
+/// `I1(C, λ) = sqrt(2C/λ)` — the Poisson-arrival interval (Duda 1983):
+/// minimizes the *average* execution time under Poisson faults.
+///
+/// Returns `+inf` for `λ <= 0` (no faults: checkpoint as rarely as
+/// possible).
+///
+/// # Panics
+///
+/// Panics if `c` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_core::analysis::poisson_interval;
+/// let i1 = poisson_interval(22.0, 0.0014);
+/// assert!((i1 - (2.0 * 22.0 / 0.0014_f64).sqrt()).abs() < 1e-9);
+/// ```
+pub fn poisson_interval(c: f64, lambda: f64) -> f64 {
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    if lambda <= 0.0 {
+        f64::INFINITY
+    } else {
+        (2.0 * c / lambda).sqrt()
+    }
+}
+
+/// `I2(N, k, C) = sqrt(NC/k)` — the k-fault-tolerant interval
+/// (Lee/Shin/Min 1999): minimizes the *worst-case* execution time under up
+/// to `k` faults for remaining work `N`.
+///
+/// Returns `+inf` for `k <= 0` (no faults to tolerate) and `0` for
+/// `n <= 0`.
+///
+/// # Panics
+///
+/// Panics if `c` is not positive and finite.
+pub fn k_fault_interval(n: f64, k: f64, c: f64) -> f64 {
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    if k <= 0.0 {
+        f64::INFINITY
+    } else if n <= 0.0 {
+        0.0
+    } else {
+        (n * c / k).sqrt()
+    }
+}
+
+/// `I3(Rt, Rd, C) = 2C + Rt·C/(Rd − Rt)` — the deadline-driven interval
+/// used when the remaining work is large relative to the slack: stretch the
+/// interval (reduce checkpointing overhead) just enough to still fit the
+/// deadline in the fault-free case.
+///
+/// Returns `+inf` when `Rd <= Rt` (no fault-free schedule fits; the caller
+/// clamps to a single end-of-task checkpoint).
+///
+/// # Panics
+///
+/// Panics if `c` is not positive and finite or `rt` is not positive.
+pub fn deadline_interval(rt: f64, rd: f64, c: f64) -> f64 {
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    assert!(rt > 0.0, "remaining time must be positive");
+    if rd <= rt {
+        f64::INFINITY
+    } else {
+        2.0 * c + rt * c / (rd - rt)
+    }
+}
+
+/// `Thλ(Rd, λ, C) = (Rd + C) / (1 + sqrt(λC/2))` — the largest remaining
+/// execution time for which Poisson-interval checkpointing still meets the
+/// deadline fault-free.
+///
+/// With interval `I1 = sqrt(2C/λ)` the per-unit-work overhead is
+/// `C/I1 = sqrt(λC/2)`, so completion takes `Rt(1 + sqrt(λC/2))` minus the
+/// final checkpoint (`+C` in the numerator).
+///
+/// Returns `+inf` for `λ <= 0`.
+///
+/// # Panics
+///
+/// Panics if `c` is not positive and finite.
+pub fn poisson_threshold(rd: f64, lambda: f64, c: f64) -> f64 {
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    if lambda <= 0.0 {
+        f64::INFINITY
+    } else {
+        (rd + c) / (1.0 + (lambda * c / 2.0).sqrt())
+    }
+}
+
+/// `Th(Rd, Rf, C) = Rd + 2RfC − 2·sqrt(RfC(Rd + RfC))` — the largest
+/// remaining execution time for which the k-fault-tolerant worst case
+/// (`Rt + 2·sqrt(RfCRt)`) still meets the deadline.
+///
+/// Returns `Rd` for `rf <= 0` (with no faults left to tolerate the worst
+/// case is the fault-free case).
+///
+/// # Panics
+///
+/// Panics if `c` is not positive and finite or `rd` is negative.
+pub fn k_fault_threshold(rd: f64, rf: f64, c: f64) -> f64 {
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    assert!(rd >= 0.0, "deadline slack must be non-negative");
+    if rf <= 0.0 {
+        return rd;
+    }
+    let kc = rf * c;
+    rd + 2.0 * kc - 2.0 * (kc * (rd + kc)).sqrt()
+}
+
+/// The adaptive checkpoint-interval procedure of paper Fig. 4.
+///
+/// Returns the interval clamped into `(0, Rt]`: an interval longer than the
+/// remaining work degenerates to a single checkpoint at task end, and a
+/// positive floor guards the pathological `Rd ≈ Rt` corner.
+///
+/// See [`checkpoint_interval_with_branch`] for the branch taken.
+///
+/// # Panics
+///
+/// Panics if `rt` or `c` is not positive and finite, or `lambda` is
+/// negative or NaN.
+pub fn checkpoint_interval(inputs: IntervalInputs) -> f64 {
+    checkpoint_interval_with_branch(inputs).0
+}
+
+/// [`checkpoint_interval`], also reporting which Fig. 4 branch fired.
+pub fn checkpoint_interval_with_branch(inputs: IntervalInputs) -> (f64, IntervalBranch) {
+    let IntervalInputs {
+        rd,
+        rt,
+        c,
+        rf,
+        lambda,
+    } = inputs;
+    assert!(
+        rt > 0.0 && rt.is_finite(),
+        "remaining time must be positive and finite"
+    );
+    assert!(
+        c > 0.0 && c.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    assert!(lambda >= 0.0, "fault rate must be non-negative");
+
+    // Line 1: expected number of faults in the remaining time.
+    let exp_error = lambda * rt;
+    let (raw, branch) = if exp_error <= rf {
+        // Lines 2–7: the k-fault-tolerant requirement is the stringent one.
+        if rt > poisson_threshold(rd, lambda, c) {
+            (deadline_interval(rt, rd, c), IntervalBranch::DeadlineDriven)
+        } else if rt > k_fault_threshold(rd, rf, c) {
+            (
+                k_fault_interval(rt, exp_error, c),
+                IntervalBranch::KFaultExpected,
+            )
+        } else {
+            (k_fault_interval(rt, rf, c), IntervalBranch::KFaultBudget)
+        }
+    } else {
+        // Lines 8–10: the Poisson-arrival criterion is the stringent one.
+        if rt > poisson_threshold(rd, lambda, c) {
+            (deadline_interval(rt, rd, c), IntervalBranch::DeadlineDriven)
+        } else {
+            (poisson_interval(c, lambda), IntervalBranch::Poisson)
+        }
+    };
+    // Clamp: never longer than the remaining work, never absurdly small.
+    let floor = c.min(rt);
+    (raw.clamp(floor, rt), branch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 22.0;
+
+    #[test]
+    fn i1_matches_duda() {
+        let lambda = 0.0014;
+        assert!((poisson_interval(C, lambda) - 177.281).abs() < 1e-2);
+        assert_eq!(poisson_interval(C, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn i2_matches_k_fault() {
+        // sqrt(7600·22/5) ≈ 182.866
+        assert!((k_fault_interval(7600.0, 5.0, C) - 182.866).abs() < 1e-2);
+        assert_eq!(k_fault_interval(7600.0, 0.0, C), f64::INFINITY);
+        assert_eq!(k_fault_interval(0.0, 3.0, C), 0.0);
+    }
+
+    #[test]
+    fn i3_grows_as_slack_shrinks() {
+        let rt = 7600.0;
+        let roomy = deadline_interval(rt, 12_000.0, C);
+        let tight = deadline_interval(rt, 8_000.0, C);
+        assert!(tight > roomy);
+        assert!(roomy >= 2.0 * C);
+        assert_eq!(deadline_interval(rt, rt, C), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisson_threshold_is_consistent_with_i1_overhead() {
+        // At Rt = Thλ, fault-free completion with interval I1 (minus the
+        // final checkpoint) exactly meets the deadline:
+        // Rt(1 + sqrt(λC/2)) − C = Rd.
+        let (rd, lambda) = (10_000.0, 0.0014);
+        let th = poisson_threshold(rd, lambda, C);
+        let completion = th * (1.0 + (lambda * C / 2.0).sqrt()) - C;
+        assert!((completion - rd).abs() < 1e-6);
+        assert_eq!(poisson_threshold(rd, 0.0, C), f64::INFINITY);
+    }
+
+    #[test]
+    fn k_fault_threshold_solves_worst_case_equation() {
+        // At Rt = Th, the k-fault worst case Rt + 2·sqrt(RfCRt) = Rd.
+        let (rd, rf) = (10_000.0, 5.0);
+        let th = k_fault_threshold(rd, rf, C);
+        let worst = th + 2.0 * (rf * C * th).sqrt();
+        assert!((worst - rd).abs() < 1e-6, "worst = {worst}");
+        assert_eq!(k_fault_threshold(rd, 0.0, C), rd);
+    }
+
+    #[test]
+    fn threshold_is_below_deadline() {
+        let th = k_fault_threshold(10_000.0, 5.0, C);
+        assert!(th < 10_000.0);
+        let thl = poisson_threshold(10_000.0, 0.0014, C);
+        assert!(thl < 10_000.0);
+    }
+
+    #[test]
+    fn branch_poisson_for_high_rate_ample_slack() {
+        // λRt = 14 > Rf = 5, and Rt comfortably below Thλ.
+        let inp = IntervalInputs {
+            rd: 10_000.0,
+            rt: 7_600.0,
+            c: C,
+            rf: 5.0,
+            lambda: 0.0014,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::Poisson);
+        assert!((itv - poisson_interval(C, 0.0014)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_k_fault_budget_for_low_rate_ample_slack() {
+        // λRt = 0.76 ≤ Rf = 5, Rt far below Th.
+        let inp = IntervalInputs {
+            rd: 30_000.0,
+            rt: 7_600.0,
+            c: C,
+            rf: 5.0,
+            lambda: 1e-4,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::KFaultBudget);
+        assert!((itv - k_fault_interval(7_600.0, 5.0, C)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_k_fault_expected_in_middle_band() {
+        // Between Th and Thλ with exp_error ≤ Rf: uses exp_error faults.
+        let lambda = 1e-4;
+        let (rd, rf) = (10_000.0, 5.0);
+        let th = k_fault_threshold(rd, rf, C);
+        let thl = poisson_threshold(rd, lambda, C);
+        assert!(th < thl);
+        let rt = 0.5 * (th + thl);
+        let inp = IntervalInputs {
+            rd,
+            rt,
+            c: C,
+            rf,
+            lambda,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::KFaultExpected);
+        assert!((itv - k_fault_interval(rt, lambda * rt, C)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_deadline_driven_when_tight() {
+        // Rt barely below Rd: beyond Thλ, must stretch intervals.
+        let inp = IntervalInputs {
+            rd: 10_000.0,
+            rt: 9_900.0,
+            c: C,
+            rf: 5.0,
+            lambda: 0.0014,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::DeadlineDriven);
+        assert!((itv - deadline_interval(9_900.0, 10_000.0, C)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_clamped_to_remaining_time() {
+        // Tiny remaining work: whatever the branch says, never exceed Rt.
+        let inp = IntervalInputs {
+            rd: 10_000.0,
+            rt: 10.0,
+            c: C,
+            rf: 5.0,
+            lambda: 1e-6,
+        };
+        let itv = checkpoint_interval(inp);
+        assert!(itv <= 10.0);
+        assert!(itv > 0.0);
+    }
+
+    #[test]
+    fn interval_handles_infeasible_slack() {
+        // Rd < Rt with Rt above Thλ: I3 = inf, clamps to Rt (one final
+        // checkpoint); the policy's abort logic handles the failure.
+        let inp = IntervalInputs {
+            rd: 5_000.0,
+            rt: 7_600.0,
+            c: C,
+            rf: 5.0,
+            lambda: 0.0014,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::DeadlineDriven);
+        assert_eq!(itv, 7_600.0);
+    }
+
+    #[test]
+    fn interval_with_zero_lambda_uses_k_fault() {
+        let inp = IntervalInputs {
+            rd: 30_000.0,
+            rt: 7_600.0,
+            c: C,
+            rf: 5.0,
+            lambda: 0.0,
+        };
+        let (itv, branch) = checkpoint_interval_with_branch(inp);
+        assert_eq!(branch, IntervalBranch::KFaultBudget);
+        assert!((itv - k_fault_interval(7_600.0, 5.0, C)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fault_budget_with_zero_lambda_degenerates_to_single_checkpoint() {
+        // Rf = 0 and λ = 0: I2(·, 0, ·) = inf clamps to Rt.
+        let inp = IntervalInputs {
+            rd: 30_000.0,
+            rt: 7_600.0,
+            c: C,
+            rf: 0.0,
+            lambda: 0.0,
+        };
+        assert_eq!(checkpoint_interval(inp), 7_600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remaining time")]
+    fn rejects_non_positive_rt() {
+        checkpoint_interval(IntervalInputs {
+            rd: 1.0,
+            rt: 0.0,
+            c: C,
+            rf: 1.0,
+            lambda: 0.1,
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Energy-aware adaptive checkpointing for embedded real-time systems.
+//!
+//! This crate is a faithful implementation of
+//! *Li, Chen, Yu — "Performance Optimization for Energy-Aware Adaptive
+//! Checkpointing in Embedded Real-Time Systems" (DATE 2006)*, on top of the
+//! [`eacp_sim`] DMR execution substrate.
+//!
+//! # What is here
+//!
+//! * [`analysis`] — the paper's closed-form machinery:
+//!   * the checkpoint-interval selection procedure of Fig. 4 (inherited
+//!     from Zhang & Chakrabarty's DATE'03 ADT_DVS): intervals
+//!     [`analysis::poisson_interval`] (`I1`), [`analysis::k_fault_interval`]
+//!     (`I2`), [`analysis::deadline_interval`] (`I3`) and thresholds
+//!     [`analysis::poisson_threshold`] (`Thλ`), [`analysis::k_fault_threshold`]
+//!     (`Th`);
+//!   * the renewal-equation mean execution times `R1` (SCP scheme, Eq. (1))
+//!     and `R2` (CCP scheme, Eq. (2)) with both the paper's closed forms and
+//!     exact recursions;
+//!   * the optimal sub-checkpoint counts [`analysis::num_scp`] /
+//!     [`analysis::num_ccp`] (Fig. 2);
+//!   * the DVS completion-time estimate [`analysis::estimated_completion_time`]
+//!     (`t_est`) and speed selection [`analysis::choose_speed`].
+//! * [`policies`] — the five checkpointing schemes evaluated in the paper
+//!   plus the no-DVS variants:
+//!   * [`policies::PoissonArrival`] — static `sqrt(2C/λ)` CSCP interval;
+//!   * [`policies::KFaultTolerant`] — static `sqrt(NC/k)` CSCP interval;
+//!   * [`policies::Adaptive`] — one configurable implementation covering
+//!     `A_D` (ADT_DVS, CSCP-only), `A_D_S` (`adapchp_dvs_SCP`, Fig. 6),
+//!     `A_D_C` (`adapchp_dvs_CCP`, Fig. 7), and the fixed-speed
+//!     `adapchp-SCP`/`-CCP` of Fig. 3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eacp_core::policies::Adaptive;
+//! use eacp_sim::{CheckpointCosts, Executor, Scenario, TaskSpec};
+//! use eacp_energy::DvsConfig;
+//! use eacp_faults::PoissonProcess;
+//! use rand::SeedableRng;
+//!
+//! let scenario = Scenario::new(
+//!     TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+//!     CheckpointCosts::paper_scp_variant(),
+//!     DvsConfig::paper_default(),
+//! );
+//! let lambda = 0.0014;
+//! let mut policy = Adaptive::dvs_scp(lambda, 5); // the paper's A_D_S
+//! let mut faults = PoissonProcess::new(lambda, rand::rngs::StdRng::seed_from_u64(1));
+//! let outcome = Executor::new(&scenario).run(&mut policy, &mut faults);
+//! assert!(outcome.completed || outcome.aborted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod policies;

@@ -1,0 +1,505 @@
+//! The paper's adaptive checkpointing schemes, with and without DVS and
+//! with optional SCP/CCP subdivision — one implementation covering
+//! `A_D`, `A_D_S`, `A_D_C` (Figs. 6/7), `adapchp-SCP`/`-CCP` (Fig. 3) and
+//! the no-DVS adaptive-CSCP ablation.
+
+use crate::analysis::{
+    checkpoint_interval, choose_speed, num_ccp, num_scp, IntervalInputs, OptimizeMethod,
+    RenewalParams,
+};
+use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
+
+/// Which sub-checkpoint is placed between consecutive CSCPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubCheckpointKind {
+    /// SCPs between CSCPs (the `adapchp*_SCP` family): errors are detected
+    /// late (at the CSCP) but roll back only to the nearest clean store.
+    Store,
+    /// CCPs between CSCPs (the `adapchp*_CCP` family): errors are detected
+    /// early (at the next comparison) but roll back to the interval start.
+    Compare,
+}
+
+/// One planned CSCP interval: `m` segments of `sub_interval` time units at
+/// `speed`, the first `m − 1` ending in sub-checkpoints, the last in a CSCP.
+#[derive(Debug, Clone, Copy)]
+struct IntervalPlan {
+    speed: usize,
+    sub_interval: f64,
+    m: u32,
+    segments_done: u32,
+}
+
+/// The adaptive checkpointing policy of the paper.
+///
+/// Behaviour (matching Figs. 3/6/7):
+///
+/// 1. At task start — and again after every detected error — pick the speed
+///    (lowest level with `t_est <= Rd` when DVS is enabled), compute the
+///    CSCP interval via the Fig. 4 `interval()` procedure, and subdivide it
+///    into `m` sub-intervals via `num_SCP`/`num_CCP` when a sub-checkpoint
+///    kind is configured.
+/// 2. Between errors, keep the same interval and subdivision (the paper
+///    recomputes only on faults).
+/// 3. At each CSCP-interval boundary, "break with task failure" when the
+///    remaining execution time exceeds the time left to the deadline.
+///
+/// Use the named constructors; see the [module docs](crate::policies) for
+/// the mapping to the paper's scheme names.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    name: &'static str,
+    lambda: f64,
+    sub: Option<SubCheckpointKind>,
+    dvs_enabled: bool,
+    fixed_speed: usize,
+    optimizer: OptimizeMethod,
+    /// Remaining fault budget `Rf` (decremented on each detected error).
+    rf: f64,
+    plan: Option<IntervalPlan>,
+    /// Count of detected errors (exposed for tests/diagnostics).
+    errors_seen: u32,
+}
+
+impl Adaptive {
+    fn new(
+        name: &'static str,
+        lambda: f64,
+        k: u32,
+        sub: Option<SubCheckpointKind>,
+        dvs_enabled: bool,
+        fixed_speed: usize,
+    ) -> Self {
+        assert!(
+            lambda >= 0.0 && !lambda.is_nan(),
+            "lambda must be non-negative"
+        );
+        Self {
+            name,
+            lambda,
+            sub,
+            dvs_enabled,
+            fixed_speed,
+            optimizer: OptimizeMethod::PaperClosedForm,
+            rf: k as f64,
+            plan: None,
+            errors_seen: 0,
+        }
+    }
+
+    /// `A_D`: the DATE'03 ADT_DVS baseline — adaptive CSCP interval with
+    /// DVS, no subdivision.
+    pub fn adt_dvs(lambda: f64, k: u32) -> Self {
+        Self::new("A_D", lambda, k, None, true, 0)
+    }
+
+    /// `A_D_S`: `adapchp_dvs_SCP` (paper Fig. 6) — the paper's proposed
+    /// scheme for systems whose overhead is dominated by comparison time.
+    pub fn dvs_scp(lambda: f64, k: u32) -> Self {
+        Self::new("A_D_S", lambda, k, Some(SubCheckpointKind::Store), true, 0)
+    }
+
+    /// `A_D_C`: `adapchp_dvs_CCP` (paper Fig. 7) — the paper's proposed
+    /// scheme for systems whose overhead is dominated by store time.
+    pub fn dvs_ccp(lambda: f64, k: u32) -> Self {
+        Self::new(
+            "A_D_C",
+            lambda,
+            k,
+            Some(SubCheckpointKind::Compare),
+            true,
+            0,
+        )
+    }
+
+    /// `adapchp-SCP` (paper Fig. 3): adaptive SCP subdivision at a fixed
+    /// speed (no DVS).
+    pub fn scp(lambda: f64, k: u32, speed: usize) -> Self {
+        Self::new(
+            "A_S",
+            lambda,
+            k,
+            Some(SubCheckpointKind::Store),
+            false,
+            speed,
+        )
+    }
+
+    /// `adapchp-CCP`: adaptive CCP subdivision at a fixed speed (no DVS).
+    pub fn ccp(lambda: f64, k: u32, speed: usize) -> Self {
+        Self::new(
+            "A_C",
+            lambda,
+            k,
+            Some(SubCheckpointKind::Compare),
+            false,
+            speed,
+        )
+    }
+
+    /// Adaptive CSCP interval at a fixed speed — the DATE'03 ADT scheme
+    /// without DVS (ablation baseline, not in the paper's tables).
+    pub fn cscp(lambda: f64, k: u32, speed: usize) -> Self {
+        Self::new("A", lambda, k, None, false, speed)
+    }
+
+    /// Overrides how `num_SCP`/`num_CCP` optimize the subdivision count
+    /// (default: the paper's closed-form procedure).
+    pub fn with_optimizer(mut self, optimizer: OptimizeMethod) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Remaining fault budget `Rf`.
+    pub fn remaining_fault_budget(&self) -> f64 {
+        self.rf
+    }
+
+    /// Errors detected so far.
+    pub fn errors_seen(&self) -> u32 {
+        self.errors_seen
+    }
+
+    /// The configured sub-checkpoint kind, if any.
+    pub fn sub_checkpoint(&self) -> Option<SubCheckpointKind> {
+        self.sub
+    }
+
+    /// Builds a fresh interval plan (paper Fig. 6 lines 2–4 / 15–17).
+    /// Returns `None` when the deadline can no longer be met.
+    fn replan(&self, ctx: &PlanContext<'_>, remaining_cycles: f64) -> Option<IntervalPlan> {
+        let c_cycles = ctx.costs.cscp_cycles();
+        let rd = ctx.time_left();
+        let speed = if self.dvs_enabled {
+            choose_speed(remaining_cycles, rd, c_cycles, self.lambda, ctx.dvs)
+        } else {
+            self.fixed_speed
+        };
+        let f = ctx.dvs.level(speed).frequency;
+        let rt = remaining_cycles / f;
+        if rt > rd {
+            return None; // "break with task failure"
+        }
+        let interval = checkpoint_interval(IntervalInputs {
+            rd,
+            rt,
+            c: c_cycles / f,
+            rf: self.rf,
+            lambda: self.lambda,
+        });
+        let (m, sub_interval) = match self.sub {
+            None => (1, interval),
+            Some(kind) => {
+                let params = RenewalParams::new(
+                    ctx.costs.store_cycles / f,
+                    ctx.costs.compare_cycles / f,
+                    ctx.costs.rollback_cycles / f,
+                    self.lambda,
+                );
+                let m = match kind {
+                    SubCheckpointKind::Store => num_scp(interval, &params, self.optimizer),
+                    SubCheckpointKind::Compare => num_ccp(interval, &params, self.optimizer),
+                };
+                (m, interval / m as f64)
+            }
+        };
+        Some(IntervalPlan {
+            speed,
+            sub_interval,
+            m,
+            segments_done: 0,
+        })
+    }
+}
+
+impl Policy for Adaptive {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> Directive {
+        let remaining = ctx.remaining_cycles();
+        if remaining <= 1e-9 {
+            // All work done but not yet verified (an interval ended exactly
+            // at task end with a sub-checkpoint): commit now.
+            return Directive::run(ctx.speed, 0.0, CheckpointKind::CompareStore);
+        }
+        if self.plan.is_none() {
+            match self.replan(ctx, remaining) {
+                Some(p) => self.plan = Some(p),
+                None => return Directive::Abort,
+            }
+        }
+        let sub = self.sub;
+        let plan = self.plan.as_mut().expect("plan was just ensured");
+        let f = ctx.dvs.level(plan.speed).frequency;
+        let remaining_time = remaining / f;
+        if plan.segments_done == 0 && remaining_time > ctx.time_left() + 1e-9 {
+            // The paper's while-loop guard, re-checked at every CSCP
+            // interval boundary.
+            return Directive::Abort;
+        }
+        let last_of_interval = plan.segments_done + 1 >= plan.m;
+        let final_segment = remaining_time <= plan.sub_interval + 1e-9;
+        let kind = if last_of_interval || final_segment {
+            CheckpointKind::CompareStore
+        } else {
+            match sub.expect("m > 1 only with a sub-checkpoint kind") {
+                SubCheckpointKind::Store => CheckpointKind::Store,
+                SubCheckpointKind::Compare => CheckpointKind::Compare,
+            }
+        };
+        plan.segments_done = if kind == CheckpointKind::CompareStore {
+            0
+        } else {
+            plan.segments_done + 1
+        };
+        Directive::run(plan.speed, plan.sub_interval, kind)
+    }
+
+    fn on_compare(&mut self, _ctx: &PlanContext<'_>, _kind: CheckpointKind, mismatch: bool) {
+        if mismatch {
+            // Fig. 6 lines 14–17: decrement the fault budget and recompute
+            // speed, interval and subdivision at the next planning point.
+            self.errors_seen += 1;
+            self.rf = (self.rf - 1.0).max(0.0);
+            self.plan = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_energy::DvsConfig;
+    use eacp_faults::{DeterministicFaults, PoissonProcess};
+    use eacp_sim::{CheckpointCosts, Executor, Scenario, TaskSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario(util: f64, deadline: f64) -> Scenario {
+        Scenario::new(
+            TaskSpec::from_utilization(util, 1.0, deadline),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn all_variants_complete_fault_free() {
+        let s = scenario(0.76, 10_000.0);
+        let policies: Vec<Adaptive> = vec![
+            Adaptive::adt_dvs(1e-4, 5),
+            Adaptive::dvs_scp(1e-4, 5),
+            Adaptive::dvs_ccp(1e-4, 5),
+            Adaptive::scp(1e-4, 5, 0),
+            Adaptive::ccp(1e-4, 5, 0),
+            Adaptive::cscp(1e-4, 5, 0),
+        ];
+        for mut p in policies {
+            let name = p.name().to_owned();
+            let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+            assert!(out.completed && out.timely, "{name} failed fault-free run");
+            assert!(out.anomaly.is_none(), "{name} anomaly");
+        }
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(Adaptive::adt_dvs(1e-3, 5).name(), "A_D");
+        assert_eq!(Adaptive::dvs_scp(1e-3, 5).name(), "A_D_S");
+        assert_eq!(Adaptive::dvs_ccp(1e-3, 5).name(), "A_D_C");
+        assert_eq!(Adaptive::scp(1e-3, 5, 0).name(), "A_S");
+        assert_eq!(Adaptive::ccp(1e-3, 5, 0).name(), "A_C");
+        assert_eq!(Adaptive::cscp(1e-3, 5, 0).name(), "A");
+    }
+
+    #[test]
+    fn scp_variant_places_store_checkpoints() {
+        let s = scenario(0.5, 20_000.0);
+        let mut p = Adaptive::dvs_scp(2e-3, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert!(
+            out.store_checkpoints > 0,
+            "A_D_S must subdivide with SCPs at λ = 2e-3"
+        );
+        assert_eq!(out.compare_checkpoints, 0);
+        assert!(out.compare_store_checkpoints > 0);
+    }
+
+    #[test]
+    fn ccp_variant_places_compare_checkpoints() {
+        let s = Scenario::new(
+            TaskSpec::from_utilization(0.5, 1.0, 20_000.0),
+            CheckpointCosts::paper_ccp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let mut p = Adaptive::dvs_ccp(2e-3, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert!(out.compare_checkpoints > 0);
+        assert_eq!(out.store_checkpoints, 0);
+    }
+
+    #[test]
+    fn adt_dvs_uses_only_cscp() {
+        let s = scenario(0.76, 10_000.0);
+        let mut p = Adaptive::adt_dvs(0.0014, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert_eq!(out.store_checkpoints, 0);
+        assert_eq!(out.compare_checkpoints, 0);
+    }
+
+    #[test]
+    fn dvs_runs_slow_with_ample_slack() {
+        let s = scenario(0.3, 40_000.0);
+        let mut p = Adaptive::dvs_scp(1e-4, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert_eq!(out.fast_fraction(), 0.0, "no need for f2 at U = 0.3");
+    }
+
+    #[test]
+    fn dvs_runs_fast_when_tight() {
+        // Paper operating point: U = 0.76, λ = 0.0014 ⇒ t_est(f1) ≈ 10835
+        // > 10000, so the run must start at f2.
+        let s = scenario(0.76, 10_000.0);
+        let mut p = Adaptive::dvs_scp(0.0014, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert!(out.fast_fraction() > 0.0);
+    }
+
+    #[test]
+    fn dvs_downshifts_after_progress() {
+        // Start tight (must run fast); after enough progress the f1
+        // estimate fits the remaining slack. A replan only happens on a
+        // fault, so inject one late in the run.
+        let s = scenario(0.76, 10_000.0);
+        let mut p = Adaptive::dvs_scp(0.0014, 5);
+        let mut faults = DeterministicFaults::new(vec![2500.0]);
+        let out = Executor::new(&s).run(&mut p, &mut faults);
+        assert!(out.completed, "one fault must be absorbed");
+        let frac = out.fast_fraction();
+        assert!(
+            frac > 0.05 && frac < 0.95,
+            "expected a mixed-speed run, got fast fraction {frac}"
+        );
+        assert!(out.speed_switches >= 1);
+    }
+
+    #[test]
+    fn fixed_speed_variant_never_switches() {
+        let s = scenario(0.5, 20_000.0);
+        let mut p = Adaptive::scp(1e-3, 5, 0);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.completed);
+        assert_eq!(out.speed_switches, 0);
+        assert_eq!(out.fast_fraction(), 0.0);
+    }
+
+    #[test]
+    fn aborts_when_deadline_impossible() {
+        // Remaining time at every speed exceeds the deadline outright.
+        let s = Scenario::new(
+            TaskSpec::new(30_000.0, 10_000.0), // even f2 needs 15_000
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let mut p = Adaptive::dvs_scp(1e-4, 5);
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::none());
+        assert!(out.aborted);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn error_decrements_fault_budget_and_replans() {
+        let s = scenario(0.5, 20_000.0);
+        let mut p = Adaptive::dvs_scp(1e-3, 5);
+        let mut faults = DeterministicFaults::new(vec![1000.0, 4000.0]);
+        let out = Executor::new(&s).run(&mut p, &mut faults);
+        assert!(out.completed);
+        assert_eq!(out.rollbacks, 2);
+        assert_eq!(p.errors_seen(), 2);
+        assert!((p.remaining_fault_budget() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_budget_saturates_at_zero() {
+        let s = scenario(0.3, 40_000.0);
+        let mut p = Adaptive::dvs_scp(1e-3, 1);
+        let faults: Vec<f64> = (1..=5).map(|i| i as f64 * 1500.0).collect();
+        let out = Executor::new(&s).run(&mut p, &mut DeterministicFaults::new(faults));
+        assert!(out.completed);
+        assert_eq!(p.errors_seen(), 5);
+        assert_eq!(p.remaining_fault_budget(), 0.0);
+    }
+
+    #[test]
+    fn scp_scheme_beats_cscp_only_under_matching_faults() {
+        // The paper's core claim: with expensive comparisons (ts = 2,
+        // tcp = 20) and a heavy fault load, SCP subdivision loses less work
+        // per error than CSCP-only checkpointing. Compare mean timely
+        // finish times under the fault rate the policies assume.
+        use eacp_sim::{ExecutorOptions, MonteCarlo};
+        let s = scenario(0.76, 10_000.0);
+        let lambda = 4e-3;
+        let mc = MonteCarlo::new(400).with_seed(11);
+        let ads = mc.run(
+            &s,
+            ExecutorOptions::default(),
+            |_| Adaptive::dvs_scp(lambda, 5),
+            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+        );
+        let ad = mc.run(
+            &s,
+            ExecutorOptions::default(),
+            |_| Adaptive::adt_dvs(lambda, 5),
+            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+        );
+        assert!(ads.timely > 0 && ad.timely > 0);
+        assert!(
+            ads.finish_timely.mean() < ad.finish_timely.mean(),
+            "A_D_S {} vs A_D {}",
+            ads.finish_timely.mean(),
+            ad.finish_timely.mean()
+        );
+        assert!(ads.p_timely() >= ad.p_timely() - 0.02);
+    }
+
+    #[test]
+    fn exact_optimizer_variant_also_completes() {
+        let s = scenario(0.76, 10_000.0);
+        let mut p = Adaptive::dvs_scp(0.0014, 5).with_optimizer(OptimizeMethod::ExactRecursion);
+        let mut faults = PoissonProcess::new(0.0014, StdRng::seed_from_u64(99));
+        let out = Executor::new(&s).run(&mut p, &mut faults);
+        assert!(out.anomaly.is_none());
+        assert!(out.completed || out.aborted);
+    }
+
+    #[test]
+    fn stochastic_runs_have_no_anomalies() {
+        // Stress the planner across many seeds; any anomaly is a policy bug.
+        let s = scenario(0.8, 10_000.0);
+        for seed in 0..200 {
+            let mut p = Adaptive::dvs_scp(0.0016, 5);
+            let mut faults = PoissonProcess::new(0.0016, StdRng::seed_from_u64(seed));
+            let out = Executor::new(&s).run(&mut p, &mut faults);
+            assert!(out.anomaly.is_none(), "seed {seed}: {:?}", out.anomaly);
+        }
+        for seed in 0..200 {
+            let mut p = Adaptive::dvs_ccp(0.0016, 5);
+            let mut faults = PoissonProcess::new(0.0016, StdRng::seed_from_u64(seed));
+            let out = Executor::new(&s).run(&mut p, &mut faults);
+            assert!(out.anomaly.is_none(), "seed {seed}: {:?}", out.anomaly);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_negative_lambda() {
+        Adaptive::dvs_scp(-1.0, 5);
+    }
+}

@@ -1,0 +1,18 @@
+//! The checkpointing schemes evaluated in the paper.
+//!
+//! | Paper name | Constructor | Checkpoints | Speed |
+//! |---|---|---|---|
+//! | Poisson | [`PoissonArrival::new`] | CSCP every `sqrt(2C/λ)` | fixed |
+//! | k-f-t | [`KFaultTolerant::new`] | CSCP every `sqrt(NC/k)` | fixed |
+//! | A_D (ADT_DVS, DATE'03) | [`Adaptive::adt_dvs`] | adaptive CSCP | DVS |
+//! | A_D_S (`adapchp_dvs_SCP`, Fig. 6) | [`Adaptive::dvs_scp`] | adaptive CSCP + SCP subdivision | DVS |
+//! | A_D_C (`adapchp_dvs_CCP`, Fig. 7) | [`Adaptive::dvs_ccp`] | adaptive CSCP + CCP subdivision | DVS |
+//! | `adapchp-SCP` (Fig. 3) | [`Adaptive::scp`] | adaptive CSCP + SCP subdivision | fixed |
+//! | `adapchp-CCP` | [`Adaptive::ccp`] | adaptive CSCP + CCP subdivision | fixed |
+//! | ADT without DVS (ablation) | [`Adaptive::cscp`] | adaptive CSCP | fixed |
+
+mod adaptive;
+mod baselines;
+
+pub use adaptive::{Adaptive, SubCheckpointKind};
+pub use baselines::{KFaultTolerant, PoissonArrival};

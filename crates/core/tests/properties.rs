@@ -1,0 +1,176 @@
+//! Property-based tests of the paper's analytical procedures.
+
+use eacp_core::analysis::{
+    ccp_interval_mean_exact, ccp_interval_mean_time, checkpoint_interval,
+    checkpoint_interval_with_branch, estimated_completion_time, k_fault_interval,
+    k_fault_threshold, num_ccp, num_scp, poisson_interval, poisson_threshold,
+    scp_interval_mean_exact, scp_interval_mean_time, IntervalBranch, IntervalInputs,
+    OptimizeMethod, RenewalParams,
+};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = RenewalParams> {
+    (0.5f64..40.0, 0.5f64..40.0, 0.0f64..10.0, 1e-5f64..5e-3)
+        .prop_map(|(ts, tcp, tr, l)| RenewalParams::new(ts, tcp, tr, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Fig. 4 interval is always within (0, Rt] and finite.
+    #[test]
+    fn interval_always_in_bounds(
+        rd in 10.0f64..50_000.0,
+        rt in 1.0f64..40_000.0,
+        c in 1.0f64..100.0,
+        rf in 0.0f64..10.0,
+        lambda in 0.0f64..1e-2,
+    ) {
+        let itv = checkpoint_interval(IntervalInputs { rd, rt, c, rf, lambda });
+        prop_assert!(itv.is_finite());
+        prop_assert!(itv > 0.0);
+        prop_assert!(itv <= rt + 1e-9);
+    }
+
+    /// Branch selection respects the thresholds it is defined by.
+    #[test]
+    fn interval_branch_consistency(
+        rd in 100.0f64..50_000.0,
+        rt in 1.0f64..40_000.0,
+        c in 1.0f64..100.0,
+        rf in 0.0f64..10.0,
+        lambda in 1e-6f64..1e-2,
+    ) {
+        let (_, branch) = checkpoint_interval_with_branch(
+            IntervalInputs { rd, rt, c, rf, lambda });
+        let exp_error = lambda * rt;
+        let thl = poisson_threshold(rd, lambda, c);
+        match branch {
+            IntervalBranch::DeadlineDriven => prop_assert!(rt > thl),
+            IntervalBranch::Poisson => {
+                prop_assert!(exp_error > rf);
+                prop_assert!(rt <= thl);
+            }
+            IntervalBranch::KFaultExpected => {
+                prop_assert!(exp_error <= rf);
+                prop_assert!(rt <= thl);
+                prop_assert!(rt > k_fault_threshold(rd, rf, c));
+            }
+            IntervalBranch::KFaultBudget => {
+                prop_assert!(exp_error <= rf);
+                prop_assert!(rt <= k_fault_threshold(rd, rf, c).max(thl.min(rt)));
+            }
+        }
+    }
+
+    /// `I1` and `I2` satisfy their defining first-order conditions: they
+    /// minimize the respective overhead models.
+    #[test]
+    fn i1_minimizes_poisson_overhead(c in 1.0f64..100.0, lambda in 1e-5f64..1e-2) {
+        // Overhead model: h(I) = C/I + λI/2 (checkpoint cost per unit work
+        // plus expected re-execution loss). I1 is its argmin.
+        let i1 = poisson_interval(c, lambda);
+        let h = |i: f64| c / i + lambda * i / 2.0;
+        prop_assert!(h(i1) <= h(i1 * 0.9) + 1e-12);
+        prop_assert!(h(i1) <= h(i1 * 1.1) + 1e-12);
+    }
+
+    #[test]
+    fn i2_minimizes_worst_case(n in 100.0f64..50_000.0, k in 1.0f64..10.0, c in 1.0f64..100.0) {
+        // Worst case: w(I) = N + (N/I)·c + k·I; I2 = sqrt(Nc/k) minimizes.
+        let i2 = k_fault_interval(n, k, c);
+        let w = |i: f64| n + n / i * c + k * i;
+        prop_assert!(w(i2) <= w(i2 * 0.9) + 1e-9);
+        prop_assert!(w(i2) <= w(i2 * 1.1) + 1e-9);
+    }
+
+    /// The thresholds solve their defining equations.
+    #[test]
+    fn thresholds_solve_equations(
+        rd in 100.0f64..100_000.0,
+        lambda in 1e-6f64..1e-2,
+        rf in 0.1f64..10.0,
+        c in 1.0f64..100.0,
+    ) {
+        let thl = poisson_threshold(rd, lambda, c);
+        prop_assert!((thl * (1.0 + (lambda * c / 2.0).sqrt()) - c - rd).abs() < 1e-6 * rd);
+        let th = k_fault_threshold(rd, rf, c);
+        prop_assert!((th + 2.0 * (rf * c * th).sqrt() - rd).abs() < 1e-6 * rd);
+        // Both thresholds are below the deadline slack itself.
+        prop_assert!(thl <= rd + c);
+        prop_assert!(th <= rd);
+    }
+
+    /// Both renewal expressions are bounded below by the fault-free cost
+    /// and increase with λ.
+    #[test]
+    fn renewal_times_dominate_fault_free(
+        p in params_strategy(),
+        t in 20.0f64..2_000.0,
+        m in 1u32..16,
+    ) {
+        let t1 = t / m as f64;
+        let fault_free_scp = t + m as f64 * p.store_time + p.compare_time;
+        let r1 = scp_interval_mean_time(t1, t, &p);
+        let r1x = scp_interval_mean_exact(m, t, &p);
+        prop_assert!(r1 >= fault_free_scp - 1e-9);
+        prop_assert!(r1x >= fault_free_scp - 1e-9);
+        let fault_free_ccp = t + m as f64 * p.compare_time + p.store_time;
+        let r2 = ccp_interval_mean_time(t1, t, &p);
+        prop_assert!(r2 >= fault_free_ccp - 1e-9);
+
+        let hotter = RenewalParams::new(
+            p.store_time, p.compare_time, p.rollback_time, p.lambda * 2.0 + 1e-6);
+        prop_assert!(scp_interval_mean_exact(m, t, &hotter) >= r1x - 1e-9);
+        prop_assert!(ccp_interval_mean_time(t1, t, &hotter) >= r2 - 1e-9);
+    }
+
+    /// The CCP closed form and the defining renewal sum agree everywhere.
+    #[test]
+    fn ccp_closed_form_identity(
+        p in params_strategy(),
+        t in 20.0f64..2_000.0,
+        m in 1u32..24,
+    ) {
+        let closed = ccp_interval_mean_time(t / m as f64, t, &p);
+        let sum = ccp_interval_mean_exact(m, t, &p);
+        prop_assert!((closed - sum).abs() / sum.max(1.0) < 1e-8,
+            "closed {closed} vs sum {sum}");
+    }
+
+    /// Optimizer outputs are locally optimal for their own objective.
+    #[test]
+    fn optimizers_are_locally_optimal(
+        p in params_strategy(),
+        t in 20.0f64..2_000.0,
+    ) {
+        let m = num_scp(t, &p, OptimizeMethod::ExactRecursion);
+        let cost = |m: u32| scp_interval_mean_exact(m, t, &p);
+        prop_assert!(cost(m) <= cost(m + 1) + 1e-9);
+        if m > 1 {
+            prop_assert!(cost(m) <= cost(m - 1) + 1e-9);
+        }
+        let mc = num_ccp(t, &p, OptimizeMethod::ExactRecursion);
+        let cost_c = |m: u32| ccp_interval_mean_exact(m, t, &p);
+        prop_assert!(cost_c(mc) <= cost_c(mc + 1) + 1e-9);
+        if mc > 1 {
+            prop_assert!(cost_c(mc) <= cost_c(mc - 1) + 1e-9);
+        }
+    }
+
+    /// `t_est` dominates the ideal fault-free time and is monotone in the
+    /// remaining work, the fault rate, and (inversely) the speed.
+    #[test]
+    fn t_est_monotonicity(
+        rc in 1.0f64..100_000.0,
+        f in 0.5f64..4.0,
+        c in 1.0f64..100.0,
+        lambda in 0.0f64..1e-3,
+    ) {
+        let t = estimated_completion_time(rc, f, c, lambda);
+        prop_assert!(t >= rc / f - 1e-9);
+        prop_assert!(estimated_completion_time(rc * 2.0, f, c, lambda) >= t);
+        prop_assert!(estimated_completion_time(rc, f, c, lambda + 1e-5) >= t);
+        prop_assert!(estimated_completion_time(rc, f * 2.0, c, lambda) <= t);
+    }
+}

@@ -1,0 +1,123 @@
+//! Checkpoint operation costs.
+
+use crate::policy::CheckpointKind;
+
+/// Costs of the three checkpoint operations and of a rollback, expressed in
+/// **cycles** (the paper's `ts`, `tcp`, `tr`, with `c = ts + tcp`).
+///
+/// At processor speed `f` an operation of `x` cycles takes `x / f` time
+/// units, which is exactly how the paper obtains a frequency-dependent
+/// checkpoint overhead `C = c / f`.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_sim::{CheckpointCosts, CheckpointKind};
+/// let costs = CheckpointCosts::paper_scp_variant();
+/// assert_eq!(costs.store_cycles, 2.0);
+/// assert_eq!(costs.compare_cycles, 20.0);
+/// assert_eq!(costs.cscp_cycles(), 22.0);
+/// assert_eq!(costs.cycles_of(CheckpointKind::Store), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CheckpointCosts {
+    /// `ts`: cycles to store the states of both processors.
+    pub store_cycles: f64,
+    /// `tcp`: cycles to compare the processors' states.
+    pub compare_cycles: f64,
+    /// `tr`: cycles to roll the processors back to a consistent state
+    /// (the paper's experiments set `tr = 0`).
+    pub rollback_cycles: f64,
+}
+
+impl CheckpointCosts {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or not finite, or if
+    /// `store_cycles + compare_cycles == 0` (a free CSCP would allow
+    /// zero-progress scheduling loops).
+    pub fn new(store_cycles: f64, compare_cycles: f64, rollback_cycles: f64) -> Self {
+        for (name, v) in [
+            ("store_cycles", store_cycles),
+            ("compare_cycles", compare_cycles),
+            ("rollback_cycles", rollback_cycles),
+        ] {
+            assert!(
+                v >= 0.0 && v.is_finite(),
+                "{name} must be non-negative and finite"
+            );
+        }
+        assert!(
+            store_cycles + compare_cycles > 0.0,
+            "store_cycles + compare_cycles must be positive"
+        );
+        Self {
+            store_cycles,
+            compare_cycles,
+            rollback_cycles,
+        }
+    }
+
+    /// The parameters of the paper's SCP experiments (Tables 1–2):
+    /// cheap store, expensive compare — `ts = 2, tcp = 20, tr = 0`.
+    pub fn paper_scp_variant() -> Self {
+        Self::new(2.0, 20.0, 0.0)
+    }
+
+    /// The parameters of the paper's CCP experiments (Tables 3–4):
+    /// expensive store, cheap compare — `ts = 20, tcp = 2, tr = 0`.
+    pub fn paper_ccp_variant() -> Self {
+        Self::new(20.0, 2.0, 0.0)
+    }
+
+    /// Cycles of a full compare-and-store checkpoint (`c = ts + tcp`).
+    pub fn cscp_cycles(&self) -> f64 {
+        self.store_cycles + self.compare_cycles
+    }
+
+    /// Cycles consumed by a checkpoint of the given kind.
+    pub fn cycles_of(&self, kind: CheckpointKind) -> f64 {
+        match kind {
+            CheckpointKind::Store => self.store_cycles,
+            CheckpointKind::Compare => self.compare_cycles,
+            CheckpointKind::CompareStore => self.cscp_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_variants() {
+        let scp = CheckpointCosts::paper_scp_variant();
+        let ccp = CheckpointCosts::paper_ccp_variant();
+        assert_eq!(scp.cscp_cycles(), 22.0);
+        assert_eq!(ccp.cscp_cycles(), 22.0);
+        assert_eq!(scp.rollback_cycles, 0.0);
+    }
+
+    #[test]
+    fn cycles_of_each_kind() {
+        let c = CheckpointCosts::new(3.0, 5.0, 1.0);
+        assert_eq!(c.cycles_of(CheckpointKind::Store), 3.0);
+        assert_eq!(c.cycles_of(CheckpointKind::Compare), 5.0);
+        assert_eq!(c.cycles_of(CheckpointKind::CompareStore), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "store_cycles")]
+    fn rejects_negative_store() {
+        CheckpointCosts::new(-1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_free_cscp() {
+        CheckpointCosts::new(0.0, 0.0, 0.0);
+    }
+}

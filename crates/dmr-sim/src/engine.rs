@@ -1,0 +1,857 @@
+//! The DMR execution engine.
+
+use crate::costs::CheckpointCosts;
+use crate::outcome::{Anomaly, RunOutcome};
+use crate::policy::{CheckpointKind, Directive, PlanContext, Policy};
+use crate::scenario::Scenario;
+use crate::trace::{TraceEvent, TraceRecorder};
+use eacp_energy::EnergyMeter;
+use eacp_faults::FaultProcess;
+
+/// Tunable executor limits and switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorOptions {
+    /// Hard cap on executed operations (segments + checkpoints); exceeded
+    /// only by buggy policies. The run is marked with
+    /// [`Anomaly::OpBudgetExhausted`] when hit.
+    pub max_operations: u64,
+    /// Consecutive zero-progress planning rounds tolerated before the run is
+    /// marked with [`Anomaly::NoProgress`].
+    pub max_stalled_rounds: u32,
+    /// Whether faults can strike during checkpoint/rollback operations
+    /// (they corrupt the running state but never a snapshot already taken).
+    /// The paper's renewal analysis only exposes useful computation to
+    /// faults; the default `true` is the more physical choice and the
+    /// difference is insignificant (checkpoints are a few percent of time).
+    pub faults_during_overhead: bool,
+    /// Stop simulating once `now` passes the deadline (the run can no longer
+    /// be timely). Baseline schemes without an abort rule rely on this to
+    /// terminate; disable only for "run to completion regardless" studies.
+    pub stop_at_deadline: bool,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        Self {
+            max_operations: 50_000_000,
+            max_stalled_rounds: 64,
+            faults_during_overhead: true,
+            stop_at_deadline: true,
+        }
+    }
+}
+
+/// A stored snapshot: a rollback target.
+#[derive(Debug, Clone, Copy)]
+struct StorePoint {
+    /// Task position (cycles) the snapshot captures.
+    pos: f64,
+    /// Whether the two processors' states agreed when the snapshot was
+    /// taken (no un-rolled-back fault had occurred).
+    clean: bool,
+}
+
+/// Executes one task run under a [`Policy`] and a fault stream.
+///
+/// See the crate-level documentation for the execution model, and
+/// [`Executor::run`] for the entry point.
+#[derive(Debug)]
+pub struct Executor<'s> {
+    scenario: &'s Scenario,
+    options: ExecutorOptions,
+}
+
+impl<'s> Executor<'s> {
+    /// Creates an executor with default [`ExecutorOptions`].
+    pub fn new(scenario: &'s Scenario) -> Self {
+        Self {
+            scenario,
+            options: ExecutorOptions::default(),
+        }
+    }
+
+    /// Overrides the executor options.
+    pub fn with_options(mut self, options: ExecutorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the task to completion, abort, deadline cut-off or anomaly.
+    pub fn run(&self, policy: &mut dyn Policy, faults: &mut dyn FaultProcess) -> RunOutcome {
+        self.run_traced(policy, faults, None)
+    }
+
+    /// Like [`Executor::run`], additionally recording every event into
+    /// `recorder` (used by the figure-reproducing timeline renderer).
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn Policy,
+        faults: &mut dyn FaultProcess,
+        mut recorder: Option<&mut TraceRecorder>,
+    ) -> RunOutcome {
+        let scenario = self.scenario;
+        let task = scenario.task;
+        let costs: &CheckpointCosts = &scenario.costs;
+        let dvs = &scenario.dvs;
+        let deadline = task.deadline;
+
+        let mut meter = EnergyMeter::new(scenario.processors);
+        let mut now = 0.0_f64;
+        let mut pos = 0.0_f64;
+        let mut speed = dvs.slowest();
+        // The two processors start in a known-equal, stored state: the task
+        // image itself is the first rollback target.
+        let mut stores: Vec<StorePoint> = vec![StorePoint {
+            pos: 0.0,
+            clean: true,
+        }];
+        // Time of the first fault since the states last provably agreed;
+        // `Some` means the running states currently diverge.
+        let mut pending_fault: Option<f64> = None;
+        let mut next_fault = faults.next_fault();
+
+        let mut out = RunOutcome {
+            completed: false,
+            timely: false,
+            finish_time: 0.0,
+            energy: 0.0,
+            faults: 0,
+            rollbacks: 0,
+            store_checkpoints: 0,
+            compare_checkpoints: 0,
+            compare_store_checkpoints: 0,
+            segments: 0,
+            speed_switches: 0,
+            cycles_at_fastest: 0.0,
+            total_cycles: 0.0,
+            aborted: false,
+            anomaly: None,
+        };
+
+        let mut ops: u64 = 0;
+        let mut stalled_rounds: u32 = 0;
+
+        // Advances wall-clock time by `dt`, consuming fault arrivals that
+        // land in the window. Returns the number of faults consumed.
+        let mut advance = |now: &mut f64,
+                           dt: f64,
+                           pending: &mut Option<f64>,
+                           vulnerable: bool,
+                           recorder: &mut Option<&mut TraceRecorder>|
+         -> u32 {
+            let end = *now + dt;
+            let mut hit = 0;
+            while next_fault < end {
+                if vulnerable {
+                    if pending.is_none() {
+                        *pending = Some(next_fault);
+                    }
+                    hit += 1;
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        // Which processor a fault corrupts is irrelevant to
+                        // detection (any divergence fails the comparison);
+                        // tag pseudo-randomly from the arrival bits for
+                        // trace realism.
+                        let proc = (next_fault.to_bits() >> 3) as u32 & 1;
+                        rec.push(TraceEvent::Fault {
+                            at: next_fault,
+                            processor: proc,
+                        });
+                    }
+                }
+                next_fault = faults.next_fault();
+            }
+            *now = end;
+            hit
+        };
+
+        loop {
+            if self.options.stop_at_deadline && now > deadline {
+                break;
+            }
+            if ops >= self.options.max_operations {
+                out.anomaly = Some(Anomaly::OpBudgetExhausted);
+                break;
+            }
+
+            let ctx = PlanContext {
+                now,
+                position_cycles: pos,
+                work_cycles: task.work_cycles,
+                deadline,
+                speed,
+                costs,
+                dvs,
+            };
+            let directive = policy.plan(&ctx);
+
+            let (want_speed, compute_time, checkpoint) = match directive {
+                Directive::Abort => {
+                    out.aborted = true;
+                    break;
+                }
+                Directive::Run {
+                    speed,
+                    compute_time,
+                    checkpoint,
+                } => (speed, compute_time, checkpoint),
+            };
+
+            if want_speed >= dvs.len() {
+                out.anomaly = Some(Anomaly::InvalidSpeed);
+                break;
+            }
+            if !compute_time.is_finite() || compute_time < 0.0 {
+                out.anomaly = Some(Anomaly::InvalidComputeTime);
+                break;
+            }
+
+            if want_speed != speed {
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.push(TraceEvent::SpeedChange {
+                        at: now,
+                        from: speed,
+                        to: want_speed,
+                    });
+                }
+                speed = want_speed;
+                out.speed_switches += 1;
+                if dvs.switch_time > 0.0 {
+                    advance(
+                        &mut now,
+                        dvs.switch_time,
+                        &mut pending_fault,
+                        self.options.faults_during_overhead,
+                        &mut recorder,
+                    );
+                }
+                if dvs.switch_energy > 0.0 {
+                    meter.record_switch(dvs.switch_energy);
+                }
+            }
+            let level = dvs.level(speed);
+
+            // --- Computation segment -------------------------------------
+            let remaining_time = (task.work_cycles - pos) / level.frequency;
+            let dur = compute_time.min(remaining_time).max(0.0);
+            let progressed = dur > 0.0;
+            if progressed {
+                // Emit the segment before consuming its fault window so the
+                // trace stays sorted by event start time.
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.push(TraceEvent::Segment {
+                        from: now,
+                        to: now + dur,
+                        speed,
+                    });
+                }
+                out.faults += advance(&mut now, dur, &mut pending_fault, true, &mut recorder);
+                let cycles = dur * level.frequency;
+                pos = (pos + cycles).min(task.work_cycles);
+                meter.record_cycles(cycles, level);
+                out.segments += 1;
+                ops += 1;
+            }
+
+            // --- Checkpoint operation ------------------------------------
+            // Snapshot/comparison semantics are evaluated at operation
+            // start; the operation's own duration is still fault-exposed.
+            let snapshot_diverged = pending_fault.is_some();
+            let op_cycles = costs.cycles_of(checkpoint);
+            let op_time = op_cycles / level.frequency;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.push(TraceEvent::Checkpoint {
+                    kind: checkpoint,
+                    from: now,
+                    to: now + op_time,
+                    position: pos,
+                    mismatch: checkpoint.compares() && snapshot_diverged,
+                });
+            }
+            out.faults += advance(
+                &mut now,
+                op_time,
+                &mut pending_fault,
+                self.options.faults_during_overhead,
+                &mut recorder,
+            );
+            if op_cycles > 0.0 {
+                meter.record_cycles(op_cycles, level);
+            }
+            ops += 1;
+            match checkpoint {
+                CheckpointKind::Store => out.store_checkpoints += 1,
+                CheckpointKind::Compare => out.compare_checkpoints += 1,
+                CheckpointKind::CompareStore => out.compare_store_checkpoints += 1,
+            }
+
+            let mut rolled_back = false;
+            match checkpoint {
+                CheckpointKind::Store => {
+                    stores.push(StorePoint {
+                        pos,
+                        clean: !snapshot_diverged,
+                    });
+                }
+                CheckpointKind::Compare => {
+                    if !snapshot_diverged {
+                        // Agreement verified, but nothing stored: rollback
+                        // targets are unchanged (paper Fig. 5 semantics).
+                    } else {
+                        rolled_back = true;
+                    }
+                }
+                CheckpointKind::CompareStore => {
+                    if !snapshot_diverged {
+                        // Commit: this snapshot is verified-equal and
+                        // stored; earlier targets can never be needed again.
+                        stores.clear();
+                        stores.push(StorePoint { pos, clean: true });
+                    } else {
+                        rolled_back = true;
+                    }
+                }
+            }
+
+            if rolled_back {
+                // Discard snapshots taken after the divergence began: the
+                // newest clean snapshot is the rollback target. The bottom
+                // of the stack is always a clean committed state.
+                while stores.last().is_some_and(|s| !s.clean) {
+                    stores.pop();
+                }
+                let target = *stores.last().expect("a committed state always remains");
+                debug_assert!(target.clean);
+                pos = target.pos;
+                pending_fault = None;
+                out.rollbacks += 1;
+                let rb_time = costs.rollback_cycles / level.frequency;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.push(TraceEvent::Rollback {
+                        from: now,
+                        to: now + rb_time,
+                        to_position: target.pos,
+                    });
+                }
+                if costs.rollback_cycles > 0.0 {
+                    out.faults += advance(
+                        &mut now,
+                        rb_time,
+                        &mut pending_fault,
+                        self.options.faults_during_overhead,
+                        &mut recorder,
+                    );
+                    meter.record_cycles(costs.rollback_cycles, level);
+                }
+            } else if checkpoint.compares() && !snapshot_diverged && pos >= task.work_cycles - 1e-9
+            {
+                // All work done and verified by a passing comparison.
+                out.completed = true;
+                out.timely = now <= deadline;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.push(TraceEvent::Complete { at: now });
+                }
+            }
+
+            if checkpoint.compares() {
+                let post_ctx = PlanContext {
+                    now,
+                    position_cycles: pos,
+                    work_cycles: task.work_cycles,
+                    deadline,
+                    speed,
+                    costs,
+                    dvs,
+                };
+                policy.on_compare(&post_ctx, checkpoint, snapshot_diverged);
+            }
+
+            if out.completed {
+                break;
+            }
+
+            if progressed || rolled_back || op_cycles > 0.0 {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds > self.options.max_stalled_rounds {
+                    out.anomaly = Some(Anomaly::NoProgress);
+                    break;
+                }
+            }
+        }
+
+        if let Some(rec) = recorder {
+            if out.aborted {
+                rec.push(TraceEvent::Abort { at: now });
+            }
+        }
+        out.finish_time = now;
+        if !out.completed {
+            out.timely = false;
+        }
+        out.energy = meter.total();
+        out.cycles_at_fastest = meter.cycles_at_frequency(dvs.level(dvs.fastest()).frequency);
+        out.total_cycles = meter.total_cycles();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use eacp_energy::DvsConfig;
+    use eacp_faults::DeterministicFaults;
+
+    /// Fixed-interval policy used throughout the engine tests.
+    struct FixedCscp {
+        interval: f64,
+        speed: usize,
+    }
+
+    impl Policy for FixedCscp {
+        fn name(&self) -> &'static str {
+            "fixed-cscp"
+        }
+        fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+            Directive::run(self.speed, self.interval, CheckpointKind::CompareStore)
+        }
+    }
+
+    /// SCP-scheme policy with a static schedule: `m − 1` stores then a CSCP.
+    struct FixedScpScheme {
+        sub_interval: f64,
+        m: u32,
+        seg: u32,
+    }
+
+    impl Policy for FixedScpScheme {
+        fn name(&self) -> &'static str {
+            "fixed-scp"
+        }
+        fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+            let kind = if (self.seg + 1).is_multiple_of(self.m) {
+                CheckpointKind::CompareStore
+            } else {
+                CheckpointKind::Store
+            };
+            self.seg += 1;
+            Directive::run(0, self.sub_interval, kind)
+        }
+        fn on_compare(&mut self, ctx: &PlanContext<'_>, _k: CheckpointKind, mismatch: bool) {
+            if mismatch {
+                // Realign the schedule with the rollback position.
+                self.seg = (ctx.position_cycles / self.sub_interval).round() as u32 % self.m;
+            }
+        }
+    }
+
+    fn scenario(n: f64, d: f64) -> Scenario {
+        Scenario::new(
+            TaskSpec::new(n, d),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn fault_free_run_exact_accounting() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed && out.timely);
+        assert_eq!(out.segments, 10);
+        assert_eq!(out.compare_store_checkpoints, 10);
+        assert_eq!(out.faults, 0);
+        assert_eq!(out.rollbacks, 0);
+        // 1000 work + 10 × 22 checkpoint cycles at f = 1.
+        assert!((out.finish_time - 1220.0).abs() < 1e-9);
+        // Energy: 2 processors × V² = 2 × 1220 cycles.
+        assert!((out.energy - 2.0 * 2.0 * 1220.0).abs() < 1e-6);
+        assert_eq!(out.fast_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_free_run_at_high_speed_halves_time() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 50.0,
+            speed: 1,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        // 10 segments of 50 time units (100 cycles each) + 10 CSCPs of 11
+        // time units (22 cycles at f = 2).
+        assert!((out.finish_time - (500.0 + 110.0)).abs() < 1e-9);
+        // One implicit switch from the slowest initial speed.
+        assert_eq!(out.speed_switches, 1);
+        assert_eq!(out.fast_fraction(), 1.0);
+        // Energy at V² = 4.
+        assert!((out.energy - 2.0 * 4.0 * 1220.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_fault_rolls_back_one_interval() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        // Fault in the middle of the third segment. Segments end at
+        // 122k boundaries: segment 3 spans [244, 344).
+        let mut f = DeterministicFaults::new(vec![300.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed && out.timely);
+        assert_eq!(out.faults, 1);
+        assert_eq!(out.rollbacks, 1);
+        assert_eq!(out.segments, 11);
+        assert_eq!(out.compare_store_checkpoints, 11);
+        // One extra interval (100 + 22) on top of the fault-free 1220.
+        assert!((out.finish_time - 1342.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_during_checkpoint_detected_next_interval() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        // First CSCP op spans [100, 122): snapshot at t = 100 is clean, the
+        // fault at t = 110 corrupts the running state; the mismatch is
+        // detected at the *second* CSCP (t = 222) and rolls back to pos 100.
+        let mut f = DeterministicFaults::new(vec![110.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        assert_eq!(out.rollbacks, 1);
+        assert!((out.finish_time - 1342.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_faults_can_be_disabled() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::new(vec![110.0]);
+        let opts = ExecutorOptions {
+            faults_during_overhead: false,
+            ..ExecutorOptions::default()
+        };
+        let out = Executor::new(&s).with_options(opts).run(&mut p, &mut f);
+        // The fault lands inside a checkpoint window and is ignored.
+        assert_eq!(out.faults, 0);
+        assert_eq!(out.rollbacks, 0);
+        assert!((out.finish_time - 1220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scp_scheme_rolls_back_to_last_clean_store() {
+        // One CSCP interval of 400 cycles split into m = 4 sub-intervals of
+        // 100; SCPs at 100, 200, 300 (positions), CSCP at 400.
+        let s = Scenario::new(
+            TaskSpec::new(400.0, 10_000.0),
+            CheckpointCosts::new(2.0, 20.0, 0.0),
+            DvsConfig::paper_default(),
+        );
+        let mut p = FixedScpScheme {
+            sub_interval: 100.0,
+            m: 4,
+            seg: 0,
+        };
+        // Timeline: seg1 [0,100) +SCP 2 → t=102; seg2 [102,202) +SCP → 204;
+        // seg3 [204,304) +SCP → 306; seg4 [306,406) +CSCP 22 → 428.
+        // Fault at t = 250 lands in segment 3 (positions 200..300): the
+        // mismatch is detected at the CSCP (t = 406 snapshot) and rolls
+        // back to the SCP at position 200 (stored at t = 202–204, clean).
+        let mut f = DeterministicFaults::new(vec![250.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        assert_eq!(out.rollbacks, 1);
+        // Work re-executed: positions 200..400 (two sub-intervals), with
+        // 1 SCP + 1 CSCP of overhead on the retry.
+        // Total time: fault-free pass to first CSCP end = 400 + 3·2 + 22 =
+        // 428; retry = 200 + 2 + 22 = 224; total = 652.
+        assert!(
+            (out.finish_time - 652.0).abs() < 1e-9,
+            "finish = {}",
+            out.finish_time
+        );
+        assert_eq!(out.store_checkpoints, 4); // 3 + 1 re-executed
+        assert_eq!(out.compare_store_checkpoints, 2); // failed + passing
+    }
+
+    #[test]
+    fn ccp_mismatch_rolls_back_to_interval_start() {
+        // CCP scheme: compares at sub-interval boundaries, stores only at
+        // the enclosing CSCP; a fault detected at the first CCP must roll
+        // back to position 0.
+        struct CcpScheme {
+            sub: f64,
+            m: u32,
+            seg: u32,
+        }
+        impl Policy for CcpScheme {
+            fn name(&self) -> &'static str {
+                "fixed-ccp"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                let kind = if (self.seg + 1).is_multiple_of(self.m) {
+                    CheckpointKind::CompareStore
+                } else {
+                    CheckpointKind::Compare
+                };
+                self.seg += 1;
+                Directive::run(0, self.sub, kind)
+            }
+            fn on_compare(&mut self, _c: &PlanContext<'_>, _k: CheckpointKind, mismatch: bool) {
+                if mismatch {
+                    self.seg = 0;
+                }
+            }
+        }
+        let s = Scenario::new(
+            TaskSpec::new(400.0, 10_000.0),
+            CheckpointCosts::new(20.0, 2.0, 0.0),
+            DvsConfig::paper_default(),
+        );
+        let mut p = CcpScheme {
+            sub: 100.0,
+            m: 4,
+            seg: 0,
+        };
+        // Fault at t = 50, in the first sub-interval: detected at the CCP at
+        // t = 100 (cost 2), rolled back to position 0 at t = 102.
+        let mut f = DeterministicFaults::new(vec![50.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        assert_eq!(out.rollbacks, 1);
+        // Retry from scratch: 3 CCPs (2 cycles) + CSCP (22 cycles) + 400
+        // work = 428; plus the aborted first attempt 100 + 2 = 102.
+        assert!(
+            (out.finish_time - 530.0).abs() < 1e-9,
+            "finish = {}",
+            out.finish_time
+        );
+        assert_eq!(out.compare_checkpoints, 4); // 1 failed + 3 clean
+    }
+
+    #[test]
+    fn late_completion_is_untimely() {
+        let s = scenario(1000.0, 1100.0); // needs 1220 fault-free
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        // The final interval starts before the deadline and finishes after
+        // it: the run completes, but late.
+        assert!(out.completed);
+        assert!(!out.timely);
+        assert!((out.finish_time - 1220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_cutoff_stops_doomed_runs() {
+        let s = scenario(10_000.0, 1000.0); // hopeless: needs 12_200
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(!out.completed && !out.timely);
+        // Stopped at the first operation boundary past the deadline.
+        assert!(out.finish_time > 1000.0);
+        assert!(out.finish_time < 1000.0 + 123.0);
+        // Energy charged only up to the cut-off.
+        assert!(out.energy <= 2.0 * 2.0 * (1000.0 + 122.0) + 1e-6);
+    }
+
+    #[test]
+    fn completion_exactly_at_deadline_is_timely() {
+        // 1000 work + 10 CSCPs × 22 = 1220 exactly.
+        let s = scenario(1000.0, 1220.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed && out.timely);
+        assert!((out.finish_time - 1220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_directive_fails_run() {
+        struct Quitter;
+        impl Policy for Quitter {
+            fn name(&self) -> &'static str {
+                "quitter"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                Directive::Abort
+            }
+        }
+        let s = scenario(1000.0, 10_000.0);
+        let out = Executor::new(&s).run(&mut Quitter, &mut DeterministicFaults::none());
+        assert!(out.aborted && !out.completed && !out.timely);
+        assert_eq!(out.energy, 0.0);
+    }
+
+    #[test]
+    fn invalid_speed_is_flagged() {
+        struct Bad;
+        impl Policy for Bad {
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                Directive::run(9, 1.0, CheckpointKind::CompareStore)
+            }
+        }
+        let s = scenario(1000.0, 10_000.0);
+        let out = Executor::new(&s).run(&mut Bad, &mut DeterministicFaults::none());
+        assert_eq!(out.anomaly, Some(Anomaly::InvalidSpeed));
+    }
+
+    #[test]
+    fn invalid_compute_time_is_flagged() {
+        struct Bad;
+        impl Policy for Bad {
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                Directive::run(0, f64::NAN, CheckpointKind::CompareStore)
+            }
+        }
+        let s = scenario(1000.0, 10_000.0);
+        let out = Executor::new(&s).run(&mut Bad, &mut DeterministicFaults::none());
+        assert_eq!(out.anomaly, Some(Anomaly::InvalidComputeTime));
+    }
+
+    #[test]
+    fn segment_overshoot_is_clamped_to_task_end() {
+        let s = scenario(130.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::none();
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        // Segments: 100 + 30 (clamped); 2 CSCPs.
+        assert_eq!(out.segments, 2);
+        assert!((out.finish_time - (130.0 + 44.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_faults_in_one_interval_count_once_for_rollback() {
+        let s = scenario(1000.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::new(vec![10.0, 20.0, 30.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        assert_eq!(out.faults, 3);
+        assert_eq!(out.rollbacks, 1);
+        assert!((out.finish_time - 1342.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_are_consistent() {
+        let s = scenario(300.0, 10_000.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::new(vec![150.0]);
+        let mut rec = TraceRecorder::new();
+        let out = Executor::new(&s).run_traced(&mut p, &mut f, Some(&mut rec));
+        assert!(out.completed);
+        let events = rec.events();
+        assert!(!events.is_empty());
+        // Events are time-ordered.
+        let mut last = 0.0;
+        for e in events {
+            let t = e.start_time();
+            assert!(t >= last - 1e-9, "out of order: {e:?}");
+            last = t;
+        }
+        assert!(matches!(
+            events.last().unwrap(),
+            TraceEvent::Complete { .. }
+        ));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Rollback { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn no_progress_policy_is_flagged() {
+        struct Lazy;
+        impl Policy for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                // Zero compute, zero-cost checkpoint would stall forever —
+                // but CheckpointCosts forbids a free CSCP, so use Store with
+                // zero store cost.
+                Directive::run(0, 0.0, CheckpointKind::Store)
+            }
+        }
+        let s = Scenario::new(
+            TaskSpec::new(100.0, 1000.0),
+            CheckpointCosts::new(0.0, 5.0, 0.0),
+            DvsConfig::paper_default(),
+        );
+        let out = Executor::new(&s).run(&mut Lazy, &mut DeterministicFaults::none());
+        assert_eq!(out.anomaly, Some(Anomaly::NoProgress));
+    }
+
+    #[test]
+    fn rollback_cost_is_charged() {
+        let s = Scenario::new(
+            TaskSpec::new(200.0, 10_000.0),
+            CheckpointCosts::new(2.0, 20.0, 10.0),
+            DvsConfig::paper_default(),
+        );
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut f = DeterministicFaults::new(vec![50.0]);
+        let out = Executor::new(&s).run(&mut p, &mut f);
+        assert!(out.completed);
+        assert_eq!(out.rollbacks, 1);
+        // Fault-free: 200 + 2·22 = 244; retry adds 100 + 22 + 10 = 132.
+        assert!(
+            (out.finish_time - 376.0).abs() < 1e-9,
+            "finish = {}",
+            out.finish_time
+        );
+    }
+}

@@ -1,0 +1,395 @@
+//! Multi-threaded Monte-Carlo replication of task executions.
+//!
+//! The paper: "Due to the stochastic nature of the fault arrival process,
+//! the experiment is repeated 10,000 times for the same task and the results
+//! are averaged over these runs."
+
+use crate::engine::{Executor, ExecutorOptions};
+use crate::policy::Policy;
+use crate::scenario::Scenario;
+use eacp_faults::FaultProcess;
+use eacp_numerics::{wilson_interval, OnlineStats};
+
+/// Monte-Carlo experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Number of independent replications (the paper uses 10,000).
+    pub replications: u64,
+    /// Base seed; replication `i` derives its own seed deterministically,
+    /// so results are reproducible regardless of thread count.
+    pub base_seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a runner with the given replication count, a fixed default
+    /// seed and automatic thread count.
+    pub fn new(replications: u64) -> Self {
+        Self {
+            replications,
+            base_seed: 0xEAC9_2006,
+            threads: 0,
+        }
+    }
+
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Overrides the thread count (0 = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the experiment: for each replication a fresh policy and fault
+    /// stream are built from the factories (each receives the replication's
+    /// derived seed) and one task execution is simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications == 0`.
+    pub fn run<P, Q, FP, FQ>(
+        &self,
+        scenario: &Scenario,
+        options: ExecutorOptions,
+        policy_factory: FP,
+        fault_factory: FQ,
+    ) -> Summary
+    where
+        P: Policy,
+        Q: FaultProcess,
+        FP: Fn(u64) -> P + Sync,
+        FQ: Fn(u64) -> Q + Sync,
+    {
+        assert!(self.replications > 0, "replications must be positive");
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let threads = threads.min(self.replications as usize).max(1);
+
+        let executor = Executor::new(scenario).with_options(options);
+        let chunk = self.replications.div_ceil(threads as u64);
+        let mut partials: Vec<Summary> = Vec::with_capacity(threads);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads as u64 {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(self.replications);
+                if lo >= hi {
+                    break;
+                }
+                let executor = &executor;
+                let policy_factory = &policy_factory;
+                let fault_factory = &fault_factory;
+                let base_seed = self.base_seed;
+                handles.push(scope.spawn(move || {
+                    let mut local = Summary::empty();
+                    for rep in lo..hi {
+                        let seed = derive_seed(base_seed, rep);
+                        let mut policy = policy_factory(seed);
+                        let mut faults = fault_factory(seed);
+                        let out = executor.run(&mut policy, &mut faults);
+                        local.absorb(&out);
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("simulation worker panicked"));
+            }
+        });
+
+        let mut total = Summary::empty();
+        for p in &partials {
+            total.merge(p);
+        }
+        total
+    }
+}
+
+/// Derives the per-replication seed from the base seed (SplitMix64 mixing,
+/// so neighbouring replication indices yield decorrelated streams).
+fn derive_seed(base: u64, rep: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rep.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Aggregated Monte-Carlo results.
+///
+/// `energy_timely` matches the paper's `E` (mean over timely completions —
+/// `NaN` when no run was timely, exactly as the paper's Tables 1(b)/3(b)
+/// report for `U = 1.00`); `p_timely` matches the paper's `P`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total replications.
+    pub replications: u64,
+    /// Replications that completed at or before the deadline.
+    pub timely: u64,
+    /// Replications that completed at all (possibly late).
+    pub completed: u64,
+    /// Replications the policy aborted.
+    pub aborted: u64,
+    /// Replications with executor anomalies (policy bugs; must be 0).
+    pub anomalies: u64,
+    /// Energy over timely replications (the paper's `E`).
+    pub energy_timely: OnlineStats,
+    /// Energy over all replications (untimely runs charged up to ≈`D`).
+    pub energy_all: OnlineStats,
+    /// Completion time over timely replications.
+    pub finish_timely: OnlineStats,
+    /// Fault count per replication.
+    pub faults: OnlineStats,
+    /// Rollback count per replication.
+    pub rollbacks: OnlineStats,
+    /// Checkpoint count (all kinds) per replication.
+    pub checkpoints: OnlineStats,
+    /// Fraction of cycles executed at the fastest speed, per replication.
+    pub fast_fraction: OnlineStats,
+}
+
+impl Summary {
+    fn empty() -> Self {
+        Self {
+            replications: 0,
+            timely: 0,
+            completed: 0,
+            aborted: 0,
+            anomalies: 0,
+            energy_timely: OnlineStats::new(),
+            energy_all: OnlineStats::new(),
+            finish_timely: OnlineStats::new(),
+            faults: OnlineStats::new(),
+            rollbacks: OnlineStats::new(),
+            checkpoints: OnlineStats::new(),
+            fast_fraction: OnlineStats::new(),
+        }
+    }
+
+    fn absorb(&mut self, out: &crate::outcome::RunOutcome) {
+        self.replications += 1;
+        if out.timely {
+            self.timely += 1;
+            self.energy_timely.push(out.energy);
+            self.finish_timely.push(out.finish_time);
+        }
+        if out.completed {
+            self.completed += 1;
+        }
+        if out.aborted {
+            self.aborted += 1;
+        }
+        if out.anomaly.is_some() {
+            self.anomalies += 1;
+        }
+        self.energy_all.push(out.energy);
+        self.faults.push(out.faults as f64);
+        self.rollbacks.push(out.rollbacks as f64);
+        self.checkpoints.push(out.checkpoints() as f64);
+        self.fast_fraction.push(out.fast_fraction());
+    }
+
+    fn merge(&mut self, other: &Summary) {
+        self.replications += other.replications;
+        self.timely += other.timely;
+        self.completed += other.completed;
+        self.aborted += other.aborted;
+        self.anomalies += other.anomalies;
+        self.energy_timely.merge(&other.energy_timely);
+        self.energy_all.merge(&other.energy_all);
+        self.finish_timely.merge(&other.finish_timely);
+        self.faults.merge(&other.faults);
+        self.rollbacks.merge(&other.rollbacks);
+        self.checkpoints.merge(&other.checkpoints);
+        self.fast_fraction.merge(&other.fast_fraction);
+    }
+
+    /// Probability of timely completion (the paper's `P`).
+    pub fn p_timely(&self) -> f64 {
+        if self.replications == 0 {
+            f64::NAN
+        } else {
+            self.timely as f64 / self.replications as f64
+        }
+    }
+
+    /// Wilson confidence interval on `P` at `z` standard normal quantiles.
+    pub fn p_timely_ci(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.timely, self.replications, z)
+    }
+
+    /// Mean energy over timely runs (the paper's `E`; `NaN` when `P = 0`).
+    pub fn mean_energy_timely(&self) -> f64 {
+        self.energy_timely.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CheckpointCosts;
+    use crate::policy::{CheckpointKind, Directive, PlanContext};
+    use crate::task::TaskSpec;
+    use eacp_energy::DvsConfig;
+    use eacp_faults::PoissonProcess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct FixedCscp {
+        interval: f64,
+    }
+
+    impl Policy for FixedCscp {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+            Directive::run(0, self.interval, CheckpointKind::CompareStore)
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            TaskSpec::new(1000.0, 2000.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn fault_free_mc_is_deterministic() {
+        let s = scenario();
+        let mc = MonteCarlo::new(100).with_threads(4);
+        let sum = mc.run(
+            &s,
+            ExecutorOptions::default(),
+            |_| FixedCscp { interval: 100.0 },
+            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
+        );
+        assert_eq!(sum.replications, 100);
+        assert_eq!(sum.timely, 100);
+        assert_eq!(sum.p_timely(), 1.0);
+        assert_eq!(sum.anomalies, 0);
+        // All runs identical: zero variance.
+        assert_eq!(sum.energy_timely.population_variance(), 0.0);
+        assert!((sum.finish_timely.mean() - 1220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce_exactly() {
+        let s = scenario();
+        let run = |threads: usize| {
+            MonteCarlo::new(500)
+                .with_seed(42)
+                .with_threads(threads)
+                .run(
+                    &s,
+                    ExecutorOptions::default(),
+                    |_| FixedCscp { interval: 100.0 },
+                    |seed| PoissonProcess::new(5e-4, StdRng::seed_from_u64(seed)),
+                )
+        };
+        let a = run(1);
+        let b = run(7);
+        // Thread count must not affect the per-replication outcomes
+        // (per-replication seeding); counts are exactly equal, float means
+        // only up to Welford merge-order rounding.
+        assert_eq!(a.timely, b.timely);
+        assert_eq!(a.completed, b.completed);
+        assert!((a.faults.mean() - b.faults.mean()).abs() < 1e-9);
+        let rel = (a.energy_all.mean() - b.energy_all.mean()).abs() / a.energy_all.mean();
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn fault_rate_reduces_timeliness() {
+        let s = Scenario::new(
+            TaskSpec::new(1000.0, 1400.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let mc = MonteCarlo::new(2000).with_seed(7);
+        let run_with = |lambda: f64| {
+            mc.run(
+                &s,
+                ExecutorOptions::default(),
+                |_| FixedCscp { interval: 100.0 },
+                move |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+            )
+        };
+        let low = run_with(1e-5);
+        let high = run_with(2e-3);
+        assert!(low.p_timely() > high.p_timely());
+        assert!(low.faults.mean() < high.faults.mean());
+        // Faulty runs do strictly more work on average.
+        assert!(high.energy_all.mean() > 0.0);
+    }
+
+    #[test]
+    fn p_ci_brackets_p() {
+        let s = scenario();
+        let sum = MonteCarlo::new(300).with_seed(3).run(
+            &s,
+            ExecutorOptions::default(),
+            |_| FixedCscp { interval: 100.0 },
+            |seed| PoissonProcess::new(1e-3, StdRng::seed_from_u64(seed)),
+        );
+        let p = sum.p_timely();
+        let (lo, hi) = sum.p_timely_ci(1.96);
+        assert!(lo <= p && p <= hi);
+    }
+
+    #[test]
+    fn nan_energy_when_nothing_timely() {
+        // Deadline impossible to meet.
+        let s = Scenario::new(
+            TaskSpec::new(1000.0, 500.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let sum = MonteCarlo::new(50).run(
+            &s,
+            ExecutorOptions::default(),
+            |_| FixedCscp { interval: 100.0 },
+            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
+        );
+        assert_eq!(sum.timely, 0);
+        assert_eq!(sum.p_timely(), 0.0);
+        assert!(sum.mean_energy_timely().is_nan(), "paper-style NaN cell");
+        // Unconditional energy is still defined.
+        assert!(sum.energy_all.mean() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replications")]
+    fn zero_replications_rejected() {
+        let s = scenario();
+        MonteCarlo::new(0).run(
+            &s,
+            ExecutorOptions::default(),
+            |_| FixedCscp { interval: 100.0 },
+            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
+        );
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let s0 = derive_seed(1, 0);
+        let s1 = derive_seed(1, 1);
+        let s2 = derive_seed(2, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+    }
+}

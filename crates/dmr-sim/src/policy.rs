@@ -1,0 +1,185 @@
+//! The policy interface: how checkpointing schemes drive the executor.
+
+use crate::costs::CheckpointCosts;
+use eacp_energy::DvsConfig;
+
+/// The three checkpoint operations of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CheckpointKind {
+    /// SCP — store both processors' states without comparing (`ts` cycles).
+    Store,
+    /// CCP — compare the states without storing (`tcp` cycles).
+    Compare,
+    /// CSCP — compare and store (`ts + tcp` cycles); commits on agreement.
+    CompareStore,
+}
+
+impl CheckpointKind {
+    /// Whether this operation compares the two processors' states
+    /// (i.e. can detect a fault).
+    pub fn compares(self) -> bool {
+        matches!(self, CheckpointKind::Compare | CheckpointKind::CompareStore)
+    }
+
+    /// Whether this operation stores a snapshot (i.e. creates a rollback
+    /// target).
+    pub fn stores(self) -> bool {
+        matches!(self, CheckpointKind::Store | CheckpointKind::CompareStore)
+    }
+}
+
+/// Read-only view of the execution state offered to a [`Policy`] at each
+/// planning point.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// Current wall-clock time.
+    pub now: f64,
+    /// Useful work already executed since the last rollback target, plus all
+    /// committed work — i.e. the current position in the task, in cycles.
+    pub position_cycles: f64,
+    /// Total task work in cycles (`N`).
+    pub work_cycles: f64,
+    /// Absolute deadline (`D`).
+    pub deadline: f64,
+    /// Index of the current speed level (into [`PlanContext::dvs`]).
+    pub speed: usize,
+    /// Checkpoint cost model (cycles).
+    pub costs: &'a CheckpointCosts,
+    /// Speed levels available to [`Directive::run`].
+    pub dvs: &'a DvsConfig,
+}
+
+impl PlanContext<'_> {
+    /// Remaining useful work in cycles (`Rc` in the paper's DVS notation).
+    pub fn remaining_cycles(&self) -> f64 {
+        (self.work_cycles - self.position_cycles).max(0.0)
+    }
+
+    /// Time left before the deadline (`Rd`); can be negative when already
+    /// past it.
+    pub fn time_left(&self) -> f64 {
+        self.deadline - self.now
+    }
+
+    /// Remaining execution time `Rt = Rc / f` at speed level `speed`.
+    pub fn remaining_time_at(&self, speed: usize) -> f64 {
+        self.remaining_cycles() / self.dvs.level(speed).frequency
+    }
+}
+
+/// What the policy wants the executor to do next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Directive {
+    /// Execute `compute_time` wall-clock units of useful computation at
+    /// speed level `speed`, then perform the `checkpoint` operation.
+    ///
+    /// The executor clamps `compute_time` so the segment never overshoots
+    /// the end of the task.
+    Run {
+        /// Speed level index for this segment (and its checkpoint).
+        speed: usize,
+        /// Useful computation time (wall-clock units, at `speed`).
+        compute_time: f64,
+        /// Checkpoint operation to perform at the end of the segment.
+        checkpoint: CheckpointKind,
+    },
+    /// Give up: the deadline can no longer be met ("break with task
+    /// failure" in the paper's procedures).
+    Abort,
+}
+
+impl Directive {
+    /// Convenience constructor for [`Directive::Run`].
+    pub fn run(speed: usize, compute_time: f64, checkpoint: CheckpointKind) -> Self {
+        Directive::Run {
+            speed,
+            compute_time,
+            checkpoint,
+        }
+    }
+}
+
+/// A checkpointing scheme: decides segment lengths, checkpoint kinds and
+/// processor speed, and reacts to detected faults.
+///
+/// Policies are stateful and single-run; Monte-Carlo experiments construct a
+/// fresh policy per replication through a factory closure.
+pub trait Policy {
+    /// Short scheme name used in reports (e.g. `"A_D_S"`).
+    fn name(&self) -> &str;
+
+    /// Called at every planning point: task start, after every completed
+    /// checkpoint, and after every rollback.
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> Directive;
+
+    /// Called after every *comparing* checkpoint (CCP / CSCP) completes.
+    ///
+    /// On a mismatch the executor has already rolled back when this runs, so
+    /// `ctx` reflects the post-rollback position — matching the paper's
+    /// procedures, which recompute the interval *after* the rollback.
+    fn on_compare(&mut self, ctx: &PlanContext<'_>, kind: CheckpointKind, mismatch: bool) {
+        let _ = (ctx, kind, mismatch);
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> Directive {
+        (**self).plan(ctx)
+    }
+
+    fn on_compare(&mut self, ctx: &PlanContext<'_>, kind: CheckpointKind, mismatch: bool) {
+        (**self).on_compare(ctx, kind, mismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CheckpointKind::Compare.compares());
+        assert!(!CheckpointKind::Compare.stores());
+        assert!(CheckpointKind::Store.stores());
+        assert!(!CheckpointKind::Store.compares());
+        assert!(CheckpointKind::CompareStore.compares());
+        assert!(CheckpointKind::CompareStore.stores());
+    }
+
+    #[test]
+    fn context_arithmetic() {
+        let costs = CheckpointCosts::paper_scp_variant();
+        let dvs = DvsConfig::paper_default();
+        let ctx = PlanContext {
+            now: 100.0,
+            position_cycles: 300.0,
+            work_cycles: 1000.0,
+            deadline: 900.0,
+            speed: 0,
+            costs: &costs,
+            dvs: &dvs,
+        };
+        assert_eq!(ctx.remaining_cycles(), 700.0);
+        assert_eq!(ctx.time_left(), 800.0);
+        assert_eq!(ctx.remaining_time_at(0), 700.0);
+        assert_eq!(ctx.remaining_time_at(1), 350.0);
+    }
+
+    #[test]
+    fn directive_run_constructor() {
+        let d = Directive::run(1, 5.0, CheckpointKind::Store);
+        assert_eq!(
+            d,
+            Directive::Run {
+                speed: 1,
+                compute_time: 5.0,
+                checkpoint: CheckpointKind::Store
+            }
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! A complete simulation scenario.
+
+use crate::costs::CheckpointCosts;
+use crate::task::TaskSpec;
+use eacp_energy::DvsConfig;
+
+/// Everything the executor needs apart from the policy and the fault
+/// stream: the task, the checkpoint cost model, the DVS configuration and
+/// the degree of modular redundancy.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_sim::{CheckpointCosts, Scenario, TaskSpec};
+/// use eacp_energy::DvsConfig;
+///
+/// let s = Scenario::new(
+///     TaskSpec::new(7600.0, 10_000.0),
+///     CheckpointCosts::paper_scp_variant(),
+///     DvsConfig::paper_default(),
+/// );
+/// assert_eq!(s.processors, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The task to execute.
+    pub task: TaskSpec,
+    /// Checkpoint operation costs (cycles).
+    pub costs: CheckpointCosts,
+    /// Available speed levels.
+    pub dvs: DvsConfig,
+    /// Number of redundant processors charged for energy (2 = DMR).
+    pub processors: u32,
+}
+
+impl Scenario {
+    /// Creates a DMR (two-processor) scenario.
+    pub fn new(task: TaskSpec, costs: CheckpointCosts, dvs: DvsConfig) -> Self {
+        Self {
+            task,
+            costs,
+            dvs,
+            processors: 2,
+        }
+    }
+
+    /// Overrides the number of redundant processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0`.
+    pub fn with_processors(mut self, processors: u32) -> Self {
+        assert!(processors > 0, "at least one processor is required");
+        self.processors = processors;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmr_by_default_and_override() {
+        let s = Scenario::new(
+            TaskSpec::new(100.0, 200.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        assert_eq!(s.processors, 2);
+        let s3 = s.clone().with_processors(3);
+        assert_eq!(s3.processors, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_zero_processors() {
+        let s = Scenario::new(
+            TaskSpec::new(100.0, 200.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let _ = s.with_processors(0);
+    }
+}

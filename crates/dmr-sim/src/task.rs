@@ -1,0 +1,103 @@
+//! Task specification.
+
+/// A real-time task instance to be executed under fault tolerance.
+///
+/// Following the paper's normalization, `work_cycles` (`N`) is the
+/// worst-case number of CPU cycles at the *minimum* processor speed
+/// (`f1 = 1`), so at speed 1 the fault- and checkpoint-free execution time
+/// equals `N` time units. `deadline` (`D`) is expressed in the same
+/// normalized time units.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_sim::TaskSpec;
+/// let task = TaskSpec::new(7600.0, 10_000.0);
+/// assert!((task.utilization_at(1.0) - 0.76).abs() < 1e-12);
+/// assert!((task.utilization_at(2.0) - 0.38).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskSpec {
+    /// Worst-case work in cycles at the minimum speed (`N`).
+    pub work_cycles: f64,
+    /// Relative deadline in normalized time units (`D`).
+    pub deadline: f64,
+}
+
+impl TaskSpec {
+    /// Creates a task specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `work_cycles > 0` and `deadline > 0` (both finite).
+    pub fn new(work_cycles: f64, deadline: f64) -> Self {
+        assert!(
+            work_cycles > 0.0 && work_cycles.is_finite(),
+            "work_cycles must be positive and finite"
+        );
+        assert!(
+            deadline > 0.0 && deadline.is_finite(),
+            "deadline must be positive and finite"
+        );
+        Self {
+            work_cycles,
+            deadline,
+        }
+    }
+
+    /// Creates the task the paper's tables use: `N = U · f · D`, where `f`
+    /// is the speed the utilization is quoted at (1 for Tables 1/3, 2 for
+    /// Tables 2/4) and `D` is the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all arguments are positive and finite.
+    pub fn from_utilization(utilization: f64, speed: f64, deadline: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization.is_finite(),
+            "utilization must be positive and finite"
+        );
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "speed must be positive and finite"
+        );
+        Self::new(utilization * speed * deadline, deadline)
+    }
+
+    /// Task utilization `N / (f · D)` when executed at speed `f`.
+    pub fn utilization_at(&self, speed: f64) -> f64 {
+        self.work_cycles / (speed * self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_utilization_round_trips() {
+        let t = TaskSpec::from_utilization(0.76, 1.0, 10_000.0);
+        assert_eq!(t.work_cycles, 7600.0);
+        let t2 = TaskSpec::from_utilization(0.76, 2.0, 10_000.0);
+        assert_eq!(t2.work_cycles, 15_200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work_cycles")]
+    fn rejects_zero_work() {
+        TaskSpec::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn rejects_negative_deadline() {
+        TaskSpec::new(1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_bad_utilization() {
+        TaskSpec::from_utilization(f64::INFINITY, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Execution traces and the ASCII timeline renderer.
+//!
+//! The paper's Figures 1 and 5 depict one CSCP interval with an error: where
+//! the fault strikes, where it is detected, and where the pair rolls back
+//! to. [`render_timeline`] reproduces those figures from an actual recorded
+//! execution, e.g.:
+//!
+//! ```text
+//! t=0........104: ──────S──────S──✗───S──────C! ↩ pos 200
+//! ```
+
+use crate::policy::CheckpointKind;
+
+/// One recorded execution event.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceEvent {
+    /// A computation segment.
+    Segment {
+        /// Start time.
+        from: f64,
+        /// End time.
+        to: f64,
+        /// Speed level index.
+        speed: usize,
+    },
+    /// A checkpoint operation.
+    Checkpoint {
+        /// Operation kind.
+        kind: CheckpointKind,
+        /// Operation start time.
+        from: f64,
+        /// Operation end time.
+        to: f64,
+        /// Task position (cycles) at the operation.
+        position: f64,
+        /// Whether a comparing checkpoint detected divergence.
+        mismatch: bool,
+    },
+    /// A transient fault striking one processor.
+    Fault {
+        /// Arrival time.
+        at: f64,
+        /// Processor index (0 or 1).
+        processor: u32,
+    },
+    /// A rollback to an earlier stored position.
+    Rollback {
+        /// Rollback start time.
+        from: f64,
+        /// Rollback end time.
+        to: f64,
+        /// Restored task position (cycles).
+        to_position: f64,
+    },
+    /// A processor speed change.
+    SpeedChange {
+        /// Time of the switch.
+        at: f64,
+        /// Previous speed level index.
+        from: usize,
+        /// New speed level index.
+        to: usize,
+    },
+    /// Successful, verified task completion.
+    Complete {
+        /// Completion time.
+        at: f64,
+    },
+    /// The policy aborted the run.
+    Abort {
+        /// Abort time.
+        at: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The wall-clock time at which the event begins.
+    pub fn start_time(&self) -> f64 {
+        match *self {
+            TraceEvent::Segment { from, .. } => from,
+            TraceEvent::Checkpoint { from, .. } => from,
+            TraceEvent::Fault { at, .. } => at,
+            TraceEvent::Rollback { from, .. } => from,
+            TraceEvent::SpeedChange { at, .. } => at,
+            TraceEvent::Complete { at } => at,
+            TraceEvent::Abort { at } => at,
+        }
+    }
+}
+
+/// Collects [`TraceEvent`]s during a run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as an ASCII timeline (see [`render_timeline`]).
+    pub fn render(&self, columns: usize) -> String {
+        render_timeline(&self.events, columns)
+    }
+}
+
+/// Renders events as a proportional ASCII timeline plus an event log.
+///
+/// Symbols: `─` computation at `f1`, `═` computation at `f2` (or faster),
+/// `S` store checkpoint, `C` compare checkpoint, `#` compare-and-store,
+/// `!` suffix on a mismatching comparison, `✗` fault, `↩` rollback,
+/// `✓` completion, `▲` abort.
+///
+/// `columns` is the width of the proportional bar (minimum 20).
+pub fn render_timeline(events: &[TraceEvent], columns: usize) -> String {
+    let columns = columns.max(20);
+    let t_end = events
+        .iter()
+        .map(|e| match *e {
+            TraceEvent::Segment { to, .. }
+            | TraceEvent::Checkpoint { to, .. }
+            | TraceEvent::Rollback { to, .. } => to,
+            ref e => e.start_time(),
+        })
+        .fold(0.0_f64, f64::max);
+    if t_end <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let col_of = |t: f64| -> usize { ((t / t_end) * (columns - 1) as f64).round() as usize };
+
+    let mut bar: Vec<char> = vec![' '; columns];
+    for e in events {
+        match *e {
+            TraceEvent::Segment { from, to, speed } => {
+                let glyph = if speed == 0 { '─' } else { '═' };
+                for cell in bar.iter_mut().take(col_of(to) + 1).skip(col_of(from)) {
+                    if *cell == ' ' {
+                        *cell = glyph;
+                    }
+                }
+            }
+            TraceEvent::Checkpoint {
+                kind,
+                from,
+                mismatch,
+                ..
+            } => {
+                let glyph = match (kind, mismatch) {
+                    (CheckpointKind::Store, _) => 'S',
+                    (CheckpointKind::Compare, false) => 'C',
+                    (CheckpointKind::CompareStore, false) => '#',
+                    (_, true) => '!',
+                };
+                bar[col_of(from)] = glyph;
+            }
+            TraceEvent::Fault { at, .. } => bar[col_of(at)] = '✗',
+            TraceEvent::Rollback { from, .. } => bar[col_of(from)] = '↩',
+            TraceEvent::SpeedChange { .. } => {}
+            TraceEvent::Complete { at } => bar[col_of(at).min(columns - 1)] = '✓',
+            TraceEvent::Abort { at } => bar[col_of(at).min(columns - 1)] = '▲',
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "0 {} {:.1}\n",
+        bar.iter().collect::<String>(),
+        t_end
+    ));
+    for e in events {
+        match *e {
+            TraceEvent::Segment { from, to, speed } => {
+                out.push_str(&format!("  [{from:>10.1}, {to:>10.1}] compute @f{speed}\n"));
+            }
+            TraceEvent::Checkpoint {
+                kind,
+                from,
+                to,
+                position,
+                mismatch,
+            } => {
+                let name = match kind {
+                    CheckpointKind::Store => "SCP ",
+                    CheckpointKind::Compare => "CCP ",
+                    CheckpointKind::CompareStore => "CSCP",
+                };
+                let verdict = if !kind.compares() {
+                    "stored"
+                } else if mismatch {
+                    "MISMATCH"
+                } else {
+                    "agree"
+                };
+                out.push_str(&format!(
+                    "  [{from:>10.1}, {to:>10.1}] {name} @pos {position:.1}: {verdict}\n"
+                ));
+            }
+            TraceEvent::Fault { at, processor } => {
+                out.push_str(&format!("  [{at:>10.1}] fault on processor {processor}\n"));
+            }
+            TraceEvent::Rollback {
+                from,
+                to,
+                to_position,
+            } => {
+                out.push_str(&format!(
+                    "  [{from:>10.1}, {to:>10.1}] rollback to pos {to_position:.1}\n"
+                ));
+            }
+            TraceEvent::SpeedChange { at, from, to } => {
+                out.push_str(&format!("  [{at:>10.1}] speed f{from} -> f{to}\n"));
+            }
+            TraceEvent::Complete { at } => {
+                out.push_str(&format!("  [{at:>10.1}] task complete\n"));
+            }
+            TraceEvent::Abort { at } => {
+                out.push_str(&format!("  [{at:>10.1}] task aborted\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Segment {
+                from: 0.0,
+                to: 100.0,
+                speed: 0,
+            },
+            TraceEvent::Fault {
+                at: 50.0,
+                processor: 1,
+            },
+            TraceEvent::Checkpoint {
+                kind: CheckpointKind::Store,
+                from: 100.0,
+                to: 102.0,
+                position: 100.0,
+                mismatch: false,
+            },
+            TraceEvent::Segment {
+                from: 102.0,
+                to: 202.0,
+                speed: 1,
+            },
+            TraceEvent::Checkpoint {
+                kind: CheckpointKind::CompareStore,
+                from: 202.0,
+                to: 224.0,
+                position: 300.0,
+                mismatch: true,
+            },
+            TraceEvent::Rollback {
+                from: 224.0,
+                to: 224.0,
+                to_position: 0.0,
+            },
+            TraceEvent::Complete { at: 500.0 },
+        ]
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        let mut rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        for e in sample_events() {
+            rec.push(e);
+        }
+        assert_eq!(rec.len(), 7);
+        assert_eq!(rec.events().len(), 7);
+        assert_eq!(rec.clone().into_events().len(), 7);
+    }
+
+    #[test]
+    fn render_contains_markers() {
+        let r = render_timeline(&sample_events(), 60);
+        assert!(r.contains('✗'), "fault marker missing:\n{r}");
+        assert!(r.contains('↩'), "rollback marker missing:\n{r}");
+        assert!(r.contains('S'), "store marker missing:\n{r}");
+        assert!(r.contains('!'), "mismatch marker missing:\n{r}");
+        assert!(r.contains('✓'), "completion marker missing:\n{r}");
+        assert!(r.contains("MISMATCH"));
+        assert!(r.contains("rollback to pos 0.0"));
+    }
+
+    #[test]
+    fn render_empty_trace() {
+        assert_eq!(render_timeline(&[], 40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn render_clamps_width() {
+        let r = render_timeline(&sample_events(), 1);
+        // Width clamps to 20; the bar line exists and is bounded.
+        let first = r.lines().next().unwrap();
+        assert!(first.chars().count() <= 20 + 16);
+    }
+
+    #[test]
+    fn start_times_cover_all_variants() {
+        for e in sample_events() {
+            assert!(e.start_time() >= 0.0);
+        }
+        assert_eq!(
+            TraceEvent::SpeedChange {
+                at: 3.0,
+                from: 0,
+                to: 1
+            }
+            .start_time(),
+            3.0
+        );
+        assert_eq!(TraceEvent::Abort { at: 9.0 }.start_time(), 9.0);
+    }
+}
+
+/// Serializes events as CSV (`event,start,end,position,speed,detail`) for
+/// external plotting; one row per event.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_sim::trace::{events_to_csv, TraceEvent};
+/// let csv = events_to_csv(&[TraceEvent::Complete { at: 5.0 }]);
+/// assert!(csv.starts_with("event,start,end,position,speed,detail\n"));
+/// assert!(csv.contains("complete,5"));
+/// ```
+pub fn events_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("event,start,end,position,speed,detail\n");
+    for e in events {
+        match *e {
+            TraceEvent::Segment { from, to, speed } => {
+                out.push_str(&format!("segment,{from},{to},,{speed},\n"));
+            }
+            TraceEvent::Checkpoint {
+                kind,
+                from,
+                to,
+                position,
+                mismatch,
+            } => {
+                let name = match kind {
+                    CheckpointKind::Store => "scp",
+                    CheckpointKind::Compare => "ccp",
+                    CheckpointKind::CompareStore => "cscp",
+                };
+                let detail = if !kind.compares() {
+                    "stored"
+                } else if mismatch {
+                    "mismatch"
+                } else {
+                    "agree"
+                };
+                out.push_str(&format!("{name},{from},{to},{position},,{detail}\n"));
+            }
+            TraceEvent::Fault { at, processor } => {
+                out.push_str(&format!("fault,{at},{at},,,proc{processor}\n"));
+            }
+            TraceEvent::Rollback {
+                from,
+                to,
+                to_position,
+            } => {
+                out.push_str(&format!("rollback,{from},{to},{to_position},,\n"));
+            }
+            TraceEvent::SpeedChange { at, from, to } => {
+                out.push_str(&format!("speed_change,{at},{at},,,f{from}->f{to}\n"));
+            }
+            TraceEvent::Complete { at } => out.push_str(&format!("complete,{at},{at},,,\n")),
+            TraceEvent::Abort { at } => out.push_str(&format!("abort,{at},{at},,,\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_row_per_event() {
+        let events = vec![
+            TraceEvent::Segment {
+                from: 0.0,
+                to: 10.0,
+                speed: 1,
+            },
+            TraceEvent::Fault {
+                at: 5.0,
+                processor: 0,
+            },
+            TraceEvent::Checkpoint {
+                kind: CheckpointKind::CompareStore,
+                from: 10.0,
+                to: 32.0,
+                position: 20.0,
+                mismatch: true,
+            },
+            TraceEvent::Rollback {
+                from: 32.0,
+                to: 32.0,
+                to_position: 0.0,
+            },
+            TraceEvent::SpeedChange {
+                at: 32.0,
+                from: 1,
+                to: 0,
+            },
+            TraceEvent::Abort { at: 40.0 },
+        ];
+        let csv = events_to_csv(&events);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), events.len() + 1);
+        assert!(lines[1].starts_with("segment,0,10"));
+        assert!(lines[2].contains("proc0"));
+        assert!(lines[3].contains("cscp") && lines[3].contains("mismatch"));
+        assert!(lines[5].contains("f1->f0"));
+    }
+}

@@ -1,0 +1,354 @@
+//! DVS speed levels and energy accounting for the EACP workspace.
+//!
+//! The paper's processor model: a variable-voltage CPU with two speeds
+//! `f1 = 1` (normalized minimum) and `f2 = 2·f1`, negligible switching time,
+//! and energy measured by "summing the product of the square of the voltage
+//! and the number of computation cycles over all the segments of the task",
+//! over both processors of the DMR pair.
+//!
+//! The paper does not state the absolute supply voltages. Calibrating
+//! against the energy scales it reports (≈39k for an all-slow run of a
+//! `U = 0.76` task, ≈149k for the all-fast variant — see `DESIGN.md` §2.4)
+//! gives per-processor `V² = 2` at `f1` and `V² = 4` at `f2`
+//! (`V1 ≈ 1.41 V`, `V2 = 2.0 V`). [`DvsConfig::paper_default`] encodes
+//! exactly that; everything is configurable for sensitivity studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use eacp_energy::{DvsConfig, EnergyMeter};
+//!
+//! let dvs = DvsConfig::paper_default();
+//! let mut meter = EnergyMeter::new(2); // DMR: two processors
+//! meter.record_cycles(1000.0, dvs.level(0));
+//! meter.record_cycles(500.0, dvs.level(1));
+//! // 2·(1000·2 + 500·4) = 8000 (to rounding: V1 = √2 squares to ~2)
+//! assert!((meter.total() - 8000.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eacp_numerics::NeumaierSum;
+
+/// One operating point of a variable-voltage processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpeedLevel {
+    /// Clock frequency in cycles per (normalized) time unit. The paper
+    /// normalizes the minimum speed to 1.
+    pub frequency: f64,
+    /// Supply voltage in volts; energy per cycle is `voltage²`.
+    pub voltage: f64,
+}
+
+impl SpeedLevel {
+    /// Creates a speed level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `frequency` and `voltage` are positive and finite.
+    pub fn new(frequency: f64, voltage: f64) -> Self {
+        assert!(
+            frequency > 0.0 && frequency.is_finite(),
+            "frequency must be positive and finite"
+        );
+        assert!(
+            voltage > 0.0 && voltage.is_finite(),
+            "voltage must be positive and finite"
+        );
+        Self { frequency, voltage }
+    }
+
+    /// Energy consumed per executed cycle (`voltage²`), per processor.
+    pub fn energy_per_cycle(&self) -> f64 {
+        self.voltage * self.voltage
+    }
+
+    /// Wall-clock time to execute `cycles` cycles at this level.
+    pub fn time_for_cycles(&self, cycles: f64) -> f64 {
+        cycles / self.frequency
+    }
+
+    /// Cycles executed in `time` wall-clock units at this level.
+    pub fn cycles_in_time(&self, time: f64) -> f64 {
+        time * self.frequency
+    }
+}
+
+/// A dynamic-voltage-scaling configuration: an ordered set of speed levels
+/// (slowest first) plus speed-switch overheads.
+///
+/// The paper assumes the processor "can switch its speed in a negligible
+/// amount of time"; both overheads default to zero but are configurable for
+/// sensitivity experiments.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DvsConfig {
+    levels: Vec<SpeedLevel>,
+    /// Wall-clock time consumed by one speed switch.
+    pub switch_time: f64,
+    /// Energy consumed by one speed switch (per processor).
+    pub switch_energy: f64,
+}
+
+impl DvsConfig {
+    /// Creates a configuration from levels sorted by ascending frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or not strictly ascending in frequency.
+    pub fn new(levels: Vec<SpeedLevel>) -> Self {
+        assert!(!levels.is_empty(), "at least one speed level is required");
+        assert!(
+            levels.windows(2).all(|w| w[0].frequency < w[1].frequency),
+            "levels must be strictly ascending in frequency"
+        );
+        Self {
+            levels,
+            switch_time: 0.0,
+            switch_energy: 0.0,
+        }
+    }
+
+    /// Two-level configuration `f2 = 2·f1` with `f1` normalized to 1.
+    pub fn two_speed(v1: f64, v2: f64) -> Self {
+        Self::new(vec![SpeedLevel::new(1.0, v1), SpeedLevel::new(2.0, v2)])
+    }
+
+    /// The configuration calibrated to the paper's energy scale:
+    /// `f1 = 1, V1 = √2` and `f2 = 2, V2 = 2` (per-processor `V² ∈ {2, 4}`).
+    pub fn paper_default() -> Self {
+        Self::two_speed(std::f64::consts::SQRT_2, 2.0)
+    }
+
+    /// Single fixed-speed configuration (no DVS).
+    pub fn fixed(level: SpeedLevel) -> Self {
+        Self::new(vec![level])
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether there are no levels (never true — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn level(&self, index: usize) -> SpeedLevel {
+        self.levels[index]
+    }
+
+    /// All levels, slowest first.
+    pub fn levels(&self) -> &[SpeedLevel] {
+        &self.levels
+    }
+
+    /// Index of the slowest level (always 0).
+    pub fn slowest(&self) -> usize {
+        0
+    }
+
+    /// Index of the fastest level.
+    pub fn fastest(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+impl Default for DvsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Accumulates energy over task segments: `Σ processors · V² · cycles`.
+///
+/// Also tracks per-level cycle counts so experiments can report how much of
+/// the task ran at each speed (the DVS "downshift fraction").
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    processors: u32,
+    total: NeumaierSum,
+    cycles_per_level: Vec<(f64, f64)>, // (frequency key, cycles)
+    switches: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for `processors` redundant processors (2 for DMR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0`.
+    pub fn new(processors: u32) -> Self {
+        assert!(processors > 0, "at least one processor is required");
+        Self {
+            processors,
+            total: NeumaierSum::new(),
+            cycles_per_level: Vec::new(),
+            switches: 0,
+        }
+    }
+
+    /// Records `cycles` executed (per processor) at `level`.
+    ///
+    /// Negative or non-finite cycle counts are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or not finite.
+    pub fn record_cycles(&mut self, cycles: f64, level: SpeedLevel) {
+        assert!(
+            cycles >= 0.0 && cycles.is_finite(),
+            "cycle count must be non-negative and finite"
+        );
+        self.total
+            .add(self.processors as f64 * cycles * level.energy_per_cycle());
+        match self
+            .cycles_per_level
+            .iter_mut()
+            .find(|(f, _)| *f == level.frequency)
+        {
+            Some((_, c)) => *c += cycles,
+            None => self.cycles_per_level.push((level.frequency, cycles)),
+        }
+    }
+
+    /// Records one speed switch costing `energy` per processor.
+    pub fn record_switch(&mut self, energy: f64) {
+        self.switches += 1;
+        self.total.add(self.processors as f64 * energy);
+    }
+
+    /// Total energy so far.
+    pub fn total(&self) -> f64 {
+        self.total.value()
+    }
+
+    /// Number of processors being accounted.
+    pub fn processors(&self) -> u32 {
+        self.processors
+    }
+
+    /// Number of recorded speed switches.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Per-processor cycles executed at the level with frequency `frequency`.
+    pub fn cycles_at_frequency(&self, frequency: f64) -> f64 {
+        self.cycles_per_level
+            .iter()
+            .find(|(f, _)| *f == frequency)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Total per-processor cycles executed at any level.
+    pub fn total_cycles(&self) -> f64 {
+        self.cycles_per_level.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Fraction of cycles executed at the given frequency (0 when idle).
+    pub fn fraction_at_frequency(&self, frequency: f64) -> f64 {
+        let total = self.total_cycles();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.cycles_at_frequency(frequency) / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_calibration() {
+        let dvs = DvsConfig::paper_default();
+        assert_eq!(dvs.len(), 2);
+        let f1 = dvs.level(0);
+        let f2 = dvs.level(1);
+        assert_eq!(f1.frequency, 1.0);
+        assert_eq!(f2.frequency, 2.0);
+        assert!((f1.energy_per_cycle() - 2.0).abs() < 1e-12);
+        assert!((f2.energy_per_cycle() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_cycle_round_trip() {
+        let l = SpeedLevel::new(2.0, 1.0);
+        assert_eq!(l.time_for_cycles(10.0), 5.0);
+        assert_eq!(l.cycles_in_time(5.0), 10.0);
+    }
+
+    #[test]
+    fn meter_accumulates_both_processors() {
+        let dvs = DvsConfig::paper_default();
+        let mut m = EnergyMeter::new(2);
+        m.record_cycles(100.0, dvs.level(0));
+        assert!((m.total() - 2.0 * 100.0 * 2.0).abs() < 1e-9);
+        m.record_cycles(100.0, dvs.level(1));
+        assert!((m.total() - (400.0 + 2.0 * 100.0 * 4.0)).abs() < 1e-9);
+        assert_eq!(m.total_cycles(), 200.0);
+        assert_eq!(m.fraction_at_frequency(1.0), 0.5);
+        assert_eq!(m.fraction_at_frequency(2.0), 0.5);
+        assert_eq!(m.fraction_at_frequency(3.0), 0.0);
+    }
+
+    #[test]
+    fn meter_switch_accounting() {
+        let mut m = EnergyMeter::new(2);
+        m.record_switch(5.0);
+        assert_eq!(m.switches(), 1);
+        assert_eq!(m.total(), 10.0);
+    }
+
+    #[test]
+    fn single_processor_meter() {
+        let mut m = EnergyMeter::new(1);
+        m.record_cycles(10.0, SpeedLevel::new(1.0, 3.0));
+        assert_eq!(m.total(), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn dvs_rejects_unsorted_levels() {
+        DvsConfig::new(vec![SpeedLevel::new(2.0, 1.0), SpeedLevel::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one speed level")]
+    fn dvs_rejects_empty() {
+        DvsConfig::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn level_rejects_zero_frequency() {
+        SpeedLevel::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle count")]
+    fn meter_rejects_negative_cycles() {
+        let mut m = EnergyMeter::new(2);
+        m.record_cycles(-1.0, SpeedLevel::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn fastest_slowest_indices() {
+        let dvs = DvsConfig::paper_default();
+        assert_eq!(dvs.slowest(), 0);
+        assert_eq!(dvs.fastest(), 1);
+        let fixed = DvsConfig::fixed(SpeedLevel::new(1.0, 1.0));
+        assert_eq!(fixed.slowest(), fixed.fastest());
+    }
+}

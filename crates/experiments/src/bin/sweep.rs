@@ -1,0 +1,220 @@
+//! Parameter sweeps beyond the paper's tables (ablations / sensitivity).
+//!
+//! ```text
+//! sweep --kind store-compare-ratio   # A_D_S vs A_D_C crossover over ts:tcp
+//! sweep --kind lambda                # all schemes over a λ grid
+//! sweep --kind optimizer             # paper closed-form vs exact num_SCP
+//! sweep --kind no-dvs                # paper §2 (Fig. 3): adaptive schemes
+//!                                    # at a fixed speed vs static baselines
+//! ```
+//!
+//! Optional: `--reps N` (default 2000), `--seed S`.
+
+use eacp_core::analysis::OptimizeMethod;
+use eacp_core::policies::Adaptive;
+use eacp_energy::DvsConfig;
+use eacp_faults::PoissonProcess;
+use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mc_summary(
+    scenario: &Scenario,
+    lambda: f64,
+    reps: u64,
+    seed: u64,
+    make: impl Fn() -> Adaptive + Sync,
+) -> eacp_sim::Summary {
+    MonteCarlo::new(reps).with_seed(seed).run(
+        scenario,
+        ExecutorOptions::default(),
+        |_| make(),
+        |s| PoissonProcess::new(lambda, StdRng::seed_from_u64(s)),
+    )
+}
+
+/// A_D_S vs A_D_C as the store/compare cost ratio varies with `ts + tcp`
+/// fixed at 22 cycles — the design-insight sweep: "separating the
+/// comparison and store operations enables choosing the optimal interval
+/// for each".
+fn sweep_store_compare_ratio(reps: u64, seed: u64) {
+    println!("ts,tcp,P_ads,E_ads,P_adc,E_adc,winner_p");
+    let lambda = 1.4e-3;
+    for &ts in &[1.0, 2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 21.0] {
+        let tcp = 22.0 - ts;
+        let scenario = Scenario::new(
+            TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+            CheckpointCosts::new(ts, tcp, 0.0),
+            DvsConfig::paper_default(),
+        );
+        let ads = mc_summary(&scenario, lambda, reps, seed, || {
+            Adaptive::dvs_scp(lambda, 5)
+        });
+        let adc = mc_summary(&scenario, lambda, reps, seed, || {
+            Adaptive::dvs_ccp(lambda, 5)
+        });
+        let winner = if ads.p_timely() >= adc.p_timely() {
+            "A_D_S"
+        } else {
+            "A_D_C"
+        };
+        println!(
+            "{ts},{tcp},{:.4},{:.0},{:.4},{:.0},{winner}",
+            ads.p_timely(),
+            ads.mean_energy_timely(),
+            adc.p_timely(),
+            adc.mean_energy_timely(),
+        );
+    }
+}
+
+/// All adaptive variants over a fault-rate grid at the paper's nominal
+/// operating point.
+fn sweep_lambda(reps: u64, seed: u64) {
+    println!("lambda,scheme,P,E,faults_mean,fast_fraction");
+    let scenario = Scenario::new(
+        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+        CheckpointCosts::paper_scp_variant(),
+        DvsConfig::paper_default(),
+    );
+    for &lambda in &[1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1.4e-3, 2e-3, 4e-3] {
+        for (name, make) in [
+            (
+                "A_D",
+                Box::new(move || Adaptive::adt_dvs(lambda, 5)) as Box<dyn Fn() -> Adaptive + Sync>,
+            ),
+            ("A_D_S", Box::new(move || Adaptive::dvs_scp(lambda, 5))),
+            ("A_D_C", Box::new(move || Adaptive::dvs_ccp(lambda, 5))),
+        ] {
+            let s = mc_summary(&scenario, lambda, reps, seed, &*make);
+            println!(
+                "{lambda:e},{name},{:.4},{:.0},{:.2},{:.3}",
+                s.p_timely(),
+                s.mean_energy_timely(),
+                s.faults.mean(),
+                s.fast_fraction.mean(),
+            );
+        }
+    }
+}
+
+/// The paper's closed-form `num_SCP` vs the exact-recursion optimizer.
+fn sweep_optimizer(reps: u64, seed: u64) {
+    println!("lambda,method,P,E,checkpoints_mean");
+    let scenario = Scenario::new(
+        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+        CheckpointCosts::paper_scp_variant(),
+        DvsConfig::paper_default(),
+    );
+    for &lambda in &[1.4e-3, 1.6e-3, 4e-3] {
+        for (name, method) in [
+            ("paper-closed-form", OptimizeMethod::PaperClosedForm),
+            ("exact-recursion", OptimizeMethod::ExactRecursion),
+        ] {
+            let s = mc_summary(&scenario, lambda, reps, seed, move || {
+                Adaptive::dvs_scp(lambda, 5).with_optimizer(method)
+            });
+            println!(
+                "{lambda:e},{name},{:.4},{:.0},{:.1}",
+                s.p_timely(),
+                s.mean_energy_timely(),
+                s.checkpoints.mean(),
+            );
+        }
+    }
+}
+
+/// The paper's §2 setting (Fig. 3): adaptive checkpointing *without* DVS
+/// at the fixed low speed, against the static baselines — isolating the
+/// benefit of adaptive intervals + SCP subdivision from the DVS benefit.
+fn sweep_no_dvs(reps: u64, seed: u64) {
+    use eacp_core::policies::{KFaultTolerant, PoissonArrival};
+    use eacp_sim::Policy;
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy> + Sync>;
+    println!("utilization,lambda,scheme,P,E");
+    // Generous deadline so the fixed-speed adaptive schemes are feasible.
+    for &(util, lambda) in &[(0.60, 1.4e-3), (0.68, 1.4e-3), (0.76, 1.4e-3), (0.76, 2e-3)] {
+        let scenario = Scenario::new(
+            TaskSpec::from_utilization(util, 1.0, 10_000.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let factories: Vec<(&str, PolicyFactory)> = vec![
+            (
+                "Poisson",
+                Box::new(move || Box::new(PoissonArrival::new(lambda, 0))),
+            ),
+            (
+                "k-f-t",
+                Box::new(move || Box::new(KFaultTolerant::new(5, 0))),
+            ),
+            (
+                "A(cscp)",
+                Box::new(move || Box::new(Adaptive::cscp(lambda, 5, 0))),
+            ),
+            (
+                "A_S",
+                Box::new(move || Box::new(Adaptive::scp(lambda, 5, 0))),
+            ),
+        ];
+        for (name, make) in factories {
+            let s = MonteCarlo::new(reps).with_seed(seed).run(
+                &scenario,
+                ExecutorOptions::default(),
+                |_| make(),
+                |sd| PoissonProcess::new(lambda, StdRng::seed_from_u64(sd)),
+            );
+            println!(
+                "{util},{lambda:e},{name},{:.4},{:.0}",
+                s.p_timely(),
+                s.mean_energy_timely()
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut kind = String::from("store-compare-ratio");
+    let mut reps = 2000u64;
+    let mut seed = 77u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--kind" => kind = it.next().expect("missing value for --kind"),
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("missing value for --reps")
+                    .parse()
+                    .expect("bad --reps")
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("missing value for --seed")
+                    .parse()
+                    .expect("bad --seed")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep --kind store-compare-ratio|lambda|optimizer|no-dvs [--reps N] [--seed S]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("sweep: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match kind.as_str() {
+        "store-compare-ratio" => sweep_store_compare_ratio(reps, seed),
+        "lambda" => sweep_lambda(reps, seed),
+        "optimizer" => sweep_optimizer(reps, seed),
+        "no-dvs" => sweep_no_dvs(reps, seed),
+        other => {
+            eprintln!("sweep: unknown kind {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

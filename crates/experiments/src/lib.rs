@@ -1,0 +1,40 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The paper's evaluation consists of four tables (each with an (a) part at
+//! `k = 5`, high fault rates, and a (b) part at `k = 1`, low fault rates)
+//! comparing four schemes — Poisson-arrival, k-fault-tolerant, `A_D`
+//! (ADT_DVS) and the proposed `A_D_S`/`A_D_C` — on the probability of
+//! timely completion `P` and the energy consumption `E`:
+//!
+//! * **Table 1** — SCP cost variant (`ts = 2, tcp = 20`), baselines at `f1`;
+//! * **Table 2** — SCP cost variant, baselines at `f2` (heavier tasks:
+//!   `N = U·f2·D`);
+//! * **Table 3** — CCP cost variant (`ts = 20, tcp = 2`), baselines at `f1`;
+//! * **Table 4** — CCP cost variant, baselines at `f2`.
+//!
+//! [`tables::table_config`] holds the exact parameters, [`paper`] the
+//! values transcribed from the paper, [`runner`] the Monte-Carlo driver,
+//! [`render`] the side-by-side formatting and [`shape`] the qualitative
+//! claims ("who wins, by roughly what factor") that a successful
+//! reproduction must satisfy.
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p eacp-experiments --bin gen-tables
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod paper;
+pub mod render;
+pub mod runner;
+pub mod shape;
+pub mod tables;
+
+pub use runner::{
+    run_cell, run_cell_with, run_table, run_table_with, CellResult, SchemeResult, TableResult,
+};
+pub use tables::{table_config, CellSpec, SchemeId, TableConfig, TableId, TablePart};

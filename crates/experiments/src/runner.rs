@@ -1,0 +1,231 @@
+//! Monte-Carlo driver for table cells.
+
+use crate::paper::{paper_cell, PaperCell};
+use crate::tables::{CellSpec, SchemeId, TableConfig, TableId};
+use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival, SubCheckpointKind};
+use eacp_energy::DvsConfig;
+use eacp_faults::PoissonProcess;
+use eacp_sim::{ExecutorOptions, MonteCarlo, Policy, Scenario, Summary, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one scheme at one operating point.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Which scheme.
+    pub scheme: SchemeId,
+    /// Display name ("Poisson", "k-f-t", "A_D", "A_D_S"/"A_D_C").
+    pub name: String,
+    /// Monte-Carlo aggregate.
+    pub summary: Summary,
+}
+
+/// All four schemes at one operating point, plus the paper's numbers.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The operating point.
+    pub spec: CellSpec,
+    /// Results in [`SchemeId::ALL`] column order.
+    pub schemes: Vec<SchemeResult>,
+    /// The paper's reported values for this cell, when available.
+    pub paper: Option<PaperCell>,
+}
+
+impl CellResult {
+    /// The result for one scheme.
+    pub fn scheme(&self, id: SchemeId) -> &SchemeResult {
+        self.schemes
+            .iter()
+            .find(|s| s.scheme == id)
+            .expect("all schemes are always run")
+    }
+}
+
+/// A fully regenerated table.
+#[derive(Debug, Clone)]
+pub struct TableResult {
+    /// Which table.
+    pub id: TableId,
+    /// The configuration that produced it.
+    pub config: TableConfig,
+    /// Row results in configuration order.
+    pub cells: Vec<CellResult>,
+    /// Replications per scheme per cell.
+    pub replications: u64,
+}
+
+/// Builds the scenario for one cell of a table.
+pub fn cell_scenario(config: &TableConfig, spec: &CellSpec) -> Scenario {
+    Scenario::new(
+        TaskSpec::from_utilization(spec.utilization, config.util_speed, config.deadline),
+        config.costs,
+        DvsConfig::paper_default(),
+    )
+}
+
+/// Builds the policy for one scheme at one cell.
+pub fn make_policy(config: &TableConfig, spec: &CellSpec, scheme: SchemeId) -> Box<dyn Policy> {
+    match scheme {
+        SchemeId::Poisson => Box::new(PoissonArrival::new(spec.lambda, config.baseline_speed)),
+        SchemeId::KFaultTolerant => Box::new(KFaultTolerant::new(spec.k, config.baseline_speed)),
+        SchemeId::AdtDvs => Box::new(Adaptive::adt_dvs(spec.lambda, spec.k)),
+        SchemeId::Proposed => Box::new(match config.sub_kind {
+            SubCheckpointKind::Store => Adaptive::dvs_scp(spec.lambda, spec.k),
+            SubCheckpointKind::Compare => Adaptive::dvs_ccp(spec.lambda, spec.k),
+        }),
+    }
+}
+
+/// Runs all four schemes at one operating point with default executor
+/// options.
+pub fn run_cell(config: &TableConfig, spec: &CellSpec, replications: u64, seed: u64) -> CellResult {
+    run_cell_with(config, spec, replications, seed, ExecutorOptions::default())
+}
+
+/// Runs all four schemes at one operating point.
+///
+/// `options` selects executor semantics — notably
+/// [`ExecutorOptions::faults_during_overhead`], which distinguishes the
+/// physical fault model (faults can strike during checkpoint operations;
+/// the default) from the analysis-faithful model the paper's renewal
+/// equations assume (faults only during useful computation).
+pub fn run_cell_with(
+    config: &TableConfig,
+    spec: &CellSpec,
+    replications: u64,
+    seed: u64,
+    options: ExecutorOptions,
+) -> CellResult {
+    let scenario = cell_scenario(config, spec);
+    let mc = MonteCarlo::new(replications).with_seed(seed);
+    let lambda = spec.lambda;
+    let schemes = SchemeId::ALL
+        .iter()
+        .map(|&scheme| {
+            let summary = mc.run(
+                &scenario,
+                options,
+                |_| make_policy(config, spec, scheme),
+                |s| PoissonProcess::new(lambda, StdRng::seed_from_u64(s)),
+            );
+            debug_assert_eq!(summary.anomalies, 0, "policy anomaly in {scheme:?}");
+            let name = match scheme {
+                SchemeId::Poisson => "Poisson".to_owned(),
+                SchemeId::KFaultTolerant => "k-f-t".to_owned(),
+                SchemeId::AdtDvs => "A_D".to_owned(),
+                SchemeId::Proposed => config.proposed_name().to_owned(),
+            };
+            SchemeResult {
+                scheme,
+                name,
+                summary,
+            }
+        })
+        .collect();
+    CellResult {
+        spec: *spec,
+        schemes,
+        paper: paper_cell(config.id, spec.part, spec.utilization, spec.lambda),
+    }
+}
+
+/// Regenerates one full table at the given replication count (the paper
+/// uses 10,000; lower counts are useful for quick looks and CI).
+pub fn run_table(id: TableId, replications: u64, seed: u64) -> TableResult {
+    run_table_with(id, replications, seed, ExecutorOptions::default())
+}
+
+/// [`run_table`] with explicit executor options (see [`run_cell_with`]).
+pub fn run_table_with(
+    id: TableId,
+    replications: u64,
+    seed: u64,
+    options: ExecutorOptions,
+) -> TableResult {
+    let config = crate::tables::table_config(id);
+    let cells = config
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            run_cell_with(
+                &config,
+                spec,
+                replications,
+                seed.wrapping_add(i as u64),
+                options,
+            )
+        })
+        .collect();
+    TableResult {
+        id,
+        config,
+        cells,
+        replications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{table_config, TablePart};
+
+    #[test]
+    fn cell_scenario_scales_work_with_util_speed() {
+        let t1 = table_config(TableId::Table1);
+        let t2 = table_config(TableId::Table2);
+        let spec = t1.cells[0];
+        assert_eq!(cell_scenario(&t1, &spec).task.work_cycles, 7600.0);
+        assert_eq!(cell_scenario(&t2, &t2.cells[0]).task.work_cycles, 15_200.0);
+    }
+
+    #[test]
+    fn policies_have_expected_names() {
+        let cfg = table_config(TableId::Table3);
+        let spec = cfg.cells[0];
+        assert_eq!(
+            make_policy(&cfg, &spec, SchemeId::Poisson).name(),
+            "Poisson"
+        );
+        assert_eq!(
+            make_policy(&cfg, &spec, SchemeId::KFaultTolerant).name(),
+            "k-f-t"
+        );
+        assert_eq!(make_policy(&cfg, &spec, SchemeId::AdtDvs).name(), "A_D");
+        assert_eq!(make_policy(&cfg, &spec, SchemeId::Proposed).name(), "A_D_C");
+    }
+
+    #[test]
+    fn smoke_cell_runs_all_schemes() {
+        let cfg = table_config(TableId::Table1);
+        let spec = cfg.cells[0]; // U = 0.76, λ = 1.4e-3, k = 5
+        let cell = run_cell(&cfg, &spec, 60, 1);
+        assert_eq!(cell.schemes.len(), 4);
+        assert!(cell.paper.is_some());
+        for s in &cell.schemes {
+            assert_eq!(s.summary.replications, 60);
+            assert_eq!(s.summary.anomalies, 0, "{}", s.name);
+        }
+        // Coarse shape even at 60 reps: adaptive schemes nearly always
+        // finish, baselines rarely do at this operating point.
+        let p_prop = cell.scheme(SchemeId::Proposed).summary.p_timely();
+        let p_poisson = cell.scheme(SchemeId::Poisson).summary.p_timely();
+        assert!(p_prop > 0.9, "P(A_D_S) = {p_prop}");
+        assert!(p_poisson < 0.5, "P(Poisson) = {p_poisson}");
+    }
+
+    #[test]
+    fn impossible_utilization_gives_zero_p_and_nan_e() {
+        // U = 1.00, k = 1 (Table 1(b)): the baselines can never finish by D.
+        let cfg = table_config(TableId::Table1);
+        let spec = *cfg
+            .cells
+            .iter()
+            .find(|c| c.part == TablePart::B && (c.utilization - 1.0).abs() < 1e-9)
+            .unwrap();
+        let cell = run_cell(&cfg, &spec, 40, 2);
+        let poisson = &cell.scheme(SchemeId::Poisson).summary;
+        assert_eq!(poisson.p_timely(), 0.0);
+        assert!(poisson.mean_energy_timely().is_nan());
+    }
+}

@@ -1,0 +1,265 @@
+//! Parameterization of the paper's four evaluation tables.
+
+use eacp_core::policies::SubCheckpointKind;
+use eacp_sim::CheckpointCosts;
+
+/// The paper's deadline for every experiment (`D = 10000` normalized time
+/// units, i.e. CPU cycles at the minimum speed).
+pub const DEADLINE: f64 = 10_000.0;
+
+/// Replications per cell used by the paper.
+pub const PAPER_REPLICATIONS: u64 = 10_000;
+
+/// One of the paper's four evaluation tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableId {
+    /// Table 1: SCP variant, baselines at `f1`.
+    Table1,
+    /// Table 2: SCP variant, baselines at `f2`.
+    Table2,
+    /// Table 3: CCP variant, baselines at `f1`.
+    Table3,
+    /// Table 4: CCP variant, baselines at `f2`.
+    Table4,
+}
+
+impl TableId {
+    /// All four tables.
+    pub const ALL: [TableId; 4] = [
+        TableId::Table1,
+        TableId::Table2,
+        TableId::Table3,
+        TableId::Table4,
+    ];
+
+    /// 1-based table number as printed in the paper.
+    pub fn number(self) -> u32 {
+        match self {
+            TableId::Table1 => 1,
+            TableId::Table2 => 2,
+            TableId::Table3 => 3,
+            TableId::Table4 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Table {}", self.number())
+    }
+}
+
+/// The (a)/(b) half of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TablePart {
+    /// Part (a): `k = 5`, high fault arrival rates.
+    A,
+    /// Part (b): `k = 1`, low fault arrival rates.
+    B,
+}
+
+impl std::fmt::Display for TablePart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TablePart::A => f.write_str("a"),
+            TablePart::B => f.write_str("b"),
+        }
+    }
+}
+
+/// One row of a table: a `(U, λ, k)` operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Which table half the cell belongs to.
+    pub part: TablePart,
+    /// Task utilization `U` (w.r.t. the table's utilization speed).
+    pub utilization: f64,
+    /// Fault arrival rate `λ`.
+    pub lambda: f64,
+    /// Fault-tolerance target `k`.
+    pub k: u32,
+}
+
+/// The four schemes of each table, in column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// Poisson-arrival baseline (fixed `sqrt(2C/λ)` interval).
+    Poisson,
+    /// k-fault-tolerant baseline (fixed `sqrt(NC/k)` interval).
+    KFaultTolerant,
+    /// ADT_DVS of DATE'03 (`A_D`).
+    AdtDvs,
+    /// The paper's proposal: `A_D_S` for Tables 1–2, `A_D_C` for 3–4.
+    Proposed,
+}
+
+impl SchemeId {
+    /// Column order used throughout the harness.
+    pub const ALL: [SchemeId; 4] = [
+        SchemeId::Poisson,
+        SchemeId::KFaultTolerant,
+        SchemeId::AdtDvs,
+        SchemeId::Proposed,
+    ];
+}
+
+/// Full parameterization of one table.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Which table this is.
+    pub id: TableId,
+    /// Checkpoint costs (`ts`, `tcp`, `tr`) in cycles.
+    pub costs: CheckpointCosts,
+    /// DVS level index the baselines are pinned to (0 = `f1`, 1 = `f2`).
+    pub baseline_speed: usize,
+    /// The speed the utilization is quoted at (`N = U · util_speed · D`).
+    pub util_speed: f64,
+    /// Sub-checkpoint kind of the proposed scheme (`Store` ⇒ `A_D_S`,
+    /// `Compare` ⇒ `A_D_C`).
+    pub sub_kind: SubCheckpointKind,
+    /// Relative deadline `D`.
+    pub deadline: f64,
+    /// All rows, part (a) followed by part (b).
+    pub cells: Vec<CellSpec>,
+}
+
+impl TableConfig {
+    /// Scheme name of the proposed column ("A_D_S" or "A_D_C").
+    pub fn proposed_name(&self) -> &'static str {
+        match self.sub_kind {
+            SubCheckpointKind::Store => "A_D_S",
+            SubCheckpointKind::Compare => "A_D_C",
+        }
+    }
+
+    /// Rows belonging to one part.
+    pub fn part_cells(&self, part: TablePart) -> impl Iterator<Item = &CellSpec> {
+        self.cells.iter().filter(move |c| c.part == part)
+    }
+}
+
+/// Part (a) grid: `k = 5`, `U ∈ {0.76..0.82}`, `λ ∈ {1.4, 1.6}·10⁻³`.
+fn part_a_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &u in &[0.76, 0.78, 0.80, 0.82] {
+        for &l in &[1.4e-3, 1.6e-3] {
+            cells.push(CellSpec {
+                part: TablePart::A,
+                utilization: u,
+                lambda: l,
+                k: 5,
+            });
+        }
+    }
+    cells
+}
+
+/// Part (b) grid: `k = 1`, `λ ∈ {1, 2}·10⁻⁴`; the `U` list depends on the
+/// table (`U = 1.00` rows exist only for the `f1`-baseline tables).
+fn part_b_cells(us: &[f64]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &u in us {
+        for &l in &[1.0e-4, 2.0e-4] {
+            cells.push(CellSpec {
+                part: TablePart::B,
+                utilization: u,
+                lambda: l,
+                k: 1,
+            });
+        }
+    }
+    cells
+}
+
+/// The exact configuration of one of the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_experiments::{table_config, TableId};
+/// let t1 = table_config(TableId::Table1);
+/// assert_eq!(t1.costs.store_cycles, 2.0);
+/// assert_eq!(t1.baseline_speed, 0);
+/// assert_eq!(t1.proposed_name(), "A_D_S");
+/// assert_eq!(t1.cells.len(), 14);
+/// ```
+pub fn table_config(id: TableId) -> TableConfig {
+    let (costs, sub_kind) = match id {
+        TableId::Table1 | TableId::Table2 => (
+            CheckpointCosts::paper_scp_variant(),
+            SubCheckpointKind::Store,
+        ),
+        TableId::Table3 | TableId::Table4 => (
+            CheckpointCosts::paper_ccp_variant(),
+            SubCheckpointKind::Compare,
+        ),
+    };
+    let (baseline_speed, util_speed, part_b_us): (usize, f64, &[f64]) = match id {
+        TableId::Table1 | TableId::Table3 => (0, 1.0, &[0.92, 0.95, 1.00]),
+        TableId::Table2 | TableId::Table4 => (1, 2.0, &[0.92, 0.95]),
+    };
+    let mut cells = part_a_cells();
+    cells.extend(part_b_cells(part_b_us));
+    TableConfig {
+        id,
+        costs,
+        baseline_speed,
+        util_speed,
+        sub_kind,
+        deadline: DEADLINE,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_counts_match_paper() {
+        assert_eq!(table_config(TableId::Table1).cells.len(), 8 + 6);
+        assert_eq!(table_config(TableId::Table2).cells.len(), 8 + 4);
+        assert_eq!(table_config(TableId::Table3).cells.len(), 8 + 6);
+        assert_eq!(table_config(TableId::Table4).cells.len(), 8 + 4);
+    }
+
+    #[test]
+    fn cost_variants_swap_store_and_compare() {
+        let t1 = table_config(TableId::Table1);
+        let t3 = table_config(TableId::Table3);
+        assert_eq!(t1.costs.store_cycles, t3.costs.compare_cycles);
+        assert_eq!(t1.costs.compare_cycles, t3.costs.store_cycles);
+        assert_eq!(t1.costs.cscp_cycles(), 22.0);
+        assert_eq!(t3.costs.cscp_cycles(), 22.0);
+    }
+
+    #[test]
+    fn baselines_pinned_to_correct_speed() {
+        assert_eq!(table_config(TableId::Table1).baseline_speed, 0);
+        assert_eq!(table_config(TableId::Table2).baseline_speed, 1);
+        assert_eq!(table_config(TableId::Table2).util_speed, 2.0);
+        assert_eq!(table_config(TableId::Table3).util_speed, 1.0);
+    }
+
+    #[test]
+    fn part_filters() {
+        let t1 = table_config(TableId::Table1);
+        assert_eq!(t1.part_cells(TablePart::A).count(), 8);
+        assert_eq!(t1.part_cells(TablePart::B).count(), 6);
+        assert!(t1.part_cells(TablePart::A).all(|c| c.k == 5));
+        assert!(t1.part_cells(TablePart::B).all(|c| c.k == 1));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TableId::Table2.to_string(), "Table 2");
+        assert_eq!(TablePart::A.to_string(), "a");
+        assert_eq!(TablePart::B.to_string(), "b");
+    }
+
+    #[test]
+    fn proposed_names() {
+        assert_eq!(table_config(TableId::Table2).proposed_name(), "A_D_S");
+        assert_eq!(table_config(TableId::Table4).proposed_name(), "A_D_C");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the fault arrival processes.
+
+use eacp_faults::{
+    BurstProcess, DeterministicFaults, FaultProcess, PoissonProcess, WeibullRenewal,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every process emits a nondecreasing (strictly increasing for
+    /// continuous distributions) sequence of finite times until
+    /// exhaustion.
+    #[test]
+    fn poisson_streams_increase(rate in 1e-6f64..1.0, seed in 0u64..1_000) {
+        let mut p = PoissonProcess::new(rate, StdRng::seed_from_u64(seed));
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let t = p.next_fault();
+            prop_assert!(t.is_finite());
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn weibull_streams_increase(
+        shape in 0.3f64..4.0,
+        scale in 1.0f64..1_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let mut p = WeibullRenewal::new(shape, scale, StdRng::seed_from_u64(seed));
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let t = p.next_fault();
+            prop_assert!(t.is_finite() && t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn burst_streams_increase(
+        quiet in 0.0f64..1e-3,
+        burst in 1e-3f64..0.1,
+        seed in 0u64..1_000,
+    ) {
+        let mut p = BurstProcess::new(quiet, burst, 1_000.0, 100.0,
+            StdRng::seed_from_u64(seed));
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let t = p.next_fault();
+            prop_assert!(t.is_finite() && t >= last);
+            last = t;
+        }
+    }
+
+    /// Deterministic schedules replay their (sorted) input exactly, then
+    /// return infinity forever.
+    #[test]
+    fn deterministic_replays_sorted_input(
+        mut times in proptest::collection::vec(0.0f64..1e6, 0..50),
+    ) {
+        let mut d = DeterministicFaults::new(times.clone());
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &expected in &times {
+            prop_assert_eq!(d.next_fault(), expected);
+        }
+        prop_assert_eq!(d.next_fault(), f64::INFINITY);
+        prop_assert_eq!(d.next_fault(), f64::INFINITY);
+    }
+
+    /// Same seed ⇒ identical stream; different seeds ⇒ (almost surely)
+    /// different first arrival.
+    #[test]
+    fn seeding_controls_streams(rate in 1e-4f64..0.1, seed in 0u64..10_000) {
+        let mut a = PoissonProcess::new(rate, StdRng::seed_from_u64(seed));
+        let mut b = PoissonProcess::new(rate, StdRng::seed_from_u64(seed));
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_fault(), b.next_fault());
+        }
+        let mut c = PoissonProcess::new(rate, StdRng::seed_from_u64(seed.wrapping_add(1)));
+        let mut a2 = PoissonProcess::new(rate, StdRng::seed_from_u64(seed));
+        prop_assert_ne!(a2.next_fault(), c.next_fault());
+    }
+
+    /// Scaling the Poisson rate scales arrival times inversely (inverse
+    /// CDF sampling is monotone in the rate for the same RNG stream).
+    #[test]
+    fn poisson_rate_scales_arrivals(rate in 1e-4f64..0.1, seed in 0u64..1_000) {
+        let mut slow = PoissonProcess::new(rate, StdRng::seed_from_u64(seed));
+        let mut fast = PoissonProcess::new(rate * 10.0, StdRng::seed_from_u64(seed));
+        let (s, f) = (slow.next_fault(), fast.next_fault());
+        prop_assert!((s / f - 10.0).abs() < 1e-6, "s = {s}, f = {f}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Numerical utilities for the EACP (energy-aware adaptive checkpointing)
+//! workspace.
+//!
+//! This crate is a small, dependency-free substrate providing exactly the
+//! numerics the checkpointing analysis needs:
+//!
+//! * [`minimize`] — golden-section minimization of a unimodal function on an
+//!   interval, and exhaustive/patience search for integer minimizers (used by
+//!   the `num_SCP` / `num_CCP` procedures of the paper).
+//! * [`roots`] — bracketing root finders (bisection), used for threshold
+//!   inversions.
+//! * [`stats`] — numerically stable online statistics (Welford) and
+//!   binomial-proportion confidence intervals for Monte-Carlo estimates.
+//! * [`sum`] — compensated (Neumaier) summation for long accumulations such
+//!   as energy integration.
+//!
+//! # Examples
+//!
+//! ```
+//! use eacp_numerics::minimize::golden_section_min;
+//!
+//! let (x, fx) = golden_section_min(|x| (x - 2.0) * (x - 2.0), 0.0, 10.0, 1e-9, 200);
+//! assert!((x - 2.0).abs() < 1e-6);
+//! assert!(fx < 1e-10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minimize;
+pub mod roots;
+pub mod stats;
+pub mod sum;
+
+pub use minimize::{golden_section_min, integer_min_by_key, unimodal_integer_min};
+pub use roots::bisect;
+pub use stats::{normal_cdf, wilson_interval, OnlineStats};
+pub use sum::NeumaierSum;

@@ -1,0 +1,229 @@
+//! One-dimensional minimization over reals and integers.
+//!
+//! The checkpointing analysis repeatedly minimizes expected-execution-time
+//! functions `R1(T1)` / `R2(T2)` that are smooth and unimodal on `(0, T]`,
+//! and their integer counterparts `R(m)` over the number of sub-intervals
+//! `m ∈ {1, 2, …}`. The helpers here are deliberately simple, allocation-free
+//! and deterministic.
+
+/// Golden-ratio constant `(sqrt(5) - 1) / 2 ≈ 0.618`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Minimizes a unimodal function `f` on the closed interval `[lo, hi]` using
+/// golden-section search.
+///
+/// Returns `(x_min, f(x_min))`. If `f` is not unimodal the result is a local
+/// minimum inside the bracket. The search stops when the bracket width drops
+/// below `tol` or after `max_iter` shrink steps, whichever comes first.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, if either bound is not finite, or if `tol` is not
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::minimize::golden_section_min;
+/// let (x, _) = golden_section_min(|x| x.powi(2) + 3.0, -5.0, 5.0, 1e-10, 200);
+/// assert!(x.abs() < 1e-6);
+/// ```
+pub fn golden_section_min<F>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> (f64, f64)
+where
+    F: FnMut(f64) -> f64,
+{
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "lower bound must not exceed upper bound");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+
+    for _ in 0..max_iter {
+        if (b - a).abs() <= tol {
+            break;
+        }
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let fx = f(x);
+    // The midpoint may be (very slightly) worse than the best probe; return
+    // the best of the three so the result never regresses below a probe.
+    if fc <= fx && fc <= fd {
+        (c, fc)
+    } else if fd <= fx {
+        (d, fd)
+    } else {
+        (x, fx)
+    }
+}
+
+/// Finds the integer `m ∈ [lo, hi]` minimizing `f(m)` for a *unimodal*
+/// integer sequence, by ascending scan with a patience window.
+///
+/// The scan starts at `lo` and walks upward; it stops early once the value
+/// has failed to improve for `patience` consecutive probes (the sequence is
+/// assumed unimodal, so further probes cannot improve). Returns
+/// `(m_min, f(m_min))`.
+///
+/// This is the robust default used by the `num_SCP` / `num_CCP` procedures:
+/// the expected-time sequences are unimodal in `m`, and `m` is small in
+/// practice, so an ascending scan is both exact and cheap.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `patience == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::minimize::unimodal_integer_min;
+/// let (m, v) = unimodal_integer_min(|m| ((m as f64) - 7.3).powi(2), 1, 1000, 3);
+/// assert_eq!(m, 7);
+/// assert!((v - 0.09).abs() < 1e-12);
+/// ```
+pub fn unimodal_integer_min<F>(mut f: F, lo: u32, hi: u32, patience: u32) -> (u32, f64)
+where
+    F: FnMut(u32) -> f64,
+{
+    assert!(lo <= hi, "lower bound must not exceed upper bound");
+    assert!(patience > 0, "patience must be positive");
+
+    let mut best_m = lo;
+    let mut best_v = f(lo);
+    let mut since_improve = 0u32;
+    let mut m = lo;
+    while m < hi {
+        m += 1;
+        let v = f(m);
+        if v < best_v {
+            best_v = v;
+            best_m = m;
+            since_improve = 0;
+        } else {
+            since_improve += 1;
+            if since_improve >= patience {
+                break;
+            }
+        }
+    }
+    (best_m, best_v)
+}
+
+/// Exhaustively minimizes `f` over `lo..=hi`, returning `(argmin, min)`.
+///
+/// Unlike [`unimodal_integer_min`] this makes no unimodality assumption; it
+/// is used in tests as the ground truth the patience scan is checked against.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn integer_min_by_key<F>(mut f: F, lo: u32, hi: u32) -> (u32, f64)
+where
+    F: FnMut(u32) -> f64,
+{
+    assert!(lo <= hi, "lower bound must not exceed upper bound");
+    let mut best = (lo, f(lo));
+    for m in lo + 1..=hi {
+        let v = f(m);
+        if v < best.1 {
+            best = (m, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_quadratic_min() {
+        let (x, fx) = golden_section_min(|x| (x - 3.5) * (x - 3.5) + 1.0, 0.0, 100.0, 1e-10, 300);
+        assert!((x - 3.5).abs() < 1e-5, "x = {x}");
+        assert!((fx - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        // Monotone increasing: minimum at the left edge.
+        let (x, _) = golden_section_min(|x| x.exp(), 1.0, 4.0, 1e-9, 200);
+        assert!((x - 1.0).abs() < 1e-4, "x = {x}");
+        // Monotone decreasing: minimum at the right edge.
+        let (x, _) = golden_section_min(|x| -x, 1.0, 4.0, 1e-9, 200);
+        assert!((x - 4.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn golden_degenerate_interval() {
+        let (x, fx) = golden_section_min(|x| x * x, 2.0, 2.0, 1e-9, 10);
+        assert_eq!(x, 2.0);
+        assert_eq!(fx, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn golden_rejects_inverted_bounds() {
+        golden_section_min(|x| x, 1.0, 0.0, 1e-9, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn golden_rejects_bad_tol() {
+        golden_section_min(|x| x, 0.0, 1.0, 0.0, 10);
+    }
+
+    #[test]
+    fn integer_scan_matches_exhaustive_on_unimodal() {
+        let f = |m: u32| {
+            let x = m as f64;
+            x + 400.0 / x
+        };
+        let (m1, v1) = unimodal_integer_min(f, 1, 10_000, 2);
+        let (m2, v2) = integer_min_by_key(f, 1, 200);
+        assert_eq!(m1, m2);
+        assert_eq!(m1, 20);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_scan_minimum_at_lo() {
+        let (m, v) = unimodal_integer_min(|m| m as f64, 1, 100, 3);
+        assert_eq!(m, 1);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn integer_scan_minimum_at_hi() {
+        let (m, _) = unimodal_integer_min(|m| -(m as f64), 1, 50, 3);
+        assert_eq!(m, 50);
+    }
+
+    #[test]
+    fn integer_scan_lo_equals_hi() {
+        let (m, v) = unimodal_integer_min(|m| m as f64 * 2.0, 7, 7, 1);
+        assert_eq!(m, 7);
+        assert_eq!(v, 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn integer_scan_rejects_zero_patience() {
+        unimodal_integer_min(|m| m as f64, 1, 10, 0);
+    }
+}

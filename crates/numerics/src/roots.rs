@@ -1,0 +1,89 @@
+//! Bracketing root finders.
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (a zero of either
+/// endpoint is returned immediately). The iteration stops when the bracket
+/// width drops below `tol` or after `max_iter` halvings.
+///
+/// Returns `None` when the endpoints do not bracket a sign change.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, the bounds are not finite, or `tol <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::roots::bisect;
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect<F>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Option<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "lower bound must not exceed upper bound");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa.signum() == fb.signum() {
+        return None;
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        if (b - a) <= tol {
+            return Some(mid);
+        }
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Some(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9, 50), Some(0.0));
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-9, 50), Some(1.0));
+    }
+
+    #[test]
+    fn no_bracket_returns_none() {
+        assert!(bisect(|x| x * x + 1.0, -3.0, 3.0, 1e-9, 50).is_none());
+    }
+
+    #[test]
+    fn transcendental_root() {
+        // exp(x) = 3x has a root near 0.619 and one near 1.512.
+        let r = bisect(|x| x.exp() - 3.0 * x, 0.0, 1.0, 1e-12, 200).unwrap();
+        assert!((r.exp() - 3.0 * r).abs() < 1e-9);
+    }
+}

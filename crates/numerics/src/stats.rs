@@ -1,0 +1,341 @@
+//! Numerically stable online statistics for Monte-Carlo aggregation.
+
+/// Single-pass mean / variance accumulator (Welford's algorithm).
+///
+/// Used to aggregate per-replication task metrics (completion time, energy,
+/// fault counts) without storing all samples.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `NaN` when empty (mirrors the paper's `NaN` energy cells).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`m2 / n`); `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (`m2 / (n - 1)`); `NaN` for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; `NaN` for fewer than two observations.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean; `NaN` for fewer than two observations.
+    pub fn std_error(&self) -> f64 {
+        self.sample_std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided normal-approximation confidence interval for the mean at
+    /// `z` standard errors (e.g. `z = 1.96` for 95%).
+    ///
+    /// Returns `(lo, hi)`; `(NaN, NaN)` for fewer than two observations.
+    pub fn mean_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let se = self.std_error();
+        (self.mean() - z * se, self.mean() + z * se)
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Given `successes` out of `trials` and a normal quantile `z` (1.96 for a
+/// 95% interval), returns `(lo, hi)` bounds on the true success probability.
+/// Unlike the Wald interval it behaves sensibly at `p ≈ 0` and `p ≈ 1`,
+/// which is exactly where the paper's timely-completion probabilities live
+/// (`P = 0.9999`, `P = 0.0005`, …).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::stats::wilson_interval;
+/// let (lo, hi) = wilson_interval(9990, 10_000, 1.96);
+/// assert!(lo > 0.99 && hi < 1.0);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "trials must be positive");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.population_variance().is_nan());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..313] {
+            a.push(x);
+        }
+        for &x in &xs[313..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-8);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn wilson_extremes() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.06);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        // Mathematically 1.0; floating point may round one ulp below.
+        assert!(hi > 1.0 - 1e-12 && hi <= 1.0);
+        assert!(lo > 0.94);
+    }
+
+    #[test]
+    fn wilson_contains_p_hat_center_ordering() {
+        let (lo, hi) = wilson_interval(42, 100, 1.96);
+        assert!(lo < 0.42 && 0.42 < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials")]
+    fn wilson_rejects_zero_trials() {
+        wilson_interval(0, 0, 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn wilson_rejects_excess_successes() {
+        wilson_interval(5, 4, 1.96);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..10_000 {
+            large.push((i % 3) as f64);
+        }
+        let (slo, shi) = small.mean_confidence_interval(1.96);
+        let (llo, lhi) = large.mean_confidence_interval(1.96);
+        assert!((lhi - llo) < (shi - slo));
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), which is ample for the Monte-Carlo-scale
+/// probabilities this workspace reports.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::stats::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function via Abramowitz–Stegun 7.1.26 (|error| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod normal_tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        // (x, Φ(x)) reference pairs.
+        for (x, phi) in [
+            (0.0, 0.5),
+            (1.0, 0.841_344_7),
+            (-1.0, 0.158_655_3),
+            (2.0, 0.977_249_9),
+            (-2.0, 0.022_750_1),
+            (3.0, 0.998_650_1),
+        ] {
+            assert!(
+                (normal_cdf(x) - phi).abs() < 1e-5,
+                "Φ({x}) = {} vs {phi}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let mut last = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = normal_cdf(x);
+            assert!(v >= last - 1e-12);
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+            last = v;
+            x += 0.25;
+        }
+        assert!(normal_cdf(-8.0) < 1e-9);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Compensated floating-point summation.
+
+/// Neumaier (improved Kahan) compensated summation.
+///
+/// Long simulations accumulate energy over millions of small segments; naive
+/// `f64` accumulation loses low-order bits once the running total dwarfs the
+/// increments. Neumaier summation keeps a running compensation term and also
+/// handles the case where the increment is larger than the running sum.
+///
+/// # Examples
+///
+/// ```
+/// use eacp_numerics::sum::NeumaierSum;
+///
+/// let mut s = NeumaierSum::new();
+/// s.add(1.0);
+/// s.add(1e100);
+/// s.add(1.0);
+/// s.add(-1e100);
+/// assert_eq!(s.value(), 2.0); // naive summation would return 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an accumulator seeded with `initial`.
+    pub fn with_initial(initial: f64) -> Self {
+        Self {
+            sum: initial,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = NeumaierSum::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for NeumaierSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catastrophic_cancellation_is_compensated() {
+        let mut s = NeumaierSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let mut s = NeumaierSum::new();
+        let n = 10_000_000u64;
+        for _ in 0..n {
+            s.add(0.1);
+        }
+        let expected = n as f64 * 0.1;
+        assert!((s.value() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: NeumaierSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.value(), 6.0);
+        let mut s2 = NeumaierSum::with_initial(10.0);
+        s2.extend([1.0, 2.0]);
+        assert_eq!(s2.value(), 13.0);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(NeumaierSum::new().value(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the numerics substrate.
+
+use eacp_numerics::minimize::{golden_section_min, integer_min_by_key, unimodal_integer_min};
+use eacp_numerics::roots::bisect;
+use eacp_numerics::stats::{wilson_interval, OnlineStats};
+use eacp_numerics::sum::NeumaierSum;
+use proptest::prelude::*;
+
+proptest! {
+    /// Golden-section search locates the vertex of an arbitrary upward
+    /// parabola placed inside the bracket.
+    #[test]
+    fn golden_section_finds_parabola_vertex(
+        center in -50.0f64..50.0,
+        scale in 0.01f64..100.0,
+        offset in -1.0e3f64..1.0e3,
+    ) {
+        let (x, _) = golden_section_min(
+            |x| scale * (x - center) * (x - center) + offset,
+            -60.0,
+            60.0,
+            1e-10,
+            500,
+        );
+        prop_assert!((x - center).abs() < 1e-4, "x = {x}, center = {center}");
+    }
+
+    /// The patience scan agrees with exhaustive search on unimodal data.
+    #[test]
+    fn patience_scan_is_exact_on_unimodal(opt in 1.0f64..500.0, curv in 0.001f64..10.0) {
+        let f = |m: u32| curv * ((m as f64) - opt) * ((m as f64) - opt);
+        let (m1, _) = unimodal_integer_min(f, 1, 2000, 2);
+        let (m2, _) = integer_min_by_key(f, 1, 1000);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// A bisection root is always inside the original bracket and nearly a
+    /// zero of the (continuous, sign-changing) function.
+    #[test]
+    fn bisect_root_in_bracket(shift in -0.9f64..0.9) {
+        let f = |x: f64| x.tanh() - shift;
+        let r = bisect(f, -5.0, 5.0, 1e-12, 300).expect("bracket holds a root");
+        prop_assert!((-5.0..=5.0).contains(&r));
+        prop_assert!(f(r).abs() < 1e-9);
+    }
+
+    /// Welford mean matches a compensated direct sum.
+    #[test]
+    fn welford_mean_matches_direct(xs in proptest::collection::vec(-1e6f64..1e6, 1..400)) {
+        let mut stats = OnlineStats::new();
+        let mut sum = NeumaierSum::new();
+        for &x in &xs {
+            stats.push(x);
+            sum.add(x);
+        }
+        let direct = sum.value() / xs.len() as f64;
+        prop_assert!((stats.mean() - direct).abs() < 1e-6);
+    }
+
+    /// Merging stats in any split position equals sequential accumulation.
+    #[test]
+    fn welford_merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..200), split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    /// The Wilson interval always contains the point estimate and stays in [0, 1].
+    #[test]
+    fn wilson_contains_estimate(successes in 0u64..=500, extra in 0u64..500) {
+        let trials = successes + extra.max(1);
+        let p = successes as f64 / trials as f64;
+        let (lo, hi) = wilson_interval(successes, trials, 1.96);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p + 1e-12 && p - 1e-12 <= hi);
+    }
+
+    /// Neumaier summation is within float tolerance of exact rational order-free sums
+    /// for adversarial magnitude mixes.
+    #[test]
+    fn neumaier_is_order_insensitive(mut xs in proptest::collection::vec(-1e12f64..1e12, 2..100)) {
+        let forward: NeumaierSum = xs.iter().copied().collect();
+        xs.reverse();
+        let backward: NeumaierSum = xs.iter().copied().collect();
+        let scale = xs.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        prop_assert!((forward.value() - backward.value()).abs() <= 1e-9 * scale);
+    }
+}

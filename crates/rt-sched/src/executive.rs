@@ -1,0 +1,311 @@
+//! A non-preemptive EDF executive running periodic jobs through the DMR
+//! simulator.
+//!
+//! Jobs are released at multiples of their task's period over one (or more)
+//! hyperperiods. The executive picks the released job with the earliest
+//! absolute deadline, builds a fresh checkpointing policy for it, and runs
+//! it to completion (or abort) in the [`eacp_sim`] executor. Energy and
+//! deadline misses are accumulated per task.
+
+use crate::TaskSet;
+use eacp_energy::DvsConfig;
+use eacp_faults::{FaultProcess, PoissonProcess};
+use eacp_sim::{CheckpointCosts, Executor, ExecutorOptions, Policy, Scenario, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of one released job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Index of the task in the [`TaskSet`].
+    pub task: usize,
+    /// Release time.
+    pub release: f64,
+    /// Absolute deadline.
+    pub absolute_deadline: f64,
+    /// Time the executive started the job (>= release).
+    pub started: f64,
+    /// Time the job finished, aborted or was cut off.
+    pub finished: f64,
+    /// Whether the job completed by its absolute deadline.
+    pub timely: bool,
+    /// Energy consumed by this job.
+    pub energy: f64,
+    /// Faults observed during this job.
+    pub faults: u32,
+}
+
+/// Aggregated result of a hyperperiod simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutiveReport {
+    /// Every job in release order (ties broken by task index).
+    pub jobs: Vec<JobRecord>,
+    /// Total energy over the horizon.
+    pub total_energy: f64,
+    /// Jobs that missed their deadline (aborted, late or never started in
+    /// time).
+    pub deadline_misses: usize,
+}
+
+impl ExecutiveReport {
+    /// Deadline-miss ratio over all jobs (0 when no jobs were released).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// Jobs belonging to one task.
+    pub fn jobs_of(&self, task: usize) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(move |j| j.task == task)
+    }
+}
+
+/// Configuration of the executive simulation.
+pub struct ExecutiveConfig<'a> {
+    /// The periodic workload.
+    pub set: &'a TaskSet,
+    /// Checkpoint costs shared by all tasks.
+    pub costs: CheckpointCosts,
+    /// DVS levels shared by all tasks.
+    pub dvs: DvsConfig,
+    /// Fault arrival rate (global Poisson stream across the horizon).
+    pub lambda: f64,
+    /// Number of hyperperiods to simulate.
+    pub hyperperiods: u32,
+    /// RNG seed for the fault stream.
+    pub seed: u64,
+}
+
+/// Runs the executive: jobs scheduled non-preemptively by EDF, each
+/// executed under a policy built by `make_policy(task_index, lambda)`.
+///
+/// The fault stream is global wall-clock Poisson; each job sees the
+/// arrivals that land inside its execution window, which preserves the
+/// burstiness across job boundaries.
+///
+/// # Panics
+///
+/// Panics if `hyperperiods == 0`.
+pub fn run_executive<F>(config: &ExecutiveConfig<'_>, mut make_policy: F) -> ExecutiveReport
+where
+    F: FnMut(usize, f64) -> Box<dyn Policy>,
+{
+    assert!(config.hyperperiods > 0, "at least one hyperperiod");
+    let horizon = (config.set.hyperperiod() * config.hyperperiods as u64) as f64;
+
+    // Build the release list.
+    struct Pending {
+        task: usize,
+        release: f64,
+        abs_deadline: f64,
+    }
+    let mut releases: Vec<Pending> = Vec::new();
+    for (idx, t) in config.set.tasks().iter().enumerate() {
+        let mut r = 0u64;
+        while (r as f64) < horizon {
+            releases.push(Pending {
+                task: idx,
+                release: r as f64,
+                abs_deadline: (r + t.deadline) as f64,
+            });
+            r += t.period;
+        }
+    }
+    releases.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
+
+    // Global fault stream shifted per job window.
+    let mut faults = PoissonProcess::new(config.lambda, StdRng::seed_from_u64(config.seed));
+    let mut next_fault = faults.next_fault();
+
+    let mut now = 0.0_f64;
+    let mut done: Vec<JobRecord> = Vec::new();
+    let mut ready: Vec<Pending> = Vec::new();
+    let mut iter = releases.into_iter().peekable();
+
+    loop {
+        // Admit releases up to `now`.
+        while iter.peek().is_some_and(|p| p.release <= now + 1e-9) {
+            ready.push(iter.next().expect("peeked"));
+        }
+        if ready.is_empty() {
+            match iter.next() {
+                Some(p) => {
+                    now = now.max(p.release);
+                    ready.push(p);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // EDF: earliest absolute deadline first.
+        let best = ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.abs_deadline.total_cmp(&b.abs_deadline))
+            .map(|(i, _)| i)
+            .expect("ready is non-empty");
+        let job = ready.swap_remove(best);
+        let task = &config.set.tasks()[job.task];
+
+        let started = now;
+        let rel_deadline = job.abs_deadline - started;
+        if rel_deadline <= 0.0 {
+            // Hopeless: charge a miss without running.
+            done.push(JobRecord {
+                task: job.task,
+                release: job.release,
+                absolute_deadline: job.abs_deadline,
+                started,
+                finished: started,
+                timely: false,
+                energy: 0.0,
+                faults: 0,
+            });
+            continue;
+        }
+        let scenario = Scenario::new(
+            TaskSpec::new(task.wcet_cycles, rel_deadline),
+            config.costs,
+            config.dvs.clone(),
+        );
+        // Faults inside this job's window, re-based to job-local time.
+        let mut local: Vec<f64> = Vec::new();
+        // Collect a generous window: the job cannot run longer than its
+        // relative deadline (the executor cuts off there).
+        let window_end = started + rel_deadline + 1.0;
+        while next_fault < window_end {
+            if next_fault >= started {
+                local.push(next_fault - started);
+            }
+            next_fault = faults.next_fault();
+        }
+        let mut local_faults = eacp_faults::DeterministicFaults::new(local);
+        let mut policy = make_policy(job.task, config.lambda);
+        let out = Executor::new(&scenario)
+            .with_options(ExecutorOptions::default())
+            .run(&mut policy, &mut local_faults);
+
+        let finished = started + out.finish_time;
+        done.push(JobRecord {
+            task: job.task,
+            release: job.release,
+            absolute_deadline: job.abs_deadline,
+            started,
+            finished,
+            timely: out.timely,
+            energy: out.energy,
+            faults: out.faults,
+        });
+        now = finished.max(started);
+    }
+
+    done.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
+    let total_energy = done.iter().map(|j| j.energy).sum();
+    let deadline_misses = done.iter().filter(|j| !j.timely).count();
+    ExecutiveReport {
+        jobs: done,
+        total_energy,
+        deadline_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeriodicTask;
+    use eacp_core::policies::Adaptive;
+
+    fn light_set() -> TaskSet {
+        TaskSet::new(vec![
+            PeriodicTask::new("sensor", 500.0, 4000, 4000),
+            PeriodicTask::new("control", 1200.0, 8000, 8000),
+        ])
+    }
+
+    fn config(set: &TaskSet, lambda: f64, hyperperiods: u32) -> ExecutiveConfig<'_> {
+        ExecutiveConfig {
+            set,
+            costs: CheckpointCosts::paper_scp_variant(),
+            dvs: DvsConfig::paper_default(),
+            lambda,
+            hyperperiods,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn fault_free_hyperperiod_has_no_misses() {
+        let set = light_set();
+        let cfg = config(&set, 0.0, 1);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 2)));
+        // 2 jobs of "sensor" (period 4000 in hyperperiod 8000) + 1 "control".
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.miss_ratio(), 0.0);
+        assert!(report.total_energy > 0.0);
+        assert_eq!(report.jobs_of(0).count(), 2);
+        assert_eq!(report.jobs_of(1).count(), 1);
+    }
+
+    #[test]
+    fn multiple_hyperperiods_scale_job_count() {
+        let set = light_set();
+        let cfg = config(&set, 0.0, 3);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 2)));
+        assert_eq!(report.jobs.len(), 9);
+    }
+
+    #[test]
+    fn edf_prefers_earlier_deadline() {
+        // Both released at t = 0; the shorter-deadline task must start
+        // first and therefore finish first.
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("late", 500.0, 10_000, 10_000),
+            PeriodicTask::new("urgent", 500.0, 10_000, 2_000),
+        ]);
+        let cfg = config(&set, 0.0, 1);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 1)));
+        let urgent = report.jobs_of(1).next().unwrap();
+        let late = report.jobs_of(0).next().unwrap();
+        assert!(urgent.finished < late.finished);
+        assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn faults_cause_rollbacks_but_jobs_recover() {
+        let set = light_set();
+        let cfg = config(&set, 5e-4, 4);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 2)));
+        let total_faults: u32 = report.jobs.iter().map(|j| j.faults).sum();
+        assert!(total_faults > 0, "the seed should inject faults");
+        // Light load: adaptive checkpointing keeps all deadlines.
+        assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn overload_produces_misses() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 3500.0, 4000, 4000),
+            PeriodicTask::new("b", 3500.0, 4000, 4000),
+        ]);
+        let cfg = config(&set, 0.0, 1);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 1)));
+        assert!(report.deadline_misses > 0);
+        assert!(report.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        // One tiny task with a long period: the executive must jump across
+        // idle time instead of spinning.
+        let set = TaskSet::new(vec![PeriodicTask::new("rare", 10.0, 100_000, 1_000)]);
+        let cfg = config(&set, 0.0, 2);
+        let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 1)));
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.deadline_misses, 0);
+        assert!((report.jobs[1].release - 100_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Checkpoint-aware feasibility tests for periodic task sets.
+//!
+//! All tests inflate each task's worst-case execution time with the
+//! overhead of optimal k-fault-tolerant checkpointing (after the paper's
+//! Ref.\[9\], Lee/Shin/Min, and Ref.\[2\]):
+//!
+//! ```text
+//! WCET_k(N) = N + (n*)·c + k·(N/n* + c),   n* = sqrt(kN/c)
+//!           = N + 2·sqrt(kNc) + kc
+//! ```
+//!
+//! i.e. fault-free work plus checkpoint insertions plus `k` worst-case
+//! re-executed intervals (each with its checkpoint redone).
+
+use crate::TaskSet;
+use eacp_sim::CheckpointCosts;
+
+/// Worst-case execution cycles of a job of `n_cycles` work under up to `k`
+/// faults with optimally spaced CSCPs of `c_cycles` each.
+///
+/// For `k = 0` this is `N + c` (a single verification checkpoint at the
+/// end).
+///
+/// # Panics
+///
+/// Panics unless `n_cycles > 0` and `c_cycles > 0` (both finite).
+///
+/// # Examples
+///
+/// ```
+/// use eacp_rtsched::feasibility::k_fault_wcet;
+/// let w = k_fault_wcet(7600.0, 22.0, 5);
+/// assert!((w - (7600.0 + 2.0 * (5.0_f64 * 7600.0 * 22.0).sqrt() + 110.0)).abs() < 1e-9);
+/// ```
+pub fn k_fault_wcet(n_cycles: f64, c_cycles: f64, k: u32) -> f64 {
+    assert!(
+        n_cycles > 0.0 && n_cycles.is_finite(),
+        "work must be positive and finite"
+    );
+    assert!(
+        c_cycles > 0.0 && c_cycles.is_finite(),
+        "checkpoint cost must be positive and finite"
+    );
+    if k == 0 {
+        return n_cycles + c_cycles;
+    }
+    let k = k as f64;
+    n_cycles + 2.0 * (k * n_cycles * c_cycles).sqrt() + k * c_cycles
+}
+
+/// EDF (density) feasibility with k-fault-tolerant WCETs at speed `f`:
+/// `Σ WCET_k(N_i)/f / min(D_i, T_i) <= 1`.
+///
+/// This is the standard sufficient density test; for implicit deadlines
+/// (`D = T`) it is exact for preemptive EDF.
+pub fn edf_feasible(set: &TaskSet, costs: &CheckpointCosts, k: u32, f: f64) -> bool {
+    edf_density(set, costs, k, f) <= 1.0 + 1e-12
+}
+
+/// The EDF density `Σ WCET_k(N_i)/f / min(D_i, T_i)` used by
+/// [`edf_feasible`].
+pub fn edf_density(set: &TaskSet, costs: &CheckpointCosts, k: u32, f: f64) -> f64 {
+    assert!(f > 0.0 && f.is_finite(), "speed must be positive");
+    set.tasks()
+        .iter()
+        .map(|t| {
+            let wcet_time = k_fault_wcet(t.wcet_cycles, costs.cscp_cycles(), k) / f;
+            wcet_time / t.deadline.min(t.period) as f64
+        })
+        .sum()
+}
+
+/// Rate-monotonic response-time analysis with k-fault-tolerant WCETs at
+/// speed `f`.
+///
+/// Tasks are prioritized by period (shorter period = higher priority).
+/// Returns the per-task response times in the *original task order* when
+/// every task converges within its deadline, `None` as soon as any task is
+/// unschedulable.
+pub fn rm_response_times(
+    set: &TaskSet,
+    costs: &CheckpointCosts,
+    k: u32,
+    f: f64,
+) -> Option<Vec<f64>> {
+    assert!(f > 0.0 && f.is_finite(), "speed must be positive");
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| set.tasks()[i].period);
+    let wcet: Vec<f64> = set
+        .tasks()
+        .iter()
+        .map(|t| k_fault_wcet(t.wcet_cycles, costs.cscp_cycles(), k) / f)
+        .collect();
+
+    let mut responses = vec![0.0_f64; set.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        let own = wcet[i];
+        let deadline = set.tasks()[i].deadline as f64;
+        let mut r = own;
+        // Fixed-point iteration: R = C_i + Σ_{hp} ceil(R/T_j)·C_j.
+        for _ in 0..1000 {
+            let interference: f64 = order[..rank]
+                .iter()
+                .map(|&j| (r / set.tasks()[j].period as f64).ceil() * wcet[j])
+                .sum();
+            let next = own + interference;
+            if next > deadline {
+                return None;
+            }
+            if (next - r).abs() < 1e-9 {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        if r > deadline {
+            return None;
+        }
+        responses[i] = r;
+    }
+    Some(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeriodicTask;
+
+    fn costs() -> CheckpointCosts {
+        CheckpointCosts::paper_scp_variant()
+    }
+
+    #[test]
+    fn wcet_grows_with_k() {
+        let w0 = k_fault_wcet(1000.0, 22.0, 0);
+        let w1 = k_fault_wcet(1000.0, 22.0, 1);
+        let w5 = k_fault_wcet(1000.0, 22.0, 5);
+        assert_eq!(w0, 1022.0);
+        assert!(w0 < w1 && w1 < w5);
+    }
+
+    #[test]
+    fn wcet_matches_closed_form() {
+        let (n, c, k) = (2500.0_f64, 22.0_f64, 3u32);
+        let expected = n + 2.0 * (3.0 * n * c).sqrt() + 3.0 * c;
+        assert!((k_fault_wcet(n, c, k) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edf_density_scales_inversely_with_speed() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 1000.0, 4000, 4000),
+            PeriodicTask::new("b", 1500.0, 8000, 8000),
+        ]);
+        let d1 = edf_density(&set, &costs(), 2, 1.0);
+        let d2 = edf_density(&set, &costs(), 2, 2.0);
+        assert!((d1 / d2 - 2.0).abs() < 1e-9);
+        assert!(edf_feasible(&set, &costs(), 2, 1.0));
+    }
+
+    #[test]
+    fn edf_rejects_overload() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 3000.0, 4000, 4000),
+            PeriodicTask::new("b", 3000.0, 8000, 8000),
+        ]);
+        // Raw utilization 0.75 + 0.375 > 1 even before overhead.
+        assert!(!edf_feasible(&set, &costs(), 2, 1.0));
+        // But the fast speed level rescues it.
+        assert!(edf_feasible(&set, &costs(), 2, 2.0));
+    }
+
+    #[test]
+    fn rm_analysis_accepts_light_set() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("fast", 500.0, 4000, 4000),
+            PeriodicTask::new("slow", 1000.0, 16_000, 16_000),
+        ]);
+        let r = rm_response_times(&set, &costs(), 1, 1.0).expect("schedulable");
+        // Highest-priority task's response = its own WCET.
+        let w_fast = k_fault_wcet(500.0, 22.0, 1);
+        assert!((r[0] - w_fast).abs() < 1e-9);
+        // Lower-priority task suffers interference.
+        assert!(r[1] > k_fault_wcet(1000.0, 22.0, 1));
+        assert!(r[1] <= 16_000.0);
+    }
+
+    #[test]
+    fn rm_interference_accounts_for_multiple_releases() {
+        // Low-priority response spans several high-priority periods.
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("hp", 400.0, 1000, 1000),
+            PeriodicTask::new("lp", 1500.0, 10_000, 10_000),
+        ]);
+        let r = rm_response_times(&set, &costs(), 0, 1.0).expect("schedulable");
+        let w_hp = k_fault_wcet(400.0, 22.0, 0); // 422
+        let w_lp = k_fault_wcet(1500.0, 22.0, 0); // 1522
+                                                  // R = 1522 + ceil(R/1000)·422: 1522 → 2366 → 2788 → fixed point
+                                                  // (the response window spans three high-priority releases).
+        assert!((r[1] - (w_lp + 3.0 * w_hp)).abs() < 1e-9, "r = {}", r[1]);
+    }
+
+    #[test]
+    fn rm_rejects_unschedulable() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("hp", 900.0, 1000, 1000),
+            PeriodicTask::new("lp", 500.0, 5000, 5000),
+        ]);
+        assert!(rm_response_times(&set, &costs(), 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn k_zero_rm_equals_plain_rta() {
+        let set = TaskSet::new(vec![PeriodicTask::new("solo", 100.0, 1000, 1000)]);
+        let r = rm_response_times(&set, &costs(), 0, 1.0).unwrap();
+        assert!((r[0] - 122.0).abs() < 1e-9);
+    }
+}
+
+/// The lowest DVS level at which the task set passes the EDF density test
+/// with k-fault-tolerant WCETs — the speed-assignment step of the paper's
+/// Ref.\[2\] (run as slow as feasibility allows to save energy).
+///
+/// Returns `None` when even the fastest level is infeasible.
+pub fn minimum_feasible_speed(
+    set: &TaskSet,
+    costs: &CheckpointCosts,
+    k: u32,
+    dvs: &eacp_energy::DvsConfig,
+) -> Option<usize> {
+    (0..dvs.len()).find(|&idx| edf_feasible(set, costs, k, dvs.level(idx).frequency))
+}
+
+#[cfg(test)]
+mod speed_tests {
+    use super::*;
+    use crate::PeriodicTask;
+    use eacp_energy::DvsConfig;
+
+    #[test]
+    fn light_set_runs_slow() {
+        let set = TaskSet::new(vec![PeriodicTask::new("a", 1000.0, 4000, 4000)]);
+        let dvs = DvsConfig::paper_default();
+        assert_eq!(
+            minimum_feasible_speed(&set, &CheckpointCosts::paper_scp_variant(), 2, &dvs),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn heavy_set_needs_fast_level() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 3000.0, 4000, 4000),
+            PeriodicTask::new("b", 3000.0, 8000, 8000),
+        ]);
+        let dvs = DvsConfig::paper_default();
+        assert_eq!(
+            minimum_feasible_speed(&set, &CheckpointCosts::paper_scp_variant(), 2, &dvs),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn overload_is_infeasible_everywhere() {
+        let set = TaskSet::new(vec![PeriodicTask::new("a", 9000.0, 4000, 4000)]);
+        let dvs = DvsConfig::paper_default();
+        assert_eq!(
+            minimum_feasible_speed(&set, &CheckpointCosts::paper_scp_variant(), 2, &dvs),
+            None
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Periodic real-time task sets with checkpoint-aware feasibility analysis
+//! and a job-level executive driving the EACP DMR simulator.
+//!
+//! The paper analyzes a single task instance; real embedded systems run
+//! *periodic* task sets. This crate provides the surrounding substrate
+//! (after the paper's Ref.\[2\], Zhang & Chakrabarty DATE'04 — "task
+//! feasibility analysis and dynamic voltage scaling in fault-tolerant
+//! real-time embedded systems"):
+//!
+//! * [`PeriodicTask`] / [`TaskSet`] — periodic workload model;
+//! * [`feasibility`] — k-fault-tolerant worst-case execution times with
+//!   optimal checkpointing, EDF utilization tests and rate-monotonic
+//!   response-time analysis, all inflated by checkpoint overhead;
+//! * [`executive`] — a non-preemptive EDF executive that releases jobs
+//!   over a hyperperiod and runs every job through [`eacp_sim`] with an
+//!   adaptive checkpointing policy, measuring deadline misses and energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use eacp_rtsched::{PeriodicTask, TaskSet};
+//! use eacp_rtsched::feasibility::{edf_feasible, k_fault_wcet};
+//! use eacp_sim::CheckpointCosts;
+//!
+//! let set = TaskSet::new(vec![
+//!     PeriodicTask::new("telemetry", 1000.0, 5_000, 5_000),
+//!     PeriodicTask::new("control", 2000.0, 10_000, 10_000),
+//! ]);
+//! assert_eq!(set.hyperperiod(), 10_000);
+//! let costs = CheckpointCosts::paper_scp_variant();
+//! assert!(edf_feasible(&set, &costs, 2, 1.0));
+//! assert!(k_fault_wcet(1000.0, costs.cscp_cycles(), 2) > 1000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executive;
+pub mod feasibility;
+
+/// One periodic task: a job of `wcet_cycles` work is released every
+/// `period` time units and must finish within `deadline` of its release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicTask {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Worst-case work per job, in cycles at the minimum speed.
+    pub wcet_cycles: f64,
+    /// Release period (normalized time units).
+    pub period: u64,
+    /// Relative deadline (normalized time units, `<= period` enforced).
+    pub deadline: u64,
+}
+
+impl PeriodicTask {
+    /// Creates a periodic task.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `wcet_cycles > 0`, `period > 0` and
+    /// `0 < deadline <= period` (constrained deadlines).
+    pub fn new(name: impl Into<String>, wcet_cycles: f64, period: u64, deadline: u64) -> Self {
+        assert!(
+            wcet_cycles > 0.0 && wcet_cycles.is_finite(),
+            "wcet_cycles must be positive and finite"
+        );
+        assert!(period > 0, "period must be positive");
+        assert!(
+            deadline > 0 && deadline <= period,
+            "deadline must be in (0, period]"
+        );
+        Self {
+            name: name.into(),
+            wcet_cycles,
+            period,
+            deadline,
+        }
+    }
+
+    /// Raw (checkpoint-free, fault-free) utilization at speed `f`.
+    pub fn utilization_at(&self, f: f64) -> f64 {
+        self.wcet_cycles / f / self.period as f64
+    }
+}
+
+/// An ordered collection of periodic tasks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(tasks: Vec<PeriodicTask>) -> Self {
+        assert!(!tasks.is_empty(), "a task set needs at least one task");
+        Self { tasks }
+    }
+
+    /// The tasks, in insertion order.
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Least common multiple of all periods.
+    pub fn hyperperiod(&self) -> u64 {
+        self.tasks.iter().map(|t| t.period).fold(1, lcm)
+    }
+
+    /// Sum of raw utilizations at speed `f`.
+    pub fn utilization_at(&self, f: f64) -> f64 {
+        self.tasks.iter().map(|t| t.utilization_at(f)).sum()
+    }
+}
+
+impl FromIterator<PeriodicTask> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = PeriodicTask>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 10.0, 4, 4),
+            PeriodicTask::new("b", 10.0, 6, 6),
+            PeriodicTask::new("c", 10.0, 10, 10),
+        ]);
+        assert_eq!(set.hyperperiod(), 60);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 100.0, 1000, 1000),
+            PeriodicTask::new("b", 300.0, 1000, 1000),
+        ]);
+        assert!((set.utilization_at(1.0) - 0.4).abs() < 1e-12);
+        assert!((set.utilization_at(2.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: TaskSet = (1..=3)
+            .map(|i| {
+                PeriodicTask::new(
+                    format!("t{i}"),
+                    10.0 * i as f64,
+                    100 * i as u64,
+                    100 * i as u64,
+                )
+            })
+            .collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.tasks()[2].name, "t3");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn rejects_deadline_beyond_period() {
+        PeriodicTask::new("bad", 1.0, 10, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn rejects_empty_set() {
+        TaskSet::new(Vec::new());
+    }
+
+    #[test]
+    fn gcd_lcm_edge_cases() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(7, 1), 7);
+    }
+}

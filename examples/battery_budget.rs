@@ -1,0 +1,71 @@
+//! Battery-budget exploration: how much energy does DVS-aware adaptive
+//! checkpointing save across deadline slack, and where does the processor
+//! actually spend its cycles?
+//!
+//! A battery-powered instrument can trade deadline slack for energy: with
+//! a looser deadline the adaptive scheme rides the low-voltage level; as
+//! the deadline tightens it upshifts. This example sweeps the deadline for
+//! a fixed workload and reports energy, the fraction of cycles at `f2`,
+//! and the effective "battery frames per charge" for a hypothetical
+//! 100 MJ-equivalent budget.
+//!
+//! ```text
+//! cargo run --release --example battery_budget
+//! ```
+
+use eacp::core::policies::Adaptive;
+use eacp::energy::DvsConfig;
+use eacp::faults::PoissonProcess;
+use eacp::sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORK_CYCLES: f64 = 7_600.0;
+const LAMBDA: f64 = 1.4e-3;
+const BUDGET: f64 = 100.0e6;
+
+fn main() {
+    println!("Workload: N = {WORK_CYCLES} cycles, λ = {LAMBDA}, k = 5, DMR pair");
+    println!(
+        "\n{:>10} {:>9} {:>11} {:>11} {:>13} {:>14}",
+        "deadline", "P", "E(mean)", "f2-share", "frames/charge", "note"
+    );
+    let mc = MonteCarlo::new(2_000).with_seed(5);
+    for &deadline in &[
+        8_200.0, 8_800.0, 9_400.0, 10_000.0, 11_000.0, 12_500.0, 15_000.0, 20_000.0, 40_000.0,
+    ] {
+        let scenario = Scenario::new(
+            TaskSpec::new(WORK_CYCLES, deadline),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let summary = mc.run(
+            &scenario,
+            ExecutorOptions::default(),
+            |_| Adaptive::dvs_scp(LAMBDA, 5),
+            |seed| PoissonProcess::new(LAMBDA, StdRng::seed_from_u64(seed)),
+        );
+        let e = summary.mean_energy_timely();
+        let frames = if e.is_nan() { 0.0 } else { BUDGET / e };
+        let share = summary.fast_fraction.mean();
+        let note = if share > 0.95 {
+            "pinned at f2"
+        } else if share < 0.05 {
+            "pinned at f1"
+        } else {
+            "mixed DVS"
+        };
+        println!(
+            "{deadline:>10.0} {:>9.4} {:>11.0} {:>11.2} {:>13.0} {:>14}",
+            summary.p_timely(),
+            e,
+            share,
+            frames,
+            note
+        );
+    }
+
+    println!("\nReading: at tight deadlines the policy burns 4·V² cycles at f2 to stay");
+    println!("timely; once slack covers t_est(f1) it pins to f1 and roughly halves the");
+    println!("energy per frame — that is the DVS half of the paper's contribution.");
+}

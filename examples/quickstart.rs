@@ -1,0 +1,114 @@
+//! Quickstart: run every scheme of the paper once on the nominal operating
+//! point (Table 1(a), U = 0.76, λ = 0.0014, k = 5) and print a comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eacp::core::analysis::{
+    checkpoint_interval_with_branch, estimated_completion_time, num_scp, IntervalInputs,
+    OptimizeMethod, RenewalParams,
+};
+use eacp::core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
+use eacp::energy::DvsConfig;
+use eacp::faults::PoissonProcess;
+use eacp::sim::{
+    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The paper's SCP experiment: D = 10000, ts = 2, tcp = 20, c = 22.
+    let lambda = 0.0014;
+    let k = 5;
+    let scenario = Scenario::new(
+        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
+        CheckpointCosts::paper_scp_variant(),
+        DvsConfig::paper_default(),
+    );
+
+    println!("== Analysis at the initial planning point ==");
+    let rd = scenario.task.deadline;
+    let rt = scenario.task.work_cycles; // at f1 = 1
+    let t_est_slow = estimated_completion_time(rt, 1.0, 22.0, lambda);
+    let t_est_fast = estimated_completion_time(rt, 2.0, 22.0, lambda);
+    println!("t_est(f1) = {t_est_slow:.0}, t_est(f2) = {t_est_fast:.0}, Rd = {rd:.0}");
+    println!(
+        "-> DVS starts at {}",
+        if t_est_slow <= rd {
+            "f1 (slow)"
+        } else {
+            "f2 (fast)"
+        }
+    );
+    let (itv, branch) = checkpoint_interval_with_branch(IntervalInputs {
+        rd,
+        rt: rt / 2.0, // at f2
+        c: 11.0,      // c / f2
+        rf: k as f64,
+        lambda,
+    });
+    let params = RenewalParams::new(1.0, 10.0, 0.0, lambda); // ts/f2, tcp/f2
+    let m = num_scp(itv, &params, OptimizeMethod::PaperClosedForm);
+    println!("interval() = {itv:.1} time units via {branch:?}; num_SCP -> m = {m}");
+
+    println!("\n== One seeded run per scheme ==");
+    let schemes: Vec<(&str, Box<dyn Policy>)> = vec![
+        ("Poisson", Box::new(PoissonArrival::new(lambda, 0))),
+        ("k-f-t", Box::new(KFaultTolerant::new(k, 0))),
+        ("A_D", Box::new(Adaptive::adt_dvs(lambda, k))),
+        ("A_D_S", Box::new(Adaptive::dvs_scp(lambda, k))),
+    ];
+    for (name, mut policy) in schemes {
+        let mut faults = PoissonProcess::new(lambda, StdRng::seed_from_u64(2006));
+        let out = Executor::new(&scenario).run(&mut *policy, &mut faults);
+        println!(
+            "{name:<8} timely={} finish={:>8.1} energy={:>8.0} faults={:>2} rollbacks={:>2} \
+             checkpoints={:>3} fast-fraction={:.2}",
+            out.timely as u8,
+            out.finish_time,
+            out.energy,
+            out.faults,
+            out.rollbacks,
+            out.checkpoints(),
+            out.fast_fraction(),
+        );
+    }
+
+    println!("\n== Monte-Carlo (2000 replications, like a paper table cell) ==");
+    let mc = MonteCarlo::new(2000).with_seed(42);
+    for name in ["Poisson", "A_D", "A_D_S"] {
+        let summary = mc.run(
+            &scenario,
+            ExecutorOptions {
+                faults_during_overhead: false, // the paper's fault model
+                ..ExecutorOptions::default()
+            },
+            |_| -> Box<dyn Policy> {
+                match name {
+                    "Poisson" => Box::new(PoissonArrival::new(lambda, 0)),
+                    "A_D" => Box::new(Adaptive::adt_dvs(lambda, k)),
+                    _ => Box::new(Adaptive::dvs_scp(lambda, k)),
+                }
+            },
+            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+        );
+        let (lo, hi) = summary.p_timely_ci(1.96);
+        println!(
+            "{name:<8} P = {:.4} [{lo:.4}, {hi:.4}]   E = {:>8.0}   (paper: P = {}, E = {})",
+            summary.p_timely(),
+            summary.mean_energy_timely(),
+            match name {
+                "Poisson" => "0.1185",
+                "A_D" => "0.9991",
+                _ => "0.9999",
+            },
+            match name {
+                "Poisson" => "39015",
+                "A_D" => "57564",
+                _ => "52863",
+            },
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Reproduces the paper's Figures 1 and 5 from live executions: a CSCP
+//! interval with sub-checkpoints, a fault, its detection point, and the
+//! rollback target.
+//!
+//! * Fig. 1 (SCP scheme): the fault is detected at the CSCP at the end of
+//!   the interval, and the pair rolls back to the most recent *clean* SCP.
+//! * Fig. 5 (CCP scheme): the fault is detected at the first CCP after it
+//!   strikes, and the pair rolls back to the interval start.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use eacp::core::policies::Adaptive;
+use eacp::energy::DvsConfig;
+use eacp::faults::DeterministicFaults;
+use eacp::sim::{CheckpointCosts, Executor, Scenario, TaskSpec, TraceRecorder};
+
+fn main() {
+    println!("== Figure 1: task execution with SCPs ==");
+    println!("(fault in the middle of the interval; detection at the CSCP;");
+    println!(" rollback to the last SCP with identical states)\n");
+    let scenario = Scenario::new(
+        TaskSpec::new(600.0, 50_000.0),
+        CheckpointCosts::paper_scp_variant(), // ts = 2, tcp = 20
+        DvsConfig::paper_default(),
+    );
+    // Fixed speed so the timeline is easy to read; λ here only drives the
+    // policy's subdivision choice — the actual fault is deterministic.
+    let mut policy = Adaptive::scp(2.5e-3, 5, 0);
+    let mut faults = DeterministicFaults::new(vec![260.0]);
+    let mut rec = TraceRecorder::new();
+    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    print!("{}", rec.render(100));
+    println!(
+        "-> completed={} with {} SCPs, {} CSCPs, {} rollback(s)\n",
+        out.completed, out.store_checkpoints, out.compare_store_checkpoints, out.rollbacks
+    );
+
+    println!("== Figure 5: task execution with CCPs ==");
+    println!("(fault detected at the next CCP; rollback to the last CSCP)\n");
+    let scenario = Scenario::new(
+        TaskSpec::new(600.0, 50_000.0),
+        CheckpointCosts::paper_ccp_variant(), // ts = 20, tcp = 2
+        DvsConfig::paper_default(),
+    );
+    let mut policy = Adaptive::ccp(2.5e-3, 5, 0);
+    let mut faults = DeterministicFaults::new(vec![260.0]);
+    let mut rec = TraceRecorder::new();
+    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    print!("{}", rec.render(100));
+    println!(
+        "-> completed={} with {} CCPs, {} CSCPs, {} rollback(s)\n",
+        out.completed, out.compare_checkpoints, out.compare_store_checkpoints, out.rollbacks
+    );
+
+    println!("== Bonus: a DVS run with a mid-flight downshift ==");
+    let scenario = Scenario::new(
+        TaskSpec::new(7_600.0, 10_000.0),
+        CheckpointCosts::paper_scp_variant(),
+        DvsConfig::paper_default(),
+    );
+    let mut policy = Adaptive::dvs_scp(1.4e-3, 5);
+    let mut faults = DeterministicFaults::new(vec![2_000.0]);
+    let mut rec = TraceRecorder::new();
+    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    // The full event log is long; show the bar plus the speed changes.
+    let rendered = rec.render(100);
+    for line in rendered.lines().take(1) {
+        println!("{line}");
+    }
+    for line in rendered
+        .lines()
+        .filter(|l| l.contains("speed") || l.contains("rollback"))
+    {
+        println!("{line}");
+    }
+    println!(
+        "-> timely={} energy={:.0} fast-fraction={:.2}",
+        out.timely,
+        out.energy,
+        out.fast_fraction()
+    );
+}

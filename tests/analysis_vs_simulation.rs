@@ -1,0 +1,218 @@
+//! The paper's renewal-equation formulas against ground-truth Monte-Carlo
+//! simulation of the same operational model.
+//!
+//! One CSCP interval of length `T` is run as a stand-alone "task" with a
+//! static SCP/CCP subdivision policy; the Monte-Carlo mean completion time
+//! must agree with the exact recursions (tightly) and with the paper's
+//! closed forms (loosely for Eq. (1), which is an approximation; exactly
+//! for Eq. (2)).
+
+use eacp::core::analysis::{
+    ccp_interval_mean_exact, ccp_interval_mean_time, scp_interval_mean_exact,
+    scp_interval_mean_time, RenewalParams,
+};
+use eacp::energy::DvsConfig;
+use eacp::faults::PoissonProcess;
+use eacp::sim::{
+    CheckpointCosts, CheckpointKind, Directive, Executor, ExecutorOptions, PlanContext, Policy,
+    Scenario, TaskSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Static schedule: `m` segments of `T/m`, sub-checkpoints between them, a
+/// CSCP at the end; realigns with the engine's rollback position.
+struct StaticSubdivision {
+    sub_interval: f64,
+    m: u32,
+    seg: u32,
+    sub_kind: CheckpointKind,
+}
+
+impl StaticSubdivision {
+    fn scp(t: f64, m: u32) -> Self {
+        Self {
+            sub_interval: t / m as f64,
+            m,
+            seg: 0,
+            sub_kind: CheckpointKind::Store,
+        }
+    }
+
+    fn ccp(t: f64, m: u32) -> Self {
+        Self {
+            sub_interval: t / m as f64,
+            m,
+            seg: 0,
+            sub_kind: CheckpointKind::Compare,
+        }
+    }
+}
+
+impl Policy for StaticSubdivision {
+    fn name(&self) -> &'static str {
+        "static-subdivision"
+    }
+
+    fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+        let kind = if (self.seg + 1).is_multiple_of(self.m) {
+            CheckpointKind::CompareStore
+        } else {
+            self.sub_kind
+        };
+        self.seg += 1;
+        Directive::run(0, self.sub_interval, kind)
+    }
+
+    fn on_compare(&mut self, ctx: &PlanContext<'_>, _kind: CheckpointKind, mismatch: bool) {
+        if mismatch {
+            self.seg = (ctx.position_cycles / self.sub_interval).round() as u32 % self.m;
+        }
+    }
+}
+
+/// Simulates the mean completion time of one interval under the given
+/// policy factory (fault window = useful computation only, matching the
+/// analysis).
+fn simulated_mean(
+    t: f64,
+    costs: CheckpointCosts,
+    lambda: f64,
+    reps: u64,
+    make: impl Fn() -> StaticSubdivision,
+) -> (f64, f64) {
+    let scenario = Scenario::new(
+        TaskSpec::new(t, 1e12), // no deadline pressure
+        costs,
+        DvsConfig::paper_default(),
+    );
+    let executor = Executor::new(&scenario).with_options(ExecutorOptions {
+        faults_during_overhead: false,
+        ..ExecutorOptions::default()
+    });
+    let mut stats = eacp::numerics::OnlineStats::new();
+    for rep in 0..reps {
+        let mut policy = make();
+        let mut faults = PoissonProcess::new(lambda, StdRng::seed_from_u64(rep * 77 + 5));
+        let out = executor.run(&mut policy, &mut faults);
+        assert!(out.completed, "interval must eventually complete");
+        stats.push(out.finish_time);
+    }
+    (stats.mean(), stats.std_error())
+}
+
+#[test]
+fn scp_exact_recursion_matches_simulation() {
+    let lambda = 1.4e-3;
+    let params = RenewalParams::new(2.0, 20.0, 0.0, lambda);
+    for (t, m) in [(177.0, 3), (400.0, 8), (300.0, 1)] {
+        let predicted = scp_interval_mean_exact(m, t, &params);
+        let (mean, se) = simulated_mean(
+            t,
+            CheckpointCosts::paper_scp_variant(),
+            lambda,
+            20_000,
+            || StaticSubdivision::scp(t, m),
+        );
+        let diff = (mean - predicted).abs();
+        assert!(
+            diff < 5.0 * se.max(0.01),
+            "T={t} m={m}: simulated {mean:.3} ± {se:.3}, exact {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn ccp_closed_form_matches_simulation() {
+    let lambda = 1.4e-3;
+    let params = RenewalParams::new(20.0, 2.0, 0.0, lambda);
+    for (t, m) in [(177.0, 3), (400.0, 6), (250.0, 1)] {
+        let predicted = ccp_interval_mean_time(t / m as f64, t, &params);
+        let exact = ccp_interval_mean_exact(m, t, &params);
+        assert!((predicted - exact).abs() / exact < 1e-10);
+        let (mean, se) = simulated_mean(
+            t,
+            CheckpointCosts::paper_ccp_variant(),
+            lambda,
+            20_000,
+            || StaticSubdivision::ccp(t, m),
+        );
+        let diff = (mean - predicted).abs();
+        assert!(
+            diff < 5.0 * se.max(0.01),
+            "T={t} m={m}: simulated {mean:.3} ± {se:.3}, closed form {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn scp_closed_form_tracks_simulation_within_approximation_error() {
+    // Eq. (1) is a renewal approximation; at the paper's operating point it
+    // should stay within ~10% of the simulated truth.
+    let lambda = 1.6e-3;
+    let params = RenewalParams::new(2.0, 20.0, 0.0, lambda);
+    let (t, m) = (200.0, 4);
+    let approx = scp_interval_mean_time(t / m as f64, t, &params);
+    let (mean, _) = simulated_mean(
+        t,
+        CheckpointCosts::paper_scp_variant(),
+        lambda,
+        20_000,
+        || StaticSubdivision::scp(t, m),
+    );
+    let rel = (approx - mean).abs() / mean;
+    assert!(rel < 0.10, "closed form {approx:.2} vs simulated {mean:.2}");
+}
+
+#[test]
+fn higher_lambda_increases_simulated_interval_time() {
+    let t = 300.0;
+    let m = 4;
+    let (low, _) = simulated_mean(t, CheckpointCosts::paper_scp_variant(), 2e-4, 4_000, || {
+        StaticSubdivision::scp(t, m)
+    });
+    let (high, _) = simulated_mean(t, CheckpointCosts::paper_scp_variant(), 4e-3, 4_000, || {
+        StaticSubdivision::scp(t, m)
+    });
+    assert!(high > low);
+}
+
+#[test]
+fn static_scheme_prediction_matches_monte_carlo() {
+    // The analytic completion estimate (mean, variance, CLT-based P) for
+    // the static Poisson baseline must agree with the simulator across the
+    // paper's operating points.
+    use eacp::core::analysis::static_scheme_completion;
+    use eacp::core::policies::PoissonArrival;
+    use eacp::sim::MonteCarlo;
+
+    for (util, lambda) in [(0.76_f64, 1.4e-3_f64), (0.78, 1.6e-3), (0.92, 1.0e-4)] {
+        let n = util * 10_000.0;
+        let interval = (2.0 * 22.0 / lambda).sqrt();
+        let est = static_scheme_completion(n, interval, 22.0, 0.0, lambda);
+        let scenario = Scenario::new(
+            TaskSpec::new(n, 10_000.0),
+            CheckpointCosts::paper_scp_variant(),
+            DvsConfig::paper_default(),
+        );
+        let summary = MonteCarlo::new(6_000).with_seed(31).run(
+            &scenario,
+            ExecutorOptions {
+                faults_during_overhead: false,
+                stop_at_deadline: false, // measure the full distribution
+                ..ExecutorOptions::default()
+            },
+            |_| PoissonArrival::new(lambda, 0),
+            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
+        );
+        // With stop_at_deadline off every run completes, so the measured
+        // timely fraction is the untruncated P the CLT estimate predicts.
+        assert_eq!(summary.completed, summary.replications);
+        let p_mc = summary.p_timely();
+        let p_pred = est.p_timely(10_000.0);
+        assert!(
+            (p_mc - p_pred).abs() < 0.06,
+            "U={util} λ={lambda}: MC P={p_mc:.4} vs predicted {p_pred:.4}"
+        );
+    }
+}
