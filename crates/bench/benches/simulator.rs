@@ -58,6 +58,19 @@ fn bench_simulator(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The declarative path: build-and-run straight from an ExperimentSpec
+    // document, measuring the spec layer's overhead over the raw driver
+    // above (it should be negligible — one policy/fault build per
+    // replication either way).
+    let spec = eacp_bench::bench_experiment(
+        eacp_experiments::TableId::Table1,
+        0,
+        eacp_experiments::SchemeId::Proposed,
+    );
+    c.bench_function("spec_driven_anchor_cell", |b| {
+        b.iter(|| eacp_spec::run(black_box(&spec)).expect("valid spec"))
+    });
 }
 
 criterion_group!(benches, bench_simulator);

@@ -5,11 +5,22 @@
 //! * `run` — execute one task instance under a chosen scheme, optionally
 //!   with an ASCII execution timeline;
 //! * `mc` — Monte-Carlo summary of a scheme at an operating point;
+//! * `sweep` — expand a sweep grid and run every point;
 //! * `analyze` — print the paper's analysis quantities (`I1/I2/I3`,
 //!   thresholds, `num_SCP`/`num_CCP`, `t_est`, chosen speed);
 //! * `table` — regenerate one of the paper's tables;
 //! * `feasibility` — checkpoint-aware EDF/RM analysis of a periodic task
-//!   set.
+//!   set;
+//! * `presets` — list the named experiment presets.
+//!
+//! Every simulation subcommand is spec-driven: `--spec file.json` loads an
+//! [`ExperimentSpec`] (`sweep` loads a [`SweepSpec`]), `--preset name`
+//! loads a named preset, and bare flags desugar into a spec. Flags given
+//! *alongside* `--spec`/`--preset` override the loaded document, so
+//! `eacp mc --preset table1-a --lambda 2e-3` is the preset at a different
+//! fault rate. `--emit-spec` prints the effective spec instead of running
+//! it — the exact JSON any other consumer (the experiments harness, CI,
+//! a remote executor) reproduces bit for bit.
 //!
 //! The library portion exists so argument parsing and command execution
 //! are unit-testable; `main.rs` is a thin shim.
@@ -21,35 +32,44 @@ use eacp_core::analysis::{
     checkpoint_interval_with_branch, choose_speed, estimated_completion_time, num_ccp, num_scp,
     IntervalInputs, OptimizeMethod, RenewalParams,
 };
-use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
 use eacp_energy::DvsConfig;
-use eacp_faults::PoissonProcess;
 use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
 use eacp_rtsched::{PeriodicTask, TaskSet};
-use eacp_sim::{
-    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
-    TraceRecorder,
+use eacp_sim::{Executor, Policy, TraceRecorder};
+use eacp_spec::{
+    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, PolicySpec,
+    ScenarioSpec, SweepSpec, ToJson, WorkSpec,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Usage text for `--help`.
 pub const USAGE: &str = "\
 eacp — energy-aware adaptive checkpointing (DATE 2006 reproduction)
 
 USAGE:
-  eacp run        [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
+  eacp run        [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--seed N] [--trace]
-  eacp mc         [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
-                  [--variant scp|ccp] [--reps N] [--seed N]
+  eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
+                  [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
+  eacp sweep      --spec sweep.json [--reps N] [--json]
   eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
-  eacp table      <1|2|3|4> [--reps N] [--seed N]
+  eacp table      <1|2|3|4> [--reps N] [--seed N] [--json]
   eacp feasibility --tasks name:wcet:period[:deadline][,...] [--k K] [--speed F]
+  eacp presets
 
-SCHEMES: poisson | kft | a_d | a_d_s | a_d_c | a_s | a_c (default a_d_s)
+SPEC selection (run/mc):
+  --spec file.json   load an ExperimentSpec document
+  --preset NAME      load a named preset (see `eacp presets`)
+  --emit-spec        print the effective spec as JSON instead of running
+  Flags given alongside --spec/--preset override the loaded document.
+
+SCHEMES: poisson | kft | a_d | a_d_s | a_d_c | a_s | a_c | cscp (default a_d_s)
 DEFAULTS: util 0.76, lambda 1.4e-3, k 5, deadline 10000, variant scp";
 
 /// Parsed common options.
+///
+/// `explicit` records which flags the user actually passed — that is what
+/// lets flags act as *overrides* on top of `--spec`/`--preset` instead of
+/// silently re-imposing defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Scheme name (see [`USAGE`]).
@@ -68,14 +88,26 @@ pub struct Options {
     pub seed: u64,
     /// Monte-Carlo replications.
     pub reps: u64,
+    /// Monte-Carlo worker threads (0 = automatic).
+    pub threads: usize,
     /// Print a trace timeline (run subcommand).
     pub trace: bool,
     /// Task-set spec (feasibility subcommand).
     pub tasks: String,
     /// Fixed speed for feasibility (frequency value).
     pub speed: f64,
+    /// Path to an `ExperimentSpec`/`SweepSpec` JSON document.
+    pub spec: String,
+    /// Name of a built-in preset.
+    pub preset: String,
+    /// Emit results as JSON.
+    pub json: bool,
+    /// Print the effective spec instead of running it.
+    pub emit_spec: bool,
     /// Positional arguments (e.g. the table number).
     pub positional: Vec<String>,
+    /// Flag names the user explicitly passed.
+    pub explicit: Vec<String>,
 }
 
 impl Default for Options {
@@ -89,11 +121,23 @@ impl Default for Options {
             variant: "scp".into(),
             seed: 2006,
             reps: 2_000,
+            threads: 0,
             trace: false,
             tasks: String::new(),
             speed: 1.0,
+            spec: String::new(),
+            preset: String::new(),
+            json: false,
+            emit_spec: false,
             positional: Vec::new(),
+            explicit: Vec::new(),
         }
+    }
+}
+
+impl Options {
+    fn has(&self, flag: &str) -> bool {
+        self.explicit.iter().any(|f| f == flag)
     }
 }
 
@@ -118,12 +162,21 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--variant" => o.variant = val("--variant")?,
             "--seed" => o.seed = parse_num(&val("--seed")?, "--seed")? as u64,
             "--reps" => o.reps = parse_num(&val("--reps")?, "--reps")? as u64,
+            "--threads" => o.threads = parse_num(&val("--threads")?, "--threads")? as usize,
             "--speed" => o.speed = parse_num(&val("--speed")?, "--speed")?,
             "--tasks" => o.tasks = val("--tasks")?,
+            "--spec" => o.spec = val("--spec")?,
+            "--preset" => o.preset = val("--preset")?,
             "--trace" => o.trace = true,
-            other if !other.starts_with("--") => o.positional.push(other.to_owned()),
+            "--json" => o.json = true,
+            "--emit-spec" => o.emit_spec = true,
+            other if !other.starts_with("--") => {
+                o.positional.push(other.to_owned());
+                continue;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+        o.explicit.push(flag);
     }
     if !["scp", "ccp"].contains(&o.variant.as_str()) {
         return Err(format!("unknown variant {:?} (use scp|ccp)", o.variant));
@@ -135,20 +188,21 @@ fn parse_num(s: &str, name: &str) -> Result<f64, String> {
     s.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))
 }
 
-fn costs_of(o: &Options) -> CheckpointCosts {
+fn costs_of(o: &Options) -> CostsSpec {
     if o.variant == "scp" {
-        CheckpointCosts::paper_scp_variant()
+        CostsSpec::PaperScp
     } else {
-        CheckpointCosts::paper_ccp_variant()
+        CostsSpec::PaperCcp
     }
 }
 
-fn scenario_of(o: &Options) -> Scenario {
-    Scenario::new(
-        TaskSpec::from_utilization(o.util, 1.0, o.deadline),
-        costs_of(o),
-        DvsConfig::paper_default(),
-    )
+/// The policy description named by `--scheme`.
+///
+/// # Errors
+///
+/// Returns a message for unknown scheme names.
+pub fn policy_spec_of(o: &Options) -> Result<PolicySpec, String> {
+    PolicySpec::from_tag(&o.scheme, o.lambda, o.k, 0).map_err(|e| e.to_string())
 }
 
 /// Builds the policy named by `--scheme`.
@@ -157,39 +211,175 @@ fn scenario_of(o: &Options) -> Scenario {
 ///
 /// Returns a message for unknown scheme names.
 pub fn build_policy(o: &Options) -> Result<Box<dyn Policy>, String> {
-    Ok(match o.scheme.as_str() {
-        "poisson" => Box::new(PoissonArrival::new(o.lambda, 0)),
-        "kft" => Box::new(KFaultTolerant::new(o.k, 0)),
-        "a_d" => Box::new(Adaptive::adt_dvs(o.lambda, o.k)),
-        "a_d_s" => Box::new(Adaptive::dvs_scp(o.lambda, o.k)),
-        "a_d_c" => Box::new(Adaptive::dvs_ccp(o.lambda, o.k)),
-        "a_s" => Box::new(Adaptive::scp(o.lambda, o.k, 0)),
-        "a_c" => Box::new(Adaptive::ccp(o.lambda, o.k, 0)),
-        other => return Err(format!("unknown scheme {other:?}")),
-    })
+    policy_spec_of(o)?.build().map_err(|e| e.to_string())
+}
+
+/// Resolves the effective [`ExperimentSpec`] for `mc`: load
+/// `--spec`/`--preset` if given (flags become overrides), else desugar the
+/// flags into a spec.
+///
+/// # Errors
+///
+/// Returns a message for unreadable spec files, unknown presets, unknown
+/// schemes, or flag overrides incompatible with the loaded spec.
+pub fn experiment_spec(o: &Options) -> Result<ExperimentSpec, String> {
+    // Monte-Carlo summaries default to the paper's analysis-faithful
+    // executor semantics (matching the tables).
+    experiment_spec_with(o, ExecSpec::paper())
+}
+
+/// [`experiment_spec`] with an explicit executor default for the
+/// flag-desugaring path (loaded documents always keep their own executor).
+fn experiment_spec_with(o: &Options, flag_executor: ExecSpec) -> Result<ExperimentSpec, String> {
+    let mut spec = if !o.spec.is_empty() {
+        ExperimentSpec::load(std::path::Path::new(&o.spec)).map_err(|e| e.to_string())?
+    } else if !o.preset.is_empty() {
+        preset(&o.preset).ok_or_else(|| {
+            format!(
+                "unknown preset {:?} (known: {})",
+                o.preset,
+                preset_names().join(", ")
+            )
+        })?
+    } else {
+        // Pure flag desugaring: the historical CLI behavior.
+        ExperimentSpec {
+            name: format!("cli-{}", o.scheme),
+            scenario: ScenarioSpec {
+                work: WorkSpec::Utilization {
+                    utilization: o.util,
+                    speed: 1.0,
+                    deadline: o.deadline,
+                },
+                costs: costs_of(o),
+                dvs: eacp_spec::DvsSpec::PaperDefault,
+                processors: 2,
+            },
+            faults: FaultSpec::Poisson { lambda: o.lambda },
+            policy: policy_spec_of(o)?,
+            mc: McSpec {
+                replications: o.reps,
+                seed: o.seed,
+                threads: o.threads,
+            },
+            executor: flag_executor,
+        }
+    };
+
+    // Explicit flags override whatever the document said.
+    if o.has("--scheme") {
+        // Carry the loaded spec's parameters into the new scheme unless
+        // the matching flag was also passed — switching the scheme must
+        // not silently reset k, λ or the pinned speed to flag defaults.
+        let lambda = spec.faults.nominal_lambda().unwrap_or(o.lambda);
+        let lambda = if o.has("--lambda") { o.lambda } else { lambda };
+        let k = if o.has("--k") {
+            o.k
+        } else {
+            spec.policy.k().unwrap_or(o.k)
+        };
+        let speed = spec.policy.speed().unwrap_or(0);
+        spec.policy =
+            PolicySpec::from_tag(&o.scheme, lambda, k, speed).map_err(|e| e.to_string())?;
+    }
+    if o.has("--util") {
+        match &mut spec.scenario.work {
+            WorkSpec::Utilization { utilization, .. } => *utilization = o.util,
+            WorkSpec::Cycles { .. } => {
+                return Err("--util cannot override a spec whose work is cycle-based".to_owned())
+            }
+        }
+    }
+    if o.has("--deadline") {
+        match &mut spec.scenario.work {
+            WorkSpec::Utilization { deadline, .. } | WorkSpec::Cycles { deadline, .. } => {
+                *deadline = o.deadline
+            }
+        }
+    }
+    if o.has("--variant") {
+        spec.scenario.costs = costs_of(o);
+    }
+    if o.has("--lambda") {
+        match &mut spec.faults {
+            FaultSpec::Poisson { lambda } => *lambda = o.lambda,
+            other => {
+                return Err(format!(
+                    "--lambda cannot override a {} fault process",
+                    other
+                        .to_json()
+                        .req("kind")
+                        .map_or("?", |k| k.as_str().unwrap_or("?"))
+                ))
+            }
+        }
+        spec.policy = spec.policy.with_lambda(o.lambda);
+    }
+    if o.has("--k") {
+        spec.policy = spec.policy.with_k(o.k);
+    }
+    if o.has("--seed") {
+        spec.mc.seed = o.seed;
+    }
+    if o.has("--reps") {
+        spec.mc.replications = o.reps;
+    }
+    if o.has("--threads") {
+        spec.mc.threads = o.threads;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
 }
 
 /// `eacp run`: one seeded execution, optionally traced.
 pub fn cmd_run(o: &Options) -> Result<String, String> {
-    let scenario = scenario_of(o);
-    let mut policy = build_policy(o)?;
-    let mut faults = PoissonProcess::new(o.lambda, StdRng::seed_from_u64(o.seed));
+    // Flag-desugared single runs keep the physical executor semantics
+    // (faults during overhead) — the historical behavior; loaded documents
+    // keep their own executor. The choice lives in the desugared spec so
+    // `--emit-spec` reproduces exactly what this command executes.
+    let spec = experiment_spec_with(o, ExecSpec::default())?;
+    if o.emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let scenario = spec.scenario.build().map_err(|e| e.to_string())?;
+    let mut policy = spec.policy.build().map_err(|e| e.to_string())?;
+    let mut faults = spec.faults.build(spec.mc.seed).map_err(|e| e.to_string())?;
+    let options = spec.executor.build().map_err(|e| e.to_string())?;
     let mut rec = TraceRecorder::new();
+    let executor = Executor::new(&scenario).with_options(options);
     let out = if o.trace {
-        Executor::new(&scenario).run_traced(&mut *policy, &mut faults, Some(&mut rec))
+        executor.run_traced(&mut *policy, &mut faults, Some(&mut rec))
     } else {
-        Executor::new(&scenario).run(&mut *policy, &mut faults)
+        executor.run(&mut *policy, &mut faults)
+    };
+    // Non-Poisson fault processes (burst, phased, ...) have no single λ;
+    // show the fault kind instead of a confusing NaN.
+    let faults_desc = match spec.faults.nominal_lambda() {
+        Some(lambda) => format!("λ={lambda:e}"),
+        None => format!(
+            "faults={}",
+            spec.faults
+                .to_json()
+                .req("kind")
+                .ok()
+                .and_then(|k| k.as_str().ok().map(str::to_owned))
+                .unwrap_or_else(|| "?".to_owned())
+        ),
     };
     let mut s = format!(
-        "scheme={} N={:.0} D={:.0} λ={:e} k={}\n\
+        "scheme={} N={:.0} D={:.0} {} k={}\n\
          completed={} timely={} aborted={}\n\
          finish={:.1} energy={:.0} faults={} rollbacks={}\n\
          checkpoints: SCP={} CCP={} CSCP={} fast-fraction={:.2}\n",
         policy.name(),
         scenario.task.work_cycles,
         scenario.task.deadline,
-        o.lambda,
-        o.k,
+        faults_desc,
+        // Report the k the policy actually runs with, not the flag
+        // default ("-" for schemes without a fault-tolerance target).
+        spec.policy
+            .k()
+            .map_or_else(|| "-".to_owned(), |k| k.to_string()),
         out.completed,
         out.timely,
         out.aborted,
@@ -211,25 +401,21 @@ pub fn cmd_run(o: &Options) -> Result<String, String> {
 
 /// `eacp mc`: Monte-Carlo summary with confidence interval.
 pub fn cmd_mc(o: &Options) -> Result<String, String> {
-    build_policy(o)?; // validate the scheme name up front
-    let scenario = scenario_of(o);
-    let lambda = o.lambda;
-    let summary = MonteCarlo::new(o.reps).with_seed(o.seed).run(
-        &scenario,
-        ExecutorOptions {
-            faults_during_overhead: false,
-            ..ExecutorOptions::default()
-        },
-        |_| build_policy(o).expect("validated above"),
-        |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-    );
+    let spec = experiment_spec(o)?;
+    if o.emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let (summary, report) = eacp_spec::run(&spec).map_err(|e| e.to_string())?;
+    if o.json {
+        return Ok(report.to_json().pretty());
+    }
     let (lo, hi) = summary.p_timely_ci(1.96);
     Ok(format!(
         "scheme={} reps={}\nP = {:.4} [95% CI {:.4}, {:.4}]\nE(timely) = {:.0}\n\
          E(all) = {:.0}\nfaults/run = {:.2}  rollbacks/run = {:.2}\n\
          checkpoints/run = {:.1}  fast-fraction = {:.3}\naborted = {}  anomalies = {}\n",
-        o.scheme,
-        o.reps,
+        report.policy_name,
+        summary.replications,
         summary.p_timely(),
         lo,
         hi,
@@ -244,10 +430,96 @@ pub fn cmd_mc(o: &Options) -> Result<String, String> {
     ))
 }
 
+/// `eacp sweep`: expand a sweep document and run every grid point.
+pub fn cmd_sweep(o: &Options) -> Result<String, String> {
+    if o.spec.is_empty() {
+        return Err("sweep: --spec sweep.json is required".to_owned());
+    }
+    // Only base-level Monte-Carlo knobs make sense as overrides on a
+    // whole grid; reject experiment-shaping flags instead of silently
+    // dropping them (the grid's axes own those).
+    for flag in [
+        "--scheme",
+        "--util",
+        "--lambda",
+        "--k",
+        "--deadline",
+        "--variant",
+    ] {
+        if o.has(flag) {
+            return Err(format!(
+                "sweep: {flag} cannot override a sweep document — edit the base spec or its axes"
+            ));
+        }
+    }
+    let mut sweep = SweepSpec::load(std::path::Path::new(&o.spec)).map_err(|e| e.to_string())?;
+    if o.has("--reps") {
+        sweep.base.mc.replications = o.reps;
+    }
+    if o.has("--seed") {
+        sweep.base.mc.seed = o.seed;
+    }
+    if o.has("--threads") {
+        sweep.base.mc.threads = o.threads;
+    }
+    let specs = sweep.expand().map_err(|e| e.to_string())?;
+    if o.emit_spec {
+        let docs: Vec<eacp_spec::Json> = specs.iter().map(ToJson::to_json).collect();
+        return Ok(eacp_spec::Json::Array(docs).pretty());
+    }
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (_, report) = eacp_spec::run(spec).map_err(|e| format!("{}: {e}", spec.name))?;
+        reports.push(report);
+    }
+    if o.json {
+        let docs: Vec<eacp_spec::Json> = reports.iter().map(ToJson::to_json).collect();
+        return Ok(eacp_spec::Json::Array(docs).pretty());
+    }
+    let mut out = format!(
+        "sweep over {} points ({} replications each)\n\n{:<44} {:>8} {:>12} {:>10}\n",
+        specs.len(),
+        sweep.base.mc.replications,
+        "experiment",
+        "P",
+        "E(timely)",
+        "faults"
+    );
+    for r in &reports {
+        out.push_str(&format!(
+            "{:<44} {:>8.4} {:>12.0} {:>10.2}\n",
+            r.spec.name, r.summary.p_timely, r.summary.energy_timely.mean, r.summary.faults.mean,
+        ));
+    }
+    Ok(out)
+}
+
+/// `eacp presets`: list the named presets.
+pub fn cmd_presets() -> String {
+    let mut out = String::from("named presets (eacp mc --preset NAME):\n");
+    for name in preset_names() {
+        let spec = preset(name).expect("every listed preset exists");
+        let fault_kind = spec
+            .faults
+            .to_json()
+            .req("kind")
+            .ok()
+            .and_then(|k| k.as_str().ok().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned());
+        out.push_str(&format!(
+            "  {:<22} scheme={:<8} faults={}\n",
+            name,
+            spec.policy.tag(),
+            fault_kind,
+        ));
+    }
+    out
+}
+
 /// `eacp analyze`: the paper's analysis quantities at the initial planning
 /// point.
 pub fn cmd_analyze(o: &Options) -> Result<String, String> {
-    let costs = costs_of(o);
+    let costs = costs_of(o).build().map_err(|e| e.to_string())?;
     let dvs = DvsConfig::paper_default();
     let n = o.util * o.deadline;
     let c = costs.cscp_cycles();
@@ -312,11 +584,11 @@ pub fn cmd_table(o: &Options) -> Result<String, String> {
         id,
         o.reps,
         o.seed,
-        ExecutorOptions {
-            faults_during_overhead: false,
-            ..ExecutorOptions::default()
-        },
+        ExecSpec::paper().build().map_err(|e| e.to_string())?,
     );
+    if o.json {
+        return Ok(eacp_experiments::render::to_json(&result));
+    }
     let mut out = eacp_experiments::render::to_text(&result);
     out.push('\n');
     out.push_str(&eacp_experiments::compare::render_comparison(&result));
@@ -360,7 +632,7 @@ pub fn parse_taskset(spec: &str) -> Result<TaskSet, String> {
 /// `eacp feasibility`: checkpoint-aware EDF/RM analysis.
 pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
     let set = parse_taskset(&o.tasks)?;
-    let costs = costs_of(o);
+    let costs = costs_of(o).build().map_err(|e| e.to_string())?;
     let mut out = String::new();
     for t in set.tasks() {
         out.push_str(&format!(
@@ -413,9 +685,11 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
     match cmd.as_str() {
         "run" => cmd_run(&parse_options(rest)?),
         "mc" => cmd_mc(&parse_options(rest)?),
+        "sweep" => cmd_sweep(&parse_options(rest)?),
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),
         "feasibility" => cmd_feasibility(&parse_options(rest)?),
+        "presets" => Ok(cmd_presets()),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -437,6 +711,7 @@ mod tests {
         assert_eq!(o.k, 3);
         assert!(o.trace);
         assert_eq!(o.lambda, 1.4e-3); // default retained
+        assert!(o.has("--scheme") && o.has("--trace") && !o.has("--lambda"));
     }
 
     #[test]
@@ -470,6 +745,65 @@ mod tests {
     }
 
     #[test]
+    fn mc_json_emits_full_report() {
+        let out = dispatch(args("mc --reps 50 --json")).unwrap();
+        let doc = eacp_spec::Json::parse(&out).unwrap();
+        assert_eq!(doc.req("policy").unwrap().as_str().unwrap(), "A_D_S");
+        assert_eq!(
+            doc.req("summary")
+                .unwrap()
+                .req("replications")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            50
+        );
+        // The embedded spec reproduces the run.
+        use eacp_spec::FromJson;
+        let spec = ExperimentSpec::from_json(doc.req("spec").unwrap()).unwrap();
+        assert_eq!(spec.mc.replications, 50);
+    }
+
+    #[test]
+    fn mc_preset_runs_named_experiments() {
+        let out = dispatch(args("mc --preset battery-budget --reps 60")).unwrap();
+        assert!(out.contains("scheme=A_D_S"), "{out}");
+        assert!(dispatch(args("mc --preset nope")).is_err());
+    }
+
+    #[test]
+    fn emit_spec_round_trips_through_mc() {
+        let emitted =
+            dispatch(args("mc --emit-spec --reps 80 --scheme a_d --lambda 2e-3")).unwrap();
+        let spec = ExperimentSpec::from_json_str(&emitted).unwrap();
+        assert_eq!(spec.mc.replications, 80);
+        assert_eq!(spec.policy.tag(), "a_d");
+        match spec.faults {
+            FaultSpec::Poisson { lambda } => assert_eq!(lambda, 2e-3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_file_drives_mc_and_flags_override_it() {
+        let dir = std::env::temp_dir().join("eacp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc.replications = 40;
+        spec.save(&path).unwrap();
+        let p = path.to_str().unwrap();
+
+        let out = dispatch(args(&format!("mc --spec {p}"))).unwrap();
+        assert!(out.contains("reps=40"), "{out}");
+        // Flag overrides the file.
+        let out = dispatch(args(&format!("mc --spec {p} --reps 30 --scheme kft"))).unwrap();
+        assert!(out.contains("reps=30"), "{out}");
+        assert!(out.contains("scheme=k-f-t"), "{out}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn analyze_command_matches_paper_operating_point() {
         let out = dispatch(args("analyze")).unwrap();
         assert!(out.contains("chosen speed = f2"), "{out}");
@@ -489,6 +823,49 @@ mod tests {
         let out = dispatch(args("table 1 --reps 30")).unwrap();
         assert!(out.contains("Table 1"));
         assert!(out.contains("vs paper"));
+    }
+
+    #[test]
+    fn table_json_report_is_parsable() {
+        let out = dispatch(args("table 1 --reps 20 --json")).unwrap();
+        let doc = eacp_spec::Json::parse(&out).unwrap();
+        assert_eq!(doc.req("cells").unwrap().as_array().unwrap().len(), 14);
+    }
+
+    #[test]
+    fn sweep_command_runs_grids() {
+        use eacp_spec::{SweepAxis, SweepSpec};
+        let dir = std::env::temp_dir().join("eacp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "grid".into();
+        base.mc.replications = 30;
+        let sweep = SweepSpec {
+            base,
+            axes: vec![SweepAxis::Lambda(vec![1.0e-4, 1.4e-3])],
+        };
+        std::fs::write(&path, sweep.to_json_string()).unwrap();
+        let p = path.to_str().unwrap();
+
+        let out = dispatch(args(&format!("sweep --spec {p}"))).unwrap();
+        assert!(out.contains("sweep over 2 points"), "{out}");
+        assert!(out.contains("grid-l0.0001"), "{out}");
+
+        let json = dispatch(args(&format!("sweep --spec {p} --json"))).unwrap();
+        let doc = eacp_spec::Json::parse(&json).unwrap();
+        assert_eq!(doc.as_array().unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(dispatch(args("sweep")).is_err());
+    }
+
+    #[test]
+    fn presets_command_lists_known_names() {
+        let out = dispatch(args("presets")).unwrap();
+        for name in eacp_spec::preset_names() {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
     }
 
     #[test]
@@ -522,5 +899,89 @@ mod tests {
     #[test]
     fn unknown_scheme_is_rejected() {
         assert!(dispatch(args("run --scheme nope")).is_err());
+    }
+
+    #[test]
+    fn all_eight_schemes_run_from_flags() {
+        for tag in PolicySpec::TAGS {
+            let out = dispatch(args(&format!("mc --reps 20 --scheme {tag}")))
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert!(out.contains("anomalies = 0"), "{tag}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scheme_override_preserves_loaded_k_and_lambda() {
+        // table1-b has k = 1, λ = 1e-4; switching the scheme must not
+        // silently reset them to the flag defaults (k = 5, λ = 1.4e-3).
+        let emitted = dispatch(args("mc --emit-spec --preset table1-b --scheme a_d")).unwrap();
+        let spec = ExperimentSpec::from_json_str(&emitted).unwrap();
+        assert_eq!(spec.policy.tag(), "a_d");
+        assert_eq!(spec.policy.k(), Some(1));
+        match spec.faults {
+            FaultSpec::Poisson { lambda } => assert_eq!(lambda, 1.0e-4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // An explicit --k still wins.
+        let emitted =
+            dispatch(args("mc --emit-spec --preset table1-b --scheme a_d --k 3")).unwrap();
+        let spec = ExperimentSpec::from_json_str(&emitted).unwrap();
+        assert_eq!(spec.policy.k(), Some(3));
+    }
+
+    #[test]
+    fn run_emit_spec_reproduces_the_flag_run_exactly() {
+        // The flag-driven `run` uses the physical executor; its emitted
+        // spec must encode that, so replaying the file gives the same
+        // output (modulo nothing — byte-identical).
+        let emitted = dispatch(args("run --emit-spec --seed 7")).unwrap();
+        let spec = ExperimentSpec::from_json_str(&emitted).unwrap();
+        assert!(spec.executor.faults_during_overhead, "run is physical");
+
+        let direct = dispatch(args("run --seed 7")).unwrap();
+        let dir = std::env::temp_dir().join("eacp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-spec.json");
+        std::fs::write(&path, &emitted).unwrap();
+        let replayed = dispatch(args(&format!("run --spec {}", path.to_str().unwrap()))).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn run_header_reports_the_spec_k_not_the_flag_default() {
+        let out = dispatch(args("run --preset table1-b")).unwrap();
+        assert!(out.contains("k=1"), "{out}");
+        // Schemes without a fault-tolerance target show "-".
+        let out = dispatch(args("run --scheme poisson")).unwrap();
+        assert!(out.contains("k=-"), "{out}");
+    }
+
+    #[test]
+    fn sweep_honors_mc_flags_and_rejects_shape_flags() {
+        use eacp_spec::{SweepAxis, SweepSpec};
+        let dir = std::env::temp_dir().join("eacp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-flags.json");
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "grid".into();
+        base.mc.replications = 20;
+        let sweep = SweepSpec {
+            base,
+            axes: vec![SweepAxis::Seed(vec![5, 6])],
+        };
+        std::fs::write(&path, sweep.to_json_string()).unwrap();
+        let p = path.to_str().unwrap().to_owned();
+
+        // --seed applies to the base (the Seed axis then overrides per
+        // point, so the run still succeeds)...
+        assert!(dispatch(args(&format!("sweep --spec {p} --seed 9"))).is_ok());
+        // ...but experiment-shaping flags are rejected loudly, not
+        // silently dropped.
+        let err = dispatch(args(&format!("sweep --spec {p} --lambda 2e-3"))).unwrap_err();
+        assert!(err.contains("--lambda"), "{err}");
+        let err = dispatch(args(&format!("sweep --spec {p} --scheme a_d"))).unwrap_err();
+        assert!(err.contains("--scheme"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

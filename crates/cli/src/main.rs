@@ -1,9 +1,17 @@
 //! The `eacp` command-line tool (see `eacp --help`).
 
+use std::io::Write;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match eacp_cli::dispatch(args) {
-        Ok(out) => println!("{out}"),
+        Ok(out) => {
+            // Write directly (not println!) so a consumer closing the pipe
+            // early — `eacp table 1 --json | head` — ends the program
+            // quietly instead of panicking on EPIPE.
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{out}");
+        }
         Err(e) => {
             eprintln!("eacp: {e}");
             std::process::exit(2);

@@ -2,57 +2,89 @@
 //!
 //! ```text
 //! sweep --kind store-compare-ratio   # A_D_S vs A_D_C crossover over ts:tcp
-//! sweep --kind lambda                # all schemes over a λ grid
+//! sweep --kind lambda                # adaptive schemes over a λ grid
 //! sweep --kind optimizer             # paper closed-form vs exact num_SCP
 //! sweep --kind no-dvs                # paper §2 (Fig. 3): adaptive schemes
 //!                                    # at a fixed speed vs static baselines
+//! sweep --spec sweep.json            # any user-provided SweepSpec grid
 //! ```
 //!
 //! Optional: `--reps N` (default 2000), `--seed S`.
+//!
+//! Every built-in kind is expressed as `eacp-spec` documents: a base
+//! [`ExperimentSpec`] plus [`SweepAxis`] grids where the shape is a
+//! cartesian product, or explicit spec lists where it is not. `--emit-spec`
+//! prints the expanded documents instead of running them.
 
-use eacp_core::analysis::OptimizeMethod;
-use eacp_core::policies::Adaptive;
-use eacp_energy::DvsConfig;
-use eacp_faults::PoissonProcess;
-use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eacp_spec::{
+    CostsSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec, SweepAxis, SweepSpec,
+    ToJson,
+};
 
-fn mc_summary(
-    scenario: &Scenario,
-    lambda: f64,
-    reps: u64,
-    seed: u64,
-    make: impl Fn() -> Adaptive + Sync,
-) -> eacp_sim::Summary {
-    MonteCarlo::new(reps).with_seed(seed).run(
-        scenario,
-        ExecutorOptions::default(),
-        |_| make(),
-        |s| PoissonProcess::new(lambda, StdRng::seed_from_u64(s)),
-    )
+fn nominal_base(name: &str, lambda: f64, reps: u64, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper_nominal();
+    spec.name = name.to_owned();
+    spec.faults = FaultSpec::Poisson { lambda };
+    spec.policy = spec.policy.with_lambda(lambda);
+    spec.mc = McSpec {
+        replications: reps,
+        seed,
+        threads: 0,
+    };
+    // These sweeps use the physical fault model (faults can also strike
+    // during checkpoint operations), unlike the paper-faithful tables.
+    spec.executor = eacp_spec::ExecSpec::default();
+    spec
+}
+
+fn run_spec(spec: &ExperimentSpec) -> eacp_sim::Summary {
+    let (summary, _) = eacp_spec::run(spec).unwrap_or_else(|e| {
+        eprintln!("sweep: {}: {e}", spec.name);
+        std::process::exit(1);
+    });
+    summary
 }
 
 /// A_D_S vs A_D_C as the store/compare cost ratio varies with `ts + tcp`
 /// fixed at 22 cycles — the design-insight sweep: "separating the
 /// comparison and store operations enables choosing the optimal interval
 /// for each".
-fn sweep_store_compare_ratio(reps: u64, seed: u64) {
+fn sweep_store_compare_ratio(reps: u64, seed: u64, emit: bool) {
+    let costs: Vec<CostsSpec> = [1.0, 2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 21.0]
+        .iter()
+        .map(|&ts| CostsSpec::Explicit {
+            store: ts,
+            compare: 22.0 - ts,
+            rollback: 0.0,
+        })
+        .collect();
+    let grid = |tag: &str| SweepSpec {
+        base: {
+            let mut b = nominal_base(tag, 1.4e-3, reps, seed);
+            b.policy = PolicySpec::from_tag(tag, 1.4e-3, 5, 0).expect("known tag");
+            b
+        },
+        axes: vec![
+            SweepAxis::Costs(costs.clone()),
+            // Pin every point to the same seed: both schemes must face
+            // identical fault streams for the crossover to be meaningful.
+            SweepAxis::Seed(vec![seed]),
+        ],
+    };
+    let ads_grid = grid("a_d_s").expand().expect("compatible axes");
+    let adc_grid = grid("a_d_c").expand().expect("compatible axes");
+    if emit {
+        emit_specs(ads_grid.iter().chain(&adc_grid));
+        return;
+    }
     println!("ts,tcp,P_ads,E_ads,P_adc,E_adc,winner_p");
-    let lambda = 1.4e-3;
-    for &ts in &[1.0, 2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 21.0] {
-        let tcp = 22.0 - ts;
-        let scenario = Scenario::new(
-            TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
-            CheckpointCosts::new(ts, tcp, 0.0),
-            DvsConfig::paper_default(),
-        );
-        let ads = mc_summary(&scenario, lambda, reps, seed, || {
-            Adaptive::dvs_scp(lambda, 5)
-        });
-        let adc = mc_summary(&scenario, lambda, reps, seed, || {
-            Adaptive::dvs_ccp(lambda, 5)
-        });
+    for (ads_spec, adc_spec) in ads_grid.iter().zip(&adc_grid) {
+        let (ts, tcp) = match ads_spec.scenario.costs {
+            CostsSpec::Explicit { store, compare, .. } => (store, compare),
+            _ => unreachable!("axis values are explicit costs"),
+        };
+        let ads = run_spec(ads_spec);
+        let adc = run_spec(adc_spec);
         let winner = if ads.p_timely() >= adc.p_timely() {
             "A_D_S"
         } else {
@@ -70,25 +102,39 @@ fn sweep_store_compare_ratio(reps: u64, seed: u64) {
 
 /// All adaptive variants over a fault-rate grid at the paper's nominal
 /// operating point.
-fn sweep_lambda(reps: u64, seed: u64) {
+fn sweep_lambda(reps: u64, seed: u64, emit: bool) {
+    let lambdas = vec![1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1.4e-3, 2e-3, 4e-3];
+    let grids: Vec<Vec<ExperimentSpec>> = ["a_d", "a_d_s", "a_d_c"]
+        .iter()
+        .map(|tag| {
+            SweepSpec {
+                base: {
+                    let mut b = nominal_base(tag, 1.4e-3, reps, seed);
+                    b.policy = PolicySpec::from_tag(tag, 1.4e-3, 5, 0).expect("known tag");
+                    b
+                },
+                axes: vec![
+                    SweepAxis::Lambda(lambdas.clone()),
+                    SweepAxis::Seed(vec![seed]),
+                ],
+            }
+            .expand()
+            .expect("compatible axes")
+        })
+        .collect();
+    if emit {
+        emit_specs(grids.iter().flatten());
+        return;
+    }
     println!("lambda,scheme,P,E,faults_mean,fast_fraction");
-    let scenario = Scenario::new(
-        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
-        CheckpointCosts::paper_scp_variant(),
-        DvsConfig::paper_default(),
-    );
-    for &lambda in &[1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1.4e-3, 2e-3, 4e-3] {
-        for (name, make) in [
-            (
-                "A_D",
-                Box::new(move || Adaptive::adt_dvs(lambda, 5)) as Box<dyn Fn() -> Adaptive + Sync>,
-            ),
-            ("A_D_S", Box::new(move || Adaptive::dvs_scp(lambda, 5))),
-            ("A_D_C", Box::new(move || Adaptive::dvs_ccp(lambda, 5))),
-        ] {
-            let s = mc_summary(&scenario, lambda, reps, seed, &*make);
+    for i in 0..lambdas.len() {
+        for grid in &grids {
+            let spec = &grid[i];
+            let s = run_spec(spec);
             println!(
-                "{lambda:e},{name},{:.4},{:.0},{:.2},{:.3}",
+                "{:e},{},{:.4},{:.0},{:.2},{:.3}",
+                lambdas[i],
+                spec.policy.policy_name(),
                 s.p_timely(),
                 s.mean_energy_timely(),
                 s.faults.mean(),
@@ -99,94 +145,137 @@ fn sweep_lambda(reps: u64, seed: u64) {
 }
 
 /// The paper's closed-form `num_SCP` vs the exact-recursion optimizer.
-fn sweep_optimizer(reps: u64, seed: u64) {
-    println!("lambda,method,P,E,checkpoints_mean");
-    let scenario = Scenario::new(
-        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
-        CheckpointCosts::paper_scp_variant(),
-        DvsConfig::paper_default(),
-    );
-    for &lambda in &[1.4e-3, 1.6e-3, 4e-3] {
-        for (name, method) in [
-            ("paper-closed-form", OptimizeMethod::PaperClosedForm),
-            ("exact-recursion", OptimizeMethod::ExactRecursion),
-        ] {
-            let s = mc_summary(&scenario, lambda, reps, seed, move || {
-                Adaptive::dvs_scp(lambda, 5).with_optimizer(method)
-            });
-            println!(
-                "{lambda:e},{name},{:.4},{:.0},{:.1}",
-                s.p_timely(),
-                s.mean_energy_timely(),
-                s.checkpoints.mean(),
-            );
+fn sweep_optimizer(reps: u64, seed: u64, emit: bool) {
+    let lambdas = vec![1.4e-3, 1.6e-3, 4e-3];
+    let variants = [
+        ("paper-closed-form", OptimizerSpec::PaperClosedForm),
+        ("exact-recursion", OptimizerSpec::ExactRecursion),
+    ];
+    let mut specs = Vec::new();
+    for &lambda in &lambdas {
+        for (name, optimizer) in variants {
+            let mut spec = nominal_base(&format!("optimizer-{name}-l{lambda}"), lambda, reps, seed);
+            spec.policy = PolicySpec::DvsScp {
+                lambda,
+                k: 5,
+                optimizer,
+            };
+            specs.push((name, lambda, spec));
         }
+    }
+    if emit {
+        emit_specs(specs.iter().map(|(_, _, s)| s));
+        return;
+    }
+    println!("lambda,method,P,E,checkpoints_mean");
+    for (name, lambda, spec) in &specs {
+        let s = run_spec(spec);
+        println!(
+            "{lambda:e},{name},{:.4},{:.0},{:.1}",
+            s.p_timely(),
+            s.mean_energy_timely(),
+            s.checkpoints.mean(),
+        );
     }
 }
 
 /// The paper's §2 setting (Fig. 3): adaptive checkpointing *without* DVS
 /// at the fixed low speed, against the static baselines — isolating the
 /// benefit of adaptive intervals + SCP subdivision from the DVS benefit.
-fn sweep_no_dvs(reps: u64, seed: u64) {
-    use eacp_core::policies::{KFaultTolerant, PoissonArrival};
-    use eacp_sim::Policy;
-    type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy> + Sync>;
-    println!("utilization,lambda,scheme,P,E");
-    // Generous deadline so the fixed-speed adaptive schemes are feasible.
-    for &(util, lambda) in &[(0.60, 1.4e-3), (0.68, 1.4e-3), (0.76, 1.4e-3), (0.76, 2e-3)] {
-        let scenario = Scenario::new(
-            TaskSpec::from_utilization(util, 1.0, 10_000.0),
-            CheckpointCosts::paper_scp_variant(),
-            DvsConfig::paper_default(),
-        );
-        let factories: Vec<(&str, PolicyFactory)> = vec![
-            (
-                "Poisson",
-                Box::new(move || Box::new(PoissonArrival::new(lambda, 0))),
-            ),
-            (
-                "k-f-t",
-                Box::new(move || Box::new(KFaultTolerant::new(5, 0))),
-            ),
-            (
-                "A(cscp)",
-                Box::new(move || Box::new(Adaptive::cscp(lambda, 5, 0))),
-            ),
-            (
-                "A_S",
-                Box::new(move || Box::new(Adaptive::scp(lambda, 5, 0))),
-            ),
-        ];
-        for (name, make) in factories {
-            let s = MonteCarlo::new(reps).with_seed(seed).run(
-                &scenario,
-                ExecutorOptions::default(),
-                |_| make(),
-                |sd| PoissonProcess::new(lambda, StdRng::seed_from_u64(sd)),
+fn sweep_no_dvs(reps: u64, seed: u64, emit: bool) {
+    // The (U, λ) list is deliberately not a cartesian product, so this
+    // kind enumerates explicit specs rather than axes.
+    let points = [(0.60, 1.4e-3), (0.68, 1.4e-3), (0.76, 1.4e-3), (0.76, 2e-3)];
+    let tags = ["poisson", "kft", "cscp", "a_s"];
+    let mut specs = Vec::new();
+    for &(util, lambda) in &points {
+        for tag in tags {
+            let mut spec = nominal_base(
+                &format!("no-dvs-{tag}-u{util}-l{lambda}"),
+                lambda,
+                reps,
+                seed,
             );
-            println!(
-                "{util},{lambda:e},{name},{:.4},{:.0}",
-                s.p_timely(),
-                s.mean_energy_timely()
-            );
+            spec.scenario.work = eacp_spec::WorkSpec::Utilization {
+                utilization: util,
+                speed: 1.0,
+                deadline: 10_000.0,
+            };
+            spec.policy = PolicySpec::from_tag(tag, lambda, 5, 0).expect("known tag");
+            specs.push((util, lambda, spec));
         }
     }
+    if emit {
+        emit_specs(specs.iter().map(|(_, _, s)| s));
+        return;
+    }
+    println!("utilization,lambda,scheme,P,E");
+    for (util, lambda, spec) in &specs {
+        let s = run_spec(spec);
+        println!(
+            "{util},{lambda:e},{},{:.4},{:.0}",
+            spec.policy.policy_name(),
+            s.p_timely(),
+            s.mean_energy_timely()
+        );
+    }
+}
+
+/// Runs an arbitrary user-provided [`SweepSpec`] document.
+fn sweep_from_file(path: &str, reps_override: Option<u64>, emit: bool) {
+    let mut sweep = SweepSpec::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(2);
+    });
+    if let Some(reps) = reps_override {
+        sweep.base.mc.replications = reps;
+    }
+    let specs = sweep.expand().unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(2);
+    });
+    if emit {
+        emit_specs(specs.iter());
+        return;
+    }
+    println!("experiment,P,E,faults_mean");
+    for spec in &specs {
+        let s = run_spec(spec);
+        println!(
+            "{},{:.4},{:.0},{:.2}",
+            spec.name,
+            s.p_timely(),
+            s.mean_energy_timely(),
+            s.faults.mean(),
+        );
+    }
+}
+
+fn emit_specs<'a, I: Iterator<Item = &'a ExperimentSpec>>(specs: I) {
+    let docs: Vec<eacp_spec::Json> = specs.map(ToJson::to_json).collect();
+    print!("{}", eacp_spec::Json::Array(docs).pretty());
 }
 
 fn main() {
     let mut kind = String::from("store-compare-ratio");
     let mut reps = 2000u64;
+    let mut reps_given = false;
     let mut seed = 77u64;
+    let mut spec_path: Option<String> = None;
+    let mut emit = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--kind" => kind = it.next().expect("missing value for --kind"),
+            "--spec" => spec_path = Some(it.next().expect("missing value for --spec")),
+            "--emit-spec" => emit = true,
             "--reps" => {
                 reps = it
                     .next()
                     .expect("missing value for --reps")
                     .parse()
-                    .expect("bad --reps")
+                    .expect("bad --reps");
+                reps_given = true;
             }
             "--seed" => {
                 seed = it
@@ -197,7 +286,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep --kind store-compare-ratio|lambda|optimizer|no-dvs [--reps N] [--seed S]"
+                    "usage: sweep --kind store-compare-ratio|lambda|optimizer|no-dvs [--reps N] [--seed S]\n\
+                     \x20      sweep --spec sweep.json [--reps N]\n\
+                     \x20      (add --emit-spec to print the expanded spec documents instead of running)"
                 );
                 return;
             }
@@ -207,11 +298,15 @@ fn main() {
             }
         }
     }
+    if let Some(path) = spec_path {
+        sweep_from_file(&path, reps_given.then_some(reps), emit);
+        return;
+    }
     match kind.as_str() {
-        "store-compare-ratio" => sweep_store_compare_ratio(reps, seed),
-        "lambda" => sweep_lambda(reps, seed),
-        "optimizer" => sweep_optimizer(reps, seed),
-        "no-dvs" => sweep_no_dvs(reps, seed),
+        "store-compare-ratio" => sweep_store_compare_ratio(reps, seed, emit),
+        "lambda" => sweep_lambda(reps, seed, emit),
+        "optimizer" => sweep_optimizer(reps, seed, emit),
+        "no-dvs" => sweep_no_dvs(reps, seed, emit),
         other => {
             eprintln!("sweep: unknown kind {other:?}");
             std::process::exit(2);

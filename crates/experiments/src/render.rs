@@ -191,6 +191,55 @@ pub fn to_csv(result: &TableResult) -> String {
     out
 }
 
+/// Renders a table as a JSON document: the cell grid with, per scheme, the
+/// full serializable [`SummaryReport`](eacp_spec::SummaryReport), the spec
+/// that produced it, and the paper's reference values. This is the
+/// machine-readable counterpart of [`to_text`] — the report schema sweeps,
+/// dashboards and CI gates consume.
+pub fn to_json(result: &TableResult) -> String {
+    use eacp_spec::{Json, ToJson};
+    let cells = result
+        .cells
+        .iter()
+        .map(|cell| {
+            let schemes = cell
+                .schemes
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("scheme", s.name.as_str().into()),
+                        ("spec", s.spec.to_json()),
+                        ("summary", s.summary_report().to_json()),
+                    ])
+                })
+                .collect();
+            let mut fields = vec![
+                ("part".to_owned(), Json::Str(cell.spec.part.to_string())),
+                ("utilization".to_owned(), Json::Float(cell.spec.utilization)),
+                ("lambda".to_owned(), Json::Float(cell.spec.lambda)),
+                ("k".to_owned(), Json::Int(cell.spec.k as i128)),
+                ("schemes".to_owned(), Json::Array(schemes)),
+            ];
+            if let Some(p) = cell.paper {
+                let paper = Json::Array(
+                    SchemeId::ALL
+                        .iter()
+                        .map(|&id| Json::obj([("p", p.p_of(id).into()), ("e", p.e_of(id).into())]))
+                        .collect(),
+                );
+                fields.push(("paper".to_owned(), paper));
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    Json::obj([
+        ("table", result.id.number().into()),
+        ("replications", result.replications.into()),
+        ("cells", Json::Array(cells)),
+    ])
+    .pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +248,24 @@ mod tests {
 
     fn small_table() -> TableResult {
         run_table(TableId::Table1, 30, 7)
+    }
+
+    #[test]
+    fn json_report_parses_and_covers_all_cells() {
+        use eacp_spec::Json;
+        let r = small_table();
+        let text = to_json(&r);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.req("table").unwrap().as_u64().unwrap(), 1);
+        let cells = doc.req("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 14);
+        let first = &cells[0];
+        assert_eq!(first.req("schemes").unwrap().as_array().unwrap().len(), 4);
+        // Every scheme entry embeds a re-runnable spec.
+        let spec_json = first.req("schemes").unwrap().as_array().unwrap()[0]
+            .req("spec")
+            .unwrap();
+        assert!(spec_json.get("policy").is_some());
     }
 
     #[test]

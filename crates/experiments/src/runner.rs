@@ -1,13 +1,19 @@
 //! Monte-Carlo driver for table cells.
+//!
+//! Since the `eacp-spec` redesign this module no longer hand-builds
+//! scenarios and policies: every cell is first *described* as an
+//! [`ExperimentSpec`] ([`cell_experiment`]) and then executed through
+//! [`eacp_spec::run`]. The same spec, serialized to JSON and fed to
+//! `eacp mc --spec`, reproduces any cell of any table bit for bit.
 
 use crate::paper::{paper_cell, PaperCell};
 use crate::tables::{CellSpec, SchemeId, TableConfig, TableId};
-use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival, SubCheckpointKind};
-use eacp_energy::DvsConfig;
-use eacp_faults::PoissonProcess;
-use eacp_sim::{ExecutorOptions, MonteCarlo, Policy, Scenario, Summary, TaskSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eacp_core::policies::SubCheckpointKind;
+use eacp_sim::{ExecutorOptions, Policy, Scenario, Summary};
+use eacp_spec::{
+    CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, PolicySpec, ScenarioSpec,
+    SummaryReport, WorkSpec,
+};
 
 /// Result of one scheme at one operating point.
 #[derive(Debug, Clone)]
@@ -18,6 +24,16 @@ pub struct SchemeResult {
     pub name: String,
     /// Monte-Carlo aggregate.
     pub summary: Summary,
+    /// The spec that produced `summary` (serialize it to reproduce the
+    /// number outside this harness).
+    pub spec: ExperimentSpec,
+}
+
+impl SchemeResult {
+    /// The serializable mirror of [`Self::summary`].
+    pub fn summary_report(&self) -> SummaryReport {
+        SummaryReport::from_summary(&self.summary)
+    }
 }
 
 /// All four schemes at one operating point, plus the paper's numbers.
@@ -54,25 +70,98 @@ pub struct TableResult {
     pub replications: u64,
 }
 
+/// The scenario description for one cell of a table.
+pub fn cell_scenario_spec(config: &TableConfig, spec: &CellSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        work: WorkSpec::Utilization {
+            utilization: spec.utilization,
+            speed: config.util_speed,
+            deadline: config.deadline,
+        },
+        costs: CostsSpec::from_costs(&config.costs),
+        dvs: DvsSpec::PaperDefault,
+        processors: 2,
+    }
+}
+
 /// Builds the scenario for one cell of a table.
 pub fn cell_scenario(config: &TableConfig, spec: &CellSpec) -> Scenario {
-    Scenario::new(
-        TaskSpec::from_utilization(spec.utilization, config.util_speed, config.deadline),
-        config.costs,
-        DvsConfig::paper_default(),
-    )
+    cell_scenario_spec(config, spec)
+        .build()
+        .expect("table configurations are valid scenarios")
+}
+
+/// The policy description for one scheme at one cell.
+pub fn scheme_policy_spec(config: &TableConfig, spec: &CellSpec, scheme: SchemeId) -> PolicySpec {
+    match scheme {
+        SchemeId::Poisson => PolicySpec::Poisson {
+            lambda: spec.lambda,
+            speed: config.baseline_speed,
+        },
+        SchemeId::KFaultTolerant => PolicySpec::KFaultTolerant {
+            k: spec.k,
+            speed: config.baseline_speed,
+        },
+        SchemeId::AdtDvs => PolicySpec::AdtDvs {
+            lambda: spec.lambda,
+            k: spec.k,
+            optimizer: Default::default(),
+        },
+        SchemeId::Proposed => match config.sub_kind {
+            SubCheckpointKind::Store => PolicySpec::DvsScp {
+                lambda: spec.lambda,
+                k: spec.k,
+                optimizer: Default::default(),
+            },
+            SubCheckpointKind::Compare => PolicySpec::DvsCcp {
+                lambda: spec.lambda,
+                k: spec.k,
+                optimizer: Default::default(),
+            },
+        },
+    }
 }
 
 /// Builds the policy for one scheme at one cell.
 pub fn make_policy(config: &TableConfig, spec: &CellSpec, scheme: SchemeId) -> Box<dyn Policy> {
-    match scheme {
-        SchemeId::Poisson => Box::new(PoissonArrival::new(spec.lambda, config.baseline_speed)),
-        SchemeId::KFaultTolerant => Box::new(KFaultTolerant::new(spec.k, config.baseline_speed)),
-        SchemeId::AdtDvs => Box::new(Adaptive::adt_dvs(spec.lambda, spec.k)),
-        SchemeId::Proposed => Box::new(match config.sub_kind {
-            SubCheckpointKind::Store => Adaptive::dvs_scp(spec.lambda, spec.k),
-            SubCheckpointKind::Compare => Adaptive::dvs_ccp(spec.lambda, spec.k),
-        }),
+    scheme_policy_spec(config, spec, scheme)
+        .build()
+        .expect("table configurations are valid policies")
+}
+
+/// The complete experiment description for one scheme at one cell — the
+/// single source of truth [`run_cell_with`] executes, and the document
+/// `eacp mc --spec` accepts.
+pub fn cell_experiment(
+    config: &TableConfig,
+    spec: &CellSpec,
+    scheme: SchemeId,
+    replications: u64,
+    seed: u64,
+    options: ExecutorOptions,
+) -> ExperimentSpec {
+    let policy = scheme_policy_spec(config, spec, scheme);
+    ExperimentSpec {
+        name: format!(
+            "table{}{}-u{}-l{}-k{}-{}",
+            config.id.number(),
+            spec.part,
+            spec.utilization,
+            spec.lambda,
+            spec.k,
+            policy.tag()
+        ),
+        scenario: cell_scenario_spec(config, spec),
+        faults: FaultSpec::Poisson {
+            lambda: spec.lambda,
+        },
+        policy,
+        mc: McSpec {
+            replications,
+            seed,
+            threads: 0,
+        },
+        executor: ExecSpec::from_options(&options),
     }
 }
 
@@ -96,29 +185,18 @@ pub fn run_cell_with(
     seed: u64,
     options: ExecutorOptions,
 ) -> CellResult {
-    let scenario = cell_scenario(config, spec);
-    let mc = MonteCarlo::new(replications).with_seed(seed);
-    let lambda = spec.lambda;
     let schemes = SchemeId::ALL
         .iter()
         .map(|&scheme| {
-            let summary = mc.run(
-                &scenario,
-                options,
-                |_| make_policy(config, spec, scheme),
-                |s| PoissonProcess::new(lambda, StdRng::seed_from_u64(s)),
-            );
+            let experiment = cell_experiment(config, spec, scheme, replications, seed, options);
+            let (summary, report) =
+                eacp_spec::run(&experiment).expect("table cells are valid experiment specs");
             debug_assert_eq!(summary.anomalies, 0, "policy anomaly in {scheme:?}");
-            let name = match scheme {
-                SchemeId::Poisson => "Poisson".to_owned(),
-                SchemeId::KFaultTolerant => "k-f-t".to_owned(),
-                SchemeId::AdtDvs => "A_D".to_owned(),
-                SchemeId::Proposed => config.proposed_name().to_owned(),
-            };
             SchemeResult {
                 scheme,
-                name,
+                name: report.policy_name,
                 summary,
+                spec: experiment,
             }
         })
         .collect();
@@ -227,5 +305,31 @@ mod tests {
         let poisson = &cell.scheme(SchemeId::Poisson).summary;
         assert_eq!(poisson.p_timely(), 0.0);
         assert!(poisson.mean_energy_timely().is_nan());
+    }
+
+    #[test]
+    fn cell_experiment_round_trips_and_reproduces_the_cell() {
+        // The acceptance contract of the spec redesign: the embedded spec,
+        // serialized to JSON and re-run elsewhere, gives the same Summary.
+        let cfg = table_config(TableId::Table1);
+        let spec = cfg.cells[0];
+        let cell = run_cell(&cfg, &spec, 50, 3);
+        for s in &cell.schemes {
+            let json = s.spec.to_json_string();
+            let reread = ExperimentSpec::from_json_str(&json).unwrap();
+            assert_eq!(reread, s.spec);
+            let (summary, _) = eacp_spec::run(&reread).unwrap();
+            assert_eq!(summary, s.summary, "scheme {}", s.name);
+        }
+    }
+
+    #[test]
+    fn scheme_result_report_matches_summary() {
+        let cfg = table_config(TableId::Table1);
+        let cell = run_cell(&cfg, &cfg.cells[0], 30, 1);
+        let s = cell.scheme(SchemeId::Proposed);
+        let report = s.summary_report();
+        assert_eq!(report.replications, 30);
+        assert_eq!(report.p_timely, s.summary.p_timely());
     }
 }

@@ -161,7 +161,12 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
     let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
-    ((center - half).max(0.0), (center + half).min(1.0))
+    // At p ∈ {0, 1} the exact bound equals p but floating-point rounding can
+    // land a hair inside it; clamp so the interval always brackets p.
+    (
+        (center - half).max(0.0).min(p),
+        (center + half).min(1.0).max(p),
+    )
 }
 
 #[cfg(test)]

@@ -276,8 +276,11 @@ mod tests {
 
     #[test]
     fn faults_cause_rollbacks_but_jobs_recover() {
+        // High enough λ that the expected fault count inside the (short)
+        // busy windows is ≫ 1 for any healthy RNG stream, not just one
+        // lucky seed.
         let set = light_set();
-        let cfg = config(&set, 5e-4, 4);
+        let cfg = config(&set, 2e-3, 4);
         let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 2)));
         let total_faults: u32 = report.jobs.iter().map(|j| j.faults).sum();
         assert!(total_faults > 0, "the seed should inject faults");

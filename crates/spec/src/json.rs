@@ -1,0 +1,592 @@
+//! A minimal, dependency-free JSON document model.
+//!
+//! The build environment of this repository cannot reach crates.io, so the
+//! spec layer carries its own JSON reader/writer instead of `serde_json`.
+//! The surface is deliberately serde-shaped — [`Json`] mirrors
+//! `serde_json::Value`, and spec types implement [`ToJson`] / [`FromJson`]
+//! the way they would derive `Serialize` / `Deserialize` — so a future PR
+//! that restores the real dependency only swaps trait impls, not call
+//! sites.
+//!
+//! Numbers round-trip exactly: floats are written with Rust's
+//! shortest-round-trip formatting and integers are kept in a separate
+//! lossless variant, which is what makes "serialize → deserialize → run"
+//! bit-identical for every spec in this workspace.
+
+use crate::error::SpecError;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written with a fraction or exponent (`1.5`, `2e-3`).
+    Float(f64),
+    /// A number written as a plain integer literal (lossless up to i128).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+/// Types that can serialize themselves into a [`Json`] document.
+pub trait ToJson {
+    /// Serializes `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can deserialize themselves from a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Deserializes a value, validating as it goes.
+    fn from_json(json: &Json) -> Result<Self, SpecError>;
+}
+
+impl Json {
+    /// Parses a JSON text.
+    pub fn parse(text: &str) -> Result<Json, SpecError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Float(x) => out.push_str(&format_float(*x)),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value of `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field.
+    pub fn req(&self, key: &str) -> Result<&Json, SpecError> {
+        self.get(key)
+            .ok_or_else(|| SpecError::missing_field(key, self.type_name()))
+    }
+
+    /// The numeric value, accepting either numeric variant. `null` reads
+    /// as NaN — the write path emits NaN as `null` (JSON has no NaN), so
+    /// this keeps numeric round-trips closed.
+    pub fn as_f64(&self) -> Result<f64, SpecError> {
+        match self {
+            Json::Float(x) => Ok(*x),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Null => Ok(f64::NAN),
+            other => Err(SpecError::type_mismatch("number", other.type_name())),
+        }
+    }
+
+    /// An unsigned integer (rejects fractions and negatives).
+    pub fn as_u64(&self) -> Result<u64, SpecError> {
+        match self {
+            Json::Int(i) => u64::try_from(*i)
+                .map_err(|_| SpecError::invalid(format!("integer {i} out of u64 range"))),
+            other => Err(SpecError::type_mismatch(
+                "unsigned integer",
+                other.type_name(),
+            )),
+        }
+    }
+
+    /// A u32 (rejects fractions and negatives).
+    pub fn as_u32(&self) -> Result<u32, SpecError> {
+        let v = self.as_u64()?;
+        u32::try_from(v).map_err(|_| SpecError::invalid(format!("integer {v} out of u32 range")))
+    }
+
+    /// A usize.
+    pub fn as_usize(&self) -> Result<usize, SpecError> {
+        let v = self.as_u64()?;
+        usize::try_from(v).map_err(|_| SpecError::invalid(format!("integer {v} out of range")))
+    }
+
+    /// A string.
+    pub fn as_str(&self) -> Result<&str, SpecError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(SpecError::type_mismatch("string", other.type_name())),
+        }
+    }
+
+    /// A boolean.
+    pub fn as_bool(&self) -> Result<bool, SpecError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(SpecError::type_mismatch("bool", other.type_name())),
+        }
+    }
+
+    /// An array's items.
+    pub fn as_array(&self) -> Result<&[Json], SpecError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(SpecError::type_mismatch("array", other.type_name())),
+        }
+    }
+
+    /// The JSON type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Float(_) | Json::Int(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Float(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::Int(x as i128)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Self {
+        Json::Int(x as i128)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Self {
+        Json::Int(x as i128)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Self {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(x: &str) -> Self {
+        Json::Str(x.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(x: String) -> Self {
+        Json::Str(x)
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Shortest representation that parses back to the same f64 (Rust's `{:?}`),
+/// with JSON-isms for the values JSON cannot express.
+fn format_float(x: f64) -> String {
+    if x.is_nan() {
+        // JSON has no NaN; the spec layer writes null and readers of report
+        // documents treat null as NaN (the paper's empty table cells).
+        "null".to_owned()
+    } else if x.is_infinite() {
+        if x > 0.0 { "1e999" } else { "-1e999" }.to_owned()
+    } else {
+        let s = format!("{x:?}");
+        // `{:?}` prints integral floats as `1.0`, which is already valid
+        // JSON and keeps the float/int distinction on re-parse.
+        s
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> SpecError {
+        // Convert byte offset to line/column for a useful message.
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = consumed.len()
+            - consumed
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1)
+            + 1;
+        SpecError::parse(format!("{msg} (line {line}, column {col})"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, SpecError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SpecError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(fields)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not needed by spec files;
+                        // reject them rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.err("unsupported \\u escape (surrogate)"))?;
+                        s.push(c);
+                    }
+                    _ => return Err(self.err("bad escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, SpecError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" 42 ").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(Json::parse("1.5e-3").unwrap(), Json::Float(1.5e-3));
+        assert_eq!(Json::parse("\"hi\\n\"").unwrap(), Json::Str("hi\n".into()));
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert!(Json::parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a": [1, 2.0, {"b": "c"}], "d": false}"#).unwrap();
+        assert_eq!(v.req("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("d"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.req("a").unwrap().as_array().unwrap()[2]
+                .req("b")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "c"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_and_column() {
+        let err = Json::parse("{\n  \"a\": ?\n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[1.4e-3, 0.76, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0] {
+            let text = Json::Float(x).pretty();
+            let back = Json::parse(text.trim()).unwrap();
+            match back {
+                Json::Float(y) => assert_eq!(x.to_bits(), y.to_bits(), "{x}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for &x in &[0u64, 1, u64::MAX, 0xEAC9_2006] {
+            let text = Json::Int(x as i128).pretty();
+            let back = Json::parse(text.trim()).unwrap();
+            assert_eq!(back.as_u64().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let text = r#"{"name": "x", "xs": [1, 2], "empty": {}, "e2": []}"#;
+        let v = Json::parse(text).unwrap();
+        let p1 = v.pretty();
+        let p2 = Json::parse(&p1).unwrap().pretty();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = Json::parse("\"λ ≈ 1.4×10⁻³\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "λ ≈ 1.4×10⁻³");
+        let round = Json::parse(v.pretty().trim()).unwrap();
+        assert_eq!(round, v);
+    }
+}

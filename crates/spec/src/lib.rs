@@ -1,0 +1,76 @@
+//! Declarative, serializable experiment descriptions for the EACP
+//! workspace — the single source of truth every entry point builds from.
+//!
+//! The paper's evaluation is a grid of scenarios: four schemes, four
+//! tables, each a `(U, λ, k)` sweep. Before this crate, every consumer
+//! (CLI flags, the table harness, the examples, the benches) re-invented
+//! that construction by hand. Now one [`ExperimentSpec`] — a plain data
+//! structure with an exact JSON form — describes a complete experiment:
+//!
+//! * [`ScenarioSpec`] — task work/deadline, checkpoint costs, DVS levels;
+//! * [`FaultSpec`] — Poisson / deterministic / Weibull / burst / phased
+//!   fault arrivals;
+//! * [`PolicySpec`] — all eight checkpointing schemes, with a
+//!   `build() -> Box<dyn Policy>` factory;
+//! * [`McSpec`] / [`ExecSpec`] — replications, seeding, threads, and
+//!   executor semantics;
+//! * [`SweepSpec`] — grids over utilization, λ, k, costs and seeds;
+//! * [`presets`] — the paper's operating points by name, plus new
+//!   workloads (`satellite-telemetry`, `battery-budget`,
+//!   `high-fault-burst`).
+//!
+//! The contract that makes this useful: **spec + seed = identical
+//! results**. Serializing a spec to JSON, reading it back and running it
+//! reproduces the original [`eacp_sim::Summary`] bit for bit, across
+//! thread counts. Reports ([`report::RunReport`]) embed the producing spec
+//! for provenance.
+//!
+//! The offline build environment has no serde, so [`json`] is a small
+//! exact-round-trip JSON model and spec types implement [`ToJson`] /
+//! [`FromJson`] directly; the trait shape deliberately mirrors a serde
+//! derive so the real dependency can be swapped in later without touching
+//! call sites.
+//!
+//! # Example
+//!
+//! ```
+//! use eacp_spec::{ExperimentSpec, run};
+//!
+//! let text = r#"{
+//!     "name": "quick-look",
+//!     "scenario": {
+//!         "work": {"kind": "utilization", "utilization": 0.76, "deadline": 10000},
+//!         "costs": {"kind": "paper-scp"}
+//!     },
+//!     "faults": {"kind": "poisson", "lambda": 0.0014},
+//!     "policy": {"kind": "a_d_s", "lambda": 0.0014, "k": 5},
+//!     "mc": {"replications": 200, "seed": 7}
+//! }"#;
+//! let spec = ExperimentSpec::from_json_str(text).unwrap();
+//! let (summary, report) = run(&spec).unwrap();
+//! assert_eq!(summary.replications, 200);
+//! assert_eq!(report.policy_name, "A_D_S");
+//! // The serializable report round-trips as JSON.
+//! let json = eacp_spec::ToJson::to_json(&report).pretty();
+//! assert!(json.contains("\"p_timely\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod model;
+pub mod presets;
+pub mod report;
+pub mod sweep;
+
+pub use error::SpecError;
+pub use json::{FromJson, Json, ToJson};
+pub use model::{
+    CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec,
+    ScenarioSpec, WorkSpec,
+};
+pub use presets::{paper_cell, preset, preset_names, PaperScheme};
+pub use report::{run, RunReport, StatsReport, SummaryReport};
+pub use sweep::{SweepAxis, SweepSpec};

@@ -1,0 +1,1469 @@
+//! The spec types: one serializable description per simulation concept.
+//!
+//! Every type here is plain data with a `build()` method that turns it into
+//! the corresponding runtime object (`Scenario`, `Box<dyn Policy>`,
+//! `Box<dyn FaultProcess>`, `MonteCarlo`, `ExecutorOptions`). Building
+//! validates: all the panicking invariants of the runtime constructors are
+//! checked up front and reported as [`SpecError`]s instead.
+
+use crate::error::SpecError;
+use crate::json::{FromJson, Json, ToJson};
+use eacp_core::analysis::OptimizeMethod;
+use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
+use eacp_energy::{DvsConfig, SpeedLevel};
+use eacp_faults::{
+    BurstProcess, DeterministicFaults, FaultProcess, PhasedPoisson, PoissonProcess, WeibullRenewal,
+};
+use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_pos(v: f64, what: &str) -> Result<f64, SpecError> {
+    if v > 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(SpecError::invalid(format!(
+            "{what} must be positive and finite, got {v}"
+        )))
+    }
+}
+
+fn finite_nonneg(v: f64, what: &str) -> Result<f64, SpecError> {
+    if v >= 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(SpecError::invalid(format!(
+            "{what} must be non-negative and finite, got {v}"
+        )))
+    }
+}
+
+/// How the task's work volume is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkSpec {
+    /// The paper's parameterization: `N = U · f · D`.
+    Utilization {
+        /// Utilization `U` quoted at `speed`.
+        utilization: f64,
+        /// The speed the utilization is quoted at (1 for Tables 1/3,
+        /// 2 for Tables 2/4).
+        speed: f64,
+        /// Relative deadline `D`.
+        deadline: f64,
+    },
+    /// Direct cycle count.
+    Cycles {
+        /// Work `N` in cycles at the minimum speed.
+        work_cycles: f64,
+        /// Relative deadline `D`.
+        deadline: f64,
+    },
+}
+
+impl WorkSpec {
+    /// Builds the [`TaskSpec`].
+    pub fn build(&self) -> Result<TaskSpec, SpecError> {
+        match *self {
+            WorkSpec::Utilization {
+                utilization,
+                speed,
+                deadline,
+            } => {
+                finite_pos(utilization, "utilization")?;
+                finite_pos(speed, "utilization speed")?;
+                finite_pos(deadline, "deadline")?;
+                Ok(TaskSpec::from_utilization(utilization, speed, deadline))
+            }
+            WorkSpec::Cycles {
+                work_cycles,
+                deadline,
+            } => {
+                finite_pos(work_cycles, "work_cycles")?;
+                finite_pos(deadline, "deadline")?;
+                Ok(TaskSpec::new(work_cycles, deadline))
+            }
+        }
+    }
+
+    /// The relative deadline `D`.
+    pub fn deadline(&self) -> f64 {
+        match *self {
+            WorkSpec::Utilization { deadline, .. } | WorkSpec::Cycles { deadline, .. } => deadline,
+        }
+    }
+}
+
+impl ToJson for WorkSpec {
+    fn to_json(&self) -> Json {
+        match *self {
+            WorkSpec::Utilization {
+                utilization,
+                speed,
+                deadline,
+            } => Json::obj([
+                ("kind", "utilization".into()),
+                ("utilization", utilization.into()),
+                ("speed", speed.into()),
+                ("deadline", deadline.into()),
+            ]),
+            WorkSpec::Cycles {
+                work_cycles,
+                deadline,
+            } => Json::obj([
+                ("kind", "cycles".into()),
+                ("work_cycles", work_cycles.into()),
+                ("deadline", deadline.into()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for WorkSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        match json.req("kind")?.as_str()? {
+            "utilization" => Ok(WorkSpec::Utilization {
+                utilization: json.req("utilization")?.as_f64()?,
+                speed: json.get("speed").map_or(Ok(1.0), Json::as_f64)?,
+                deadline: json.req("deadline")?.as_f64()?,
+            }),
+            "cycles" => Ok(WorkSpec::Cycles {
+                work_cycles: json.req("work_cycles")?.as_f64()?,
+                deadline: json.req("deadline")?.as_f64()?,
+            }),
+            other => Err(SpecError::unknown_kind(
+                "work",
+                other,
+                "utilization, cycles",
+            )),
+        }
+    }
+}
+
+/// Checkpoint operation costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostsSpec {
+    /// The paper's SCP experiment costs (`ts = 2, tcp = 20, tr = 0`).
+    PaperScp,
+    /// The paper's CCP experiment costs (`ts = 20, tcp = 2, tr = 0`).
+    PaperCcp,
+    /// Explicit cycle costs.
+    Explicit {
+        /// `ts`: store cost in cycles.
+        store: f64,
+        /// `tcp`: compare cost in cycles.
+        compare: f64,
+        /// `tr`: rollback cost in cycles.
+        rollback: f64,
+    },
+}
+
+impl CostsSpec {
+    /// Builds the [`CheckpointCosts`].
+    pub fn build(&self) -> Result<CheckpointCosts, SpecError> {
+        match *self {
+            CostsSpec::PaperScp => Ok(CheckpointCosts::paper_scp_variant()),
+            CostsSpec::PaperCcp => Ok(CheckpointCosts::paper_ccp_variant()),
+            CostsSpec::Explicit {
+                store,
+                compare,
+                rollback,
+            } => {
+                finite_nonneg(store, "store cost")?;
+                finite_nonneg(compare, "compare cost")?;
+                finite_nonneg(rollback, "rollback cost")?;
+                if store + compare <= 0.0 {
+                    return Err(SpecError::invalid(
+                        "store + compare costs must be positive (a free CSCP allows \
+                         zero-progress scheduling loops)",
+                    ));
+                }
+                Ok(CheckpointCosts::new(store, compare, rollback))
+            }
+        }
+    }
+
+    /// Spec for an existing cost model (used when deriving specs from
+    /// legacy `TableConfig` values).
+    pub fn from_costs(costs: &CheckpointCosts) -> CostsSpec {
+        let scp = CheckpointCosts::paper_scp_variant();
+        let ccp = CheckpointCosts::paper_ccp_variant();
+        if *costs == scp {
+            CostsSpec::PaperScp
+        } else if *costs == ccp {
+            CostsSpec::PaperCcp
+        } else {
+            CostsSpec::Explicit {
+                store: costs.store_cycles,
+                compare: costs.compare_cycles,
+                rollback: costs.rollback_cycles,
+            }
+        }
+    }
+}
+
+impl ToJson for CostsSpec {
+    fn to_json(&self) -> Json {
+        match *self {
+            CostsSpec::PaperScp => Json::obj([("kind", "paper-scp".into())]),
+            CostsSpec::PaperCcp => Json::obj([("kind", "paper-ccp".into())]),
+            CostsSpec::Explicit {
+                store,
+                compare,
+                rollback,
+            } => Json::obj([
+                ("kind", "explicit".into()),
+                ("store", store.into()),
+                ("compare", compare.into()),
+                ("rollback", rollback.into()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for CostsSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        match json.req("kind")?.as_str()? {
+            "paper-scp" => Ok(CostsSpec::PaperScp),
+            "paper-ccp" => Ok(CostsSpec::PaperCcp),
+            "explicit" => Ok(CostsSpec::Explicit {
+                store: json.req("store")?.as_f64()?,
+                compare: json.req("compare")?.as_f64()?,
+                rollback: json.get("rollback").map_or(Ok(0.0), Json::as_f64)?,
+            }),
+            other => Err(SpecError::unknown_kind(
+                "costs",
+                other,
+                "paper-scp, paper-ccp, explicit",
+            )),
+        }
+    }
+}
+
+/// DVS speed-level table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DvsSpec {
+    /// The paper-calibrated two-speed table (`f1 = 1, V1 = √2; f2 = 2, V2 = 2`).
+    PaperDefault,
+    /// Two speeds `f2 = 2·f1` with explicit voltages.
+    TwoSpeed {
+        /// Voltage at `f1`.
+        v1: f64,
+        /// Voltage at `f2`.
+        v2: f64,
+    },
+    /// Fully explicit level table.
+    Levels {
+        /// `(frequency, voltage)` pairs, ascending in frequency.
+        levels: Vec<(f64, f64)>,
+    },
+}
+
+impl DvsSpec {
+    /// Builds the [`DvsConfig`].
+    pub fn build(&self) -> Result<DvsConfig, SpecError> {
+        match self {
+            DvsSpec::PaperDefault => Ok(DvsConfig::paper_default()),
+            DvsSpec::TwoSpeed { v1, v2 } => {
+                finite_pos(*v1, "v1")?;
+                finite_pos(*v2, "v2")?;
+                Ok(DvsConfig::two_speed(*v1, *v2))
+            }
+            DvsSpec::Levels { levels } => {
+                if levels.is_empty() {
+                    return Err(SpecError::invalid("DVS level table must not be empty"));
+                }
+                let mut built = Vec::with_capacity(levels.len());
+                for &(f, v) in levels {
+                    finite_pos(f, "level frequency")?;
+                    finite_pos(v, "level voltage")?;
+                    built.push(SpeedLevel::new(f, v));
+                }
+                if !built.windows(2).all(|w| w[0].frequency < w[1].frequency) {
+                    return Err(SpecError::invalid(
+                        "DVS levels must be strictly ascending in frequency",
+                    ));
+                }
+                Ok(DvsConfig::new(built))
+            }
+        }
+    }
+}
+
+impl ToJson for DvsSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            DvsSpec::PaperDefault => Json::obj([("kind", "paper-default".into())]),
+            DvsSpec::TwoSpeed { v1, v2 } => Json::obj([
+                ("kind", "two-speed".into()),
+                ("v1", (*v1).into()),
+                ("v2", (*v2).into()),
+            ]),
+            DvsSpec::Levels { levels } => Json::obj([
+                ("kind", "levels".into()),
+                (
+                    "levels",
+                    Json::Array(
+                        levels
+                            .iter()
+                            .map(|&(f, v)| {
+                                Json::obj([("frequency", f.into()), ("voltage", v.into())])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+impl FromJson for DvsSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        match json.req("kind")?.as_str()? {
+            "paper-default" => Ok(DvsSpec::PaperDefault),
+            "two-speed" => Ok(DvsSpec::TwoSpeed {
+                v1: json.req("v1")?.as_f64()?,
+                v2: json.req("v2")?.as_f64()?,
+            }),
+            "levels" => {
+                let mut levels = Vec::new();
+                for item in json.req("levels")?.as_array()? {
+                    levels.push((
+                        item.req("frequency")?.as_f64()?,
+                        item.req("voltage")?.as_f64()?,
+                    ));
+                }
+                Ok(DvsSpec::Levels { levels })
+            }
+            other => Err(SpecError::unknown_kind(
+                "dvs",
+                other,
+                "paper-default, two-speed, levels",
+            )),
+        }
+    }
+}
+
+/// A full scenario: task, costs, DVS table and redundancy degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Task work volume and deadline.
+    pub work: WorkSpec,
+    /// Checkpoint costs.
+    pub costs: CostsSpec,
+    /// DVS table.
+    pub dvs: DvsSpec,
+    /// Redundant processors charged for energy (2 = DMR).
+    pub processors: u32,
+}
+
+impl ScenarioSpec {
+    /// The paper's nominal SCP scenario (`U = 0.76, D = 10000`).
+    pub fn paper_nominal() -> Self {
+        Self {
+            work: WorkSpec::Utilization {
+                utilization: 0.76,
+                speed: 1.0,
+                deadline: 10_000.0,
+            },
+            costs: CostsSpec::PaperScp,
+            dvs: DvsSpec::PaperDefault,
+            processors: 2,
+        }
+    }
+
+    /// Builds the runtime [`Scenario`].
+    pub fn build(&self) -> Result<Scenario, SpecError> {
+        if self.processors == 0 {
+            return Err(SpecError::invalid("at least one processor is required"));
+        }
+        Ok(
+            Scenario::new(self.work.build()?, self.costs.build()?, self.dvs.build()?)
+                .with_processors(self.processors),
+        )
+    }
+}
+
+impl ToJson for ScenarioSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("work", self.work.to_json()),
+            ("costs", self.costs.to_json()),
+            ("dvs", self.dvs.to_json()),
+            ("processors", self.processors.into()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(Self {
+            work: WorkSpec::from_json(json.req("work")?)?,
+            costs: json
+                .get("costs")
+                .map_or(Ok(CostsSpec::PaperScp), CostsSpec::from_json)?,
+            dvs: json
+                .get("dvs")
+                .map_or(Ok(DvsSpec::PaperDefault), DvsSpec::from_json)?,
+            processors: json.get("processors").map_or(Ok(2), Json::as_u32)?,
+        })
+    }
+}
+
+/// Transient-fault arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Homogeneous Poisson arrivals — the paper's model.
+    Poisson {
+        /// Arrival rate `λ`.
+        lambda: f64,
+    },
+    /// A fixed schedule of fault instants (deterministic tests).
+    Deterministic {
+        /// Absolute fault times.
+        times: Vec<f64>,
+    },
+    /// Weibull renewal process (bursty for `shape < 1`).
+    Weibull {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Two-state Markov-modulated Poisson process (radiation bursts).
+    Burst {
+        /// Fault rate in the quiet state.
+        quiet_rate: f64,
+        /// Fault rate in the burst state.
+        burst_rate: f64,
+        /// Mean dwell time in the quiet state.
+        mean_quiet_dwell: f64,
+        /// Mean dwell time in the burst state.
+        mean_burst_dwell: f64,
+    },
+    /// Piecewise-constant rate profile (mission phases).
+    Phased {
+        /// `(duration, rate)` phases.
+        phases: Vec<(f64, f64)>,
+        /// Whether the profile cycles forever.
+        repeat: bool,
+    },
+}
+
+impl FaultSpec {
+    /// Builds the fault process for one replication seed.
+    ///
+    /// The same `(spec, seed)` pair always yields an identical stream —
+    /// this is the reproducibility contract every experiment relies on.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn FaultProcess>, SpecError> {
+        let rng = StdRng::seed_from_u64(seed);
+        match self {
+            FaultSpec::Poisson { lambda } => {
+                if lambda.is_nan() {
+                    return Err(SpecError::invalid("fault rate must not be NaN"));
+                }
+                Ok(Box::new(PoissonProcess::new(*lambda, rng)))
+            }
+            FaultSpec::Deterministic { times } => {
+                if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+                    return Err(SpecError::invalid(
+                        "deterministic fault instants must be finite and non-negative",
+                    ));
+                }
+                Ok(Box::new(DeterministicFaults::new(times.clone())))
+            }
+            FaultSpec::Weibull { shape, scale } => {
+                finite_pos(*shape, "Weibull shape")?;
+                finite_pos(*scale, "Weibull scale")?;
+                Ok(Box::new(WeibullRenewal::new(*shape, *scale, rng)))
+            }
+            FaultSpec::Burst {
+                quiet_rate,
+                burst_rate,
+                mean_quiet_dwell,
+                mean_burst_dwell,
+            } => {
+                finite_nonneg(*quiet_rate, "quiet rate")?;
+                finite_pos(*burst_rate, "burst rate")?;
+                finite_pos(*mean_quiet_dwell, "quiet dwell")?;
+                finite_pos(*mean_burst_dwell, "burst dwell")?;
+                Ok(Box::new(BurstProcess::new(
+                    *quiet_rate,
+                    *burst_rate,
+                    *mean_quiet_dwell,
+                    *mean_burst_dwell,
+                    rng,
+                )))
+            }
+            FaultSpec::Phased { phases, repeat } => {
+                if phases.is_empty() {
+                    return Err(SpecError::invalid("at least one phase is required"));
+                }
+                for &(d, r) in phases {
+                    finite_pos(d, "phase duration")?;
+                    finite_nonneg(r, "phase rate")?;
+                }
+                Ok(Box::new(PhasedPoisson::new(phases.clone(), *repeat, rng)))
+            }
+        }
+    }
+
+    /// The nominal rate `λ` when the process has one (used by sweeps).
+    pub fn nominal_lambda(&self) -> Option<f64> {
+        match self {
+            FaultSpec::Poisson { lambda } => Some(*lambda),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for FaultSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            FaultSpec::Poisson { lambda } => {
+                Json::obj([("kind", "poisson".into()), ("lambda", (*lambda).into())])
+            }
+            FaultSpec::Deterministic { times } => Json::obj([
+                ("kind", "deterministic".into()),
+                (
+                    "times",
+                    Json::Array(times.iter().map(|&t| t.into()).collect()),
+                ),
+            ]),
+            FaultSpec::Weibull { shape, scale } => Json::obj([
+                ("kind", "weibull".into()),
+                ("shape", (*shape).into()),
+                ("scale", (*scale).into()),
+            ]),
+            FaultSpec::Burst {
+                quiet_rate,
+                burst_rate,
+                mean_quiet_dwell,
+                mean_burst_dwell,
+            } => Json::obj([
+                ("kind", "burst".into()),
+                ("quiet_rate", (*quiet_rate).into()),
+                ("burst_rate", (*burst_rate).into()),
+                ("mean_quiet_dwell", (*mean_quiet_dwell).into()),
+                ("mean_burst_dwell", (*mean_burst_dwell).into()),
+            ]),
+            FaultSpec::Phased { phases, repeat } => Json::obj([
+                ("kind", "phased".into()),
+                (
+                    "phases",
+                    Json::Array(
+                        phases
+                            .iter()
+                            .map(|&(d, r)| Json::Array(vec![d.into(), r.into()]))
+                            .collect(),
+                    ),
+                ),
+                ("repeat", (*repeat).into()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for FaultSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        match json.req("kind")?.as_str()? {
+            "poisson" => Ok(FaultSpec::Poisson {
+                lambda: json.req("lambda")?.as_f64()?,
+            }),
+            "deterministic" => {
+                let times = json
+                    .req("times")?
+                    .as_array()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(FaultSpec::Deterministic { times })
+            }
+            "weibull" => Ok(FaultSpec::Weibull {
+                shape: json.req("shape")?.as_f64()?,
+                scale: json.req("scale")?.as_f64()?,
+            }),
+            "burst" => Ok(FaultSpec::Burst {
+                quiet_rate: json.req("quiet_rate")?.as_f64()?,
+                burst_rate: json.req("burst_rate")?.as_f64()?,
+                mean_quiet_dwell: json.req("mean_quiet_dwell")?.as_f64()?,
+                mean_burst_dwell: json.req("mean_burst_dwell")?.as_f64()?,
+            }),
+            "phased" => {
+                let mut phases = Vec::new();
+                for item in json.req("phases")?.as_array()? {
+                    let pair = item.as_array()?;
+                    if pair.len() != 2 {
+                        return Err(SpecError::invalid(
+                            "each phase must be a [duration, rate] pair",
+                        ));
+                    }
+                    phases.push((pair[0].as_f64()?, pair[1].as_f64()?));
+                }
+                Ok(FaultSpec::Phased {
+                    phases,
+                    repeat: json.get("repeat").map_or(Ok(false), Json::as_bool)?,
+                })
+            }
+            other => Err(SpecError::unknown_kind(
+                "faults",
+                other,
+                "poisson, deterministic, weibull, burst, phased",
+            )),
+        }
+    }
+}
+
+/// How adaptive policies optimize the sub-checkpoint count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerSpec {
+    /// The paper's Fig. 2 closed-form procedure (default).
+    #[default]
+    PaperClosedForm,
+    /// Direct integer search over the exact recursion (ablation).
+    ExactRecursion,
+}
+
+impl OptimizerSpec {
+    fn build(self) -> OptimizeMethod {
+        match self {
+            OptimizerSpec::PaperClosedForm => OptimizeMethod::PaperClosedForm,
+            OptimizerSpec::ExactRecursion => OptimizeMethod::ExactRecursion,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            OptimizerSpec::PaperClosedForm => "paper-closed-form",
+            OptimizerSpec::ExactRecursion => "exact-recursion",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self, SpecError> {
+        match tag {
+            "paper-closed-form" => Ok(OptimizerSpec::PaperClosedForm),
+            "exact-recursion" => Ok(OptimizerSpec::ExactRecursion),
+            other => Err(SpecError::unknown_kind(
+                "optimizer",
+                other,
+                "paper-closed-form, exact-recursion",
+            )),
+        }
+    }
+}
+
+/// One of the eight checkpointing schemes in `eacp_core::policies`.
+///
+/// | Tag | Paper name | Policy `name()` |
+/// |---|---|---|
+/// | `poisson` | Poisson-arrival baseline | `Poisson` |
+/// | `kft` | k-fault-tolerant baseline | `k-f-t` |
+/// | `a_d` | ADT_DVS (DATE'03) | `A_D` |
+/// | `a_d_s` | `adapchp_dvs_SCP` (Fig. 6) | `A_D_S` |
+/// | `a_d_c` | `adapchp_dvs_CCP` (Fig. 7) | `A_D_C` |
+/// | `a_s` | `adapchp-SCP` (Fig. 3) | `A_S` |
+/// | `a_c` | `adapchp-CCP` | `A_C` |
+/// | `cscp` | ADT without DVS (ablation) | `A` |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// Static `sqrt(2C/λ)` CSCP interval at a fixed speed.
+    Poisson {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// DVS level index the scheme is pinned to.
+        speed: usize,
+    },
+    /// Static `sqrt(NC/k)` CSCP interval at a fixed speed.
+    KFaultTolerant {
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// DVS level index the scheme is pinned to.
+        speed: usize,
+    },
+    /// `A_D`: adaptive CSCP with DVS, no subdivision.
+    AdtDvs {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Sub-checkpoint count optimizer.
+        optimizer: OptimizerSpec,
+    },
+    /// `A_D_S`: adaptive CSCP + SCP subdivision with DVS (the proposal).
+    DvsScp {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Sub-checkpoint count optimizer.
+        optimizer: OptimizerSpec,
+    },
+    /// `A_D_C`: adaptive CSCP + CCP subdivision with DVS (the proposal).
+    DvsCcp {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Sub-checkpoint count optimizer.
+        optimizer: OptimizerSpec,
+    },
+    /// `A_S`: adaptive SCP subdivision at a fixed speed.
+    Scp {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Fixed DVS level index.
+        speed: usize,
+        /// Sub-checkpoint count optimizer.
+        optimizer: OptimizerSpec,
+    },
+    /// `A_C`: adaptive CCP subdivision at a fixed speed.
+    Ccp {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Fixed DVS level index.
+        speed: usize,
+        /// Sub-checkpoint count optimizer.
+        optimizer: OptimizerSpec,
+    },
+    /// `A`: adaptive CSCP interval at a fixed speed (ADT without DVS).
+    Cscp {
+        /// Assumed fault rate `λ`.
+        lambda: f64,
+        /// Fault-tolerance target `k`.
+        k: u32,
+        /// Fixed DVS level index.
+        speed: usize,
+    },
+}
+
+impl PolicySpec {
+    /// All eight scheme tags, in the order of the module table.
+    pub const TAGS: [&'static str; 8] = [
+        "poisson", "kft", "a_d", "a_d_s", "a_d_c", "a_s", "a_c", "cscp",
+    ];
+
+    /// The spec's tag (`a_d_s`, ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PolicySpec::Poisson { .. } => "poisson",
+            PolicySpec::KFaultTolerant { .. } => "kft",
+            PolicySpec::AdtDvs { .. } => "a_d",
+            PolicySpec::DvsScp { .. } => "a_d_s",
+            PolicySpec::DvsCcp { .. } => "a_d_c",
+            PolicySpec::Scp { .. } => "a_s",
+            PolicySpec::Ccp { .. } => "a_c",
+            PolicySpec::Cscp { .. } => "cscp",
+        }
+    }
+
+    /// The `Policy::name()` the built policy will report.
+    pub fn policy_name(&self) -> &'static str {
+        match self {
+            PolicySpec::Poisson { .. } => "Poisson",
+            PolicySpec::KFaultTolerant { .. } => "k-f-t",
+            PolicySpec::AdtDvs { .. } => "A_D",
+            PolicySpec::DvsScp { .. } => "A_D_S",
+            PolicySpec::DvsCcp { .. } => "A_D_C",
+            PolicySpec::Scp { .. } => "A_S",
+            PolicySpec::Ccp { .. } => "A_C",
+            PolicySpec::Cscp { .. } => "A",
+        }
+    }
+
+    /// Constructs the spec for a scheme tag with shared parameters — the
+    /// desugaring used by CLI flags (`--scheme a_d_s --lambda ... --k ...`).
+    pub fn from_tag(tag: &str, lambda: f64, k: u32, speed: usize) -> Result<Self, SpecError> {
+        let optimizer = OptimizerSpec::default();
+        Ok(match tag {
+            "poisson" => PolicySpec::Poisson { lambda, speed },
+            "kft" => PolicySpec::KFaultTolerant { k, speed },
+            "a_d" => PolicySpec::AdtDvs {
+                lambda,
+                k,
+                optimizer,
+            },
+            "a_d_s" => PolicySpec::DvsScp {
+                lambda,
+                k,
+                optimizer,
+            },
+            "a_d_c" => PolicySpec::DvsCcp {
+                lambda,
+                k,
+                optimizer,
+            },
+            "a_s" => PolicySpec::Scp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            },
+            "a_c" => PolicySpec::Ccp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            },
+            "cscp" => PolicySpec::Cscp { lambda, k, speed },
+            other => {
+                return Err(SpecError::unknown_kind(
+                    "policy",
+                    other,
+                    "poisson, kft, a_d, a_d_s, a_d_c, a_s, a_c, cscp",
+                ))
+            }
+        })
+    }
+
+    /// Builds a fresh policy instance.
+    ///
+    /// Policies are stateful across one run, so Monte-Carlo drivers call
+    /// this once per replication.
+    pub fn build(&self) -> Result<Box<dyn Policy>, SpecError> {
+        let check_lambda = |l: f64| -> Result<f64, SpecError> {
+            if l >= 0.0 && !l.is_nan() {
+                Ok(l)
+            } else {
+                Err(SpecError::invalid(format!(
+                    "policy lambda must be non-negative, got {l}"
+                )))
+            }
+        };
+        Ok(match *self {
+            PolicySpec::Poisson { lambda, speed } => {
+                if check_lambda(lambda)? <= 0.0 {
+                    return Err(SpecError::invalid(
+                        "the Poisson baseline needs a positive lambda (its interval is sqrt(2C/λ))",
+                    ));
+                }
+                Box::new(PoissonArrival::new(lambda, speed))
+            }
+            PolicySpec::KFaultTolerant { k, speed } => {
+                if k == 0 {
+                    return Err(SpecError::invalid("k-fault-tolerant requires k >= 1"));
+                }
+                Box::new(KFaultTolerant::new(k, speed))
+            }
+            PolicySpec::AdtDvs {
+                lambda,
+                k,
+                optimizer,
+            } => Box::new(
+                Adaptive::adt_dvs(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
+            ),
+            PolicySpec::DvsScp {
+                lambda,
+                k,
+                optimizer,
+            } => Box::new(
+                Adaptive::dvs_scp(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
+            ),
+            PolicySpec::DvsCcp {
+                lambda,
+                k,
+                optimizer,
+            } => Box::new(
+                Adaptive::dvs_ccp(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
+            ),
+            PolicySpec::Scp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            } => Box::new(
+                Adaptive::scp(check_lambda(lambda)?, k, speed).with_optimizer(optimizer.build()),
+            ),
+            PolicySpec::Ccp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            } => Box::new(
+                Adaptive::ccp(check_lambda(lambda)?, k, speed).with_optimizer(optimizer.build()),
+            ),
+            PolicySpec::Cscp { lambda, k, speed } => {
+                Box::new(Adaptive::cscp(check_lambda(lambda)?, k, speed))
+            }
+        })
+    }
+
+    /// The fault-tolerance target `k`, where the scheme has one.
+    pub fn k(&self) -> Option<u32> {
+        match *self {
+            PolicySpec::KFaultTolerant { k, .. }
+            | PolicySpec::AdtDvs { k, .. }
+            | PolicySpec::DvsScp { k, .. }
+            | PolicySpec::DvsCcp { k, .. }
+            | PolicySpec::Scp { k, .. }
+            | PolicySpec::Ccp { k, .. }
+            | PolicySpec::Cscp { k, .. } => Some(k),
+            PolicySpec::Poisson { .. } => None,
+        }
+    }
+
+    /// The fixed DVS level index, where the scheme is speed-pinned.
+    pub fn speed(&self) -> Option<usize> {
+        match *self {
+            PolicySpec::Poisson { speed, .. }
+            | PolicySpec::KFaultTolerant { speed, .. }
+            | PolicySpec::Scp { speed, .. }
+            | PolicySpec::Ccp { speed, .. }
+            | PolicySpec::Cscp { speed, .. } => Some(speed),
+            PolicySpec::AdtDvs { .. } | PolicySpec::DvsScp { .. } | PolicySpec::DvsCcp { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Overrides the assumed fault rate, where the scheme has one.
+    pub fn with_lambda(mut self, new_lambda: f64) -> Self {
+        match &mut self {
+            PolicySpec::Poisson { lambda, .. }
+            | PolicySpec::AdtDvs { lambda, .. }
+            | PolicySpec::DvsScp { lambda, .. }
+            | PolicySpec::DvsCcp { lambda, .. }
+            | PolicySpec::Scp { lambda, .. }
+            | PolicySpec::Ccp { lambda, .. }
+            | PolicySpec::Cscp { lambda, .. } => *lambda = new_lambda,
+            PolicySpec::KFaultTolerant { .. } => {}
+        }
+        self
+    }
+
+    /// Overrides the fault-tolerance target, where the scheme has one.
+    pub fn with_k(mut self, new_k: u32) -> Self {
+        match &mut self {
+            PolicySpec::KFaultTolerant { k, .. }
+            | PolicySpec::AdtDvs { k, .. }
+            | PolicySpec::DvsScp { k, .. }
+            | PolicySpec::DvsCcp { k, .. }
+            | PolicySpec::Scp { k, .. }
+            | PolicySpec::Ccp { k, .. }
+            | PolicySpec::Cscp { k, .. } => *k = new_k,
+            PolicySpec::Poisson { .. } => {}
+        }
+        self
+    }
+}
+
+impl ToJson for PolicySpec {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = vec![("kind", self.tag().into())];
+        match *self {
+            PolicySpec::Poisson { lambda, speed } => {
+                fields.push(("lambda", lambda.into()));
+                fields.push(("speed", speed.into()));
+            }
+            PolicySpec::KFaultTolerant { k, speed } => {
+                fields.push(("k", k.into()));
+                fields.push(("speed", speed.into()));
+            }
+            PolicySpec::AdtDvs {
+                lambda,
+                k,
+                optimizer,
+            }
+            | PolicySpec::DvsScp {
+                lambda,
+                k,
+                optimizer,
+            }
+            | PolicySpec::DvsCcp {
+                lambda,
+                k,
+                optimizer,
+            } => {
+                fields.push(("lambda", lambda.into()));
+                fields.push(("k", k.into()));
+                fields.push(("optimizer", optimizer.tag().into()));
+            }
+            PolicySpec::Scp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            }
+            | PolicySpec::Ccp {
+                lambda,
+                k,
+                speed,
+                optimizer,
+            } => {
+                fields.push(("lambda", lambda.into()));
+                fields.push(("k", k.into()));
+                fields.push(("speed", speed.into()));
+                fields.push(("optimizer", optimizer.tag().into()));
+            }
+            PolicySpec::Cscp { lambda, k, speed } => {
+                fields.push(("lambda", lambda.into()));
+                fields.push(("k", k.into()));
+                fields.push(("speed", speed.into()));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for PolicySpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let kind = json.req("kind")?.as_str()?;
+        let lambda = || json.req("lambda")?.as_f64();
+        let k = || json.req("k")?.as_u32();
+        let speed = || json.get("speed").map_or(Ok(0), Json::as_usize);
+        let optimizer = || -> Result<OptimizerSpec, SpecError> {
+            match json.get("optimizer") {
+                None => Ok(OptimizerSpec::default()),
+                Some(v) => OptimizerSpec::from_tag(v.as_str()?),
+            }
+        };
+        Ok(match kind {
+            "poisson" => PolicySpec::Poisson {
+                lambda: lambda()?,
+                speed: speed()?,
+            },
+            "kft" => PolicySpec::KFaultTolerant {
+                k: k()?,
+                speed: speed()?,
+            },
+            "a_d" => PolicySpec::AdtDvs {
+                lambda: lambda()?,
+                k: k()?,
+                optimizer: optimizer()?,
+            },
+            "a_d_s" => PolicySpec::DvsScp {
+                lambda: lambda()?,
+                k: k()?,
+                optimizer: optimizer()?,
+            },
+            "a_d_c" => PolicySpec::DvsCcp {
+                lambda: lambda()?,
+                k: k()?,
+                optimizer: optimizer()?,
+            },
+            "a_s" => PolicySpec::Scp {
+                lambda: lambda()?,
+                k: k()?,
+                speed: speed()?,
+                optimizer: optimizer()?,
+            },
+            "a_c" => PolicySpec::Ccp {
+                lambda: lambda()?,
+                k: k()?,
+                speed: speed()?,
+                optimizer: optimizer()?,
+            },
+            "cscp" => PolicySpec::Cscp {
+                lambda: lambda()?,
+                k: k()?,
+                speed: speed()?,
+            },
+            other => {
+                return Err(SpecError::unknown_kind(
+                    "policy",
+                    other,
+                    "poisson, kft, a_d, a_d_s, a_d_c, a_s, a_c, cscp",
+                ))
+            }
+        })
+    }
+}
+
+/// Monte-Carlo replication parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSpec {
+    /// Number of independent replications.
+    pub replications: u64,
+    /// Base seed (replication seeds derive deterministically from it).
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for McSpec {
+    fn default() -> Self {
+        Self {
+            replications: 2_000,
+            seed: 2006,
+            threads: 0,
+        }
+    }
+}
+
+impl McSpec {
+    /// Builds the [`MonteCarlo`] runner.
+    pub fn build(&self) -> Result<MonteCarlo, SpecError> {
+        if self.replications == 0 {
+            return Err(SpecError::invalid("replications must be positive"));
+        }
+        Ok(MonteCarlo::new(self.replications)
+            .with_seed(self.seed)
+            .with_threads(self.threads))
+    }
+}
+
+impl ToJson for McSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("replications", self.replications.into()),
+            ("seed", self.seed.into()),
+            ("threads", self.threads.into()),
+        ])
+    }
+}
+
+impl FromJson for McSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let d = McSpec::default();
+        Ok(Self {
+            replications: json
+                .get("replications")
+                .map_or(Ok(d.replications), Json::as_u64)?,
+            seed: json.get("seed").map_or(Ok(d.seed), Json::as_u64)?,
+            threads: json.get("threads").map_or(Ok(d.threads), Json::as_usize)?,
+        })
+    }
+}
+
+/// Executor semantics switches (mirrors [`ExecutorOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecSpec {
+    /// Whether faults can strike during checkpoint/rollback operations.
+    pub faults_during_overhead: bool,
+    /// Stop once the deadline has passed.
+    pub stop_at_deadline: bool,
+    /// Safety cap on executed operations.
+    pub max_operations: u64,
+    /// Zero-progress rounds tolerated before flagging an anomaly.
+    pub max_stalled_rounds: u32,
+}
+
+impl Default for ExecSpec {
+    fn default() -> Self {
+        let d = ExecutorOptions::default();
+        Self {
+            faults_during_overhead: d.faults_during_overhead,
+            stop_at_deadline: d.stop_at_deadline,
+            max_operations: d.max_operations,
+            max_stalled_rounds: d.max_stalled_rounds,
+        }
+    }
+}
+
+impl ExecSpec {
+    /// The analysis-faithful model the paper's tables use (faults only
+    /// during useful computation).
+    pub fn paper() -> Self {
+        Self {
+            faults_during_overhead: false,
+            ..Self::default()
+        }
+    }
+
+    /// Spec for existing executor options (used when deriving specs from
+    /// legacy call sites).
+    pub fn from_options(options: &ExecutorOptions) -> Self {
+        Self {
+            faults_during_overhead: options.faults_during_overhead,
+            stop_at_deadline: options.stop_at_deadline,
+            max_operations: options.max_operations,
+            max_stalled_rounds: options.max_stalled_rounds,
+        }
+    }
+
+    /// Builds the [`ExecutorOptions`].
+    pub fn build(&self) -> Result<ExecutorOptions, SpecError> {
+        if self.max_operations == 0 {
+            return Err(SpecError::invalid("max_operations must be positive"));
+        }
+        Ok(ExecutorOptions {
+            max_operations: self.max_operations,
+            max_stalled_rounds: self.max_stalled_rounds,
+            faults_during_overhead: self.faults_during_overhead,
+            stop_at_deadline: self.stop_at_deadline,
+        })
+    }
+}
+
+impl ToJson for ExecSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("faults_during_overhead", self.faults_during_overhead.into()),
+            ("stop_at_deadline", self.stop_at_deadline.into()),
+            ("max_operations", self.max_operations.into()),
+            ("max_stalled_rounds", self.max_stalled_rounds.into()),
+        ])
+    }
+}
+
+impl FromJson for ExecSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let d = ExecSpec::default();
+        Ok(Self {
+            faults_during_overhead: json
+                .get("faults_during_overhead")
+                .map_or(Ok(d.faults_during_overhead), Json::as_bool)?,
+            stop_at_deadline: json
+                .get("stop_at_deadline")
+                .map_or(Ok(d.stop_at_deadline), Json::as_bool)?,
+            max_operations: json
+                .get("max_operations")
+                .map_or(Ok(d.max_operations), Json::as_u64)?,
+            max_stalled_rounds: json
+                .get("max_stalled_rounds")
+                .map_or(Ok(d.max_stalled_rounds), Json::as_u32)?,
+        })
+    }
+}
+
+/// The top-level experiment description: everything needed to reproduce one
+/// Monte-Carlo cell, bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name.
+    pub name: String,
+    /// The simulated world.
+    pub scenario: ScenarioSpec,
+    /// The injected fault process.
+    pub faults: FaultSpec,
+    /// The checkpointing scheme under test.
+    pub policy: PolicySpec,
+    /// Replication parameters.
+    pub mc: McSpec,
+    /// Executor semantics.
+    pub executor: ExecSpec,
+}
+
+impl ExperimentSpec {
+    /// A fully-defaulted experiment at the paper's nominal operating point
+    /// (Table 1(a) first row, proposed scheme).
+    pub fn paper_nominal() -> Self {
+        Self {
+            name: "paper-nominal".to_owned(),
+            scenario: ScenarioSpec::paper_nominal(),
+            faults: FaultSpec::Poisson { lambda: 1.4e-3 },
+            policy: PolicySpec::DvsScp {
+                lambda: 1.4e-3,
+                k: 5,
+                optimizer: OptimizerSpec::default(),
+            },
+            mc: McSpec::default(),
+            executor: ExecSpec::paper(),
+        }
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Serializes the spec as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Reads a spec file.
+    pub fn load(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_json_str(&text)
+    }
+
+    /// Writes the spec as a JSON file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SpecError> {
+        std::fs::write(path, self.to_json_string())
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Validates every component by building it once.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.scenario.build()?;
+        self.faults.build(0)?;
+        self.policy.build()?;
+        self.mc.build()?;
+        self.executor.build()?;
+        Ok(())
+    }
+}
+
+impl ToJson for ExperimentSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.as_str().into()),
+            ("scenario", self.scenario.to_json()),
+            ("faults", self.faults.to_json()),
+            ("policy", self.policy.to_json()),
+            ("mc", self.mc.to_json()),
+            ("executor", self.executor.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(Self {
+            name: json
+                .get("name")
+                .map_or(Ok("unnamed"), Json::as_str)?
+                .to_owned(),
+            scenario: ScenarioSpec::from_json(json.req("scenario")?)?,
+            faults: FaultSpec::from_json(json.req("faults")?)?,
+            policy: PolicySpec::from_json(json.req("policy")?)?,
+            mc: json
+                .get("mc")
+                .map_or_else(|| Ok(McSpec::default()), McSpec::from_json)?,
+            executor: json
+                .get("executor")
+                .map_or_else(|| Ok(ExecSpec::default()), ExecSpec::from_json)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_tag_builds_with_matching_name() {
+        for tag in PolicySpec::TAGS {
+            let spec = PolicySpec::from_tag(tag, 1.4e-3, 5, 0).unwrap();
+            assert_eq!(spec.tag(), tag);
+            let policy = spec.build().unwrap();
+            assert_eq!(policy.name(), spec.policy_name(), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn unknown_policy_tag_is_rejected() {
+        let err = PolicySpec::from_tag("nope", 1e-3, 5, 0).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn scenario_spec_builds_paper_scenario() {
+        let s = ScenarioSpec::paper_nominal().build().unwrap();
+        assert_eq!(s.task.work_cycles, 7600.0);
+        assert_eq!(s.task.deadline, 10_000.0);
+        assert_eq!(s.costs.cscp_cycles(), 22.0);
+        assert_eq!(s.processors, 2);
+    }
+
+    #[test]
+    fn invalid_values_error_instead_of_panicking() {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.scenario.work = WorkSpec::Cycles {
+            work_cycles: -1.0,
+            deadline: 100.0,
+        };
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+
+        let mc = McSpec {
+            replications: 0,
+            ..McSpec::default()
+        };
+        assert!(mc.build().is_err());
+
+        let dvs = DvsSpec::Levels { levels: vec![] };
+        assert!(dvs.build().is_err());
+
+        let costs = CostsSpec::Explicit {
+            store: 0.0,
+            compare: 0.0,
+            rollback: 0.0,
+        };
+        assert!(costs.build().is_err());
+    }
+
+    #[test]
+    fn experiment_spec_round_trips_through_json() {
+        let spec = ExperimentSpec::paper_nominal();
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips() {
+        let faults = [
+            FaultSpec::Poisson { lambda: 1.4e-3 },
+            FaultSpec::Deterministic {
+                times: vec![1.0, 2.5, 10.0],
+            },
+            FaultSpec::Weibull {
+                shape: 0.7,
+                scale: 800.0,
+            },
+            FaultSpec::Burst {
+                quiet_rate: 1e-4,
+                burst_rate: 5e-2,
+                mean_quiet_dwell: 9_000.0,
+                mean_burst_dwell: 600.0,
+            },
+            FaultSpec::Phased {
+                phases: vec![(900.0, 0.0), (100.0, 0.05)],
+                repeat: true,
+            },
+        ];
+        for f in faults {
+            let back = FaultSpec::from_json(&f.to_json()).unwrap();
+            assert_eq!(f, back);
+            f.build(7).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_policy_kind_round_trips() {
+        for tag in PolicySpec::TAGS {
+            let spec = PolicySpec::from_tag(tag, 2e-4, 3, 1).unwrap();
+            let back = PolicySpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn missing_fields_default_sanely() {
+        let text = r#"{
+            "scenario": {"work": {"kind": "utilization", "utilization": 0.8, "deadline": 10000}},
+            "faults": {"kind": "poisson", "lambda": 0.001},
+            "policy": {"kind": "a_d", "lambda": 0.001, "k": 5}
+        }"#;
+        let spec = ExperimentSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.name, "unnamed");
+        assert_eq!(spec.mc, McSpec::default());
+        assert_eq!(spec.scenario.processors, 2);
+        assert_eq!(spec.scenario.costs, CostsSpec::PaperScp);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_streams_are_seed_deterministic() {
+        let spec = FaultSpec::Poisson { lambda: 1e-3 };
+        let mut a = spec.build(42).unwrap();
+        let mut b = spec.build(42).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.next_fault(), b.next_fault());
+        }
+        let mut c = spec.build(43).unwrap();
+        assert_ne!(a.next_fault(), c.next_fault());
+    }
+
+    #[test]
+    fn lambda_and_k_overrides_apply_where_present() {
+        let p = PolicySpec::from_tag("a_d_s", 1e-3, 5, 0).unwrap();
+        let p = p.with_lambda(2e-3).with_k(3);
+        match p {
+            PolicySpec::DvsScp { lambda, k, .. } => {
+                assert_eq!(lambda, 2e-3);
+                assert_eq!(k, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // kft has no lambda; with_lambda is a no-op there.
+        let kft = PolicySpec::from_tag("kft", 1e-3, 5, 0)
+            .unwrap()
+            .with_lambda(9.0);
+        assert_eq!(kft, PolicySpec::KFaultTolerant { k: 5, speed: 0 });
+    }
+}

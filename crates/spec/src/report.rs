@@ -1,0 +1,277 @@
+//! Serializable result schema: the JSON mirror of
+//! [`eacp_sim::Summary`], plus the experiment driver that produces it.
+//!
+//! `spec + seed → identical Summary` is the reproducibility contract: the
+//! report embeds the spec that produced it, so a report file is a complete,
+//! re-runnable record of an experiment.
+
+use crate::error::SpecError;
+use crate::json::{FromJson, Json, ToJson};
+use crate::model::ExperimentSpec;
+use eacp_numerics::OnlineStats;
+use eacp_sim::Summary;
+
+/// Snapshot of one [`OnlineStats`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsReport {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean (NaN when `count == 0`).
+    pub mean: f64,
+    /// Population variance (NaN when `count == 0`).
+    pub variance: f64,
+    /// Minimum observation (NaN when `count == 0`).
+    pub min: f64,
+    /// Maximum observation (NaN when `count == 0`).
+    pub max: f64,
+}
+
+impl StatsReport {
+    /// Snapshots an accumulator.
+    pub fn from_stats(s: &OnlineStats) -> Self {
+        Self {
+            count: s.count(),
+            mean: s.mean(),
+            variance: s.population_variance(),
+            min: s.min(),
+            max: s.max(),
+        }
+    }
+}
+
+impl ToJson for StatsReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.into()),
+            ("mean", self.mean.into()),
+            ("variance", self.variance.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+        ])
+    }
+}
+
+impl FromJson for StatsReport {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(Self {
+            count: json.req("count")?.as_u64()?,
+            mean: json.req("mean")?.as_f64()?,
+            variance: json.req("variance")?.as_f64()?,
+            min: json.req("min")?.as_f64()?,
+            max: json.req("max")?.as_f64()?,
+        })
+    }
+}
+
+/// The serializable mirror of a Monte-Carlo [`Summary`].
+///
+/// `p_timely` and the 95% Wilson interval are derived quantities, embedded
+/// so report consumers (plots, dashboards, CI gates) need no simulator code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryReport {
+    /// Total replications.
+    pub replications: u64,
+    /// Replications completing at or before the deadline.
+    pub timely: u64,
+    /// Replications completing at all.
+    pub completed: u64,
+    /// Replications aborted by the policy.
+    pub aborted: u64,
+    /// Executor anomalies (must be 0 for healthy policies).
+    pub anomalies: u64,
+    /// The paper's `P`.
+    pub p_timely: f64,
+    /// 95% Wilson confidence interval on `P`.
+    pub p_timely_ci95: (f64, f64),
+    /// Energy over timely replications (the paper's `E`; NaN when `P = 0`).
+    pub energy_timely: StatsReport,
+    /// Energy over all replications.
+    pub energy_all: StatsReport,
+    /// Completion time over timely replications.
+    pub finish_timely: StatsReport,
+    /// Faults per replication.
+    pub faults: StatsReport,
+    /// Rollbacks per replication.
+    pub rollbacks: StatsReport,
+    /// Checkpoints (all kinds) per replication.
+    pub checkpoints: StatsReport,
+    /// Fraction of cycles at the fastest speed, per replication.
+    pub fast_fraction: StatsReport,
+}
+
+impl SummaryReport {
+    /// Builds the report from a Monte-Carlo aggregate.
+    pub fn from_summary(s: &Summary) -> Self {
+        let (lo, hi) = s.p_timely_ci(1.96);
+        Self {
+            replications: s.replications,
+            timely: s.timely,
+            completed: s.completed,
+            aborted: s.aborted,
+            anomalies: s.anomalies,
+            p_timely: s.p_timely(),
+            p_timely_ci95: (lo, hi),
+            energy_timely: StatsReport::from_stats(&s.energy_timely),
+            energy_all: StatsReport::from_stats(&s.energy_all),
+            finish_timely: StatsReport::from_stats(&s.finish_timely),
+            faults: StatsReport::from_stats(&s.faults),
+            rollbacks: StatsReport::from_stats(&s.rollbacks),
+            checkpoints: StatsReport::from_stats(&s.checkpoints),
+            fast_fraction: StatsReport::from_stats(&s.fast_fraction),
+        }
+    }
+}
+
+impl ToJson for SummaryReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("replications", self.replications.into()),
+            ("timely", self.timely.into()),
+            ("completed", self.completed.into()),
+            ("aborted", self.aborted.into()),
+            ("anomalies", self.anomalies.into()),
+            ("p_timely", self.p_timely.into()),
+            (
+                "p_timely_ci95",
+                Json::Array(vec![
+                    self.p_timely_ci95.0.into(),
+                    self.p_timely_ci95.1.into(),
+                ]),
+            ),
+            ("energy_timely", self.energy_timely.to_json()),
+            ("energy_all", self.energy_all.to_json()),
+            ("finish_timely", self.finish_timely.to_json()),
+            ("faults", self.faults.to_json()),
+            ("rollbacks", self.rollbacks.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("fast_fraction", self.fast_fraction.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SummaryReport {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let ci = json.req("p_timely_ci95")?.as_array()?;
+        if ci.len() != 2 {
+            return Err(SpecError::invalid("p_timely_ci95 must be a [lo, hi] pair"));
+        }
+        Ok(Self {
+            replications: json.req("replications")?.as_u64()?,
+            timely: json.req("timely")?.as_u64()?,
+            completed: json.req("completed")?.as_u64()?,
+            aborted: json.req("aborted")?.as_u64()?,
+            anomalies: json.req("anomalies")?.as_u64()?,
+            p_timely: json.req("p_timely")?.as_f64()?,
+            p_timely_ci95: (ci[0].as_f64()?, ci[1].as_f64()?),
+            energy_timely: StatsReport::from_json(json.req("energy_timely")?)?,
+            energy_all: StatsReport::from_json(json.req("energy_all")?)?,
+            finish_timely: StatsReport::from_json(json.req("finish_timely")?)?,
+            faults: StatsReport::from_json(json.req("faults")?)?,
+            rollbacks: StatsReport::from_json(json.req("rollbacks")?)?,
+            checkpoints: StatsReport::from_json(json.req("checkpoints")?)?,
+            fast_fraction: StatsReport::from_json(json.req("fast_fraction")?)?,
+        })
+    }
+}
+
+/// The result of running one [`ExperimentSpec`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The spec that produced this result (embedded for provenance).
+    pub spec: ExperimentSpec,
+    /// The `Policy::name()` of the scheme that ran.
+    pub policy_name: String,
+    /// The serializable aggregate.
+    pub summary: SummaryReport,
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("policy", self.policy_name.as_str().into()),
+            ("summary", self.summary.to_json()),
+        ])
+    }
+}
+
+/// Runs an experiment spec end to end, returning both the exact in-memory
+/// [`Summary`] (for bit-identical comparisons) and the serializable report.
+pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
+    let scenario = spec.scenario.build()?;
+    let options = spec.executor.build()?;
+    let mc = spec.mc.build()?;
+    // Validate the policy and fault specs once up front so a bad spec fails
+    // with an error instead of panicking inside a worker thread.
+    let policy_name = spec.policy.build()?.name().to_owned();
+    spec.faults.build(0)?;
+
+    let policy = &spec.policy;
+    let faults = &spec.faults;
+    let summary = mc.run(
+        &scenario,
+        options,
+        |_| policy.build().expect("validated above"),
+        |seed| faults.build(seed).expect("validated above"),
+    );
+    let report = RunReport {
+        spec: spec.clone(),
+        policy_name,
+        summary: SummaryReport::from_summary(&summary),
+    };
+    Ok((summary, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FaultSpec, McSpec};
+
+    fn small_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: 120,
+            seed: 9,
+            threads: 0,
+        };
+        spec
+    }
+
+    #[test]
+    fn run_produces_consistent_summary_and_report() {
+        let spec = small_spec();
+        let (summary, report) = run(&spec).unwrap();
+        assert_eq!(summary.replications, 120);
+        assert_eq!(report.summary.replications, 120);
+        assert_eq!(report.summary.p_timely, summary.p_timely());
+        assert_eq!(report.policy_name, "A_D_S");
+        assert_eq!(report.spec, spec);
+        assert_eq!(summary.anomalies, 0);
+    }
+
+    #[test]
+    fn identical_specs_give_bit_identical_summaries() {
+        let spec = small_spec();
+        let (a, _) = run(&spec).unwrap();
+        let (b, _) = run(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_report_round_trips_through_json() {
+        let (_, report) = run(&small_spec()).unwrap();
+        let json = report.summary.to_json();
+        let back = SummaryReport::from_json(&Json::parse(&json.pretty()).unwrap()).unwrap();
+        // NaN fields (empty stats) compare unequal; compare via JSON text,
+        // which canonicalizes NaN to null.
+        assert_eq!(json.pretty(), back.to_json().pretty());
+        assert_eq!(report.summary.timely, back.timely);
+    }
+
+    #[test]
+    fn bad_spec_is_an_error_not_a_panic() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec::Poisson { lambda: f64::NAN };
+        assert!(run(&spec).is_err());
+    }
+}

@@ -4,47 +4,48 @@
 //!
 //! A battery-powered instrument can trade deadline slack for energy: with
 //! a looser deadline the adaptive scheme rides the low-voltage level; as
-//! the deadline tightens it upshifts. This example sweeps the deadline for
-//! a fixed workload and reports energy, the fraction of cycles at `f2`,
-//! and the effective "battery frames per charge" for a hypothetical
-//! 100 MJ-equivalent budget.
+//! the deadline tightens it upshifts. This example starts from the
+//! `battery-budget` preset, patches the deadline across a slack range, and
+//! reports energy, the fraction of cycles at `f2`, and the effective
+//! "battery frames per charge" for a hypothetical 100 MJ-equivalent budget.
 //!
 //! ```text
 //! cargo run --release --example battery_budget
 //! ```
 
-use eacp::core::policies::Adaptive;
-use eacp::energy::DvsConfig;
-use eacp::faults::PoissonProcess;
-use eacp::sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eacp::spec::{preset, FaultSpec, McSpec, PolicySpec, WorkSpec};
 
 const WORK_CYCLES: f64 = 7_600.0;
 const LAMBDA: f64 = 1.4e-3;
 const BUDGET: f64 = 100.0e6;
 
 fn main() {
+    // The named preset is the reproducible anchor; this example varies its
+    // deadline only (the preset's own operating point is lighter).
+    let mut base = preset("battery-budget").expect("built-in preset");
+    base.faults = FaultSpec::Poisson { lambda: LAMBDA };
+    base.policy = PolicySpec::from_tag("a_d_s", LAMBDA, 5, 0).expect("known tag");
+    base.mc = McSpec {
+        replications: 2_000,
+        seed: 5,
+        threads: 0,
+    };
+
     println!("Workload: N = {WORK_CYCLES} cycles, λ = {LAMBDA}, k = 5, DMR pair");
     println!(
         "\n{:>10} {:>9} {:>11} {:>11} {:>13} {:>14}",
         "deadline", "P", "E(mean)", "f2-share", "frames/charge", "note"
     );
-    let mc = MonteCarlo::new(2_000).with_seed(5);
     for &deadline in &[
         8_200.0, 8_800.0, 9_400.0, 10_000.0, 11_000.0, 12_500.0, 15_000.0, 20_000.0, 40_000.0,
     ] {
-        let scenario = Scenario::new(
-            TaskSpec::new(WORK_CYCLES, deadline),
-            CheckpointCosts::paper_scp_variant(),
-            DvsConfig::paper_default(),
-        );
-        let summary = mc.run(
-            &scenario,
-            ExecutorOptions::default(),
-            |_| Adaptive::dvs_scp(LAMBDA, 5),
-            |seed| PoissonProcess::new(LAMBDA, StdRng::seed_from_u64(seed)),
-        );
+        let mut spec = base.clone();
+        spec.name = format!("battery-budget-d{deadline}");
+        spec.scenario.work = WorkSpec::Cycles {
+            work_cycles: WORK_CYCLES,
+            deadline,
+        };
+        let (summary, _) = eacp::spec::run(&spec).expect("valid experiment spec");
         let e = summary.mean_energy_timely();
         let frames = if e.is_nan() { 0.0 } else { BUDGET / e };
         let share = summary.fast_fraction.mean();

@@ -6,12 +6,10 @@
 //! cargo run --release --example periodic_taskset
 //! ```
 
-use eacp::core::policies::Adaptive;
-use eacp::energy::DvsConfig;
 use eacp::rtsched::executive::{run_executive, ExecutiveConfig};
 use eacp::rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
 use eacp::rtsched::{PeriodicTask, TaskSet};
-use eacp::sim::CheckpointCosts;
+use eacp::spec::{CostsSpec, DvsSpec, PolicySpec};
 
 fn main() {
     let set = TaskSet::new(vec![
@@ -19,7 +17,9 @@ fn main() {
         PeriodicTask::new("sensor-fusion", 1_400.0, 10_000, 10_000),
         PeriodicTask::new("telemetry-downlink", 2_600.0, 20_000, 20_000),
     ]);
-    let costs = CheckpointCosts::paper_scp_variant();
+    // Checkpoint costs and the DVS table come from the same spec layer the
+    // CLI and the experiments harness build from.
+    let costs = CostsSpec::PaperScp.build().expect("valid costs spec");
     let k = 2;
 
     println!("== Task set ==");
@@ -62,12 +62,16 @@ fn main() {
     let config = ExecutiveConfig {
         set: &set,
         costs,
-        dvs: DvsConfig::paper_default(),
+        dvs: DvsSpec::PaperDefault.build().expect("valid DVS spec"),
         lambda: 5e-4,
         hyperperiods: 5,
         seed: 13,
     };
-    let report = run_executive(&config, |_, lambda| Box::new(Adaptive::dvs_scp(lambda, k)));
+    let report = run_executive(&config, |_, lambda| {
+        PolicySpec::from_tag("a_d_s", lambda, k, 0)
+            .and_then(|p| p.build())
+            .expect("valid policy spec")
+    });
     println!(
         "{} jobs, {} deadline misses (miss ratio {:.3}), total energy {:.0}",
         report.jobs.len(),

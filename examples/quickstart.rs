@@ -1,6 +1,10 @@
 //! Quickstart: run every scheme of the paper once on the nominal operating
 //! point (Table 1(a), U = 0.76, λ = 0.0014, k = 5) and print a comparison.
 //!
+//! Everything is constructed through the declarative spec layer: the same
+//! [`eacp::spec::ExperimentSpec`] documents printed at the end can be saved
+//! to a file and replayed with `eacp mc --spec file.json` — bit for bit.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
@@ -9,12 +13,9 @@ use eacp::core::analysis::{
     checkpoint_interval_with_branch, estimated_completion_time, num_scp, IntervalInputs,
     OptimizeMethod, RenewalParams,
 };
-use eacp::core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
-use eacp::energy::DvsConfig;
 use eacp::faults::PoissonProcess;
-use eacp::sim::{
-    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
-};
+use eacp::sim::Executor;
+use eacp::spec::{paper_cell, PaperScheme, PolicySpec, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,11 +23,9 @@ fn main() {
     // The paper's SCP experiment: D = 10000, ts = 2, tcp = 20, c = 22.
     let lambda = 0.0014;
     let k = 5;
-    let scenario = Scenario::new(
-        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
-        CheckpointCosts::paper_scp_variant(),
-        DvsConfig::paper_default(),
-    );
+    let scenario = ScenarioSpec::paper_nominal()
+        .build()
+        .expect("the paper's nominal scenario is valid");
 
     println!("== Analysis at the initial planning point ==");
     let rd = scenario.task.deadline;
@@ -54,18 +53,15 @@ fn main() {
     println!("interval() = {itv:.1} time units via {branch:?}; num_SCP -> m = {m}");
 
     println!("\n== One seeded run per scheme ==");
-    let schemes: Vec<(&str, Box<dyn Policy>)> = vec![
-        ("Poisson", Box::new(PoissonArrival::new(lambda, 0))),
-        ("k-f-t", Box::new(KFaultTolerant::new(k, 0))),
-        ("A_D", Box::new(Adaptive::adt_dvs(lambda, k))),
-        ("A_D_S", Box::new(Adaptive::dvs_scp(lambda, k))),
-    ];
-    for (name, mut policy) in schemes {
+    for tag in ["poisson", "kft", "a_d", "a_d_s"] {
+        let policy_spec = PolicySpec::from_tag(tag, lambda, k, 0).expect("known tag");
+        let mut policy = policy_spec.build().expect("valid policy spec");
         let mut faults = PoissonProcess::new(lambda, StdRng::seed_from_u64(2006));
         let out = Executor::new(&scenario).run(&mut *policy, &mut faults);
         println!(
-            "{name:<8} timely={} finish={:>8.1} energy={:>8.0} faults={:>2} rollbacks={:>2} \
+            "{:<8} timely={} finish={:>8.1} energy={:>8.0} faults={:>2} rollbacks={:>2} \
              checkpoints={:>3} fast-fraction={:.2}",
+            policy_spec.policy_name(),
             out.timely as u8,
             out.finish_time,
             out.energy,
@@ -77,38 +73,30 @@ fn main() {
     }
 
     println!("\n== Monte-Carlo (2000 replications, like a paper table cell) ==");
-    let mc = MonteCarlo::new(2000).with_seed(42);
-    for name in ["Poisson", "A_D", "A_D_S"] {
-        let summary = mc.run(
-            &scenario,
-            ExecutorOptions {
-                faults_during_overhead: false, // the paper's fault model
-                ..ExecutorOptions::default()
-            },
-            |_| -> Box<dyn Policy> {
-                match name {
-                    "Poisson" => Box::new(PoissonArrival::new(lambda, 0)),
-                    "A_D" => Box::new(Adaptive::adt_dvs(lambda, k)),
-                    _ => Box::new(Adaptive::dvs_scp(lambda, k)),
-                }
-            },
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
+    let schemes = [
+        (PaperScheme::Poisson, "0.1185", "39015"),
+        (PaperScheme::AdtDvs, "0.9991", "57564"),
+        (PaperScheme::Proposed, "0.9999", "52863"),
+    ];
+    let mut last_spec_json = String::new();
+    for (scheme, paper_p, paper_e) in schemes {
+        // One declarative document describes the whole cell...
+        let mut spec =
+            paper_cell(1, 0.76, lambda, k, scheme).expect("table 1 cell specs are valid");
+        spec.mc.seed = 42;
+        // ...and running it is one call.
+        let (summary, report) = eacp::spec::run(&spec).expect("valid experiment spec");
         let (lo, hi) = summary.p_timely_ci(1.96);
         println!(
-            "{name:<8} P = {:.4} [{lo:.4}, {hi:.4}]   E = {:>8.0}   (paper: P = {}, E = {})",
+            "{:<8} P = {:.4} [{lo:.4}, {hi:.4}]   E = {:>8.0}   (paper: P = {paper_p}, E = {paper_e})",
+            report.policy_name,
             summary.p_timely(),
             summary.mean_energy_timely(),
-            match name {
-                "Poisson" => "0.1185",
-                "A_D" => "0.9991",
-                _ => "0.9999",
-            },
-            match name {
-                "Poisson" => "39015",
-                "A_D" => "57564",
-                _ => "52863",
-            },
         );
+        last_spec_json = spec.to_json_string();
     }
+
+    println!("\n== The last cell above, as a replayable spec document ==");
+    println!("(save as cell.json and reproduce with: eacp mc --spec cell.json)\n");
+    print!("{last_spec_json}");
 }

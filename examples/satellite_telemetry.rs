@@ -6,45 +6,44 @@
 //! on a battery budget. We sweep the environment from benign to hostile —
 //! including a *bursty* (Markov-modulated) environment the Poisson-based
 //! analysis does not model — and compare the static Poisson baseline
-//! against the paper's `A_D_S`.
+//! against the paper's `A_D_S`. The whole grid is one declarative
+//! [`eacp::spec::SweepSpec`] per scheme.
 //!
 //! ```text
 //! cargo run --release --example satellite_telemetry
 //! ```
 
-use eacp::core::policies::{Adaptive, PoissonArrival};
-use eacp::energy::DvsConfig;
-use eacp::faults::{BurstProcess, FaultProcess, PoissonProcess};
-use eacp::sim::{
-    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
-};
+use eacp::faults::FaultProcess;
+use eacp::sim::Executor;
+use eacp::spec::{preset, ExperimentSpec, FaultSpec, McSpec, PolicySpec, SweepAxis, SweepSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const REPS: u64 = 2_000;
+const LAMBDAS: [f64; 6] = [1e-5, 1e-4, 5e-4, 1e-3, 1.4e-3, 2e-3];
 
-fn scenario() -> Scenario {
-    Scenario::new(
-        // One telemetry frame: 7600 cycles of compression work, 10 ms
-        // frame deadline (normalized units).
-        TaskSpec::from_utilization(0.76, 1.0, 10_000.0),
-        CheckpointCosts::paper_scp_variant(),
-        DvsConfig::paper_default(),
-    )
+/// The `satellite-telemetry` preset pinned to this example's replication
+/// budget, with the scheme and (Poisson) environment swapped in.
+fn base(scheme_tag: &str) -> ExperimentSpec {
+    let mut spec = preset("satellite-telemetry").expect("built-in preset");
+    spec.name = format!("telemetry-{scheme_tag}");
+    spec.scenario.work = eacp::spec::WorkSpec::Utilization {
+        utilization: 0.76,
+        speed: 1.0,
+        deadline: 10_000.0,
+    };
+    spec.faults = FaultSpec::Poisson { lambda: 1.4e-3 };
+    spec.policy = PolicySpec::from_tag(scheme_tag, 1.4e-3, 5, 0).expect("known tag");
+    spec.mc = McSpec {
+        replications: REPS,
+        seed: 99,
+        threads: 0,
+    };
+    spec
 }
 
-fn run<Q, FQ>(make_policy: impl Fn() -> Box<dyn Policy> + Sync, fault_factory: FQ) -> (f64, f64)
-where
-    Q: FaultProcess,
-    FQ: Fn(u64) -> Q + Sync,
-{
-    let s = scenario();
-    let summary = MonteCarlo::new(REPS).with_seed(99).run(
-        &s,
-        ExecutorOptions::default(),
-        |_| make_policy(),
-        fault_factory,
-    );
+fn p_and_e(spec: &ExperimentSpec) -> (f64, f64) {
+    let (summary, _) = eacp::spec::run(spec).expect("valid experiment spec");
     (summary.p_timely(), summary.mean_energy_timely())
 }
 
@@ -55,30 +54,56 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "lambda", "P(static)", "E(static)", "P(A_D_S)", "E(A_D_S)"
     );
-    for &lambda in &[1e-5, 1e-4, 5e-4, 1e-3, 1.4e-3, 2e-3] {
-        let (p_static, e_static) = run(
-            || Box::new(PoissonArrival::new(lambda, 0)),
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
-        let (p_ads, e_ads) = run(
-            || Box::new(Adaptive::dvs_scp(lambda, 5)),
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
+    // One sweep document per scheme; the λ axis retunes both the injected
+    // faults and the policy's assumed rate, as in the paper.
+    let sweep = |tag: &str| {
+        SweepSpec {
+            base: base(tag),
+            axes: vec![SweepAxis::Lambda(LAMBDAS.to_vec())],
+        }
+        .expand()
+        .expect("compatible axes")
+    };
+    // Keep every point on the same seed so the two schemes face identical
+    // fault streams, like the original hand-rolled comparison.
+    let pin_seed = |mut spec: ExperimentSpec| {
+        spec.mc.seed = 99;
+        spec
+    };
+    let static_points = sweep("poisson");
+    let ads_points = sweep("a_d_s");
+    for (s, a) in static_points.into_iter().zip(ads_points) {
+        let lambda = s.faults.nominal_lambda().expect("poisson base");
+        let (p_static, e_static) = p_and_e(&pin_seed(s));
+        let (p_ads, e_ads) = p_and_e(&pin_seed(a));
         println!("{lambda:<12.0e} {p_static:>10.4} {e_static:>10.0} {p_ads:>10.4} {e_ads:>10.0}");
     }
 
     println!("\n== Solar-event bursts (MMPP), nominal rate matched to λ = 1.4e-3 ==");
     // Quiet rate 4e-4, burst rate 1.2e-2, mean dwell 20k quiet / 2k burst:
     // stationary rate ≈ (10/11)·4e-4 + (1/11)·1.2e-2 ≈ 1.45e-3.
-    let nominal = 1.4e-3;
-    let burst =
-        |seed: u64| BurstProcess::new(4e-4, 1.2e-2, 20_000.0, 2_000.0, StdRng::seed_from_u64(seed));
+    let burst = FaultSpec::Burst {
+        quiet_rate: 4e-4,
+        burst_rate: 1.2e-2,
+        mean_quiet_dwell: 20_000.0,
+        mean_burst_dwell: 2_000.0,
+    };
     println!(
         "stationary burst rate ≈ {:.2e}",
-        burst(0).mean_rate().unwrap()
+        burst
+            .build(0)
+            .expect("valid fault spec")
+            .mean_rate()
+            .expect("MMPP has a stationary rate")
     );
-    let (p_static, e_static) = run(|| Box::new(PoissonArrival::new(nominal, 0)), burst);
-    let (p_ads, e_ads) = run(|| Box::new(Adaptive::dvs_scp(nominal, 5)), burst);
+    let with_burst = |tag: &str| {
+        let mut spec = base(tag);
+        spec.name = format!("telemetry-burst-{tag}");
+        spec.faults = burst.clone();
+        spec
+    };
+    let (p_static, e_static) = p_and_e(&with_burst("poisson"));
+    let (p_ads, e_ads) = p_and_e(&with_burst("a_d_s"));
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "environment", "P(static)", "E(static)", "P(A_D_S)", "E(A_D_S)"
@@ -89,10 +114,13 @@ fn main() {
     );
 
     println!("\n== A single hostile run, inspected ==");
-    let s = scenario();
-    let mut policy = Adaptive::dvs_scp(2e-3, 5);
-    let mut faults = PoissonProcess::new(2e-3, StdRng::seed_from_u64(7));
-    let out = Executor::new(&s).run(&mut policy, &mut faults);
+    let spec = base("a_d_s");
+    let scenario = spec.scenario.build().expect("valid scenario spec");
+    let mut policy = PolicySpec::from_tag("a_d_s", 2e-3, 5, 0)
+        .and_then(|p| p.build())
+        .expect("valid policy spec");
+    let mut faults = eacp::faults::PoissonProcess::new(2e-3, StdRng::seed_from_u64(7));
+    let out = Executor::new(&scenario).run(&mut *policy, &mut faults);
     println!(
         "timely={} finish={:.0} energy={:.0} faults={} rollbacks={} SCPs={} CSCPs={} \
          fast-fraction={:.2}",

@@ -7,30 +7,46 @@
 //! * Fig. 5 (CCP scheme): the fault is detected at the first CCP after it
 //!   strikes, and the pair rolls back to the interval start.
 //!
+//! The worlds are built from spec documents, so each figure's setup is a
+//! serializable artifact rather than ad-hoc constructor calls.
+//!
 //! ```text
 //! cargo run --release --example trace_timeline
 //! ```
 
-use eacp::core::policies::Adaptive;
-use eacp::energy::DvsConfig;
-use eacp::faults::DeterministicFaults;
-use eacp::sim::{CheckpointCosts, Executor, Scenario, TaskSpec, TraceRecorder};
+use eacp::sim::{Executor, TraceRecorder};
+use eacp::spec::{CostsSpec, DvsSpec, FaultSpec, PolicySpec, ScenarioSpec, WorkSpec};
+
+/// Short task, loose deadline, fixed speed: a readable timeline.
+fn figure_scenario(costs: CostsSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        work: WorkSpec::Cycles {
+            work_cycles: 600.0,
+            deadline: 50_000.0,
+        },
+        costs,
+        dvs: DvsSpec::PaperDefault,
+        processors: 2,
+    }
+}
 
 fn main() {
     println!("== Figure 1: task execution with SCPs ==");
     println!("(fault in the middle of the interval; detection at the CSCP;");
     println!(" rollback to the last SCP with identical states)\n");
-    let scenario = Scenario::new(
-        TaskSpec::new(600.0, 50_000.0),
-        CheckpointCosts::paper_scp_variant(), // ts = 2, tcp = 20
-        DvsConfig::paper_default(),
-    );
+    let scenario = figure_scenario(CostsSpec::PaperScp) // ts = 2, tcp = 20
+        .build()
+        .expect("valid scenario spec");
     // Fixed speed so the timeline is easy to read; λ here only drives the
     // policy's subdivision choice — the actual fault is deterministic.
-    let mut policy = Adaptive::scp(2.5e-3, 5, 0);
-    let mut faults = DeterministicFaults::new(vec![260.0]);
+    let mut policy = PolicySpec::from_tag("a_s", 2.5e-3, 5, 0)
+        .and_then(|p| p.build())
+        .expect("valid policy spec");
+    let mut faults = FaultSpec::Deterministic { times: vec![260.0] }
+        .build(0)
+        .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    let out = Executor::new(&scenario).run_traced(&mut *policy, &mut faults, Some(&mut rec));
     print!("{}", rec.render(100));
     println!(
         "-> completed={} with {} SCPs, {} CSCPs, {} rollback(s)\n",
@@ -39,15 +55,17 @@ fn main() {
 
     println!("== Figure 5: task execution with CCPs ==");
     println!("(fault detected at the next CCP; rollback to the last CSCP)\n");
-    let scenario = Scenario::new(
-        TaskSpec::new(600.0, 50_000.0),
-        CheckpointCosts::paper_ccp_variant(), // ts = 20, tcp = 2
-        DvsConfig::paper_default(),
-    );
-    let mut policy = Adaptive::ccp(2.5e-3, 5, 0);
-    let mut faults = DeterministicFaults::new(vec![260.0]);
+    let scenario = figure_scenario(CostsSpec::PaperCcp) // ts = 20, tcp = 2
+        .build()
+        .expect("valid scenario spec");
+    let mut policy = PolicySpec::from_tag("a_c", 2.5e-3, 5, 0)
+        .and_then(|p| p.build())
+        .expect("valid policy spec");
+    let mut faults = FaultSpec::Deterministic { times: vec![260.0] }
+        .build(0)
+        .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    let out = Executor::new(&scenario).run_traced(&mut *policy, &mut faults, Some(&mut rec));
     print!("{}", rec.render(100));
     println!(
         "-> completed={} with {} CCPs, {} CSCPs, {} rollback(s)\n",
@@ -55,15 +73,17 @@ fn main() {
     );
 
     println!("== Bonus: a DVS run with a mid-flight downshift ==");
-    let scenario = Scenario::new(
-        TaskSpec::new(7_600.0, 10_000.0),
-        CheckpointCosts::paper_scp_variant(),
-        DvsConfig::paper_default(),
-    );
-    let mut policy = Adaptive::dvs_scp(1.4e-3, 5);
-    let mut faults = DeterministicFaults::new(vec![2_000.0]);
+    let scenario = ScenarioSpec::paper_nominal().build().expect("valid spec");
+    let mut policy = PolicySpec::from_tag("a_d_s", 1.4e-3, 5, 0)
+        .and_then(|p| p.build())
+        .expect("valid policy spec");
+    let mut faults = FaultSpec::Deterministic {
+        times: vec![2_000.0],
+    }
+    .build(0)
+    .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    let out = Executor::new(&scenario).run_traced(&mut *policy, &mut faults, Some(&mut rec));
     // The full event log is long; show the bar plus the speed changes.
     let rendered = rec.render(100);
     for line in rendered.lines().take(1) {

@@ -16,7 +16,10 @@
 //! * [`energy`] — DVS speed levels and energy accounting;
 //! * [`numerics`] — minimization, root finding, online statistics;
 //! * [`rtsched`] — periodic task sets, feasibility tests, EDF executive;
-//! * [`experiments`] — the harness regenerating the paper's Tables 1–4.
+//! * [`experiments`] — the harness regenerating the paper's Tables 1–4;
+//! * [`spec`] — declarative, serializable experiment descriptions: the
+//!   JSON layer driving the CLI, the experiments harness, the examples
+//!   and the benches. `spec + seed = identical results`.
 //!
 //! # Quickstart
 //!
@@ -60,3 +63,4 @@ pub use eacp_faults as faults;
 pub use eacp_numerics as numerics;
 pub use eacp_rtsched as rtsched;
 pub use eacp_sim as sim;
+pub use eacp_spec as spec;

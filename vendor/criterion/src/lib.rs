@@ -1,0 +1,172 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the criterion API the workspace's benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `finish`), [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock mean over `sample_size` samples after
+//! one warm-up sample — no outlier analysis, no HTML reports. It is enough
+//! to compare relative costs from `cargo bench` output and to keep bench
+//! code compiling and runnable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (subset of criterion's).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. This shim accepts and ignores
+    /// benchmark filters and harness flags.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs accumulated reports (no-op in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call, then a fixed small batch.
+        black_box(routine());
+        let iters = 3u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {id:<40} mean {mean:>12.3?} ({} iters)", b.iters);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut hits = 0u32;
+        group.bench_function("f", |b| b.iter(|| hits += 1));
+        group.finish();
+        assert!(hits >= 2 * 3);
+    }
+}

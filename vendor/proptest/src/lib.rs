@@ -1,0 +1,300 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` header),
+//! numeric-range and tuple strategies, [`collection::vec`], `prop_map`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the sampled inputs
+//!   (every strategy value is `Debug`-printed in the panic message), but no
+//!   minimal counterexample search happens.
+//! * **Deterministic seeding** — cases are generated from a fixed seed mixed
+//!   with the test name, so failures always reproduce.
+//! * Default case count is 256, like real proptest.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing one fixed value (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+fn u64_below(rng: &mut TestRng, n: u64) -> u64 {
+    // Multiply-shift bounded sampling; bias is < 2^-64, irrelevant here.
+    ((rng.gen::<u64>() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + u64_below(rng, span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + u64_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.gen::<f64>() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{u64_below, Strategy, TestRng};
+
+    /// Strategy for `Vec`s whose length is drawn from `sizes` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty vec size range");
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + u64_below(rng, span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Test-runner internals (only what the macro needs).
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+
+    use crate::TestRng;
+    use rand::SeedableRng;
+
+    /// Runs `body` for `cases` deterministic cases.
+    pub fn run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+        // FNV-1a over the test name: stable per-test seed across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        for case in 0..cases as u64 {
+            let mut rng = TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            body(&mut rng);
+        }
+    }
+}
+
+/// Binds `name in strategy` argument lists inside [`proptest!`].
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:expr $(,)?) => {};
+    ($rng:expr, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::sample(&($strat), $rng);
+        $( $crate::__prop_bind!($rng, $($rest)*); )?
+    };
+    ($rng:expr, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::sample(&($strat), $rng);
+        $( $crate::__prop_bind!($rng, $($rest)*); )?
+    };
+}
+
+/// Property-test entry macro (subset of real proptest's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(config.cases, stringify!($name), |__rng| {
+                    $crate::__prop_bind!(__rng, $($args)*);
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` with proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` with proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` with proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..9.5, n in 3u64..=7, mut v in crate::collection::vec(0u32..10, 1..5)) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..=7).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            v.push(0);
+            prop_assert!(v.iter().all(|&e| e <= 10));
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0u64..5, 1u64..=1).prop_map(|(a, b)| a + b) ) {
+            prop_assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut first = Vec::new();
+        crate::test_runner::run_cases(5, "x", |rng| {
+            first.push(crate::Strategy::sample(&(0u64..1000), rng))
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run_cases(5, "x", |rng| {
+            second.push(crate::Strategy::sample(&(0u64..1000), rng))
+        });
+        assert_eq!(first, second);
+    }
+}

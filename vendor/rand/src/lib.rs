@@ -1,0 +1,197 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this vendored shim provides exactly the subset of the `rand` 0.8 API the
+//! workspace uses: [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`Rng::gen`] for `f64`/`f32`/`u64`/`u32`/`bool`.
+//!
+//! [`rngs::StdRng`] is a xoshiro256++ generator seeded through SplitMix64
+//! (the seeding scheme recommended by the xoshiro authors). It is *not* the
+//! ChaCha12 stream of the real `rand::rngs::StdRng`; all experiments in this
+//! workspace are statistical, so only determinism and statistical quality
+//! matter, and both are preserved. Swapping the real crate back in requires
+//! no source changes — only re-recording any golden numbers derived from a
+//! fixed seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from an RNG via [`Rng::gen`].
+///
+/// Stands in for `rand`'s `Standard` distribution: floats are uniform in
+/// `[0, 1)`, integers uniform over their full range.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (uniform floats in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed, expanded through SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the real `rand::rngs::StdRng` (ChaCha12) — see the crate docs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}
