@@ -15,8 +15,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use eacp_core::analysis::OptimizeMethod;
 use eacp_core::policies::Adaptive;
 use eacp_energy::DvsConfig;
+use eacp_exec::{Job, LocalRunner, Runner};
 use eacp_faults::PoissonProcess;
-use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, Summary, TaskSpec};
+use eacp_sim::{CheckpointCosts, ExecutorOptions, Scenario, Summary, TaskSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,14 +32,18 @@ fn scenario() -> Scenario {
     )
 }
 
-fn batch(make: impl Fn() -> Adaptive + Sync, options: ExecutorOptions) -> Summary {
-    let s = scenario();
-    let summary = MonteCarlo::new(REPS).with_seed(9).run(
-        &s,
+fn batch(make: impl Fn() -> Adaptive + Send + Sync + 'static, options: ExecutorOptions) -> Summary {
+    let job = Job::from_parts(
+        "ablation",
+        scenario(),
         options,
-        |_| make(),
-        |seed| PoissonProcess::new(LAMBDA, StdRng::seed_from_u64(seed)),
-    );
+        REPS,
+        9,
+        move |_seed| Box::new(make()),
+        |seed| Box::new(PoissonProcess::new(LAMBDA, StdRng::seed_from_u64(seed))),
+    )
+    .expect("valid ablation job");
+    let summary = LocalRunner::default().run(&job).expect("ablation job runs");
     assert_eq!(summary.anomalies, 0);
     summary
 }

@@ -24,7 +24,7 @@ fn trace_run(costs: CheckpointCosts, scp: bool) -> String {
     };
     let mut faults = DeterministicFaults::new(vec![260.0]);
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_traced(&mut policy, &mut faults, Some(&mut rec));
+    let out = Executor::new(&scenario).run_observed(&mut policy, &mut faults, &mut rec);
     assert!(out.completed && out.rollbacks == 1);
     rec.render(100)
 }

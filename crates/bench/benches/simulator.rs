@@ -1,12 +1,14 @@
-//! Executor throughput: single-run latency per scheme and Monte-Carlo
-//! scaling, at the paper's nominal operating point.
+//! Executor throughput: single-run latency per scheme, Monte-Carlo
+//! scaling through the `Job`/`Runner` path, and the observer-overhead
+//! guard, at the paper's nominal operating point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
 use eacp_energy::DvsConfig;
+use eacp_exec::{Job, LocalRunner, Runner};
 use eacp_faults::PoissonProcess;
 use eacp_sim::{
-    CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec,
+    CheckpointCosts, Executor, ExecutorOptions, Policy, Scenario, TaskSpec, TraceRecorder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +30,19 @@ fn single_run(make: impl Fn() -> Box<dyn Policy>, seed: u64) -> f64 {
     out.energy
 }
 
+fn mc_job(reps: u64) -> Job {
+    Job::from_parts(
+        "bench-mc",
+        scenario(),
+        ExecutorOptions::default(),
+        reps,
+        3,
+        |_seed| Box::new(Adaptive::dvs_scp(1.4e-3, 5)),
+        |seed| Box::new(PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed))),
+    )
+    .expect("valid bench job")
+}
+
 fn bench_simulator(c: &mut Criterion) {
     c.bench_function("single_run_poisson_baseline", |b| {
         b.iter(|| single_run(|| Box::new(PoissonArrival::new(1.4e-3, 0)), black_box(1)))
@@ -46,17 +61,48 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
     for reps in [100u64, 1_000] {
         group.bench_function(format!("a_d_s_{reps}_reps"), |b| {
-            b.iter(|| {
-                let s = scenario();
-                MonteCarlo::new(black_box(reps)).with_seed(3).run(
+            let job = mc_job(black_box(reps));
+            let runner = LocalRunner::default();
+            b.iter(|| runner.run(&job).expect("bench job runs"))
+        });
+    }
+    group.finish();
+
+    // The redesign's regression guard: the no-op-observer engine path must
+    // stay at the pre-redesign `Executor::run` throughput. The deprecated
+    // closure-factory Monte-Carlo driver is kept below as that baseline
+    // (same scenario, same seeds, one thread each) until its removal;
+    // `trace_recorder_observer` shows what a real observer costs on top.
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(20);
+    group.bench_function("noop_observer_job_runner", |b| {
+        let job = mc_job(200);
+        let runner = LocalRunner::new(1);
+        b.iter(|| runner.run(&job).expect("bench job runs"))
+    });
+    group.bench_function("pre_redesign_closure_mc_baseline", |b| {
+        let s = scenario();
+        b.iter(|| {
+            #[allow(deprecated)]
+            eacp_sim::MonteCarlo::new(200)
+                .with_seed(3)
+                .with_threads(1)
+                .run(
                     &s,
                     ExecutorOptions::default(),
                     |_| Adaptive::dvs_scp(1.4e-3, 5),
                     |seed| PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed)),
                 )
-            })
-        });
-    }
+        })
+    });
+    group.bench_function("trace_recorder_observer", |b| {
+        let job = mc_job(200);
+        let runner = LocalRunner::new(1);
+        b.iter(|| {
+            let mut rec = TraceRecorder::new();
+            runner.run_observed(&job, &mut rec).expect("bench job runs")
+        })
+    });
     group.finish();
 
     // The declarative path: build-and-run straight from an ExperimentSpec
@@ -69,7 +115,7 @@ fn bench_simulator(c: &mut Criterion) {
         eacp_experiments::SchemeId::Proposed,
     );
     c.bench_function("spec_driven_anchor_cell", |b| {
-        b.iter(|| eacp_spec::run(black_box(&spec)).expect("valid spec"))
+        b.iter(|| eacp_exec::run(black_box(&spec)).expect("valid spec"))
     });
 }
 

@@ -5,7 +5,12 @@
 //! * `run` — execute one task instance under a chosen scheme, optionally
 //!   with an ASCII execution timeline;
 //! * `mc` — Monte-Carlo summary of a scheme at an operating point;
-//! * `sweep` — expand a sweep grid and run every point;
+//! * `sweep` — expand a sweep grid and run every point (or one
+//!   `--shard i/n` of it, writing report documents with `--out`);
+//! * `merge` — reassemble a directory of shard report documents into the
+//!   full grid report, failing on missing/duplicate/mismatched points;
+//! * `csv` — render a directory of report documents as a CSV matrix with
+//!   paper-value deltas;
 //! * `analyze` — print the paper's analysis quantities (`I1/I2/I3`,
 //!   thresholds, `num_SCP`/`num_CCP`, `t_est`, chosen speed);
 //! * `table` — regenerate one of the paper's tables;
@@ -33,12 +38,13 @@ use eacp_core::analysis::{
     IntervalInputs, OptimizeMethod, RenewalParams,
 };
 use eacp_energy::DvsConfig;
+use eacp_exec::{merge_dir, run_sweep, GridReport, PaperRef, ShardId};
 use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
 use eacp_rtsched::{PeriodicTask, TaskSet};
 use eacp_sim::{Executor, Policy, TraceRecorder};
 use eacp_spec::{
-    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, PolicySpec,
-    ScenarioSpec, SweepSpec, ToJson, WorkSpec,
+    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, FromJson, McSpec,
+    PolicySpec, RunReport, ScenarioSpec, SweepSpec, ToJson, WorkSpec,
 };
 
 /// Usage text for `--help`.
@@ -50,11 +56,20 @@ USAGE:
                   [--variant scp|ccp] [--seed N] [--trace]
   eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
-  eacp sweep      --spec sweep.json [--reps N] [--json]
+  eacp sweep      --spec sweep.json [--reps N] [--json] [--shard I/N] [--out DIR]
+  eacp merge      <DIR> [--out FILE]
+  eacp csv        <DIR> [--out FILE]
   eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
   eacp table      <1|2|3|4> [--reps N] [--seed N] [--json]
   eacp feasibility --tasks name:wcet:period[:deadline][,...] [--k K] [--speed F]
   eacp presets
+
+SHARDED SWEEPS:
+  --shard I/N runs only shard I's grid-index range; --out DIR writes the
+  shard (or full grid) as a report document. `eacp merge DIR` reassembles
+  shards into the full grid report — identical to an unsharded run — and
+  fails on missing, duplicate or spec-mismatched points. `eacp csv DIR`
+  renders report documents as CSV with paper-value deltas.
 
 SPEC selection (run/mc):
   --spec file.json   load an ExperimentSpec document
@@ -100,6 +115,10 @@ pub struct Options {
     pub spec: String,
     /// Name of a built-in preset.
     pub preset: String,
+    /// Shard selector `i/n` (sweep subcommand).
+    pub shard: String,
+    /// Output path: a directory for `sweep`, a file for `merge`/`csv`.
+    pub out: String,
     /// Emit results as JSON.
     pub json: bool,
     /// Print the effective spec instead of running it.
@@ -127,6 +146,8 @@ impl Default for Options {
             speed: 1.0,
             spec: String::new(),
             preset: String::new(),
+            shard: String::new(),
+            out: String::new(),
             json: false,
             emit_spec: false,
             positional: Vec::new(),
@@ -167,6 +188,8 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--tasks" => o.tasks = val("--tasks")?,
             "--spec" => o.spec = val("--spec")?,
             "--preset" => o.preset = val("--preset")?,
+            "--shard" => o.shard = val("--shard")?,
+            "--out" => o.out = val("--out")?,
             "--trace" => o.trace = true,
             "--json" => o.json = true,
             "--emit-spec" => o.emit_spec = true,
@@ -348,9 +371,10 @@ pub fn cmd_run(o: &Options) -> Result<String, String> {
     let mut rec = TraceRecorder::new();
     let executor = Executor::new(&scenario).with_options(options);
     let out = if o.trace {
-        executor.run_traced(&mut *policy, &mut faults, Some(&mut rec))
+        // Tracing is just one Observer on the unified engine path.
+        executor.run_observed(&mut *policy, &mut *faults, &mut rec)
     } else {
-        executor.run(&mut *policy, &mut faults)
+        executor.run(&mut *policy, &mut *faults)
     };
     // Non-Poisson fault processes (burst, phased, ...) have no single λ;
     // show the fault kind instead of a confusing NaN.
@@ -405,7 +429,7 @@ pub fn cmd_mc(o: &Options) -> Result<String, String> {
     if o.emit_spec {
         return Ok(spec.to_json_string());
     }
-    let (summary, report) = eacp_spec::run(&spec).map_err(|e| e.to_string())?;
+    let (summary, report) = eacp_exec::run(&spec).map_err(|e| e.to_string())?;
     if o.json {
         return Ok(report.to_json().pretty());
     }
@@ -462,36 +486,189 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
     if o.has("--threads") {
         sweep.base.mc.threads = o.threads;
     }
-    let specs = sweep.expand().map_err(|e| e.to_string())?;
+    let shard = if o.shard.is_empty() {
+        None
+    } else {
+        Some(ShardId::parse(&o.shard).map_err(|e| e.to_string())?)
+    };
     if o.emit_spec {
-        let docs: Vec<eacp_spec::Json> = specs.iter().map(ToJson::to_json).collect();
+        let specs = sweep.expand().map_err(|e| e.to_string())?;
+        let range = shard.map_or(0..specs.len(), |s| s.range(specs.len()));
+        let docs: Vec<eacp_spec::Json> = specs[range].iter().map(ToJson::to_json).collect();
         return Ok(eacp_spec::Json::Array(docs).pretty());
     }
-    let mut reports = Vec::with_capacity(specs.len());
-    for spec in &specs {
-        let (_, report) = eacp_spec::run(spec).map_err(|e| format!("{}: {e}", spec.name))?;
-        reports.push(report);
+    let grid = run_sweep(&sweep, shard, sweep.base.mc.threads).map_err(|e| e.to_string())?;
+    if !o.out.is_empty() {
+        let path = grid
+            .save(std::path::Path::new(&o.out))
+            .map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "wrote {} ({} of {} grid points{})\n",
+            path.display(),
+            grid.points.len(),
+            grid.total_points,
+            shard.map_or_else(String::new, |s| format!(", shard {s}")),
+        ));
     }
     if o.json {
-        let docs: Vec<eacp_spec::Json> = reports.iter().map(ToJson::to_json).collect();
+        let docs: Vec<eacp_spec::Json> = grid.points.iter().map(|p| p.report.to_json()).collect();
         return Ok(eacp_spec::Json::Array(docs).pretty());
     }
     let mut out = format!(
-        "sweep over {} points ({} replications each)\n\n{:<44} {:>8} {:>12} {:>10}\n",
-        specs.len(),
+        "sweep over {} points ({} replications each{})\n\n{:<44} {:>8} {:>12} {:>10}\n",
+        grid.total_points,
         sweep.base.mc.replications,
+        shard.map_or_else(String::new, |s| format!(
+            ", shard {s}: {} points",
+            grid.points.len()
+        )),
         "experiment",
         "P",
         "E(timely)",
         "faults"
     );
-    for r in &reports {
+    for p in &grid.points {
+        let r = &p.report;
         out.push_str(&format!(
             "{:<44} {:>8.4} {:>12.0} {:>10.2}\n",
             r.spec.name, r.summary.p_timely, r.summary.energy_timely.mean, r.summary.faults.mean,
         ));
     }
     Ok(out)
+}
+
+/// `eacp merge`: reassemble a directory of shard report documents into the
+/// full grid report (printed, or written with `--out`).
+pub fn cmd_merge(o: &Options) -> Result<String, String> {
+    let dir = o
+        .positional
+        .first()
+        .ok_or("merge: missing report directory")?;
+    let grid = merge_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let text = grid.to_json().pretty();
+    if o.out.is_empty() {
+        return Ok(text);
+    }
+    std::fs::write(&o.out, &text).map_err(|e| format!("{}: {e}", o.out))?;
+    Ok(format!(
+        "merged {} grid points into {}\n",
+        grid.points.len(),
+        o.out
+    ))
+}
+
+/// `eacp csv`: render a directory of report documents (grid/shard files
+/// from `sweep --out`, or standalone `mc --json` reports) as a CSV matrix
+/// with paper-value deltas.
+pub fn cmd_csv(o: &Options) -> Result<String, String> {
+    let dir = o
+        .positional
+        .first()
+        .ok_or("csv: missing report directory")?;
+    let rows = load_report_rows(std::path::Path::new(dir))?;
+    let csv = eacp_exec::csv::render_rows(&rows, &paper_ref_of);
+    if o.out.is_empty() {
+        return Ok(csv);
+    }
+    std::fs::write(&o.out, &csv).map_err(|e| format!("{}: {e}", o.out))?;
+    Ok(format!("wrote {} ({} rows)\n", o.out, rows.len()))
+}
+
+/// Loads every `.json` report document under `dir` into CSV rows: sweep
+/// report documents contribute their grid points (sorted by index),
+/// standalone run reports follow without an index.
+///
+/// Uses the same directory-enumeration rule as `eacp merge`
+/// ([`eacp_exec::list_report_files`]) and, like merge, fails loudly on a
+/// grid point covered twice (e.g. shard documents *and* a merged grid
+/// report in the same directory) instead of silently duplicating rows.
+fn load_report_rows(dir: &std::path::Path) -> Result<Vec<(Option<usize>, RunReport)>, String> {
+    let paths = eacp_exec::list_report_files(dir).map_err(|e| e.to_string())?;
+    let mut indexed: Vec<(usize, RunReport)> = Vec::new();
+    let mut seen: std::collections::HashMap<usize, std::path::PathBuf> =
+        std::collections::HashMap::new();
+    let mut loose: Vec<RunReport> = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = eacp_spec::Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        // Dispatch on the document's shape so a malformed field surfaces
+        // its real parse error instead of a generic "not a report".
+        if json.get("points").is_some() || json.get("sweep").is_some() {
+            let grid = GridReport::from_json(&json)
+                .map_err(|e| format!("{}: invalid sweep report document: {e}", path.display()))?;
+            for p in grid.points {
+                if let Some(first) = seen.insert(p.index, path.clone()) {
+                    return Err(format!(
+                        "{}: grid point {} already covered by {} — merged and \
+                         shard documents mixed in one directory?",
+                        path.display(),
+                        p.index,
+                        first.display()
+                    ));
+                }
+                indexed.push((p.index, p.report));
+            }
+        } else if json.get("spec").is_some() {
+            let report = RunReport::from_json(&json)
+                .map_err(|e| format!("{}: invalid run report: {e}", path.display()))?;
+            loose.push(report);
+        } else {
+            return Err(format!(
+                "{}: not a sweep report document or a run report",
+                path.display()
+            ));
+        }
+    }
+    if indexed.is_empty() && loose.is_empty() {
+        return Err(format!("{}: no report documents found", dir.display()));
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    let mut rows: Vec<(Option<usize>, RunReport)> =
+        indexed.into_iter().map(|(i, r)| (Some(i), r)).collect();
+    rows.extend(loose.into_iter().map(|r| (None, r)));
+    Ok(rows)
+}
+
+/// The paper's reference values for a report's operating point, where the
+/// report matches a transcribed table cell (paper deadline, DMR, paper
+/// cost variant, a tabulated `(U, λ)` row, and a scheme column of that
+/// table).
+fn paper_ref_of(report: &RunReport) -> Option<PaperRef> {
+    use eacp_experiments::{SchemeId, TableId, TablePart};
+    let spec = &report.spec;
+    let (util, util_speed, deadline) = match spec.scenario.work {
+        WorkSpec::Utilization {
+            utilization,
+            speed,
+            deadline,
+        } => (utilization, speed, deadline),
+        WorkSpec::Cycles { .. } => return None,
+    };
+    if deadline != 10_000.0 || spec.scenario.processors != 2 {
+        return None;
+    }
+    let lambda = spec.faults.nominal_lambda()?;
+    let table = match spec.scenario.costs {
+        CostsSpec::PaperScp if util_speed == 1.0 => TableId::Table1,
+        CostsSpec::PaperScp if util_speed == 2.0 => TableId::Table2,
+        CostsSpec::PaperCcp if util_speed == 1.0 => TableId::Table3,
+        CostsSpec::PaperCcp if util_speed == 2.0 => TableId::Table4,
+        _ => return None,
+    };
+    let scheme = match (spec.policy.tag(), table) {
+        ("poisson", _) => SchemeId::Poisson,
+        ("kft", _) => SchemeId::KFaultTolerant,
+        ("a_d", _) => SchemeId::AdtDvs,
+        ("a_d_s", TableId::Table1 | TableId::Table2) => SchemeId::Proposed,
+        ("a_d_c", TableId::Table3 | TableId::Table4) => SchemeId::Proposed,
+        _ => return None,
+    };
+    [TablePart::A, TablePart::B].iter().find_map(|&part| {
+        eacp_experiments::paper::paper_cell(table, part, util, lambda).map(|cell| PaperRef {
+            p: cell.p_of(scheme),
+            e: cell.e_of(scheme),
+        })
+    })
 }
 
 /// `eacp presets`: list the named presets.
@@ -686,6 +863,8 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "run" => cmd_run(&parse_options(rest)?),
         "mc" => cmd_mc(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
+        "merge" => cmd_merge(&parse_options(rest)?),
+        "csv" => cmd_csv(&parse_options(rest)?),
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),
         "feasibility" => cmd_feasibility(&parse_options(rest)?),

@@ -90,7 +90,7 @@ fn one_spec_file_reproduces_a_table_cell_through_cli_and_runner() {
     assert_eq!(embedded, spec);
 
     // And running the embedded spec directly is still bit-identical.
-    let (direct, _) = eacp_spec::run(&embedded).unwrap();
+    let (direct, _) = eacp_exec::run(&embedded).unwrap();
     assert_eq!(direct, runner_result.summary);
 }
 

@@ -443,22 +443,25 @@ mod tests {
         // tcp = 20) and a heavy fault load, SCP subdivision loses less work
         // per error than CSCP-only checkpointing. Compare mean timely
         // finish times under the fault rate the policies assume.
-        use eacp_sim::{ExecutorOptions, MonteCarlo};
+        // eacp-core sits below eacp-exec in the crate graph, so this test
+        // aggregates replications directly on the public Summary API with
+        // the workspace's standard per-replication seeding.
+        use eacp_sim::{replication_seed, Summary};
         let s = scenario(0.76, 10_000.0);
         let lambda = 4e-3;
-        let mc = MonteCarlo::new(400).with_seed(11);
-        let ads = mc.run(
-            &s,
-            ExecutorOptions::default(),
-            |_| Adaptive::dvs_scp(lambda, 5),
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
-        let ad = mc.run(
-            &s,
-            ExecutorOptions::default(),
-            |_| Adaptive::adt_dvs(lambda, 5),
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
+        let mc = |make: &dyn Fn() -> Adaptive| {
+            let executor = Executor::new(&s);
+            let mut sum = Summary::empty();
+            for rep in 0..400u64 {
+                let seed = replication_seed(11, rep);
+                let mut p = make();
+                let mut f = PoissonProcess::new(lambda, StdRng::seed_from_u64(seed));
+                sum.absorb(&executor.run(&mut p, &mut f));
+            }
+            sum
+        };
+        let ads = mc(&|| Adaptive::dvs_scp(lambda, 5));
+        let ad = mc(&|| Adaptive::adt_dvs(lambda, 5));
         assert!(ads.timely > 0 && ad.timely > 0);
         assert!(
             ads.finish_timely.mean() < ad.finish_timely.mean(),

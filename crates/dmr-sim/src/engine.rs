@@ -1,6 +1,7 @@
 //! The DMR execution engine.
 
 use crate::costs::CheckpointCosts;
+use crate::observe::{NoopObserver, Observer};
 use crate::outcome::{Anomaly, RunOutcome};
 use crate::policy::{CheckpointKind, Directive, PlanContext, Policy};
 use crate::scenario::Scenario;
@@ -77,17 +78,40 @@ impl<'s> Executor<'s> {
     }
 
     /// Runs the task to completion, abort, deadline cut-off or anomaly.
+    ///
+    /// Equivalent to [`Executor::run_observed`] with a [`NoopObserver`] —
+    /// the monomorphized no-op observer compiles away, so this *is* the
+    /// fast path.
     pub fn run(&self, policy: &mut dyn Policy, faults: &mut dyn FaultProcess) -> RunOutcome {
-        self.run_traced(policy, faults, None)
+        self.run_observed(policy, faults, &mut NoopObserver)
     }
 
-    /// Like [`Executor::run`], additionally recording every event into
-    /// `recorder` (used by the figure-reproducing timeline renderer).
+    /// Deprecated shim over [`Executor::run_observed`]: a
+    /// [`TraceRecorder`] is just one [`Observer`] now.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run_observed with a TraceRecorder (or any Observer)"
+    )]
     pub fn run_traced(
         &self,
         policy: &mut dyn Policy,
         faults: &mut dyn FaultProcess,
-        mut recorder: Option<&mut TraceRecorder>,
+        recorder: Option<&mut TraceRecorder>,
+    ) -> RunOutcome {
+        match recorder {
+            Some(rec) => self.run_observed(policy, faults, rec),
+            None => self.run(policy, faults),
+        }
+    }
+
+    /// Like [`Executor::run`], streaming every execution event — segments,
+    /// checkpoints, faults, rollbacks, speed changes, deadline misses,
+    /// energy samples — into `obs` as it happens.
+    pub fn run_observed<O: Observer + ?Sized>(
+        &self,
+        policy: &mut dyn Policy,
+        faults: &mut dyn FaultProcess,
+        obs: &mut O,
     ) -> RunOutcome {
         let scenario = self.scenario;
         let task = scenario.task;
@@ -130,6 +154,7 @@ impl<'s> Executor<'s> {
 
         let mut ops: u64 = 0;
         let mut stalled_rounds: u32 = 0;
+        let mut deadline_missed = false;
 
         // Advances wall-clock time by `dt`, consuming fault arrivals that
         // land in the window. Returns the number of faults consumed.
@@ -137,7 +162,7 @@ impl<'s> Executor<'s> {
                            dt: f64,
                            pending: &mut Option<f64>,
                            vulnerable: bool,
-                           recorder: &mut Option<&mut TraceRecorder>|
+                           obs: &mut O|
          -> u32 {
             let end = *now + dt;
             let mut hit = 0;
@@ -147,17 +172,15 @@ impl<'s> Executor<'s> {
                         *pending = Some(next_fault);
                     }
                     hit += 1;
-                    if let Some(rec) = recorder.as_deref_mut() {
-                        // Which processor a fault corrupts is irrelevant to
-                        // detection (any divergence fails the comparison);
-                        // tag pseudo-randomly from the arrival bits for
-                        // trace realism.
-                        let proc = (next_fault.to_bits() >> 3) as u32 & 1;
-                        rec.push(TraceEvent::Fault {
-                            at: next_fault,
-                            processor: proc,
-                        });
-                    }
+                    // Which processor a fault corrupts is irrelevant to
+                    // detection (any divergence fails the comparison); tag
+                    // pseudo-randomly from the arrival bits for trace
+                    // realism.
+                    let proc = (next_fault.to_bits() >> 3) as u32 & 1;
+                    obs.on_event(&TraceEvent::Fault {
+                        at: next_fault,
+                        processor: proc,
+                    });
                 }
                 next_fault = faults.next_fault();
             }
@@ -207,13 +230,11 @@ impl<'s> Executor<'s> {
             }
 
             if want_speed != speed {
-                if let Some(rec) = recorder.as_deref_mut() {
-                    rec.push(TraceEvent::SpeedChange {
-                        at: now,
-                        from: speed,
-                        to: want_speed,
-                    });
-                }
+                obs.on_event(&TraceEvent::SpeedChange {
+                    at: now,
+                    from: speed,
+                    to: want_speed,
+                });
                 speed = want_speed;
                 out.speed_switches += 1;
                 if dvs.switch_time > 0.0 {
@@ -222,7 +243,7 @@ impl<'s> Executor<'s> {
                         dvs.switch_time,
                         &mut pending_fault,
                         self.options.faults_during_overhead,
-                        &mut recorder,
+                        obs,
                     );
                 }
                 if dvs.switch_energy > 0.0 {
@@ -238,14 +259,12 @@ impl<'s> Executor<'s> {
             if progressed {
                 // Emit the segment before consuming its fault window so the
                 // trace stays sorted by event start time.
-                if let Some(rec) = recorder.as_deref_mut() {
-                    rec.push(TraceEvent::Segment {
-                        from: now,
-                        to: now + dur,
-                        speed,
-                    });
-                }
-                out.faults += advance(&mut now, dur, &mut pending_fault, true, &mut recorder);
+                obs.on_event(&TraceEvent::Segment {
+                    from: now,
+                    to: now + dur,
+                    speed,
+                });
+                out.faults += advance(&mut now, dur, &mut pending_fault, true, obs);
                 let cycles = dur * level.frequency;
                 pos = (pos + cycles).min(task.work_cycles);
                 meter.record_cycles(cycles, level);
@@ -259,21 +278,19 @@ impl<'s> Executor<'s> {
             let snapshot_diverged = pending_fault.is_some();
             let op_cycles = costs.cycles_of(checkpoint);
             let op_time = op_cycles / level.frequency;
-            if let Some(rec) = recorder.as_deref_mut() {
-                rec.push(TraceEvent::Checkpoint {
-                    kind: checkpoint,
-                    from: now,
-                    to: now + op_time,
-                    position: pos,
-                    mismatch: checkpoint.compares() && snapshot_diverged,
-                });
-            }
+            obs.on_event(&TraceEvent::Checkpoint {
+                kind: checkpoint,
+                from: now,
+                to: now + op_time,
+                position: pos,
+                mismatch: checkpoint.compares() && snapshot_diverged,
+            });
             out.faults += advance(
                 &mut now,
                 op_time,
                 &mut pending_fault,
                 self.options.faults_during_overhead,
-                &mut recorder,
+                obs,
             );
             if op_cycles > 0.0 {
                 meter.record_cycles(op_cycles, level);
@@ -326,20 +343,18 @@ impl<'s> Executor<'s> {
                 pending_fault = None;
                 out.rollbacks += 1;
                 let rb_time = costs.rollback_cycles / level.frequency;
-                if let Some(rec) = recorder.as_deref_mut() {
-                    rec.push(TraceEvent::Rollback {
-                        from: now,
-                        to: now + rb_time,
-                        to_position: target.pos,
-                    });
-                }
+                obs.on_event(&TraceEvent::Rollback {
+                    from: now,
+                    to: now + rb_time,
+                    to_position: target.pos,
+                });
                 if costs.rollback_cycles > 0.0 {
                     out.faults += advance(
                         &mut now,
                         rb_time,
                         &mut pending_fault,
                         self.options.faults_during_overhead,
-                        &mut recorder,
+                        obs,
                     );
                     meter.record_cycles(costs.rollback_cycles, level);
                 }
@@ -348,9 +363,12 @@ impl<'s> Executor<'s> {
                 // All work done and verified by a passing comparison.
                 out.completed = true;
                 out.timely = now <= deadline;
-                if let Some(rec) = recorder.as_deref_mut() {
-                    rec.push(TraceEvent::Complete { at: now });
-                }
+                obs.on_event(&TraceEvent::Complete { at: now });
+            }
+            obs.on_energy_sample(now, meter.total());
+            if !deadline_missed && now > deadline {
+                deadline_missed = true;
+                obs.on_deadline_miss(now);
             }
 
             if checkpoint.compares() {
@@ -381,10 +399,8 @@ impl<'s> Executor<'s> {
             }
         }
 
-        if let Some(rec) = recorder {
-            if out.aborted {
-                rec.push(TraceEvent::Abort { at: now });
-            }
+        if out.aborted {
+            obs.on_event(&TraceEvent::Abort { at: now });
         }
         out.finish_time = now;
         if !out.completed {
@@ -778,7 +794,7 @@ mod tests {
         };
         let mut f = DeterministicFaults::new(vec![150.0]);
         let mut rec = TraceRecorder::new();
-        let out = Executor::new(&s).run_traced(&mut p, &mut f, Some(&mut rec));
+        let out = Executor::new(&s).run_observed(&mut p, &mut f, &mut rec);
         assert!(out.completed);
         let events = rec.events();
         assert!(!events.is_empty());
@@ -807,6 +823,66 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn observer_sees_deadline_miss_and_energy_samples() {
+        use crate::observe::Observer;
+
+        #[derive(Default)]
+        struct Probe {
+            deadline_misses: u32,
+            deadline_at: f64,
+            samples: Vec<f64>,
+        }
+        impl Observer for Probe {
+            fn on_deadline_miss(&mut self, at: f64) {
+                self.deadline_misses += 1;
+                self.deadline_at = at;
+            }
+            fn on_energy_sample(&mut self, _at: f64, cumulative: f64) {
+                self.samples.push(cumulative);
+            }
+        }
+
+        // Late completion: 1000 work needs 1220 > D = 1100.
+        let s = scenario(1000.0, 1100.0);
+        let mut p = FixedCscp {
+            interval: 100.0,
+            speed: 0,
+        };
+        let mut probe = Probe::default();
+        let out =
+            Executor::new(&s).run_observed(&mut p, &mut DeterministicFaults::none(), &mut probe);
+        assert!(out.completed && !out.timely);
+        // Exactly one miss, at the moment the clock first passed D.
+        assert_eq!(probe.deadline_misses, 1);
+        assert!(probe.deadline_at > 1100.0);
+        // One cumulative sample per checkpoint operation, non-decreasing,
+        // ending at the run's total energy.
+        assert_eq!(probe.samples.len(), 10);
+        assert!(probe.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!((probe.samples.last().unwrap() - out.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_run_matches_blind_run_exactly() {
+        let s = scenario(1000.0, 10_000.0);
+        let run = |observed: bool| {
+            let mut p = FixedCscp {
+                interval: 100.0,
+                speed: 0,
+            };
+            let mut f = DeterministicFaults::new(vec![110.0, 300.0, 820.0]);
+            let exec = Executor::new(&s);
+            if observed {
+                let mut rec = TraceRecorder::new();
+                exec.run_observed(&mut p, &mut f, &mut rec)
+            } else {
+                exec.run(&mut p, &mut f)
+            }
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

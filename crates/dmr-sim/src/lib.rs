@@ -74,6 +74,7 @@
 mod costs;
 mod engine;
 mod montecarlo;
+pub mod observe;
 mod outcome;
 mod policy;
 mod scenario;
@@ -82,7 +83,8 @@ pub mod trace;
 
 pub use costs::CheckpointCosts;
 pub use engine::{Executor, ExecutorOptions};
-pub use montecarlo::{MonteCarlo, Summary};
+pub use montecarlo::{replication_seed, MonteCarlo, Summary};
+pub use observe::{NoopObserver, Observer};
 pub use outcome::{Anomaly, RunOutcome};
 pub use policy::{CheckpointKind, Directive, PlanContext, Policy};
 pub use scenario::Scenario;

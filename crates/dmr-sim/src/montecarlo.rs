@@ -52,6 +52,12 @@ impl MonteCarlo {
     /// # Panics
     ///
     /// Panics if `replications == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use eacp-exec's Job/Runner API (Job::from_parts + LocalRunner), \
+                which keeps bit-identical per-replication seeding and adds \
+                observers and canonical-order merging"
+    )]
     pub fn run<P, Q, FP, FQ>(
         &self,
         scenario: &Scenario,
@@ -94,7 +100,7 @@ impl MonteCarlo {
                 handles.push(scope.spawn(move || {
                     let mut local = Summary::empty();
                     for rep in lo..hi {
-                        let seed = derive_seed(base_seed, rep);
+                        let seed = replication_seed(base_seed, rep);
                         let mut policy = policy_factory(seed);
                         let mut faults = fault_factory(seed);
                         let out = executor.run(&mut policy, &mut faults);
@@ -118,10 +124,15 @@ impl MonteCarlo {
 
 /// Derives the per-replication seed from the base seed (SplitMix64 mixing,
 /// so neighbouring replication indices yield decorrelated streams).
-fn derive_seed(base: u64, rep: u64) -> u64 {
-    let mut z = base
+///
+/// This is the seeding contract of the workspace: every Monte-Carlo driver
+/// (the deprecated [`MonteCarlo::run`] and `eacp-exec`'s `Job`/`Runner`)
+/// derives replication `rep`'s seed this way, so replication outcomes are
+/// identical no matter which driver, thread count or shard ran them.
+pub fn replication_seed(base_seed: u64, replication: u64) -> u64 {
+    let mut z = base_seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(rep.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        .wrapping_add(replication.wrapping_mul(0xBF58_476D_1CE4_E5B9));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -161,7 +172,8 @@ pub struct Summary {
 }
 
 impl Summary {
-    fn empty() -> Self {
+    /// An all-zero summary: the identity element of [`Summary::merge`].
+    pub fn empty() -> Self {
         Self {
             replications: 0,
             timely: 0,
@@ -178,7 +190,8 @@ impl Summary {
         }
     }
 
-    fn absorb(&mut self, out: &crate::outcome::RunOutcome) {
+    /// Folds one replication outcome into the aggregate.
+    pub fn absorb(&mut self, out: &crate::outcome::RunOutcome) {
         self.replications += 1;
         if out.timely {
             self.timely += 1;
@@ -201,7 +214,17 @@ impl Summary {
         self.fast_fraction.push(out.fast_fraction());
     }
 
-    fn merge(&mut self, other: &Summary) {
+    /// Merges another partial aggregate into this one (parallel / sharded
+    /// reduction).
+    ///
+    /// Counts, minima and maxima are exactly order-invariant. The floating-
+    /// point moments (means, variances) are order-invariant up to last-ulp
+    /// rounding of the underlying [`OnlineStats::merge`]; drivers that need
+    /// bit-identical results across thread counts must merge partials in a
+    /// canonical order over a partition that does not depend on the thread
+    /// count — which is exactly what `eacp-exec`'s `LocalRunner` does with
+    /// its fixed-size replication blocks.
+    pub fn merge(&mut self, other: &Summary) {
         self.replications += other.replications;
         self.timely += other.timely;
         self.completed += other.completed;
@@ -237,6 +260,8 @@ impl Summary {
 }
 
 #[cfg(test)]
+// The deprecated closure-factory path stays covered until it is removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::costs::CheckpointCosts;
@@ -385,10 +410,10 @@ mod tests {
     }
 
     #[test]
-    fn derive_seed_decorrelates() {
-        let s0 = derive_seed(1, 0);
-        let s1 = derive_seed(1, 1);
-        let s2 = derive_seed(2, 0);
+    fn replication_seed_decorrelates() {
+        let s0 = replication_seed(1, 0);
+        let s1 = replication_seed(1, 1);
+        let s2 = replication_seed(2, 0);
         assert_ne!(s0, s1);
         assert_ne!(s0, s2);
     }

@@ -1,0 +1,114 @@
+//! Property tests for `Summary::merge`: merging any partition of the
+//! replication outcomes equals the unpartitioned aggregation (the invariant
+//! the sharded sweep executor and the multi-threaded runner rely on), with
+//! the empty summary as the exact identity.
+
+use eacp_sim::{RunOutcome, Summary};
+use proptest::prelude::*;
+
+/// Builds a synthetic outcome from sampled raw values; `status` selects
+/// timely / late / aborted / cut-off so every counter path is exercised.
+fn outcome(energy: f64, finish: f64, faults: u64, rollbacks: u64, status: u64) -> RunOutcome {
+    let status = status % 4;
+    RunOutcome {
+        completed: status <= 1,
+        timely: status == 0,
+        finish_time: finish,
+        energy,
+        faults: faults as u32,
+        rollbacks: rollbacks as u32,
+        store_checkpoints: (faults * 3 % 17) as u32,
+        compare_checkpoints: (rollbacks * 5 % 13) as u32,
+        compare_store_checkpoints: 1 + (faults % 7) as u32,
+        segments: 1 + (faults + rollbacks) as u32,
+        speed_switches: faults % 3,
+        cycles_at_fastest: energy % 977.0,
+        total_cycles: 1.0 + energy % 7600.0,
+        aborted: status == 2,
+        anomaly: None,
+    }
+}
+
+type RawOutcome = (f64, f64, u64, u64, u64);
+
+fn absorb_all(outs: &[RunOutcome]) -> Summary {
+    let mut s = Summary::empty();
+    for o in outs {
+        s.absorb(o);
+    }
+    s
+}
+
+proptest! {
+    /// Any multi-way contiguous partition, merged in order, equals the
+    /// unpartitioned aggregation: counts exactly, moments to tolerance.
+    #[test]
+    fn merging_any_partition_equals_unpartitioned_run(
+        raw in proptest::collection::vec(
+            (1.0f64..1e5, 1.0f64..2e4, 0u64..20, 0u64..10, 0u64..40),
+            1..200,
+        ),
+        cuts in proptest::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        let outs: Vec<RunOutcome> =
+            raw.iter().map(|&(e, f, fa, r, st): &RawOutcome| outcome(e, f, fa, r, st)).collect();
+        let whole = absorb_all(&outs);
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|f| (f * outs.len() as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(outs.len());
+        bounds.sort_unstable();
+        let mut merged = Summary::empty();
+        for pair in bounds.windows(2) {
+            merged.merge(&absorb_all(&outs[pair[0]..pair[1]]));
+        }
+
+        // Counters are exactly partition-invariant.
+        prop_assert_eq!(merged.replications, whole.replications);
+        prop_assert_eq!(merged.timely, whole.timely);
+        prop_assert_eq!(merged.completed, whole.completed);
+        prop_assert_eq!(merged.aborted, whole.aborted);
+        prop_assert_eq!(merged.anomalies, whole.anomalies);
+        prop_assert_eq!(merged.energy_all.count(), whole.energy_all.count());
+        prop_assert_eq!(merged.energy_all.min(), whole.energy_all.min());
+        prop_assert_eq!(merged.energy_all.max(), whole.energy_all.max());
+        prop_assert_eq!(merged.faults.min(), whole.faults.min());
+        prop_assert_eq!(merged.faults.max(), whole.faults.max());
+        // Float moments match to merge-rounding tolerance.
+        let close = |a: f64, b: f64| {
+            (a.is_nan() && b.is_nan()) || (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+        };
+        prop_assert!(close(merged.energy_all.mean(), whole.energy_all.mean()));
+        prop_assert!(close(merged.energy_timely.mean(), whole.energy_timely.mean()));
+        prop_assert!(close(merged.finish_timely.mean(), whole.finish_timely.mean()));
+        prop_assert!(close(merged.faults.mean(), whole.faults.mean()));
+        prop_assert!(close(merged.rollbacks.mean(), whole.rollbacks.mean()));
+        prop_assert!(close(merged.checkpoints.mean(), whole.checkpoints.mean()));
+        prop_assert!(close(
+            merged.energy_all.population_variance(),
+            whole.energy_all.population_variance()
+        ));
+        prop_assert_eq!(merged.p_timely(), whole.p_timely());
+    }
+
+    /// The empty summary is an exact two-sided identity of merge.
+    #[test]
+    fn empty_summary_is_the_merge_identity(
+        raw in proptest::collection::vec(
+            (1.0f64..1e5, 1.0f64..2e4, 0u64..20, 0u64..10, 0u64..40),
+            0..100,
+        ),
+    ) {
+        let outs: Vec<RunOutcome> =
+            raw.iter().map(|&(e, f, fa, r, st): &RawOutcome| outcome(e, f, fa, r, st)).collect();
+        let s = absorb_all(&outs);
+
+        let mut left = Summary::empty();
+        left.merge(&s);
+        prop_assert_eq!(&left, &s);
+
+        let mut right = s.clone();
+        right.merge(&Summary::empty());
+        prop_assert_eq!(&right, &s);
+    }
+}

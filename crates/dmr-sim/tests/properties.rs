@@ -114,7 +114,7 @@ proptest! {
         let mut p = FixedCscp { interval: 150.0, speed: 0 };
         let mut fp = PoissonProcess::new(lambda, StdRng::seed_from_u64(seed));
         let mut rec = TraceRecorder::new();
-        let out = Executor::new(&s).run_traced(&mut p, &mut fp, Some(&mut rec));
+        let out = Executor::new(&s).run_observed(&mut p, &mut fp, &mut rec);
         prop_assert!(out.completed);
         let mut last = 0.0f64;
         let mut fault_events = 0u32;

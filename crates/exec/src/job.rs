@@ -1,0 +1,258 @@
+//! The [`Job`] abstraction: a fully-validated, self-contained Monte-Carlo
+//! experiment ready for any [`crate::Runner`].
+//!
+//! A job replaces the old closure-factory signature of
+//! `MonteCarlo::run(scenario, options, policy_factory, fault_factory)`:
+//! spec-driven jobs build their per-replication policy and fault stream
+//! from the validated [`ExperimentSpec`] ([`Job::from_spec`]), while
+//! custom policies (tests, ablations) enter through [`Job::from_parts`].
+//! Both keep the workspace's bit-identical seeding contract: replication
+//! `i` always runs with [`replication_seed`]`(base_seed, i)`.
+
+use eacp_faults::FaultProcess;
+use eacp_sim::{
+    replication_seed, Executor, ExecutorOptions, Observer, Policy, RunOutcome, Scenario,
+};
+use eacp_spec::{ExperimentSpec, SpecError};
+
+/// Builds a fresh policy for one replication seed.
+pub type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn Policy> + Send + Sync>;
+/// Builds a fresh fault stream for one replication seed.
+pub type FaultFactory = Box<dyn Fn(u64) -> Box<dyn FaultProcess> + Send + Sync>;
+
+/// A validated Monte-Carlo experiment: scenario, executor semantics,
+/// replication plan and per-replication policy/fault construction.
+pub struct Job {
+    name: String,
+    policy_name: String,
+    scenario: Scenario,
+    options: ExecutorOptions,
+    replications: u64,
+    base_seed: u64,
+    policy: PolicyFactory,
+    faults: FaultFactory,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("policy_name", &self.policy_name)
+            .field("replications", &self.replications)
+            .field("base_seed", &self.base_seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Job {
+    /// Builds a job from a declarative experiment description.
+    ///
+    /// Every component is validated up front, so later replication builds
+    /// cannot fail inside worker threads.
+    pub fn from_spec(spec: &ExperimentSpec) -> Result<Self, SpecError> {
+        let scenario = spec.scenario.build()?;
+        let options = spec.executor.build()?;
+        if spec.mc.replications == 0 {
+            return Err(SpecError::invalid("replications must be positive"));
+        }
+        // Validate once; the factories below can then expect success.
+        let policy_name = spec.policy.build()?.name().to_owned();
+        spec.faults.build(0)?;
+        let policy_spec = spec.policy;
+        let fault_spec = spec.faults.clone();
+        Ok(Self {
+            name: spec.name.clone(),
+            policy_name,
+            scenario,
+            options,
+            replications: spec.mc.replications,
+            base_seed: spec.mc.seed,
+            policy: Box::new(move |_seed| policy_spec.build().expect("validated policy spec")),
+            faults: Box::new(move |seed| fault_spec.build(seed).expect("validated fault spec")),
+        })
+    }
+
+    /// Builds a job from explicit parts — the escape hatch for policies and
+    /// fault processes that have no spec form (custom test policies,
+    /// ablation prototypes).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `replications == 0`.
+    pub fn from_parts(
+        name: impl Into<String>,
+        scenario: Scenario,
+        options: ExecutorOptions,
+        replications: u64,
+        base_seed: u64,
+        policy: impl Fn(u64) -> Box<dyn Policy> + Send + Sync + 'static,
+        faults: impl Fn(u64) -> Box<dyn FaultProcess> + Send + Sync + 'static,
+    ) -> Result<Self, SpecError> {
+        if replications == 0 {
+            return Err(SpecError::invalid("replications must be positive"));
+        }
+        let name = name.into();
+        let policy = Box::new(policy);
+        let policy_name = policy(base_seed).name().to_owned();
+        Ok(Self {
+            name,
+            policy_name,
+            scenario,
+            options,
+            replications,
+            base_seed,
+            policy,
+            faults: Box::new(faults),
+        })
+    }
+
+    /// The experiment's name (from the spec, or the `from_parts` caller).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `Policy::name()` of the scheme under test.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// Number of replications the job plans.
+    pub fn replications(&self) -> u64 {
+        self.replications
+    }
+
+    /// The base seed replication seeds derive from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The simulated world.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The executor semantics the job runs under.
+    pub fn options(&self) -> ExecutorOptions {
+        self.options
+    }
+
+    /// Runs one replication, streaming its events (and the replication
+    /// bracket) into `obs`.
+    ///
+    /// This is the single-replication building block every runner loops
+    /// over; calling it directly is how tracing tools replay one specific
+    /// replication of a Monte-Carlo experiment.
+    pub fn run_replication<O: Observer + ?Sized>(
+        &self,
+        replication: u64,
+        obs: &mut O,
+    ) -> RunOutcome {
+        let executor = Executor::new(&self.scenario).with_options(self.options);
+        self.run_replication_on(&executor, replication, obs)
+    }
+
+    /// [`Job::run_replication`] with a caller-held executor (runners build
+    /// the executor once per block instead of once per replication).
+    pub(crate) fn run_replication_on<O: Observer + ?Sized>(
+        &self,
+        executor: &Executor<'_>,
+        replication: u64,
+        obs: &mut O,
+    ) -> RunOutcome {
+        let seed = replication_seed(self.base_seed, replication);
+        obs.on_replication_start(replication, seed);
+        let mut policy = (self.policy)(seed);
+        let mut faults = (self.faults)(seed);
+        let out = executor.run_observed(&mut *policy, &mut *faults, obs);
+        obs.on_replication_end(replication, &out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_faults::DeterministicFaults;
+    use eacp_sim::{NoopObserver, TraceRecorder};
+    use eacp_spec::McSpec;
+
+    fn small_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: 50,
+            seed: 9,
+            threads: 0,
+        };
+        spec
+    }
+
+    #[test]
+    fn from_spec_validates_up_front() {
+        let mut bad = small_spec();
+        bad.mc.replications = 0;
+        assert!(Job::from_spec(&bad).is_err());
+
+        let job = Job::from_spec(&small_spec()).unwrap();
+        assert_eq!(job.replications(), 50);
+        assert_eq!(job.policy_name(), "A_D_S");
+        assert_eq!(job.name(), "paper-nominal");
+    }
+
+    #[test]
+    fn replication_is_seeded_from_the_contract() {
+        struct SeedProbe {
+            seen: Vec<(u64, u64)>,
+        }
+        impl Observer for SeedProbe {
+            fn on_replication_start(&mut self, rep: u64, seed: u64) {
+                self.seen.push((rep, seed));
+            }
+        }
+        let job = Job::from_spec(&small_spec()).unwrap();
+        let mut probe = SeedProbe { seen: vec![] };
+        job.run_replication(7, &mut probe);
+        assert_eq!(probe.seen, vec![(7, replication_seed(9, 7))]);
+    }
+
+    #[test]
+    fn run_replication_is_reproducible_and_traceable() {
+        let job = Job::from_spec(&small_spec()).unwrap();
+        let a = job.run_replication(3, &mut NoopObserver);
+        let mut rec = TraceRecorder::new();
+        let b = job.run_replication(3, &mut rec);
+        assert_eq!(a, b, "observation must not change the outcome");
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn from_parts_runs_custom_policies() {
+        use eacp_sim::{CheckpointKind, Directive, PlanContext};
+        struct Fixed;
+        impl Policy for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn plan(&mut self, _ctx: &PlanContext<'_>) -> Directive {
+                Directive::run(0, 100.0, CheckpointKind::CompareStore)
+            }
+        }
+        let scenario = Scenario::new(
+            eacp_sim::TaskSpec::new(1000.0, 2000.0),
+            eacp_sim::CheckpointCosts::paper_scp_variant(),
+            eacp_spec::DvsSpec::PaperDefault.build().unwrap(),
+        );
+        let job = Job::from_parts(
+            "custom",
+            scenario,
+            ExecutorOptions::default(),
+            10,
+            1,
+            |_seed| Box::new(Fixed),
+            |_seed| Box::new(DeterministicFaults::none()),
+        )
+        .unwrap();
+        assert_eq!(job.policy_name(), "fixed");
+        let out = job.run_replication(0, &mut NoopObserver);
+        assert!(out.timely);
+    }
+}

@@ -1,0 +1,143 @@
+//! Unified execution layer for the EACP workspace.
+//!
+//! `eacp-spec` describes experiments; this crate *runs* them. It replaces
+//! the two welded-shut entry points of the original simulator — the
+//! closure-factory `MonteCarlo::run` and the separate `run_traced` code
+//! path — with three composable pieces:
+//!
+//! * **[`Job`]** — a validated Monte-Carlo experiment, built from an
+//!   [`ExperimentSpec`] ([`Job::from_spec`]) or from explicit parts for
+//!   custom policies ([`Job::from_parts`]). Seeding is bit-identical to
+//!   the legacy driver: replication `i` always runs with
+//!   [`eacp_sim::replication_seed`]`(base_seed, i)`.
+//! * **[`Observer`]** (re-exported from `eacp-sim`) — a streaming view of
+//!   execution: replication brackets, every engine event (segments,
+//!   checkpoints, faults, rollbacks, speed changes), deadline misses and
+//!   energy samples. Tracing is just the `TraceRecorder` observer; the
+//!   [`NoopObserver`] compiles away to the blind fast path.
+//! * **[`Runner`]** — where replications execute. [`LocalRunner`] is the
+//!   in-process multi-threaded implementation; its canonical fixed-block
+//!   reduction makes the merged [`Summary`] bit-identical across thread
+//!   counts (see the `runner` module docs). Remote/batch runners from the
+//!   ROADMAP plug in behind the same trait.
+//!
+//! On top sits the **sharded sweep executor** ([`run_sweep`],
+//! [`merge_dir`]): a [`SweepSpec`] grid is partitioned across machines by
+//! grid-index range, each shard emits a [`GridReport`] JSON document, and
+//! the merge step reassembles the full grid — refusing to proceed on
+//! missing, duplicated or spec-mismatched points. [`render_csv`] turns a
+//! merged grid into the CSV matrix of the ROADMAP's renderer item.
+//!
+//! # Example
+//!
+//! ```
+//! use eacp_exec::{Job, LocalRunner, Runner};
+//! use eacp_spec::ExperimentSpec;
+//!
+//! let mut spec = ExperimentSpec::paper_nominal();
+//! spec.mc.replications = 200;
+//! let job = Job::from_spec(&spec).unwrap();
+//! let summary = LocalRunner::default().run(&job).unwrap();
+//! assert_eq!(summary.replications, 200);
+//! // Same job, any thread count: bit-identical summary.
+//! assert_eq!(LocalRunner::new(3).run(&job).unwrap(), summary);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod job;
+pub mod runner;
+pub mod shard;
+
+pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
+pub use job::{FaultFactory, Job, PolicyFactory};
+pub use runner::{LocalRunner, Runner};
+pub use shard::{list_report_files, merge_dir, run_sweep, GridReport, PointReport, ShardId};
+
+// The execution vocabulary lives in `eacp-sim` (the engine emits the
+// events); re-exported here so runner-level code needs one import path.
+pub use eacp_sim::{NoopObserver, Observer, Summary};
+
+use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
+
+/// Runs one experiment spec end to end on the local runner, returning both
+/// the exact in-memory [`Summary`] (for bit-identical comparisons) and the
+/// serializable [`RunReport`].
+///
+/// This is the drop-in successor of the deprecated `eacp_spec::run`:
+/// same signature, same seeding, but thread-count-invariant aggregation
+/// and the Job/Observer machinery underneath.
+pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
+    let job = Job::from_spec(spec)?;
+    let summary = LocalRunner::new(spec.mc.threads).run(&job)?;
+    let report = RunReport {
+        spec: spec.clone(),
+        policy_name: job.policy_name().to_owned(),
+        summary: SummaryReport::from_summary(&summary),
+    };
+    Ok((summary, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_spec::{FaultSpec, McSpec};
+
+    fn small_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: 120,
+            seed: 9,
+            threads: 0,
+        };
+        spec
+    }
+
+    #[test]
+    fn run_produces_consistent_summary_and_report() {
+        let spec = small_spec();
+        let (summary, report) = run(&spec).unwrap();
+        assert_eq!(summary.replications, 120);
+        assert_eq!(report.summary.replications, 120);
+        assert_eq!(report.summary.p_timely, summary.p_timely());
+        assert_eq!(report.policy_name, "A_D_S");
+        assert_eq!(report.spec, spec);
+        assert_eq!(summary.anomalies, 0);
+    }
+
+    #[test]
+    fn identical_specs_give_bit_identical_summaries() {
+        let spec = small_spec();
+        let (a, _) = run(&spec).unwrap();
+        let (b, _) = run(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_replication_outcomes_match_the_legacy_driver() {
+        // The redesign's compatibility contract: identical per-replication
+        // seeding means identical counts (exact) and means (up to merge
+        // rounding) versus the deprecated closure-factory driver.
+        let spec = small_spec();
+        let (new, _) = run(&spec).unwrap();
+        #[allow(deprecated)]
+        let (old, _) = eacp_spec::run(&spec).unwrap();
+        assert_eq!(new.timely, old.timely);
+        assert_eq!(new.completed, old.completed);
+        assert_eq!(new.aborted, old.aborted);
+        assert_eq!(new.anomalies, old.anomalies);
+        assert_eq!(new.faults.min(), old.faults.min());
+        assert_eq!(new.faults.max(), old.faults.max());
+        let rel = (new.energy_all.mean() - old.energy_all.mean()).abs() / old.energy_all.mean();
+        assert!(rel < 1e-12, "relative drift {rel}");
+    }
+
+    #[test]
+    fn bad_spec_is_an_error_not_a_panic() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec::Poisson { lambda: f64::NAN };
+        assert!(run(&spec).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! The [`Runner`] trait and the local multi-threaded implementation.
+//!
+//! # Determinism contract
+//!
+//! A runner's result must be a pure function of the job — never of the
+//! machine it ran on. [`LocalRunner`] achieves this with *canonical block
+//! reduction*: replications are split into fixed-size blocks whose size
+//! depends only on the replication count, each block is reduced
+//! sequentially into a partial [`Summary`], and the partials are merged in
+//! ascending block order. Thread count only changes which worker picks up
+//! which block, so the merged result is bit-identical for 1 thread, 64
+//! threads, or the sequential observed path.
+
+use crate::job::Job;
+use eacp_sim::{Executor, NoopObserver, Observer, Summary};
+use eacp_spec::SpecError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Executes a [`Job`] into a [`Summary`].
+///
+/// Implementations decide *where* replications run (local threads today;
+/// the ROADMAP's batch/remote executors later) but must all preserve the
+/// per-replication seeding contract, so every runner produces the same
+/// per-replication outcomes.
+pub trait Runner {
+    /// Short implementation name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the whole job on the fast (unobserved) path.
+    fn run(&self, job: &Job) -> Result<Summary, SpecError>;
+
+    /// Runs the whole job, streaming every replication bracket and engine
+    /// event into `obs`.
+    ///
+    /// Observation imposes an ordering on the event stream, so runners may
+    /// fall back to a sequential schedule here; the aggregate is still
+    /// bit-identical to [`Runner::run`].
+    fn run_observed(&self, job: &Job, obs: &mut dyn Observer) -> Result<Summary, SpecError>;
+}
+
+/// Multi-threaded in-process runner (std scoped threads, no work queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRunner {
+    threads: usize,
+    block_size: u64,
+}
+
+impl Default for LocalRunner {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl LocalRunner {
+    /// Creates a runner with the given worker count (0 = available
+    /// parallelism).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            block_size: 0,
+        }
+    }
+
+    /// Overrides the reduction block size (0 = derive from the replication
+    /// count). Changing the block size may change float rounding in the
+    /// last ulp; keeping it fixed guarantees bit-identical results across
+    /// thread counts.
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// The reduction block size for a job of `replications`.
+    ///
+    /// Depends only on the replication count (never on the thread count):
+    /// that is what makes the reduction canonical.
+    fn effective_block(&self, replications: u64) -> u64 {
+        if self.block_size > 0 {
+            self.block_size
+        } else {
+            // ~64 blocks for large jobs (ample parallelism), bounded below
+            // so tiny jobs don't degenerate into per-replication merges.
+            replications.div_ceil(64).clamp(16, 8192)
+        }
+    }
+
+    fn effective_threads(&self, blocks: u64) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, blocks.max(1) as usize)
+    }
+}
+
+/// Reduces one block of replications sequentially.
+fn run_block<O: Observer + ?Sized>(job: &Job, lo: u64, hi: u64, obs: &mut O) -> Summary {
+    let executor = Executor::new(job.scenario()).with_options(job.options());
+    let mut partial = Summary::empty();
+    for rep in lo..hi {
+        let out = job.run_replication_on(&executor, rep, obs);
+        partial.absorb(&out);
+    }
+    partial
+}
+
+/// Merges per-block partials in ascending block order.
+fn merge_blocks(blocks: Vec<Summary>) -> Summary {
+    let mut total = Summary::empty();
+    for partial in &blocks {
+        total.merge(partial);
+    }
+    total
+}
+
+impl LocalRunner {
+    fn run_generic<O: Observer + ?Sized>(&self, job: &Job, obs: &mut O) -> Summary {
+        let reps = job.replications();
+        let block = self.effective_block(reps);
+        let n_blocks = reps.div_ceil(block);
+        let mut partials = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let lo = b * block;
+            let hi = (lo + block).min(reps);
+            partials.push(run_block(job, lo, hi, obs));
+        }
+        merge_blocks(partials)
+    }
+}
+
+impl Runner for LocalRunner {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn run(&self, job: &Job) -> Result<Summary, SpecError> {
+        let reps = job.replications();
+        let block = self.effective_block(reps);
+        let n_blocks = reps.div_ceil(block);
+        let threads = self.effective_threads(n_blocks);
+        if threads <= 1 {
+            return Ok(self.run_generic(job, &mut NoopObserver));
+        }
+
+        let next = AtomicU64::new(0);
+        let mut worker_results: Vec<Vec<(u64, Summary)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        let lo = b * block;
+                        let hi = (lo + block).min(reps);
+                        local.push((b, run_block(job, lo, hi, &mut NoopObserver)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                worker_results.push(h.join().expect("simulation worker panicked"));
+            }
+        });
+
+        // Canonical order: place each block partial at its index, then
+        // merge ascending — the thread schedule is forgotten here.
+        let mut by_index: Vec<Option<Summary>> = vec![None; n_blocks as usize];
+        for (b, partial) in worker_results.into_iter().flatten() {
+            by_index[b as usize] = Some(partial);
+        }
+        Ok(merge_blocks(
+            by_index
+                .into_iter()
+                .map(|p| p.expect("every block is reduced exactly once"))
+                .collect(),
+        ))
+    }
+
+    fn run_observed(&self, job: &Job, obs: &mut dyn Observer) -> Result<Summary, SpecError> {
+        // A shared observer imposes a replication order; run sequentially
+        // over the same canonical blocks so the aggregate stays
+        // bit-identical to the parallel fast path.
+        Ok(self.run_generic(job, obs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_spec::{ExperimentSpec, McSpec};
+
+    fn spec(reps: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: reps,
+            seed: 42,
+            threads: 0,
+        };
+        spec
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_summary() {
+        let job = Job::from_spec(&spec(400)).unwrap();
+        let one = LocalRunner::new(1).run(&job).unwrap();
+        for threads in [2, 3, 7, 16] {
+            let many = LocalRunner::new(threads).run(&job).unwrap();
+            assert_eq!(one, many, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_the_fast_path_bit_for_bit() {
+        let job = Job::from_spec(&spec(300)).unwrap();
+        let fast = LocalRunner::new(4).run(&job).unwrap();
+        let mut counter = CountingObserver::default();
+        let observed = LocalRunner::new(4)
+            .run_observed(&job, &mut counter)
+            .unwrap();
+        assert_eq!(fast, observed);
+        assert_eq!(counter.started, 300);
+        assert_eq!(counter.finished, 300);
+        assert!(counter.events > 0);
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        started: u64,
+        finished: u64,
+        events: u64,
+    }
+    impl Observer for CountingObserver {
+        fn on_replication_start(&mut self, _rep: u64, _seed: u64) {
+            self.started += 1;
+        }
+        fn on_replication_end(&mut self, _rep: u64, _out: &eacp_sim::RunOutcome) {
+            self.finished += 1;
+        }
+        fn on_event(&mut self, _event: &eacp_sim::TraceEvent) {
+            self.events += 1;
+        }
+    }
+
+    #[test]
+    fn block_size_depends_only_on_replications() {
+        let r = LocalRunner::new(0);
+        assert_eq!(r.effective_block(10), 16);
+        assert_eq!(r.effective_block(10_000), 157);
+        assert_eq!(r.effective_block(1_000_000), 8192);
+        assert_eq!(
+            LocalRunner::new(0).with_block_size(64).effective_block(10),
+            64
+        );
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let job = Job::from_spec(&spec(20)).unwrap();
+        let wide = LocalRunner::new(64).run(&job).unwrap();
+        let narrow = LocalRunner::new(1).run(&job).unwrap();
+        assert_eq!(wide, narrow);
+        assert_eq!(wide.replications, 20);
+    }
+}

@@ -1,0 +1,516 @@
+//! The sharded sweep executor: partition a [`SweepSpec`] grid across
+//! machines by index range, emit per-shard report documents, and
+//! reassemble the full grid — failing loudly on anything suspicious.
+//!
+//! `SweepSpec::expand()` derives a deterministic per-point seed from the
+//! grid index, so a grid point produces the same [`RunReport`] no matter
+//! which shard (or machine) ran it. The workflow:
+//!
+//! ```text
+//! eacp sweep --spec grid.json --shard 0/3 --out reports/   # machine 0
+//! eacp sweep --spec grid.json --shard 1/3 --out reports/   # machine 1
+//! eacp sweep --spec grid.json --shard 2/3 --out reports/   # machine 2
+//! eacp merge reports/ --out grid-report.json               # anywhere
+//! ```
+//!
+//! The merged document is bit-identical to what an unsharded
+//! `eacp sweep --out` writes (the unsharded document is simply the
+//! one-shard special case), and [`merge_dir`] refuses to produce a grid
+//! report when a shard is missing, a grid point is duplicated, or a
+//! point's embedded spec does not match the sweep it claims to belong to.
+
+use crate::job::Job;
+use crate::runner::{LocalRunner, Runner};
+use eacp_spec::{
+    ExperimentSpec, FromJson, Json, RunReport, SpecError, SummaryReport, SweepSpec, ToJson,
+};
+use std::path::{Path, PathBuf};
+
+/// One shard of a sweep: `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardId {
+    /// Zero-based shard index.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl ShardId {
+    /// Creates a validated shard id.
+    ///
+    /// # Errors
+    ///
+    /// `count == 0` and `index >= count` are [`SpecError`]s, not silent
+    /// empty shards.
+    pub fn new(index: u64, count: u64) -> Result<Self, SpecError> {
+        if count == 0 {
+            return Err(SpecError::invalid(
+                "shard count must be positive (got 0 shards)",
+            ));
+        }
+        if index >= count {
+            return Err(SpecError::invalid(format!(
+                "shard index {index} is out of range for {count} shards \
+                 (valid: 0..{count})"
+            )));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `i/n` (e.g. `--shard 1/3`).
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let Some((i, n)) = text.split_once('/') else {
+            return Err(SpecError::invalid(format!(
+                "shard must be written as index/count, e.g. 0/3 (got {text:?})"
+            )));
+        };
+        let parse = |s: &str, what: &str| -> Result<u64, SpecError> {
+            s.trim().parse().map_err(|_| {
+                SpecError::invalid(format!("shard {what} {s:?} is not a non-negative integer"))
+            })
+        };
+        Self::new(parse(i, "index")?, parse(n, "count")?)
+    }
+
+    /// The contiguous grid-index range this shard owns out of `total`
+    /// points (the ranges of all `count` shards tile `0..total` exactly).
+    pub fn range(&self, total: usize) -> std::ops::Range<usize> {
+        let chunk = total.div_ceil(self.count as usize);
+        let lo = (self.index as usize * chunk).min(total);
+        let hi = (lo + chunk).min(total);
+        lo..hi
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([("index", self.index.into()), ("count", self.count.into())])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Self::new(json.req("index")?.as_u64()?, json.req("count")?.as_u64()?)
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One grid point's result, tagged with its flat grid index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReport {
+    /// Flat index into `SweepSpec::expand()` order.
+    pub index: usize,
+    /// The point's full run report (spec embedded for provenance).
+    pub report: RunReport,
+}
+
+/// A sweep result document: the whole grid, or one shard of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridReport {
+    /// The sweep that produced (or will reproduce) these points.
+    pub sweep: SweepSpec,
+    /// Total grid points in the full sweep (not just this document).
+    pub total_points: usize,
+    /// Which shard this document covers (`None` = the full grid).
+    pub shard: Option<ShardId>,
+    /// Covered points, ascending by grid index.
+    pub points: Vec<PointReport>,
+}
+
+impl GridReport {
+    /// The canonical file name: `grid.json` for a full grid,
+    /// `shard-I-of-N.json` for one shard.
+    pub fn file_name(&self) -> String {
+        match self.shard {
+            None => "grid.json".to_owned(),
+            Some(s) => format!("shard-{}-of-{}.json", s.index, s.count),
+        }
+    }
+
+    /// Writes the document into `dir` (created if absent) under its
+    /// canonical [`GridReport::file_name`]; returns the written path.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, SpecError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", dir.display())))?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().pretty())
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Reads one document.
+    pub fn load(path: &Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_json(&Json::parse(&text)?)
+    }
+}
+
+impl ToJson for GridReport {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = vec![
+            ("sweep", self.sweep.to_json()),
+            ("total_points", self.total_points.into()),
+        ];
+        if let Some(shard) = self.shard {
+            fields.push(("shard", shard.to_json()));
+        }
+        fields.push((
+            "points",
+            Json::Array(
+                self.points
+                    .iter()
+                    .map(|p| Json::obj([("index", p.index.into()), ("report", p.report.to_json())]))
+                    .collect(),
+            ),
+        ));
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for GridReport {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let shard = match json.get("shard") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ShardId::from_json(s)?),
+        };
+        let mut points = Vec::new();
+        for item in json.req("points")?.as_array()? {
+            points.push(PointReport {
+                index: item.req("index")?.as_usize()?,
+                report: RunReport::from_json(item.req("report")?)?,
+            });
+        }
+        Ok(Self {
+            sweep: SweepSpec::from_json(json.req("sweep")?)?,
+            total_points: json.req("total_points")?.as_usize()?,
+            shard,
+            points,
+        })
+    }
+}
+
+/// Expands a sweep and runs the selected shard (or, with `shard = None`,
+/// the whole grid), producing the shard's report document.
+///
+/// Each grid point runs through the [`Job`]/[`LocalRunner`] path with its
+/// own expansion-derived seed, so a point's report does not depend on
+/// which shard executed it.
+pub fn run_sweep(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    threads: usize,
+) -> Result<GridReport, SpecError> {
+    let specs = sweep.expand()?;
+    let total = specs.len();
+    let range = match shard {
+        Some(s) => s.range(total),
+        None => 0..total,
+    };
+    let runner = LocalRunner::new(threads);
+    let mut points = Vec::with_capacity(range.len());
+    for index in range {
+        let spec = &specs[index];
+        let report = run_point(&runner, spec)
+            .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
+        points.push(PointReport { index, report });
+    }
+    Ok(GridReport {
+        sweep: sweep.clone(),
+        total_points: total,
+        shard,
+        points,
+    })
+}
+
+fn run_point(runner: &LocalRunner, spec: &ExperimentSpec) -> Result<RunReport, SpecError> {
+    let job = Job::from_spec(spec)?;
+    let summary = runner.run(&job)?;
+    Ok(RunReport {
+        spec: spec.clone(),
+        policy_name: job.policy_name().to_owned(),
+        summary: SummaryReport::from_summary(&summary),
+    })
+}
+
+/// Lists the `.json` report documents in `dir`, sorted by path — the one
+/// directory-enumeration rule shared by [`merge_dir`] and the CLI's
+/// `csv` loader, so both commands always see the same document set.
+pub fn list_report_files(dir: &Path) -> Result<Vec<PathBuf>, SpecError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| SpecError::Io(format!("{}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Reads every `*.json` document in `dir` and reassembles the full grid.
+///
+/// # Errors
+///
+/// Fails loudly — with a [`SpecError`] naming the offending file or grid
+/// index — when:
+///
+/// * the directory holds no report documents, or a `.json` file is not a
+///   sweep report document;
+/// * documents disagree on the sweep spec, total point count, or shard
+///   count (a mixed-up directory);
+/// * a grid point is covered twice (duplicated shard), is missing
+///   (withheld shard), or embeds a spec that does not match the sweep's
+///   expansion at its index (tampered or foreign report).
+pub fn merge_dir(dir: &Path) -> Result<GridReport, SpecError> {
+    let paths = list_report_files(dir)?;
+    if paths.is_empty() {
+        return Err(SpecError::invalid(format!(
+            "{}: no .json report documents to merge",
+            dir.display()
+        )));
+    }
+
+    let mut docs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let doc = GridReport::load(path)
+            .map_err(|e| SpecError::invalid(format!("{}: {e}", path.display())))?;
+        docs.push((path, doc));
+    }
+
+    // Cross-document consistency.
+    let (first_path, first) = &docs[0];
+    let sweep_fingerprint = first.sweep.to_json().pretty();
+    let total = first.total_points;
+    let mut shard_count: Option<u64> = None;
+    for (path, doc) in &docs {
+        if doc.sweep.to_json().pretty() != sweep_fingerprint {
+            return Err(SpecError::invalid(format!(
+                "{}: sweep spec differs from {} — these shards are not from \
+                 the same sweep",
+                path.display(),
+                first_path.display()
+            )));
+        }
+        if doc.total_points != total {
+            return Err(SpecError::invalid(format!(
+                "{}: declares {} total points, {} declares {total}",
+                path.display(),
+                doc.total_points,
+                first_path.display()
+            )));
+        }
+        if let Some(s) = doc.shard {
+            match shard_count {
+                None => shard_count = Some(s.count),
+                Some(c) if c != s.count => {
+                    return Err(SpecError::invalid(format!(
+                        "{}: shard count {} conflicts with earlier shard count {c}",
+                        path.display(),
+                        s.count
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Point coverage: exactly once each, spec-faithful.
+    let expected = first.sweep.expand()?;
+    let mut slots: Vec<Option<PointReport>> = vec![None; total];
+    for (path, doc) in &docs {
+        for point in &doc.points {
+            if point.index >= total {
+                return Err(SpecError::invalid(format!(
+                    "{}: grid point {} is out of range for a {total}-point sweep",
+                    path.display(),
+                    point.index
+                )));
+            }
+            if slots[point.index].is_some() {
+                return Err(SpecError::invalid(format!(
+                    "{}: grid point {} is covered twice — duplicated shard?",
+                    path.display(),
+                    point.index
+                )));
+            }
+            if point.report.spec != expected[point.index] {
+                return Err(SpecError::invalid(format!(
+                    "{}: grid point {}'s embedded spec does not match the \
+                     sweep expansion (expected {:?}, found {:?})",
+                    path.display(),
+                    point.index,
+                    expected[point.index].name,
+                    point.report.spec.name
+                )));
+            }
+            slots[point.index] = Some(point.clone());
+        }
+    }
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(SpecError::invalid(format!(
+            "incomplete grid: {} of {total} points missing (indices {:?}{}) — \
+             withheld shard?",
+            missing.len(),
+            &missing[..missing.len().min(8)],
+            if missing.len() > 8 { ", ..." } else { "" }
+        )));
+    }
+
+    Ok(GridReport {
+        sweep: first.sweep.clone(),
+        total_points: total,
+        shard: None,
+        points: slots.into_iter().map(|s| s.expect("checked")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_spec::{McSpec, SweepAxis};
+
+    fn small_sweep() -> SweepSpec {
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "grid".into();
+        base.mc = McSpec {
+            replications: 40,
+            seed: 5,
+            threads: 1,
+        };
+        SweepSpec {
+            base,
+            axes: vec![
+                SweepAxis::Lambda(vec![1.0e-4, 1.4e-3]),
+                SweepAxis::K(vec![1, 5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_parse_validates() {
+        assert_eq!(
+            ShardId::parse("1/3").unwrap(),
+            ShardId { index: 1, count: 3 }
+        );
+        for bad in ["", "3", "a/b", "1/0", "3/3", "4/3"] {
+            let err = ShardId::parse(bad).unwrap_err();
+            assert!(matches!(err, SpecError::Invalid(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_grid_exactly() {
+        for total in [0usize, 1, 4, 7, 10] {
+            for count in [1u64, 2, 3, 5, 8] {
+                let mut covered = Vec::new();
+                for index in 0..count {
+                    let r = ShardId::new(index, count).unwrap().range(total);
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>(), "{total}/{count}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_points_equal_unsharded_points() {
+        let sweep = small_sweep();
+        let full = run_sweep(&sweep, None, 1).unwrap();
+        assert_eq!(full.points.len(), 4);
+        let mut collected = Vec::new();
+        for i in 0..3 {
+            let shard = run_sweep(&sweep, Some(ShardId::new(i, 3).unwrap()), 1).unwrap();
+            collected.extend(shard.points);
+        }
+        collected.sort_by_key(|p| p.index);
+        assert_eq!(collected, full.points);
+    }
+
+    #[test]
+    fn merge_reassembles_bit_identically_and_rejects_corruption() {
+        let sweep = small_sweep();
+        let base = std::env::temp_dir().join(format!("eacp-exec-shard-{}", std::process::id()));
+        let sharded = base.join("sharded");
+        let _ = std::fs::remove_dir_all(&base);
+
+        let full = run_sweep(&sweep, None, 1).unwrap();
+        for i in 0..3 {
+            run_sweep(&sweep, Some(ShardId::new(i, 3).unwrap()), 1)
+                .unwrap()
+                .save(&sharded)
+                .unwrap();
+        }
+        let merged = merge_dir(&sharded).unwrap();
+        assert_eq!(merged, full, "merged grid must equal the unsharded grid");
+        assert_eq!(merged.to_json().pretty(), full.to_json().pretty());
+
+        // Withheld shard → loud failure.
+        let withheld = base.join("withheld");
+        std::fs::create_dir_all(&withheld).unwrap();
+        for name in ["shard-0-of-3.json", "shard-2-of-3.json"] {
+            std::fs::copy(sharded.join(name), withheld.join(name)).unwrap();
+        }
+        let err = merge_dir(&withheld).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        // Duplicated shard → loud failure.
+        let duplicated = base.join("duplicated");
+        std::fs::create_dir_all(&duplicated).unwrap();
+        for name in [
+            "shard-0-of-3.json",
+            "shard-1-of-3.json",
+            "shard-2-of-3.json",
+        ] {
+            std::fs::copy(sharded.join(name), duplicated.join(name)).unwrap();
+        }
+        std::fs::copy(
+            sharded.join("shard-0-of-3.json"),
+            duplicated.join("shard-0-of-3-copy.json"),
+        )
+        .unwrap();
+        let err = merge_dir(&duplicated).unwrap_err();
+        assert!(err.to_string().contains("covered twice"), "{err}");
+
+        // Spec-mismatched shard → loud failure.
+        let mismatched = base.join("mismatched");
+        std::fs::create_dir_all(&mismatched).unwrap();
+        for name in ["shard-0-of-3.json", "shard-1-of-3.json"] {
+            std::fs::copy(sharded.join(name), mismatched.join(name)).unwrap();
+        }
+        let mut other = small_sweep();
+        other.base.mc.seed = 999;
+        run_sweep(&other, Some(ShardId::new(2, 3).unwrap()), 1)
+            .unwrap()
+            .save(&mismatched)
+            .unwrap();
+        let err = merge_dir(&mismatched).unwrap_err();
+        assert!(err.to_string().contains("sweep spec differs"), "{err}");
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn grid_report_round_trips_through_json() {
+        let sweep = small_sweep();
+        let shard = run_sweep(&sweep, Some(ShardId::new(1, 2).unwrap()), 1).unwrap();
+        let back = GridReport::from_json(&Json::parse(&shard.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back.shard, shard.shard);
+        assert_eq!(back.total_points, shard.total_points);
+        assert_eq!(back.points.len(), shard.points.len());
+        assert_eq!(back.to_json().pretty(), shard.to_json().pretty());
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("eacp-exec-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(merge_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -38,7 +38,7 @@ fn nominal_base(name: &str, lambda: f64, reps: u64, seed: u64) -> ExperimentSpec
 }
 
 fn run_spec(spec: &ExperimentSpec) -> eacp_sim::Summary {
-    let (summary, _) = eacp_spec::run(spec).unwrap_or_else(|e| {
+    let (summary, _) = eacp_exec::run(spec).unwrap_or_else(|e| {
         eprintln!("sweep: {}: {e}", spec.name);
         std::process::exit(1);
     });

@@ -3,8 +3,9 @@
 //! Since the `eacp-spec` redesign this module no longer hand-builds
 //! scenarios and policies: every cell is first *described* as an
 //! [`ExperimentSpec`] ([`cell_experiment`]) and then executed through
-//! [`eacp_spec::run`]. The same spec, serialized to JSON and fed to
-//! `eacp mc --spec`, reproduces any cell of any table bit for bit.
+//! [`eacp_exec::run`] (the `Job`/`Runner` path). The same spec,
+//! serialized to JSON and fed to `eacp mc --spec`, reproduces any cell of
+//! any table bit for bit.
 
 use crate::paper::{paper_cell, PaperCell};
 use crate::tables::{CellSpec, SchemeId, TableConfig, TableId};
@@ -190,7 +191,7 @@ pub fn run_cell_with(
         .map(|&scheme| {
             let experiment = cell_experiment(config, spec, scheme, replications, seed, options);
             let (summary, report) =
-                eacp_spec::run(&experiment).expect("table cells are valid experiment specs");
+                eacp_exec::run(&experiment).expect("table cells are valid experiment specs");
             debug_assert_eq!(summary.anomalies, 0, "policy anomaly in {scheme:?}");
             SchemeResult {
                 scheme,
@@ -318,7 +319,7 @@ mod tests {
             let json = s.spec.to_json_string();
             let reread = ExperimentSpec::from_json_str(&json).unwrap();
             assert_eq!(reread, s.spec);
-            let (summary, _) = eacp_spec::run(&reread).unwrap();
+            let (summary, _) = eacp_exec::run(&reread).unwrap();
             assert_eq!(summary, s.summary, "scheme {}", s.name);
         }
     }

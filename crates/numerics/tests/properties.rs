@@ -94,4 +94,73 @@ proptest! {
         let scale = xs.iter().map(|x| x.abs()).fold(1.0, f64::max);
         prop_assert!((forward.value() - backward.value()).abs() <= 1e-9 * scale);
     }
+
+    /// The sharded-execution invariant: merging *any* multi-way partition
+    /// of the observations equals the unpartitioned accumulation — counts
+    /// and extrema exactly, moments to float tolerance.
+    #[test]
+    fn welford_merge_any_partition(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..300),
+        cuts in proptest::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+
+        // Split xs at the (sorted) cut fractions into up to 7 chunks.
+        let mut bounds: Vec<usize> = cuts.iter().map(|f| (f * xs.len() as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(xs.len());
+        bounds.sort_unstable();
+        let mut merged = OnlineStats::new();
+        for pair in bounds.windows(2) {
+            let mut part = OnlineStats::new();
+            for &x in &xs[pair[0]..pair[1]] { part.push(x); }
+            merged.merge(&part);
+        }
+
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((merged.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    /// Merge is associative ((a ⊕ b) ⊕ c ≈ a ⊕ (b ⊕ c)) and the empty
+    /// accumulator is its exact two-sided identity.
+    #[test]
+    fn welford_merge_associative_with_identity(
+        a in proptest::collection::vec(-1e4f64..1e4, 0..80),
+        b in proptest::collection::vec(-1e4f64..1e4, 0..80),
+        c in proptest::collection::vec(-1e4f64..1e4, 0..80),
+    ) {
+        let stats = |xs: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &x in xs { s.push(x); }
+            s
+        };
+        let (sa, sb, sc) = (stats(&a), stats(&b), stats(&c));
+
+        // Identity is exact, both sides.
+        let mut left_id = OnlineStats::new();
+        left_id.merge(&sa);
+        prop_assert_eq!(left_id, sa);
+        let mut right_id = sa;
+        right_id.merge(&OnlineStats::new());
+        prop_assert_eq!(right_id, sa);
+
+        // Associativity: exact on counts/extrema, tight on moments.
+        let mut ab = sa; ab.merge(&sb);
+        let mut ab_c = ab; ab_c.merge(&sc);
+        let mut bc = sb; bc.merge(&sc);
+        let mut a_bc = sa; a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.count(), a_bc.count());
+        prop_assert_eq!(ab_c.min(), a_bc.min());
+        prop_assert_eq!(ab_c.max(), a_bc.max());
+        if ab_c.count() > 0 {
+            prop_assert!((ab_c.mean() - a_bc.mean()).abs() < 1e-9);
+            prop_assert!(
+                (ab_c.population_variance() - a_bc.population_variance()).abs() < 1e-6
+            );
+        }
+    }
 }

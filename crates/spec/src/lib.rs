@@ -31,10 +31,14 @@
 //! derive so the real dependency can be swapped in later without touching
 //! call sites.
 //!
+//! Execution lives one layer up in `eacp-exec`: `eacp_exec::run(&spec)`
+//! turns a spec into a `(Summary, RunReport)` through the `Job`/`Runner`
+//! API (the deprecated [`run`] shim here predates it).
+//!
 //! # Example
 //!
 //! ```
-//! use eacp_spec::{ExperimentSpec, run};
+//! use eacp_spec::{ExperimentSpec, ToJson};
 //!
 //! let text = r#"{
 //!     "name": "quick-look",
@@ -47,12 +51,11 @@
 //!     "mc": {"replications": 200, "seed": 7}
 //! }"#;
 //! let spec = ExperimentSpec::from_json_str(text).unwrap();
-//! let (summary, report) = run(&spec).unwrap();
-//! assert_eq!(summary.replications, 200);
-//! assert_eq!(report.policy_name, "A_D_S");
-//! // The serializable report round-trips as JSON.
-//! let json = eacp_spec::ToJson::to_json(&report).pretty();
-//! assert!(json.contains("\"p_timely\""));
+//! spec.validate().unwrap();
+//! assert_eq!(spec.policy.policy_name(), "A_D_S");
+//! // The document round-trips exactly.
+//! let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+//! assert_eq!(back, spec);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -72,5 +75,7 @@ pub use model::{
     ScenarioSpec, WorkSpec,
 };
 pub use presets::{paper_cell, preset, preset_names, PaperScheme};
-pub use report::{run, RunReport, StatsReport, SummaryReport};
+#[allow(deprecated)]
+pub use report::run;
+pub use report::{RunReport, StatsReport, SummaryReport};
 pub use sweep::{SweepAxis, SweepSpec};

@@ -175,7 +175,7 @@ impl FromJson for SummaryReport {
 }
 
 /// The result of running one [`ExperimentSpec`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The spec that produced this result (embedded for provenance).
     pub spec: ExperimentSpec,
@@ -195,8 +195,23 @@ impl ToJson for RunReport {
     }
 }
 
+impl FromJson for RunReport {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(Self {
+            spec: ExperimentSpec::from_json(json.req("spec")?)?,
+            policy_name: json.req("policy")?.as_str()?.to_owned(),
+            summary: SummaryReport::from_json(json.req("summary")?)?,
+        })
+    }
+}
+
 /// Runs an experiment spec end to end, returning both the exact in-memory
 /// [`Summary`] (for bit-identical comparisons) and the serializable report.
+#[deprecated(
+    since = "0.2.0",
+    note = "use eacp_exec::run — the Job/Runner execution path with \
+            observers and thread-count-invariant aggregation"
+)]
 pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
     let scenario = spec.scenario.build()?;
     let options = spec.executor.build()?;
@@ -208,6 +223,7 @@ pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
 
     let policy = &spec.policy;
     let faults = &spec.faults;
+    #[allow(deprecated)]
     let summary = mc.run(
         &scenario,
         options,
@@ -222,7 +238,10 @@ pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
     Ok((summary, report))
 }
 
+// The deprecated shim stays covered until it is removed; `eacp-exec` has
+// its own tests proving equivalence with the new execution path.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::{FaultSpec, McSpec};
@@ -266,6 +285,17 @@ mod tests {
         // which canonicalizes NaN to null.
         assert_eq!(json.pretty(), back.to_json().pretty());
         assert_eq!(report.summary.timely, back.timely);
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let (_, report) = run(&small_spec()).unwrap();
+        let text = report.to_json().pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.spec, report.spec);
+        assert_eq!(back.policy_name, report.policy_name);
+        // NaN-bearing stats compare via canonical JSON text.
+        assert_eq!(back.to_json().pretty(), text);
     }
 
     #[test]

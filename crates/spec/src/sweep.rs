@@ -200,13 +200,33 @@ impl SweepSpec {
         self.len() == 0
     }
 
+    /// Validates the grid's shape: every axis must have at least one value
+    /// (an empty axis would expand to a silent zero-point grid).
+    pub fn validate_axes(&self) -> Result<(), SpecError> {
+        for (i, axis) in self.axes.iter().enumerate() {
+            if axis.len() == 0 {
+                return Err(SpecError::invalid(format!(
+                    "sweep axis #{i} has no values: the grid would be empty"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Expands the grid into concrete experiments, outermost axis slowest.
     ///
     /// Each point gets a derived name (`base-u0.78-l0.0014`) and, unless a
     /// [`SweepAxis::Seed`] axis overrides it, a per-point seed
     /// `base.mc.seed + index` — the same offsetting the legacy table
     /// runner applies to its cells, so sweeps shard reproducibly.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a clear [`SpecError`] when an axis has zero values
+    /// (instead of silently returning an empty grid) or when an axis is
+    /// incompatible with the base spec.
     pub fn expand(&self) -> Result<Vec<ExperimentSpec>, SpecError> {
+        self.validate_axes()?;
         let total = self.len();
         let has_seed_axis = self.axes.iter().any(|a| matches!(a, SweepAxis::Seed(_)));
         let mut out = Vec::with_capacity(total);
@@ -341,6 +361,23 @@ mod tests {
         };
         let seeds: Vec<u64> = sweep.expand().unwrap().iter().map(|s| s.mc.seed).collect();
         assert_eq!(seeds, vec![100, 200]);
+    }
+
+    #[test]
+    fn empty_axis_is_a_clear_error_not_a_silent_empty_grid() {
+        let sweep = SweepSpec {
+            base: base(),
+            axes: vec![
+                SweepAxis::Utilization(vec![0.76]),
+                SweepAxis::Lambda(vec![]),
+            ],
+        };
+        assert_eq!(sweep.len(), 0);
+        let err = sweep.expand().unwrap_err();
+        assert!(
+            err.to_string().contains("axis #1"),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

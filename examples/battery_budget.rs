@@ -45,7 +45,7 @@ fn main() {
             work_cycles: WORK_CYCLES,
             deadline,
         };
-        let (summary, _) = eacp::spec::run(&spec).expect("valid experiment spec");
+        let (summary, _) = eacp::exec::run(&spec).expect("valid experiment spec");
         let e = summary.mean_energy_timely();
         let frames = if e.is_nan() { 0.0 } else { BUDGET / e };
         let share = summary.fast_fraction.mean();

@@ -85,7 +85,7 @@ fn main() {
             paper_cell(1, 0.76, lambda, k, scheme).expect("table 1 cell specs are valid");
         spec.mc.seed = 42;
         // ...and running it is one call.
-        let (summary, report) = eacp::spec::run(&spec).expect("valid experiment spec");
+        let (summary, report) = eacp::exec::run(&spec).expect("valid experiment spec");
         let (lo, hi) = summary.p_timely_ci(1.96);
         println!(
             "{:<8} P = {:.4} [{lo:.4}, {hi:.4}]   E = {:>8.0}   (paper: P = {paper_p}, E = {paper_e})",

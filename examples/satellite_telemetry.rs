@@ -43,7 +43,7 @@ fn base(scheme_tag: &str) -> ExperimentSpec {
 }
 
 fn p_and_e(spec: &ExperimentSpec) -> (f64, f64) {
-    let (summary, _) = eacp::spec::run(spec).expect("valid experiment spec");
+    let (summary, _) = eacp::exec::run(spec).expect("valid experiment spec");
     (summary.p_timely(), summary.mean_energy_timely())
 }
 

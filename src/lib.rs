@@ -11,7 +11,10 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`core`] — the paper's analysis and checkpointing policies;
-//! * [`sim`] — the DMR discrete-event simulator and Monte-Carlo runner;
+//! * [`sim`] — the DMR discrete-event simulator and its `Observer` event
+//!   stream;
+//! * [`exec`] — the unified execution layer: `Job`s, `Runner`s, the
+//!   sharded sweep executor and report renderers;
 //! * [`faults`] — transient-fault arrival processes;
 //! * [`energy`] — DVS speed levels and energy accounting;
 //! * [`numerics`] — minimization, root finding, online statistics;
@@ -58,6 +61,7 @@
 
 pub use eacp_core as core;
 pub use eacp_energy as energy;
+pub use eacp_exec as exec;
 pub use eacp_experiments as experiments;
 pub use eacp_faults as faults;
 pub use eacp_numerics as numerics;

@@ -184,7 +184,7 @@ fn static_scheme_prediction_matches_monte_carlo() {
     // paper's operating points.
     use eacp::core::analysis::static_scheme_completion;
     use eacp::core::policies::PoissonArrival;
-    use eacp::sim::MonteCarlo;
+    use eacp::exec::{Job, LocalRunner, Runner};
 
     for (util, lambda) in [(0.76_f64, 1.4e-3_f64), (0.78, 1.6e-3), (0.92, 1.0e-4)] {
         let n = util * 10_000.0;
@@ -195,16 +195,21 @@ fn static_scheme_prediction_matches_monte_carlo() {
             CheckpointCosts::paper_scp_variant(),
             DvsConfig::paper_default(),
         );
-        let summary = MonteCarlo::new(6_000).with_seed(31).run(
-            &scenario,
+        let job = Job::from_parts(
+            "static-vs-analysis",
+            scenario,
             ExecutorOptions {
                 faults_during_overhead: false,
                 stop_at_deadline: false, // measure the full distribution
                 ..ExecutorOptions::default()
             },
-            |_| PoissonArrival::new(lambda, 0),
-            |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-        );
+            6_000,
+            31,
+            move |_| Box::new(PoissonArrival::new(lambda, 0)),
+            move |seed| Box::new(PoissonProcess::new(lambda, StdRng::seed_from_u64(seed))),
+        )
+        .unwrap();
+        let summary = LocalRunner::default().run(&job).unwrap();
         // With stop_at_deadline off every run completes, so the measured
         // timely fraction is the untruncated P the CLT estimate predicts.
         assert_eq!(summary.completed, summary.replications);

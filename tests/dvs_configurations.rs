@@ -6,7 +6,7 @@
 use eacp::core::policies::Adaptive;
 use eacp::energy::{DvsConfig, SpeedLevel};
 use eacp::faults::{DeterministicFaults, PoissonProcess};
-use eacp::sim::{CheckpointCosts, Executor, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
+use eacp::sim::{CheckpointCosts, Executor, ExecutorOptions, Scenario, TaskSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -113,12 +113,18 @@ fn single_speed_config_disables_dvs_gracefully() {
         CheckpointCosts::paper_scp_variant(),
         DvsConfig::fixed(SpeedLevel::new(1.0, 1.5)),
     );
-    let summary = MonteCarlo::new(300).with_seed(4).run(
-        &scenario,
+    let job = eacp::exec::Job::from_parts(
+        "single-speed",
+        scenario,
         ExecutorOptions::default(),
-        |_| Adaptive::dvs_scp(1e-3, 5),
-        |seed| PoissonProcess::new(1e-3, StdRng::seed_from_u64(seed)),
-    );
+        300,
+        4,
+        |_| Box::new(Adaptive::dvs_scp(1e-3, 5)),
+        |seed| Box::new(PoissonProcess::new(1e-3, StdRng::seed_from_u64(seed))),
+    )
+    .unwrap();
+    use eacp::exec::Runner;
+    let summary = eacp::exec::LocalRunner::default().run(&job).unwrap();
     assert_eq!(summary.anomalies, 0);
     assert!(summary.p_timely() > 0.95);
     // With one level, "fastest" is also "slowest": the fast fraction is

@@ -34,7 +34,7 @@ fn scp_scheme_rolls_back_to_clean_scp_not_interval_start() {
     let mut p = Adaptive::scp(2.5e-3, 5, 0);
     let mut f = DeterministicFaults::new(vec![260.0]);
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&s).run_traced(&mut p, &mut f, Some(&mut rec));
+    let out = Executor::new(&s).run_observed(&mut p, &mut f, &mut rec);
     assert!(out.completed && out.rollbacks == 1);
     let rollback_pos = rec
         .events()
@@ -76,7 +76,7 @@ fn ccp_scheme_detects_early_but_rolls_back_to_interval_start() {
     let mut p = Adaptive::ccp(2.5e-3, 5, 0);
     let mut f = DeterministicFaults::new(vec![260.0]);
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&s).run_traced(&mut p, &mut f, Some(&mut rec));
+    let out = Executor::new(&s).run_observed(&mut p, &mut f, &mut rec);
     assert!(out.completed && out.rollbacks == 1);
     let (detect_time, rollback_pos) = rec
         .events()
@@ -126,7 +126,7 @@ fn dvs_upshifts_then_downshifts_with_slack() {
     let mut p = Adaptive::dvs_scp(1.4e-3, 5);
     let mut f = DeterministicFaults::new(vec![2_500.0]);
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&s).run_traced(&mut p, &mut f, Some(&mut rec));
+    let out = Executor::new(&s).run_observed(&mut p, &mut f, &mut rec);
     assert!(out.timely);
     let switches: Vec<(usize, usize)> = rec
         .events()

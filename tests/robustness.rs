@@ -5,10 +5,12 @@
 
 use eacp::core::policies::{Adaptive, PoissonArrival};
 use eacp::energy::DvsConfig;
+use eacp::exec::{Job, LocalRunner, Runner};
 use eacp::faults::{BurstProcess, FaultProcess, PhasedPoisson, WeibullRenewal};
-use eacp::sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec};
+use eacp::sim::{CheckpointCosts, ExecutorOptions, Policy, Scenario, TaskSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn scenario() -> Scenario {
     Scenario::new(
@@ -20,27 +22,33 @@ fn scenario() -> Scenario {
 
 fn run_pair<Q, FQ>(nominal: f64, faults: FQ) -> (f64, f64)
 where
-    Q: FaultProcess,
-    FQ: Fn(u64) -> Q + Sync,
+    Q: FaultProcess + 'static,
+    FQ: Fn(u64) -> Q + Send + Sync + 'static,
 {
-    let s = scenario();
-    let mc = MonteCarlo::new(1_500).with_seed(71);
-    let p_static = mc
-        .run(
-            &s,
+    let faults = Arc::new(faults);
+    let runner = LocalRunner::default();
+    let p_of = |name: &str, policy: Box<dyn Fn() -> Box<dyn Policy> + Send + Sync>| {
+        let faults = Arc::clone(&faults);
+        let job = Job::from_parts(
+            name,
+            scenario(),
             ExecutorOptions::default(),
-            |_| -> Box<dyn Policy> { Box::new(PoissonArrival::new(nominal, 0)) },
-            &faults,
+            1_500,
+            71,
+            move |_| policy(),
+            move |seed| Box::new(faults(seed)) as Box<dyn FaultProcess>,
         )
-        .p_timely();
-    let p_ads = mc
-        .run(
-            &s,
-            ExecutorOptions::default(),
-            |_| -> Box<dyn Policy> { Box::new(Adaptive::dvs_scp(nominal, 5)) },
-            &faults,
-        )
-        .p_timely();
+        .unwrap();
+        runner.run(&job).unwrap().p_timely()
+    };
+    let p_static = p_of(
+        "static",
+        Box::new(move || Box::new(PoissonArrival::new(nominal, 0))),
+    );
+    let p_ads = p_of(
+        "a_d_s",
+        Box::new(move || Box::new(Adaptive::dvs_scp(nominal, 5))),
+    );
     (p_static, p_ads)
 }
 

@@ -15,12 +15,12 @@ fn small(mut spec: ExperimentSpec) -> ExperimentSpec {
 #[test]
 fn serialize_deserialize_run_is_bit_identical() {
     let spec = small(paper_cell(1, 0.76, 1.4e-3, 5, PaperScheme::Proposed).unwrap());
-    let (direct, _) = eacp::spec::run(&spec).unwrap();
+    let (direct, _) = eacp::exec::run(&spec).unwrap();
 
     let json = spec.to_json_string();
     let reread = ExperimentSpec::from_json_str(&json).unwrap();
     assert_eq!(reread, spec, "round-trip must preserve the spec exactly");
-    let (replayed, _) = eacp::spec::run(&reread).unwrap();
+    let (replayed, _) = eacp::exec::run(&reread).unwrap();
     assert_eq!(replayed, direct, "replayed Summary must be bit-identical");
 }
 
@@ -53,7 +53,7 @@ fn monte_carlo_summary_invariant_across_thread_counts() {
     let run_with_threads = |threads: usize| {
         let mut spec = base.clone();
         spec.mc = McSpec { threads, ..spec.mc };
-        eacp::spec::run(&spec).unwrap().0
+        eacp::exec::run(&spec).unwrap().0
     };
     let one = run_with_threads(1);
     let four = run_with_threads(4);
@@ -73,8 +73,8 @@ fn monte_carlo_summary_invariant_across_thread_counts() {
 fn presets_run_and_stay_deterministic() {
     for name in preset_names() {
         let spec = small(preset(name).unwrap());
-        let (a, report) = eacp::spec::run(&spec).unwrap();
-        let (b, _) = eacp::spec::run(&spec).unwrap();
+        let (a, report) = eacp::exec::run(&spec).unwrap();
+        let (b, _) = eacp::exec::run(&spec).unwrap();
         assert_eq!(a, b, "preset {name} must be reproducible");
         assert_eq!(a.anomalies, 0, "preset {name} must run cleanly");
         assert_eq!(report.spec.name, name);
@@ -92,9 +92,9 @@ fn sweep_points_reproduce_individually() {
     let points = sweep.expand().unwrap();
     assert_eq!(points.len(), 2);
     for point in &points {
-        let (inside, _) = eacp::spec::run(point).unwrap();
+        let (inside, _) = eacp::exec::run(point).unwrap();
         let reread = ExperimentSpec::from_json_str(&point.to_json_string()).unwrap();
-        let (outside, _) = eacp::spec::run(&reread).unwrap();
+        let (outside, _) = eacp::exec::run(&reread).unwrap();
         assert_eq!(inside, outside, "point {}", point.name);
     }
 }
@@ -103,7 +103,7 @@ fn sweep_points_reproduce_individually() {
 fn fault_models_beyond_poisson_run_through_specs() {
     let mut spec = small(preset("satellite-telemetry").unwrap());
     spec.mc.replications = 60;
-    let (summary, _) = eacp::spec::run(&spec).unwrap();
+    let (summary, _) = eacp::exec::run(&spec).unwrap();
     assert_eq!(summary.replications, 60);
     assert_eq!(summary.anomalies, 0);
     assert!(summary.faults.mean() >= 0.0);
@@ -112,6 +112,6 @@ fn fault_models_beyond_poisson_run_through_specs() {
         phases: vec![(9_000.0, 1e-4), (1_000.0, 2e-2)],
         repeat: true,
     };
-    let (summary, _) = eacp::spec::run(&spec).unwrap();
+    let (summary, _) = eacp::exec::run(&spec).unwrap();
     assert_eq!(summary.anomalies, 0);
 }
