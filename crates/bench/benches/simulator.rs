@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
 use eacp_energy::DvsConfig;
-use eacp_exec::{Job, LocalRunner, Runner};
+use eacp_exec::{Job, LocalRunner, QueueRunner, Runner};
 use eacp_faults::PoissonProcess;
 use eacp_sim::{
     CheckpointCosts, Executor, ExecutorOptions, Policy, Scenario, TaskSpec, TraceRecorder,
@@ -66,12 +66,24 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| runner.run(&job).expect("bench job runs"))
         });
     }
+    // The work-queue scheduler against the plain runner at the same pool
+    // size: the lease/retry machinery must cost noise, not throughput
+    // (results are bit-identical by construction).
+    group.bench_function("a_d_s_1000_reps_local_4_threads", |b| {
+        let job = mc_job(1_000);
+        let runner = LocalRunner::new(4);
+        b.iter(|| runner.run(&job).expect("bench job runs"))
+    });
+    group.bench_function("a_d_s_1000_reps_queue_4_workers", |b| {
+        let job = mc_job(1_000);
+        let runner = QueueRunner::new(4);
+        b.iter(|| runner.run(&job).expect("bench job runs"))
+    });
     group.finish();
 
     // The redesign's regression guard: the no-op-observer engine path must
-    // stay at the pre-redesign `Executor::run` throughput. The deprecated
-    // closure-factory Monte-Carlo driver is kept below as that baseline
-    // (same scenario, same seeds, one thread each) until its removal;
+    // stay at raw `Executor::run` throughput (the sequential single-run
+    // loop below is that baseline — same scenario, same seeds);
     // `trace_recorder_observer` shows what a real observer costs on top.
     let mut group = c.benchmark_group("observer_overhead");
     group.sample_size(20);
@@ -80,19 +92,18 @@ fn bench_simulator(c: &mut Criterion) {
         let runner = LocalRunner::new(1);
         b.iter(|| runner.run(&job).expect("bench job runs"))
     });
-    group.bench_function("pre_redesign_closure_mc_baseline", |b| {
+    group.bench_function("raw_executor_loop_baseline", |b| {
         let s = scenario();
+        let executor = Executor::new(&s).with_options(ExecutorOptions::default());
         b.iter(|| {
-            #[allow(deprecated)]
-            eacp_sim::MonteCarlo::new(200)
-                .with_seed(3)
-                .with_threads(1)
-                .run(
-                    &s,
-                    ExecutorOptions::default(),
-                    |_| Adaptive::dvs_scp(1.4e-3, 5),
-                    |seed| PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed)),
-                )
+            let mut sum = eacp_sim::Summary::empty();
+            for rep in 0..200u64 {
+                let seed = eacp_sim::replication_seed(3, rep);
+                let mut policy = Adaptive::dvs_scp(1.4e-3, 5);
+                let mut faults = PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed));
+                sum.absorb(&executor.run(&mut policy, &mut faults));
+            }
+            sum
         })
     });
     group.bench_function("trace_recorder_observer", |b| {

@@ -9,6 +9,9 @@
 //!   `--shard i/n` of it, writing report documents with `--out`);
 //! * `merge` — reassemble a directory of shard report documents into the
 //!   full grid report, failing on missing/duplicate/mismatched points;
+//! * `queue` — `queue status DIR` inspects a result-collection directory:
+//!   which grid points the present shard documents cover, which are still
+//!   owed, whether the directory is ready to merge;
 //! * `csv` — render a directory of report documents as a CSV matrix with
 //!   paper-value deltas;
 //! * `analyze` — print the paper's analysis quantities (`I1/I2/I3`,
@@ -38,7 +41,10 @@ use eacp_core::analysis::{
     IntervalInputs, OptimizeMethod, RenewalParams,
 };
 use eacp_energy::DvsConfig;
-use eacp_exec::{merge_dir, run_sweep, GridReport, PaperRef, ShardId};
+use eacp_exec::{
+    coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, PaperRef, QueueObserver,
+    QueueStatus, ShardId,
+};
 use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
 use eacp_rtsched::{PeriodicTask, TaskSet};
 use eacp_sim::{Executor, Policy, TraceRecorder};
@@ -57,7 +63,9 @@ USAGE:
   eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
   eacp sweep      --spec sweep.json [--reps N] [--json] [--shard I/N] [--out DIR]
+                  [--queue [--workers N]]
   eacp merge      <DIR> [--out FILE]
+  eacp queue      status <DIR>
   eacp csv        <DIR> [--out FILE]
   eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
   eacp table      <1|2|3|4> [--reps N] [--seed N] [--json]
@@ -68,8 +76,16 @@ SHARDED SWEEPS:
   --shard I/N runs only shard I's grid-index range; --out DIR writes the
   shard (or full grid) as a report document. `eacp merge DIR` reassembles
   shards into the full grid report — identical to an unsharded run — and
-  fails on missing, duplicate or spec-mismatched points. `eacp csv DIR`
-  renders report documents as CSV with paper-value deltas.
+  fails on missing, duplicate or spec-mismatched points. `eacp queue
+  status DIR` shows how far the collection has progressed (covered /
+  missing / duplicated points) without failing. `eacp csv DIR` renders
+  report documents as CSV with paper-value deltas.
+
+QUEUED EXECUTION:
+  --queue schedules work through a work queue drained by a worker pool
+  (--workers N, 0 = auto) with lease retry; results are bit-identical to
+  the default runner for any worker count. On `mc` the queue config is
+  recorded in the effective spec (see --emit-spec).
 
 SPEC selection (run/mc):
   --spec file.json   load an ExperimentSpec document
@@ -117,6 +133,10 @@ pub struct Options {
     pub preset: String,
     /// Shard selector `i/n` (sweep subcommand).
     pub shard: String,
+    /// Schedule through the work-queue runner.
+    pub queue: bool,
+    /// Worker-pool size for `--queue` (0 = automatic).
+    pub workers: usize,
     /// Output path: a directory for `sweep`, a file for `merge`/`csv`.
     pub out: String,
     /// Emit results as JSON.
@@ -147,6 +167,8 @@ impl Default for Options {
             spec: String::new(),
             preset: String::new(),
             shard: String::new(),
+            queue: false,
+            workers: 0,
             out: String::new(),
             json: false,
             emit_spec: false,
@@ -189,7 +211,9 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--spec" => o.spec = val("--spec")?,
             "--preset" => o.preset = val("--preset")?,
             "--shard" => o.shard = val("--shard")?,
+            "--workers" => o.workers = parse_num(&val("--workers")?, "--workers")? as usize,
             "--out" => o.out = val("--out")?,
+            "--queue" => o.queue = true,
             "--trace" => o.trace = true,
             "--json" => o.json = true,
             "--emit-spec" => o.emit_spec = true,
@@ -203,6 +227,16 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
     }
     if !["scp", "ccp"].contains(&o.variant.as_str()) {
         return Err(format!("unknown variant {:?} (use scp|ccp)", o.variant));
+    }
+    if o.has("--workers") && !o.queue {
+        return Err("--workers only applies with --queue".to_owned());
+    }
+    if o.queue && o.has("--threads") {
+        return Err(
+            "--threads applies to the default runner; with --queue size the pool \
+             with --workers"
+                .to_owned(),
+        );
     }
     Ok(o)
 }
@@ -350,6 +384,14 @@ fn experiment_spec_with(o: &Options, flag_executor: ExecSpec) -> Result<Experime
     if o.has("--threads") {
         spec.mc.threads = o.threads;
     }
+    if o.queue {
+        // Recorded in the spec so --emit-spec reproduces the scheduling
+        // choice; the summary is bit-identical either way.
+        spec.executor = spec.executor.with_queue(eacp_spec::QueueSpec {
+            workers: o.workers,
+            ..Default::default()
+        });
+    }
     spec.validate().map_err(|e| e.to_string())?;
     Ok(spec)
 }
@@ -492,18 +534,45 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         Some(ShardId::parse(&o.shard).map_err(|e| e.to_string())?)
     };
     if o.emit_spec {
-        let specs = sweep.expand().map_err(|e| e.to_string())?;
+        let mut specs = sweep.expand().map_err(|e| e.to_string())?;
+        if o.queue {
+            // Emitted point specs must reproduce the scheduling choice,
+            // exactly as `mc --queue --emit-spec` records it.
+            for spec in &mut specs {
+                spec.executor = spec.executor.with_queue(eacp_spec::QueueSpec {
+                    workers: o.workers,
+                    ..Default::default()
+                });
+            }
+        }
         let range = shard.map_or(0..specs.len(), |s| s.range(specs.len()));
         let docs: Vec<eacp_spec::Json> = specs[range].iter().map(ToJson::to_json).collect();
         return Ok(eacp_spec::Json::Array(docs).pretty());
     }
-    let grid = run_sweep(&sweep, shard, sweep.base.mc.threads).map_err(|e| e.to_string())?;
+    let progress = QueueProgress::default();
+    let grid = if o.queue {
+        run_sweep_queued(
+            &sweep,
+            shard,
+            o.workers,
+            eacp_exec::queue::DEFAULT_MAX_ATTEMPTS,
+            &progress,
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        run_sweep(&sweep, shard, sweep.base.mc.threads).map_err(|e| e.to_string())?
+    };
+    let queue_note = if o.queue {
+        format!(", queued: {}", progress.render(o.workers))
+    } else {
+        String::new()
+    };
     if !o.out.is_empty() {
         let path = grid
             .save(std::path::Path::new(&o.out))
             .map_err(|e| e.to_string())?;
         return Ok(format!(
-            "wrote {} ({} of {} grid points{})\n",
+            "wrote {} ({} of {} grid points{}{queue_note})\n",
             path.display(),
             grid.points.len(),
             grid.total_points,
@@ -515,7 +584,7 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         return Ok(eacp_spec::Json::Array(docs).pretty());
     }
     let mut out = format!(
-        "sweep over {} points ({} replications each{})\n\n{:<44} {:>8} {:>12} {:>10}\n",
+        "sweep over {} points ({} replications each{}{queue_note})\n\n{:<44} {:>8} {:>12} {:>10}\n",
         grid.total_points,
         sweep.base.mc.replications,
         shard.map_or_else(String::new, |s| format!(
@@ -535,6 +604,119 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         ));
     }
     Ok(out)
+}
+
+/// Work-queue telemetry accumulated across the pool's threads; rendered
+/// as a one-line note in `eacp sweep --queue` output.
+#[derive(Default)]
+struct QueueProgress {
+    leases: std::sync::atomic::AtomicU64,
+    retries: std::sync::atomic::AtomicU64,
+    completed: std::sync::atomic::AtomicU64,
+}
+
+impl QueueProgress {
+    fn render(&self, workers: usize) -> String {
+        use std::sync::atomic::Ordering;
+        let pool = if workers == 0 {
+            "auto-sized pool".to_owned()
+        } else {
+            format!("{workers}-worker pool")
+        };
+        format!(
+            "{} assignments drained by {pool} ({} leases, {} retries)",
+            self.completed.load(Ordering::Relaxed),
+            self.leases.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl QueueObserver for QueueProgress {
+    fn on_lease(&self, _worker: usize, _index: usize, _attempt: u32, _status: QueueStatus) {
+        self.leases
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn on_complete(&self, _worker: usize, _index: usize, status: QueueStatus) {
+        self.completed.fetch_max(
+            status.completed as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+    fn on_retry(
+        &self,
+        _worker: usize,
+        _index: usize,
+        _attempt: u32,
+        _error: &eacp_spec::SpecError,
+        _status: QueueStatus,
+    ) {
+        self.retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// `eacp queue`: work-queue utilities over the result-collection
+/// convention. `queue status DIR` reports how far a (possibly still
+/// running) distributed sweep has progressed.
+pub fn cmd_queue(o: &Options) -> Result<String, String> {
+    match o.positional.first().map(String::as_str) {
+        Some("status") => {
+            let dir = o
+                .positional
+                .get(1)
+                .ok_or("queue status: missing report directory")?;
+            let cov = coverage_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "sweep {:?}: {} grid points{}\n",
+                cov.sweep_name,
+                cov.total_points,
+                cov.shard_count
+                    .map_or_else(String::new, |n| format!(", {n} shards declared")),
+            );
+            for doc in &cov.docs {
+                let name = doc.path.file_name().map_or_else(
+                    || doc.path.display().to_string(),
+                    |n| n.to_string_lossy().into_owned(),
+                );
+                out.push_str(&format!(
+                    "  {name:<28} {:<11} {:>4} point{}\n",
+                    doc.shard
+                        .map_or_else(|| "full grid".to_owned(), |s| format!("shard {s}")),
+                    doc.indices.len(),
+                    if doc.indices.len() == 1 { "" } else { "s" },
+                ));
+            }
+            let fmt_indices = |v: &[usize]| {
+                if v.is_empty() {
+                    "none".to_owned()
+                } else {
+                    format!(
+                        "{:?}{}",
+                        &v[..v.len().min(8)],
+                        if v.len() > 8 { ", ..." } else { "" }
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "covered {}/{} points; missing: {}; duplicated: {}\n",
+                cov.covered(),
+                cov.total_points,
+                fmt_indices(&cov.missing),
+                fmt_indices(&cov.duplicated),
+            ));
+            out.push_str(if cov.complete() {
+                "status: complete — ready to merge\n"
+            } else {
+                "status: incomplete — not ready to merge\n"
+            });
+            Ok(out)
+        }
+        Some(other) => Err(format!(
+            "unknown queue subcommand {other:?} (expected: status)"
+        )),
+        None => Err("queue: missing subcommand (expected: status)".to_owned()),
+    }
 }
 
 /// `eacp merge`: reassemble a directory of shard report documents into the
@@ -864,6 +1046,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "mc" => cmd_mc(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
         "merge" => cmd_merge(&parse_options(rest)?),
+        "queue" => cmd_queue(&parse_options(rest)?),
         "csv" => cmd_csv(&parse_options(rest)?),
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),

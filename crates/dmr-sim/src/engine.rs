@@ -5,7 +5,9 @@ use crate::observe::{NoopObserver, Observer};
 use crate::outcome::{Anomaly, RunOutcome};
 use crate::policy::{CheckpointKind, Directive, PlanContext, Policy};
 use crate::scenario::Scenario;
-use crate::trace::{TraceEvent, TraceRecorder};
+use crate::trace::TraceEvent;
+#[cfg(test)]
+use crate::trace::TraceRecorder;
 use eacp_energy::EnergyMeter;
 use eacp_faults::FaultProcess;
 
@@ -84,24 +86,6 @@ impl<'s> Executor<'s> {
     /// fast path.
     pub fn run(&self, policy: &mut dyn Policy, faults: &mut dyn FaultProcess) -> RunOutcome {
         self.run_observed(policy, faults, &mut NoopObserver)
-    }
-
-    /// Deprecated shim over [`Executor::run_observed`]: a
-    /// [`TraceRecorder`] is just one [`Observer`] now.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use run_observed with a TraceRecorder (or any Observer)"
-    )]
-    pub fn run_traced(
-        &self,
-        policy: &mut dyn Policy,
-        faults: &mut dyn FaultProcess,
-        recorder: Option<&mut TraceRecorder>,
-    ) -> RunOutcome {
-        match recorder {
-            Some(rec) => self.run_observed(policy, faults, rec),
-            None => self.run(policy, faults),
-        }
     }
 
     /// Like [`Executor::run`], streaming every execution event — segments,

@@ -1,13 +1,15 @@
-//! Multi-threaded Monte-Carlo replication of task executions.
+//! Monte-Carlo replication vocabulary: configuration ([`MonteCarlo`]),
+//! the per-replication seeding contract ([`replication_seed`]) and the
+//! mergeable aggregate ([`Summary`]).
 //!
 //! The paper: "Due to the stochastic nature of the fault arrival process,
 //! the experiment is repeated 10,000 times for the same task and the results
 //! are averaged over these runs."
+//!
+//! Execution itself lives in `eacp-exec`: its `Job`/`Runner` API loops the
+//! engine over replications seeded by [`replication_seed`] and reduces
+//! [`RunOutcome`](crate::outcome::RunOutcome)s into a [`Summary`].
 
-use crate::engine::{Executor, ExecutorOptions};
-use crate::policy::Policy;
-use crate::scenario::Scenario;
-use eacp_faults::FaultProcess;
 use eacp_numerics::{wilson_interval, OnlineStats};
 
 /// Monte-Carlo experiment configuration.
@@ -44,91 +46,15 @@ impl MonteCarlo {
         self.threads = threads;
         self
     }
-
-    /// Runs the experiment: for each replication a fresh policy and fault
-    /// stream are built from the factories (each receives the replication's
-    /// derived seed) and one task execution is simulated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `replications == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use eacp-exec's Job/Runner API (Job::from_parts + LocalRunner), \
-                which keeps bit-identical per-replication seeding and adds \
-                observers and canonical-order merging"
-    )]
-    pub fn run<P, Q, FP, FQ>(
-        &self,
-        scenario: &Scenario,
-        options: ExecutorOptions,
-        policy_factory: FP,
-        fault_factory: FQ,
-    ) -> Summary
-    where
-        P: Policy,
-        Q: FaultProcess,
-        FP: Fn(u64) -> P + Sync,
-        FQ: Fn(u64) -> Q + Sync,
-    {
-        assert!(self.replications > 0, "replications must be positive");
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-        let threads = threads.min(self.replications as usize).max(1);
-
-        let executor = Executor::new(scenario).with_options(options);
-        let chunk = self.replications.div_ceil(threads as u64);
-        let mut partials: Vec<Summary> = Vec::with_capacity(threads);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads as u64 {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(self.replications);
-                if lo >= hi {
-                    break;
-                }
-                let executor = &executor;
-                let policy_factory = &policy_factory;
-                let fault_factory = &fault_factory;
-                let base_seed = self.base_seed;
-                handles.push(scope.spawn(move || {
-                    let mut local = Summary::empty();
-                    for rep in lo..hi {
-                        let seed = replication_seed(base_seed, rep);
-                        let mut policy = policy_factory(seed);
-                        let mut faults = fault_factory(seed);
-                        let out = executor.run(&mut policy, &mut faults);
-                        local.absorb(&out);
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("simulation worker panicked"));
-            }
-        });
-
-        let mut total = Summary::empty();
-        for p in &partials {
-            total.merge(p);
-        }
-        total
-    }
 }
 
 /// Derives the per-replication seed from the base seed (SplitMix64 mixing,
 /// so neighbouring replication indices yield decorrelated streams).
 ///
 /// This is the seeding contract of the workspace: every Monte-Carlo driver
-/// (the deprecated [`MonteCarlo::run`] and `eacp-exec`'s `Job`/`Runner`)
-/// derives replication `rep`'s seed this way, so replication outcomes are
-/// identical no matter which driver, thread count or shard ran them.
+/// (`eacp-exec`'s `Job`/`Runner`, local or queued) derives replication
+/// `rep`'s seed this way, so replication outcomes are identical no matter
+/// which driver, thread count, worker pool or shard ran them.
 pub fn replication_seed(base_seed: u64, replication: u64) -> u64 {
     let mut z = base_seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
@@ -260,12 +186,12 @@ impl Summary {
 }
 
 #[cfg(test)]
-// The deprecated closure-factory path stays covered until it is removed.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::costs::CheckpointCosts;
-    use crate::policy::{CheckpointKind, Directive, PlanContext};
+    use crate::engine::{Executor, ExecutorOptions};
+    use crate::policy::{CheckpointKind, Directive, PlanContext, Policy};
+    use crate::scenario::Scenario;
     use crate::task::TaskSpec;
     use eacp_energy::DvsConfig;
     use eacp_faults::PoissonProcess;
@@ -293,16 +219,24 @@ mod tests {
         )
     }
 
+    /// Sequential replication loop on the engine API under the seeding
+    /// contract — the Summary fixtures for the aggregate tests below.
+    fn run_reps(s: &Scenario, mc: &MonteCarlo, lambda: f64) -> Summary {
+        let executor = Executor::new(s).with_options(ExecutorOptions::default());
+        let mut sum = Summary::empty();
+        for rep in 0..mc.replications {
+            let seed = replication_seed(mc.base_seed, rep);
+            let mut policy = FixedCscp { interval: 100.0 };
+            let mut faults = PoissonProcess::new(lambda, StdRng::seed_from_u64(seed));
+            sum.absorb(&executor.run(&mut policy, &mut faults));
+        }
+        sum
+    }
+
     #[test]
-    fn fault_free_mc_is_deterministic() {
+    fn fault_free_aggregate_is_deterministic() {
         let s = scenario();
-        let mc = MonteCarlo::new(100).with_threads(4);
-        let sum = mc.run(
-            &s,
-            ExecutorOptions::default(),
-            |_| FixedCscp { interval: 100.0 },
-            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
-        );
+        let sum = run_reps(&s, &MonteCarlo::new(100), 0.0);
         assert_eq!(sum.replications, 100);
         assert_eq!(sum.timely, 100);
         assert_eq!(sum.p_timely(), 1.0);
@@ -313,32 +247,6 @@ mod tests {
     }
 
     #[test]
-    fn seeded_runs_reproduce_exactly() {
-        let s = scenario();
-        let run = |threads: usize| {
-            MonteCarlo::new(500)
-                .with_seed(42)
-                .with_threads(threads)
-                .run(
-                    &s,
-                    ExecutorOptions::default(),
-                    |_| FixedCscp { interval: 100.0 },
-                    |seed| PoissonProcess::new(5e-4, StdRng::seed_from_u64(seed)),
-                )
-        };
-        let a = run(1);
-        let b = run(7);
-        // Thread count must not affect the per-replication outcomes
-        // (per-replication seeding); counts are exactly equal, float means
-        // only up to Welford merge-order rounding.
-        assert_eq!(a.timely, b.timely);
-        assert_eq!(a.completed, b.completed);
-        assert!((a.faults.mean() - b.faults.mean()).abs() < 1e-9);
-        let rel = (a.energy_all.mean() - b.energy_all.mean()).abs() / a.energy_all.mean();
-        assert!(rel < 1e-12);
-    }
-
-    #[test]
     fn fault_rate_reduces_timeliness() {
         let s = Scenario::new(
             TaskSpec::new(1000.0, 1400.0),
@@ -346,16 +254,8 @@ mod tests {
             DvsConfig::paper_default(),
         );
         let mc = MonteCarlo::new(2000).with_seed(7);
-        let run_with = |lambda: f64| {
-            mc.run(
-                &s,
-                ExecutorOptions::default(),
-                |_| FixedCscp { interval: 100.0 },
-                move |seed| PoissonProcess::new(lambda, StdRng::seed_from_u64(seed)),
-            )
-        };
-        let low = run_with(1e-5);
-        let high = run_with(2e-3);
+        let low = run_reps(&s, &mc, 1e-5);
+        let high = run_reps(&s, &mc, 2e-3);
         assert!(low.p_timely() > high.p_timely());
         assert!(low.faults.mean() < high.faults.mean());
         // Faulty runs do strictly more work on average.
@@ -365,12 +265,7 @@ mod tests {
     #[test]
     fn p_ci_brackets_p() {
         let s = scenario();
-        let sum = MonteCarlo::new(300).with_seed(3).run(
-            &s,
-            ExecutorOptions::default(),
-            |_| FixedCscp { interval: 100.0 },
-            |seed| PoissonProcess::new(1e-3, StdRng::seed_from_u64(seed)),
-        );
+        let sum = run_reps(&s, &MonteCarlo::new(300).with_seed(3), 1e-3);
         let p = sum.p_timely();
         let (lo, hi) = sum.p_timely_ci(1.96);
         assert!(lo <= p && p <= hi);
@@ -384,29 +279,12 @@ mod tests {
             CheckpointCosts::paper_scp_variant(),
             DvsConfig::paper_default(),
         );
-        let sum = MonteCarlo::new(50).run(
-            &s,
-            ExecutorOptions::default(),
-            |_| FixedCscp { interval: 100.0 },
-            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
-        );
+        let sum = run_reps(&s, &MonteCarlo::new(50), 0.0);
         assert_eq!(sum.timely, 0);
         assert_eq!(sum.p_timely(), 0.0);
         assert!(sum.mean_energy_timely().is_nan(), "paper-style NaN cell");
         // Unconditional energy is still defined.
         assert!(sum.energy_all.mean() > 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "replications")]
-    fn zero_replications_rejected() {
-        let s = scenario();
-        MonteCarlo::new(0).run(
-            &s,
-            ExecutorOptions::default(),
-            |_| FixedCscp { interval: 100.0 },
-            |seed| PoissonProcess::new(0.0, StdRng::seed_from_u64(seed)),
-        );
     }
 
     #[test]

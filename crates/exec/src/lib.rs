@@ -18,8 +18,10 @@
 //! * **[`Runner`]** — where replications execute. [`LocalRunner`] is the
 //!   in-process multi-threaded implementation; its canonical fixed-block
 //!   reduction makes the merged [`Summary`] bit-identical across thread
-//!   counts (see the `runner` module docs). Remote/batch runners from the
-//!   ROADMAP plug in behind the same trait.
+//!   counts (see the `runner` module docs). [`QueueRunner`] schedules the
+//!   same canonical blocks through a [`WorkQueue`] drained by a worker
+//!   pool with lease retry — bit-identical results again, plus the
+//!   [`Worker`] seam a future `RemoteRunner` transport implements.
 //!
 //! On top sits the **sharded sweep executor** ([`run_sweep`],
 //! [`merge_dir`]): a [`SweepSpec`] grid is partitioned across machines by
@@ -48,13 +50,21 @@
 
 pub mod csv;
 pub mod job;
+pub mod queue;
 pub mod runner;
 pub mod shard;
 
 pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
 pub use job::{FaultFactory, Job, PolicyFactory};
+pub use queue::{
+    run_sweep_queued, BlockAssignment, InProcessWorker, Lease, NoopQueueObserver, QueueObserver,
+    QueueRunner, QueueStatus, WorkQueue, Worker,
+};
 pub use runner::{LocalRunner, Runner};
-pub use shard::{list_report_files, merge_dir, run_sweep, GridReport, PointReport, ShardId};
+pub use shard::{
+    coverage_dir, list_report_files, merge_dir, run_sweep, run_sweep_with, DocCoverage, GridReport,
+    PointReport, ShardId, SweepCoverage,
+};
 
 // The execution vocabulary lives in `eacp-sim` (the engine emits the
 // events); re-exported here so runner-level code needs one import path.
@@ -62,16 +72,26 @@ pub use eacp_sim::{NoopObserver, Observer, Summary};
 
 use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
 
-/// Runs one experiment spec end to end on the local runner, returning both
-/// the exact in-memory [`Summary`] (for bit-identical comparisons) and the
-/// serializable [`RunReport`].
+/// Runs one experiment spec end to end, returning both the exact in-memory
+/// [`Summary`] (for bit-identical comparisons) and the serializable
+/// [`RunReport`].
 ///
-/// This is the drop-in successor of the deprecated `eacp_spec::run`:
-/// same signature, same seeding, but thread-count-invariant aggregation
-/// and the Job/Observer machinery underneath.
+/// The spec's executor section picks the scheduler: with
+/// [`eacp_spec::QueueSpec`] present the job runs on the work-queue
+/// [`QueueRunner`], otherwise on the plain [`LocalRunner`] with
+/// `mc.threads` workers. Both honor the canonical-reduction contract, so
+/// the choice never changes a single bit of the summary.
 pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
     let job = Job::from_spec(spec)?;
-    let summary = LocalRunner::new(spec.mc.threads).run(&job)?;
+    let summary = match spec.executor.queue {
+        Some(q) => {
+            q.validate()?;
+            QueueRunner::new(q.workers)
+                .with_max_attempts(q.max_attempts)
+                .run(&job)?
+        }
+        None => LocalRunner::new(spec.mc.threads).run(&job)?,
+    };
     let report = RunReport {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
@@ -116,22 +136,25 @@ mod tests {
     }
 
     #[test]
-    fn per_replication_outcomes_match_the_legacy_driver() {
-        // The redesign's compatibility contract: identical per-replication
-        // seeding means identical counts (exact) and means (up to merge
-        // rounding) versus the deprecated closure-factory driver.
-        let spec = small_spec();
-        let (new, _) = run(&spec).unwrap();
-        #[allow(deprecated)]
-        let (old, _) = eacp_spec::run(&spec).unwrap();
-        assert_eq!(new.timely, old.timely);
-        assert_eq!(new.completed, old.completed);
-        assert_eq!(new.aborted, old.aborted);
-        assert_eq!(new.anomalies, old.anomalies);
-        assert_eq!(new.faults.min(), old.faults.min());
-        assert_eq!(new.faults.max(), old.faults.max());
-        let rel = (new.energy_all.mean() - old.energy_all.mean()).abs() / old.energy_all.mean();
-        assert!(rel < 1e-12, "relative drift {rel}");
+    fn queue_spec_routes_through_the_queue_runner_bit_identically() {
+        let plain = small_spec();
+        let mut queued = small_spec();
+        queued.executor = queued.executor.with_queue(eacp_spec::QueueSpec {
+            workers: 3,
+            max_attempts: 2,
+        });
+        let (a, report_a) = run(&plain).unwrap();
+        let (b, report_b) = run(&queued).unwrap();
+        assert_eq!(a, b, "scheduler choice must not change the summary");
+        assert_eq!(report_a.summary, report_b.summary);
+        // The embedded spec records how the run was scheduled.
+        assert!(report_b.spec.executor.queue.is_some());
+
+        queued.executor.queue = Some(eacp_spec::QueueSpec {
+            workers: 1,
+            max_attempts: 0,
+        });
+        assert!(run(&queued).is_err(), "zero attempt budget is invalid");
     }
 
     #[test]

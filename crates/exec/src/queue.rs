@@ -1,0 +1,782 @@
+//! The work-queue execution scheduler: a [`WorkQueue`] of leasable
+//! assignments drained by a pool of workers, and the [`QueueRunner`] that
+//! puts a [`Job`]'s canonical reduction blocks on that queue.
+//!
+//! This is the ROADMAP's batch-execution scheduler. The moving parts:
+//!
+//! * **[`WorkQueue`]** — a generic queue of indexed assignments. Workers
+//!   [`lease`](WorkQueue::lease) an assignment, then either
+//!   [`complete`](WorkQueue::complete) it or [`fail`](WorkQueue::fail) it;
+//!   a failed (or abandoned) lease is put back on the queue and retried by
+//!   whichever worker gets to it next, up to a per-assignment attempt
+//!   budget. Exhausting the budget poisons the queue: every worker drains
+//!   out and the scheduler surfaces the fatal error.
+//! * **[`Worker`]** — *where* one assignment executes. The in-process
+//!   implementation ([`InProcessWorker`]) runs the block on the calling
+//!   thread; a `RemoteRunner`'s networked worker implements the same trait
+//!   (ship the job's spec + the block range, receive the partial summary)
+//!   and plugs in without touching any call site.
+//! * **[`QueueRunner`]** — the [`Runner`] built from the two: it splits a
+//!   job into the same fixed-size canonical blocks as [`LocalRunner`],
+//!   queues them, drains the queue with a worker pool, and merges the
+//!   partial [`Summary`]s in ascending block order. Because a failed lease
+//!   discards its partial wholesale and the re-run is deterministic
+//!   (per-replication seeding), the merged result is **bit-identical to
+//!   [`LocalRunner`] for any worker count and any failure/retry schedule**.
+//! * **[`QueueObserver`]** — live scheduler telemetry: every lease, retry
+//!   and completion, each with a [`QueueStatus`] snapshot (queue depth,
+//!   outstanding leases, completions, retries).
+//!
+//! Sweep-level scheduling sits on the same queue: [`run_sweep_queued`]
+//! leases whole grid points to the pool, producing a [`GridReport`]
+//! byte-identical to the sequential [`crate::run_sweep`].
+//!
+//! [`LocalRunner`]: crate::LocalRunner
+
+use crate::job::Job;
+use crate::runner::Runner;
+use crate::runner::{canonical_block_size, merge_blocks, run_block, run_sequential_observed};
+use crate::shard::{run_point, GridReport, PointReport, ShardId};
+use eacp_sim::{NoopObserver, Observer, Summary};
+use eacp_spec::{SpecError, SweepSpec};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Default per-assignment attempt budget: the first attempt plus two
+/// retries.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// A leased assignment: the queue slot index, the work item, and which
+/// attempt this is (1-based — attempt 2 means the first lease failed).
+#[derive(Debug)]
+pub struct Lease<T> {
+    /// Index of the assignment in the queue's original item order.
+    pub index: usize,
+    /// The work item itself.
+    pub item: T,
+    /// 1-based attempt number.
+    pub attempt: u32,
+}
+
+/// A point-in-time snapshot of queue accounting, reported to
+/// [`QueueObserver`]s and rendered by `eacp queue status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStatus {
+    /// Total assignments the queue was created with.
+    pub total: usize,
+    /// Assignments waiting to be leased (the queue depth).
+    pub pending: usize,
+    /// Assignments currently leased to a worker.
+    pub leased: usize,
+    /// Assignments completed successfully.
+    pub completed: usize,
+    /// Failed/abandoned leases that were put back on the queue.
+    pub retries: u64,
+}
+
+/// Receives scheduler events from a draining [`WorkQueue`].
+///
+/// Callbacks take `&self` because they are invoked concurrently from every
+/// worker thread; implementations use interior mutability (atomics, a
+/// mutex) for anything they accumulate.
+pub trait QueueObserver: Sync {
+    /// Worker `worker` leased assignment `index` (attempt `attempt`).
+    fn on_lease(&self, worker: usize, index: usize, attempt: u32, status: QueueStatus) {
+        let _ = (worker, index, attempt, status);
+    }
+
+    /// Worker `worker` completed assignment `index`.
+    fn on_complete(&self, worker: usize, index: usize, status: QueueStatus) {
+        let _ = (worker, index, status);
+    }
+
+    /// Worker `worker` failed (or abandoned) assignment `index`; the
+    /// assignment went back on the queue for another attempt.
+    fn on_retry(
+        &self,
+        worker: usize,
+        index: usize,
+        attempt: u32,
+        error: &SpecError,
+        status: QueueStatus,
+    ) {
+        let _ = (worker, index, attempt, error, status);
+    }
+}
+
+/// The do-nothing queue observer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopQueueObserver;
+
+impl QueueObserver for NoopQueueObserver {}
+
+struct QueueState<T> {
+    pending: VecDeque<Lease<T>>,
+    leased: usize,
+    completed: usize,
+    retries: u64,
+    fatal: Option<SpecError>,
+}
+
+/// A queue of indexed work assignments with lease/complete/fail semantics.
+///
+/// The queue itself is execution-agnostic: items are whatever a scheduler
+/// leases out — replication blocks for [`QueueRunner`], grid-point indices
+/// for [`run_sweep_queued`]. Blocking [`lease`](WorkQueue::lease) calls
+/// wake when work reappears (a failed lease re-queued) or when the queue
+/// drains or is poisoned.
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    total: usize,
+    max_attempts: u32,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue over `items` with the default attempt budget.
+    pub fn new(items: impl IntoIterator<Item = T>) -> Self {
+        let pending: VecDeque<Lease<T>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| Lease {
+                index,
+                item,
+                attempt: 1,
+            })
+            .collect();
+        let total = pending.len();
+        Self {
+            state: Mutex::new(QueueState {
+                pending,
+                leased: 0,
+                completed: 0,
+                retries: 0,
+                fatal: None,
+            }),
+            ready: Condvar::new(),
+            total,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+
+    /// Overrides the per-assignment attempt budget (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Total assignments the queue was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// A snapshot of the queue accounting.
+    pub fn status(&self) -> QueueStatus {
+        let s = self.state.lock().expect("queue lock poisoned");
+        QueueStatus {
+            total: self.total,
+            pending: s.pending.len(),
+            leased: s.leased,
+            completed: s.completed,
+            retries: s.retries,
+        }
+    }
+
+    /// Leases the next pending assignment, blocking while the queue is
+    /// momentarily empty but other leases are still in flight (one of them
+    /// may fail and re-queue its assignment).
+    ///
+    /// Returns `None` once the queue has drained (every assignment
+    /// completed) or been poisoned by an exhausted attempt budget — in
+    /// both cases the worker should exit its loop.
+    pub fn lease(&self) -> Option<Lease<T>> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if s.fatal.is_some() {
+                return None;
+            }
+            if let Some(lease) = s.pending.pop_front() {
+                s.leased += 1;
+                return Some(lease);
+            }
+            if s.leased == 0 {
+                // Nothing pending and nothing in flight: drained.
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue lock poisoned");
+        }
+    }
+
+    /// Marks a leased assignment as successfully completed.
+    pub fn complete(&self, lease: Lease<T>) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        s.leased -= 1;
+        s.completed += 1;
+        drop(lease);
+        // Workers blocked in `lease` must re-check the drained condition.
+        self.ready.notify_all();
+    }
+
+    /// Reports a failed (or abandoned) lease.
+    ///
+    /// The assignment returns to the back of the queue for another
+    /// attempt; once its attempt budget is exhausted the queue is poisoned
+    /// with a fatal error naming the assignment, and every worker drains
+    /// out.
+    pub fn fail(&self, lease: Lease<T>, error: &SpecError) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        s.leased -= 1;
+        s.retries += 1;
+        if lease.attempt >= self.max_attempts {
+            s.fatal = Some(SpecError::invalid(format!(
+                "assignment {} failed after {} attempts: {error}",
+                lease.index, lease.attempt
+            )));
+        } else {
+            s.pending.push_back(Lease {
+                index: lease.index,
+                item: lease.item,
+                attempt: lease.attempt + 1,
+            });
+        }
+        self.ready.notify_all();
+    }
+
+    /// The fatal error that poisoned the queue, if any.
+    pub fn fatal(&self) -> Option<SpecError> {
+        self.state
+            .lock()
+            .expect("queue lock poisoned")
+            .fatal
+            .clone()
+    }
+
+    /// Drains the queue with a pool of `workers` threads, running each
+    /// leased assignment through `run` and collecting the results in
+    /// assignment order.
+    ///
+    /// `run` is called as `run(worker, &lease)`; an `Err` re-queues the
+    /// assignment (see [`WorkQueue::fail`]). The call returns once every
+    /// assignment has completed, or with the fatal error once any
+    /// assignment exhausts its attempt budget. A *panic* inside `run`
+    /// releases the lease on unwind (so peer workers drain out instead of
+    /// waiting forever on a completion that never comes) and then
+    /// propagates as a panic of the `drain` call itself.
+    pub fn drain<R: Send>(
+        &self,
+        workers: usize,
+        obs: &dyn QueueObserver,
+        run: impl Fn(usize, &Lease<T>) -> Result<R, SpecError> + Sync,
+    ) -> Result<Vec<R>, SpecError>
+    where
+        T: Send,
+    {
+        /// Releases a held lease on unwind; disarmed on the normal paths.
+        struct Abandon<'q, T> {
+            queue: &'q WorkQueue<T>,
+            lease: Option<Lease<T>>,
+        }
+        impl<T> Drop for Abandon<'_, T> {
+            fn drop(&mut self) {
+                if let Some(lease) = self.lease.take() {
+                    self.queue
+                        .fail(lease, &SpecError::invalid("worker panicked mid-lease"));
+                }
+            }
+        }
+
+        let workers = workers.clamp(1, self.total.max(1));
+        let mut collected: Vec<(usize, R)> = Vec::with_capacity(self.total);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let run = &run;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Some(lease) = self.lease() {
+                        obs.on_lease(worker, lease.index, lease.attempt, self.status());
+                        let mut guard = Abandon {
+                            queue: self,
+                            lease: Some(lease),
+                        };
+                        let outcome = run(worker, guard.lease.as_ref().expect("lease held"));
+                        // Disarm: from here the normal paths own the lease.
+                        let lease = guard.lease.take().expect("lease held");
+                        drop(guard);
+                        match outcome {
+                            Ok(result) => {
+                                local.push((lease.index, result));
+                                let index = lease.index;
+                                self.complete(lease);
+                                obs.on_complete(worker, index, self.status());
+                            }
+                            Err(error) => {
+                                let (index, attempt) = (lease.index, lease.attempt);
+                                self.fail(lease, &error);
+                                obs.on_retry(worker, index, attempt, &error, self.status());
+                            }
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                collected.extend(h.join().expect("queue worker panicked"));
+            }
+        });
+        if let Some(fatal) = self.fatal() {
+            return Err(fatal);
+        }
+        // Forget the lease schedule: place every result at its assignment
+        // index and hand them back in canonical order.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(self.total);
+        slots.resize_with(self.total, || None);
+        for (index, result) in collected {
+            slots[index] = Some(result);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every assignment completed exactly once"))
+            .collect())
+    }
+}
+
+/// One contiguous replication block of a job — the unit of work a
+/// [`QueueRunner`] leases to its pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockAssignment {
+    /// Canonical block index (ascending merge order).
+    pub block: u64,
+    /// First replication of the block (inclusive).
+    pub lo: u64,
+    /// End of the block (exclusive).
+    pub hi: u64,
+}
+
+/// Executes one leased block of a job — the `RemoteRunner` seam.
+///
+/// [`InProcessWorker`] runs the block on the calling thread. A networked
+/// worker implements the same trait by shipping the job's spec and the
+/// block's replication range to a remote machine and deserializing the
+/// partial [`Summary`] that comes back; per-replication seeding guarantees
+/// the partial is identical wherever it ran, so swapping implementations
+/// never changes results. The seam covers the fast path
+/// ([`Runner::run`] / [`QueueRunner::run_with`]) only:
+/// [`Runner::run_observed`] streams per-replication events and therefore
+/// always executes sequentially in-process, bypassing the worker.
+pub trait Worker: Send + Sync {
+    /// Short implementation name for logs and errors.
+    fn name(&self) -> &'static str;
+
+    /// Runs every replication in `assignment` and returns the block's
+    /// partial summary. An `Err` counts as a failed lease: the block is
+    /// re-queued and retried from scratch.
+    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError>;
+}
+
+/// The local [`Worker`]: runs the block on the leasing thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InProcessWorker;
+
+impl Worker for InProcessWorker {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError> {
+        Ok(run_block(
+            job,
+            assignment.lo,
+            assignment.hi,
+            &mut NoopObserver,
+        ))
+    }
+}
+
+/// Work-queue [`Runner`]: canonical blocks leased to a worker pool.
+///
+/// Results are bit-identical to [`crate::LocalRunner`] for any worker
+/// count because both runners split the job with
+/// the same replication-count-only block rule and merge partials in
+/// ascending block order; the queue schedule (which worker ran which
+/// block, in what order, with how many retries) is forgotten at the merge.
+pub struct QueueRunner<W: Worker = InProcessWorker> {
+    workers: usize,
+    block_size: u64,
+    max_attempts: u32,
+    worker: W,
+}
+
+impl QueueRunner<InProcessWorker> {
+    /// Creates a queue runner with `workers` pool threads (0 = available
+    /// parallelism) leasing to in-process workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            block_size: 0,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            worker: InProcessWorker,
+        }
+    }
+}
+
+impl<W: Worker> QueueRunner<W> {
+    /// Swaps the [`Worker`] implementation (failure-injecting test
+    /// workers; a networked worker later).
+    pub fn with_worker<V: Worker>(self, worker: V) -> QueueRunner<V> {
+        QueueRunner {
+            workers: self.workers,
+            block_size: self.block_size,
+            max_attempts: self.max_attempts,
+            worker,
+        }
+    }
+
+    /// Overrides the reduction block size (0 = derive from the replication
+    /// count). Must match the comparison runner's block size for
+    /// bit-identical cross-runner results; the default always does.
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Overrides the per-assignment attempt budget (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    fn pool_size(&self, blocks: u64) -> usize {
+        resolve_workers(self.workers).clamp(1, blocks.max(1) as usize)
+    }
+
+    /// [`Runner::run`] with scheduler telemetry streamed into `obs`.
+    pub fn run_with(&self, job: &Job, obs: &dyn QueueObserver) -> Result<Summary, SpecError> {
+        let reps = job.replications();
+        let block = canonical_block_size(self.block_size, reps);
+        let n_blocks = reps.div_ceil(block);
+        let assignments = (0..n_blocks).map(|b| BlockAssignment {
+            block: b,
+            lo: b * block,
+            hi: ((b + 1) * block).min(reps),
+        });
+        let queue = WorkQueue::new(assignments).with_max_attempts(self.max_attempts);
+        let partials = queue.drain(self.pool_size(n_blocks), obs, |_worker, lease| {
+            self.worker.run_assignment(job, lease.item)
+        })?;
+        Ok(merge_blocks(partials))
+    }
+}
+
+impl<W: Worker> Runner for QueueRunner<W> {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn run(&self, job: &Job) -> Result<Summary, SpecError> {
+        self.run_with(job, &NoopQueueObserver)
+    }
+
+    /// Note: a shared replication observer imposes an ordering, so this
+    /// path runs sequentially **in-process** over the canonical blocks —
+    /// it does not lease through the [`Worker`] seam and performs no
+    /// retries. The aggregate is still bit-identical to [`Runner::run`];
+    /// only execution locality differs. Use [`QueueRunner::run_with`] and
+    /// a [`QueueObserver`] for scheduler-level telemetry that keeps the
+    /// worker pool.
+    fn run_observed(&self, job: &Job, obs: &mut dyn Observer) -> Result<Summary, SpecError> {
+        Ok(run_sequential_observed(job, self.block_size, obs))
+    }
+}
+
+/// Resolves a requested pool size: 0 means available parallelism.
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// Expands a sweep and drains the selected shard's grid points through a
+/// work-queue worker pool (`workers = 0` for available parallelism),
+/// producing a report byte-identical to the sequential
+/// [`crate::run_sweep`].
+///
+/// Each leased point runs on a single-threaded [`crate::LocalRunner`];
+/// thread-count invariance of the canonical reduction makes the per-point
+/// reports — and therefore the assembled [`GridReport`] — independent of
+/// the pool size, the lease schedule and any retries.
+pub fn run_sweep_queued(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    workers: usize,
+    max_attempts: u32,
+    obs: &dyn QueueObserver,
+) -> Result<GridReport, SpecError> {
+    let specs = sweep.expand()?;
+    let total = specs.len();
+    let range = match shard {
+        Some(s) => s.range(total),
+        None => 0..total,
+    };
+    let indices: Vec<usize> = range.collect();
+    let queue = WorkQueue::new(indices).with_max_attempts(max_attempts);
+    let runner = crate::LocalRunner::new(1);
+    let points = queue.drain(resolve_workers(workers), obs, |_worker, lease| {
+        let index = lease.item;
+        let spec = &specs[index];
+        let report = run_point(&runner, spec)
+            .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
+        Ok(PointReport { index, report })
+    })?;
+    Ok(GridReport {
+        sweep: sweep.clone(),
+        total_points: total,
+        shard,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LocalRunner;
+    use eacp_spec::{ExperimentSpec, McSpec, SweepAxis, ToJson};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    fn spec(reps: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: reps,
+            seed: 42,
+            threads: 0,
+        };
+        spec
+    }
+
+    /// Counts scheduler events; used to prove the observer wiring fires.
+    #[derive(Default)]
+    struct CountingQueueObserver {
+        leases: AtomicU64,
+        completions: AtomicU64,
+        retries: AtomicU64,
+    }
+
+    impl QueueObserver for CountingQueueObserver {
+        fn on_lease(&self, _w: usize, _i: usize, _a: u32, _s: QueueStatus) {
+            self.leases.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_complete(&self, _w: usize, _i: usize, status: QueueStatus) {
+            self.completions.fetch_add(1, Ordering::Relaxed);
+            assert!(status.completed <= status.total);
+        }
+        fn on_retry(&self, _w: usize, _i: usize, _a: u32, _e: &SpecError, _s: QueueStatus) {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fails the first `fail_first_attempts` leases of every block whose
+    /// index is in `blocks` — lease abandonment mid-block, deterministic.
+    struct FlakyWorker {
+        blocks: Vec<u64>,
+        fail_first_attempts: u32,
+        attempts: StdMutex<std::collections::HashMap<u64, u32>>,
+    }
+
+    impl FlakyWorker {
+        fn failing(blocks: Vec<u64>, fail_first_attempts: u32) -> Self {
+            Self {
+                blocks,
+                fail_first_attempts,
+                attempts: StdMutex::new(Default::default()),
+            }
+        }
+    }
+
+    impl Worker for FlakyWorker {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn run_assignment(
+            &self,
+            job: &Job,
+            assignment: BlockAssignment,
+        ) -> Result<Summary, SpecError> {
+            let attempt = {
+                let mut seen = self.attempts.lock().unwrap();
+                let n = seen.entry(assignment.block).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if self.blocks.contains(&assignment.block) && attempt <= self.fail_first_attempts {
+                return Err(SpecError::invalid(format!(
+                    "injected lease failure (block {}, attempt {attempt})",
+                    assignment.block
+                )));
+            }
+            InProcessWorker.run_assignment(job, assignment)
+        }
+    }
+
+    #[test]
+    fn queue_runner_matches_local_runner_for_1_3_and_64_workers() {
+        let job = Job::from_spec(&spec(400)).unwrap();
+        let reference = LocalRunner::new(1).run(&job).unwrap();
+        for workers in [1usize, 3, 64] {
+            let queued = QueueRunner::new(workers).run(&job).unwrap();
+            assert_eq!(reference, queued, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn injected_lease_failures_do_not_change_the_summary() {
+        let job = Job::from_spec(&spec(300)).unwrap();
+        let reference = LocalRunner::new(1).run(&job).unwrap();
+        let obs = CountingQueueObserver::default();
+        // 300 reps → block 16 → 19 blocks; fail the first attempt of a
+        // third of them.
+        let flaky = FlakyWorker::failing(vec![0, 3, 6, 9, 12, 15, 18], 1);
+        let queued = QueueRunner::new(4)
+            .with_worker(flaky)
+            .run_with(&job, &obs)
+            .unwrap();
+        assert_eq!(reference, queued);
+        assert_eq!(obs.retries.load(Ordering::Relaxed), 7);
+        assert_eq!(obs.completions.load(Ordering::Relaxed), 19);
+        assert_eq!(
+            obs.leases.load(Ordering::Relaxed),
+            19 + 7,
+            "every retry re-leases"
+        );
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_is_a_fatal_error_not_a_hang() {
+        let job = Job::from_spec(&spec(40)).unwrap();
+        let always_failing = FlakyWorker::failing(vec![1], u32::MAX);
+        let err = QueueRunner::new(3)
+            .with_worker(always_failing)
+            .with_max_attempts(2)
+            .run(&job)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("after 2 attempts"), "{msg}");
+        assert!(msg.contains("injected lease failure"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // One worker panics mid-lease; the unwind guard releases the
+        // lease so the peers drain out, and the panic then propagates
+        // through the pool join — the failure mode is a crash with a
+        // message, never a hang on a completion that can't come.
+        struct PanickingWorker {
+            fired: StdMutex<bool>,
+        }
+        impl Worker for PanickingWorker {
+            fn name(&self) -> &'static str {
+                "panicking"
+            }
+            fn run_assignment(
+                &self,
+                job: &Job,
+                assignment: BlockAssignment,
+            ) -> Result<Summary, SpecError> {
+                if assignment.block == 1 {
+                    let mut fired = self.fired.lock().unwrap();
+                    if !*fired {
+                        *fired = true;
+                        panic!("injected worker panic");
+                    }
+                }
+                InProcessWorker.run_assignment(job, assignment)
+            }
+        }
+        let job = Job::from_spec(&spec(100)).unwrap();
+        let _ = QueueRunner::new(3)
+            .with_worker(PanickingWorker {
+                fired: StdMutex::new(false),
+            })
+            .run(&job);
+    }
+
+    #[test]
+    fn observed_queue_run_matches_the_fast_path() {
+        let job = Job::from_spec(&spec(200)).unwrap();
+        let fast = QueueRunner::new(4).run(&job).unwrap();
+        let mut rec = eacp_sim::TraceRecorder::new();
+        let observed = QueueRunner::new(4).run_observed(&job, &mut rec).unwrap();
+        assert_eq!(fast, observed);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn queue_status_accounting_is_consistent() {
+        let queue: WorkQueue<u32> = WorkQueue::new([10, 20, 30]);
+        assert_eq!(
+            queue.status(),
+            QueueStatus {
+                total: 3,
+                pending: 3,
+                leased: 0,
+                completed: 0,
+                retries: 0
+            }
+        );
+        let lease = queue.lease().unwrap();
+        assert_eq!(lease.index, 0);
+        assert_eq!(lease.item, 10);
+        assert_eq!(lease.attempt, 1);
+        assert_eq!(queue.status().leased, 1);
+        queue.fail(lease, &SpecError::invalid("flake"));
+        let status = queue.status();
+        assert_eq!((status.pending, status.leased, status.retries), (3, 0, 1));
+        // The re-queued assignment went to the back with attempt 2.
+        let (a, b, c) = (
+            queue.lease().unwrap(),
+            queue.lease().unwrap(),
+            queue.lease().unwrap(),
+        );
+        assert_eq!((a.index, b.index, c.index), (1, 2, 0));
+        assert_eq!(c.attempt, 2);
+        for lease in [a, b, c] {
+            queue.complete(lease);
+        }
+        assert_eq!(queue.status().completed, 3);
+        assert!(queue.lease().is_none(), "drained queue leases nothing");
+    }
+
+    #[test]
+    fn queued_sweep_is_identical_to_sequential_sweep() {
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "queued".into();
+        base.mc = McSpec {
+            replications: 40,
+            seed: 5,
+            threads: 1,
+        };
+        let sweep = SweepSpec {
+            base,
+            axes: vec![
+                SweepAxis::Lambda(vec![1.0e-4, 1.4e-3]),
+                SweepAxis::K(vec![1, 5]),
+            ],
+        };
+        let sequential = crate::run_sweep(&sweep, None, 1).unwrap();
+        for workers in [1usize, 3] {
+            let queued = run_sweep_queued(&sweep, None, workers, 3, &NoopQueueObserver).unwrap();
+            assert_eq!(queued, sequential, "workers = {workers}");
+            assert_eq!(queued.to_json().pretty(), sequential.to_json().pretty());
+        }
+        // Sharded queued runs cover exactly the shard's range.
+        let shard = ShardId::new(1, 3).unwrap();
+        let queued = run_sweep_queued(&sweep, Some(shard), 2, 3, &NoopQueueObserver).unwrap();
+        let sequential = crate::run_sweep(&sweep, Some(shard), 1).unwrap();
+        assert_eq!(queued, sequential);
+    }
+}

@@ -75,13 +75,7 @@ impl LocalRunner {
     /// Depends only on the replication count (never on the thread count):
     /// that is what makes the reduction canonical.
     fn effective_block(&self, replications: u64) -> u64 {
-        if self.block_size > 0 {
-            self.block_size
-        } else {
-            // ~64 blocks for large jobs (ample parallelism), bounded below
-            // so tiny jobs don't degenerate into per-replication merges.
-            replications.div_ceil(64).clamp(16, 8192)
-        }
+        canonical_block_size(self.block_size, replications)
     }
 
     fn effective_threads(&self, blocks: u64) -> usize {
@@ -96,8 +90,26 @@ impl LocalRunner {
     }
 }
 
+/// The canonical reduction block size for a job of `replications`
+/// (`override_size` wins when positive).
+///
+/// This is the one partition rule shared by every runner in the crate —
+/// [`LocalRunner`] and [`crate::QueueRunner`] — and it depends only on the
+/// replication count, never on the thread or worker count. Merging the
+/// per-block partials in ascending block order is therefore bit-identical
+/// no matter which runner, schedule or pool size produced them.
+pub(crate) fn canonical_block_size(override_size: u64, replications: u64) -> u64 {
+    if override_size > 0 {
+        override_size
+    } else {
+        // ~64 blocks for large jobs (ample parallelism), bounded below
+        // so tiny jobs don't degenerate into per-replication merges.
+        replications.div_ceil(64).clamp(16, 8192)
+    }
+}
+
 /// Reduces one block of replications sequentially.
-fn run_block<O: Observer + ?Sized>(job: &Job, lo: u64, hi: u64, obs: &mut O) -> Summary {
+pub(crate) fn run_block<O: Observer + ?Sized>(job: &Job, lo: u64, hi: u64, obs: &mut O) -> Summary {
     let executor = Executor::new(job.scenario()).with_options(job.options());
     let mut partial = Summary::empty();
     for rep in lo..hi {
@@ -108,7 +120,7 @@ fn run_block<O: Observer + ?Sized>(job: &Job, lo: u64, hi: u64, obs: &mut O) -> 
 }
 
 /// Merges per-block partials in ascending block order.
-fn merge_blocks(blocks: Vec<Summary>) -> Summary {
+pub(crate) fn merge_blocks(blocks: Vec<Summary>) -> Summary {
     let mut total = Summary::empty();
     for partial in &blocks {
         total.merge(partial);
@@ -116,19 +128,28 @@ fn merge_blocks(blocks: Vec<Summary>) -> Summary {
     total
 }
 
-impl LocalRunner {
-    fn run_generic<O: Observer + ?Sized>(&self, job: &Job, obs: &mut O) -> Summary {
-        let reps = job.replications();
-        let block = self.effective_block(reps);
-        let n_blocks = reps.div_ceil(block);
-        let mut partials = Vec::with_capacity(n_blocks as usize);
-        for b in 0..n_blocks {
-            let lo = b * block;
-            let hi = (lo + block).min(reps);
-            partials.push(run_block(job, lo, hi, obs));
-        }
-        merge_blocks(partials)
+/// Runs the whole job sequentially over its canonical blocks, streaming
+/// replication brackets and engine events into `obs`.
+///
+/// This is the shared observed path of every runner: a shared observer
+/// imposes a replication order, so runners fall back to this sequential
+/// schedule — over the same canonical blocks — and the aggregate stays
+/// bit-identical to their parallel fast paths.
+pub(crate) fn run_sequential_observed<O: Observer + ?Sized>(
+    job: &Job,
+    block_size_override: u64,
+    obs: &mut O,
+) -> Summary {
+    let reps = job.replications();
+    let block = canonical_block_size(block_size_override, reps);
+    let n_blocks = reps.div_ceil(block);
+    let mut partials = Vec::with_capacity(n_blocks as usize);
+    for b in 0..n_blocks {
+        let lo = b * block;
+        let hi = (lo + block).min(reps);
+        partials.push(run_block(job, lo, hi, obs));
     }
+    merge_blocks(partials)
 }
 
 impl Runner for LocalRunner {
@@ -142,7 +163,11 @@ impl Runner for LocalRunner {
         let n_blocks = reps.div_ceil(block);
         let threads = self.effective_threads(n_blocks);
         if threads <= 1 {
-            return Ok(self.run_generic(job, &mut NoopObserver));
+            return Ok(run_sequential_observed(
+                job,
+                self.block_size,
+                &mut NoopObserver,
+            ));
         }
 
         let next = AtomicU64::new(0);
@@ -188,7 +213,7 @@ impl Runner for LocalRunner {
         // A shared observer imposes a replication order; run sequentially
         // over the same canonical blocks so the aggregate stays
         // bit-identical to the parallel fast path.
-        Ok(self.run_generic(job, obs))
+        Ok(run_sequential_observed(job, self.block_size, obs))
     }
 }
 

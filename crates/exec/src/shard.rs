@@ -74,10 +74,19 @@ impl ShardId {
 
     /// The contiguous grid-index range this shard owns out of `total`
     /// points (the ranges of all `count` shards tile `0..total` exactly).
+    ///
+    /// The partition is balanced: shard sizes differ by at most one (the
+    /// first `total % count` shards carry the extra point), so every shard
+    /// is non-empty whenever `total >= count`. The old `div_ceil` chunking
+    /// starved trailing shards — 4 points over 3 shards came out 2/2/0,
+    /// leaving machine 2 idle while machine 0 ran double load.
     pub fn range(&self, total: usize) -> std::ops::Range<usize> {
-        let chunk = total.div_ceil(self.count as usize);
-        let lo = (self.index as usize * chunk).min(total);
-        let hi = (lo + chunk).min(total);
+        let count = self.count as usize;
+        let index = self.index as usize;
+        let base = total / count;
+        let extra = total % count;
+        let lo = index * base + index.min(extra);
+        let hi = lo + base + usize::from(index < extra);
         lo..hi
     }
 
@@ -140,10 +149,24 @@ impl GridReport {
     }
 
     /// Reads one document.
+    ///
+    /// # Errors
+    ///
+    /// Every failure — unreadable file, malformed/truncated JSON, a
+    /// document that is not a sweep report — carries the offending file
+    /// path, so a corrupt shard in a big collection directory is
+    /// identifiable without bisecting.
     pub fn load(path: &Path) -> Result<Self, SpecError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
-        Self::from_json(&Json::parse(&text)?)
+        let json = Json::parse(&text)
+            .map_err(|e| SpecError::invalid(format!("{}: {e}", path.display())))?;
+        Self::from_json(&json).map_err(|e| {
+            SpecError::invalid(format!(
+                "{}: invalid sweep report document: {e}",
+                path.display()
+            ))
+        })
     }
 }
 
@@ -202,17 +225,29 @@ pub fn run_sweep(
     shard: Option<ShardId>,
     threads: usize,
 ) -> Result<GridReport, SpecError> {
+    run_sweep_with(sweep, shard, &LocalRunner::new(threads))
+}
+
+/// [`run_sweep`] on an explicit [`Runner`] — the seam the queued sweep
+/// path and future remote runners share with the local one.
+///
+/// Any runner honoring the determinism contract (summaries are a pure
+/// function of the job) produces the same report document here.
+pub fn run_sweep_with(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    runner: &dyn Runner,
+) -> Result<GridReport, SpecError> {
     let specs = sweep.expand()?;
     let total = specs.len();
     let range = match shard {
         Some(s) => s.range(total),
         None => 0..total,
     };
-    let runner = LocalRunner::new(threads);
     let mut points = Vec::with_capacity(range.len());
     for index in range {
         let spec = &specs[index];
-        let report = run_point(&runner, spec)
+        let report = run_point(runner, spec)
             .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
         points.push(PointReport { index, report });
     }
@@ -224,7 +259,10 @@ pub fn run_sweep(
     })
 }
 
-fn run_point(runner: &LocalRunner, spec: &ExperimentSpec) -> Result<RunReport, SpecError> {
+pub(crate) fn run_point(
+    runner: &dyn Runner,
+    spec: &ExperimentSpec,
+) -> Result<RunReport, SpecError> {
     let job = Job::from_spec(spec)?;
     let summary = runner.run(&job)?;
     Ok(RunReport {
@@ -263,60 +301,15 @@ pub fn list_report_files(dir: &Path) -> Result<Vec<PathBuf>, SpecError> {
 ///   (withheld shard), or embeds a spec that does not match the sweep's
 ///   expansion at its index (tampered or foreign report).
 pub fn merge_dir(dir: &Path) -> Result<GridReport, SpecError> {
-    let paths = list_report_files(dir)?;
-    if paths.is_empty() {
-        return Err(SpecError::invalid(format!(
-            "{}: no .json report documents to merge",
-            dir.display()
-        )));
-    }
-
-    let mut docs = Vec::with_capacity(paths.len());
-    for path in &paths {
-        let doc = GridReport::load(path)
-            .map_err(|e| SpecError::invalid(format!("{}: {e}", path.display())))?;
-        docs.push((path, doc));
-    }
-
-    // Cross-document consistency.
-    let (first_path, first) = &docs[0];
-    let sweep_fingerprint = first.sweep.to_json().pretty();
-    let total = first.total_points;
-    let mut shard_count: Option<u64> = None;
-    for (path, doc) in &docs {
-        if doc.sweep.to_json().pretty() != sweep_fingerprint {
-            return Err(SpecError::invalid(format!(
-                "{}: sweep spec differs from {} — these shards are not from \
-                 the same sweep",
-                path.display(),
-                first_path.display()
-            )));
-        }
-        if doc.total_points != total {
-            return Err(SpecError::invalid(format!(
-                "{}: declares {} total points, {} declares {total}",
-                path.display(),
-                doc.total_points,
-                first_path.display()
-            )));
-        }
-        if let Some(s) = doc.shard {
-            match shard_count {
-                None => shard_count = Some(s.count),
-                Some(c) if c != s.count => {
-                    return Err(SpecError::invalid(format!(
-                        "{}: shard count {} conflicts with earlier shard count {c}",
-                        path.display(),
-                        s.count
-                    )))
-                }
-                Some(_) => {}
-            }
-        }
-    }
+    let SweepDocs {
+        docs,
+        total,
+        expected,
+        ..
+    } = load_sweep_docs(dir)?;
+    let sweep = docs[0].1.sweep.clone();
 
     // Point coverage: exactly once each, spec-faithful.
-    let expected = first.sweep.expand()?;
     let mut slots: Vec<Option<PointReport>> = vec![None; total];
     for (path, doc) in &docs {
         for point in &doc.points {
@@ -363,10 +356,198 @@ pub fn merge_dir(dir: &Path) -> Result<GridReport, SpecError> {
     }
 
     Ok(GridReport {
-        sweep: first.sweep.clone(),
+        sweep,
         total_points: total,
         shard: None,
         points: slots.into_iter().map(|s| s.expect("checked")).collect(),
+    })
+}
+
+/// A directory of report documents proven to belong to one sweep.
+struct SweepDocs {
+    /// `(path, document)` pairs in path order.
+    docs: Vec<(PathBuf, GridReport)>,
+    /// The validated total point count (equals `expected.len()`).
+    total: usize,
+    /// The sweep's expansion, for per-point spec checks.
+    expected: Vec<ExperimentSpec>,
+    /// Shard count declared by the shard documents, when any declare one.
+    shard_count: Option<u64>,
+}
+
+/// Loads every `*.json` document in `dir` and validates cross-document
+/// consistency — the shared front half of [`merge_dir`] and
+/// [`coverage_dir`].
+///
+/// Checks: at least one document; every document parses (errors name the
+/// file, via [`GridReport::load`]); all documents carry the same sweep
+/// spec, declared total and shard count; and the declared total matches
+/// the sweep's expansion *before* it is ever used as an allocation or
+/// iteration bound — a corrupt or tampered `total_points` must surface as
+/// a [`SpecError`] naming the file, not as a capacity-overflow panic or a
+/// multi-terabyte allocation.
+fn load_sweep_docs(dir: &Path) -> Result<SweepDocs, SpecError> {
+    let paths = list_report_files(dir)?;
+    if paths.is_empty() {
+        return Err(SpecError::invalid(format!(
+            "{}: no .json report documents found",
+            dir.display()
+        )));
+    }
+
+    let mut docs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let doc = GridReport::load(&path)?;
+        docs.push((path, doc));
+    }
+
+    let (first_path, first) = &docs[0];
+    let sweep_fingerprint = first.sweep.to_json().pretty();
+    let total = first.total_points;
+    let mut shard_count: Option<u64> = None;
+    for (path, doc) in &docs {
+        if doc.sweep.to_json().pretty() != sweep_fingerprint {
+            return Err(SpecError::invalid(format!(
+                "{}: sweep spec differs from {} — these shards are not from \
+                 the same sweep",
+                path.display(),
+                first_path.display()
+            )));
+        }
+        if doc.total_points != total {
+            return Err(SpecError::invalid(format!(
+                "{}: declares {} total points, {} declares {total}",
+                path.display(),
+                doc.total_points,
+                first_path.display()
+            )));
+        }
+        if let Some(s) = doc.shard {
+            match shard_count {
+                None => shard_count = Some(s.count),
+                Some(c) if c != s.count => {
+                    return Err(SpecError::invalid(format!(
+                        "{}: shard count {} conflicts with earlier shard count {c}",
+                        path.display(),
+                        s.count
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    let expected = first.sweep.expand()?;
+    if expected.len() != total {
+        return Err(SpecError::invalid(format!(
+            "{}: declares {total} total points but its embedded sweep \
+             expands to {} — corrupt or tampered document",
+            first_path.display(),
+            expected.len()
+        )));
+    }
+    Ok(SweepDocs {
+        docs,
+        total,
+        expected,
+        shard_count,
+    })
+}
+
+/// Coverage of one report document in a collection directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocCoverage {
+    /// The document's path.
+    pub path: PathBuf,
+    /// Which shard it claims to cover (`None` = a full-grid document).
+    pub shard: Option<ShardId>,
+    /// The grid indices the document actually covers, ascending.
+    pub indices: Vec<usize>,
+}
+
+/// Completion state of a sweep's result-collection directory — what
+/// `eacp queue status` renders while shards are still trickling in.
+///
+/// Unlike [`merge_dir`], missing or duplicated points are *reported*, not
+/// errors: the whole purpose is to see how far a distributed sweep has
+/// progressed and which shards are still owed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCoverage {
+    /// The sweep's base experiment name.
+    pub sweep_name: String,
+    /// Total grid points in the full sweep.
+    pub total_points: usize,
+    /// Shard count declared by the shard documents, when any declare one.
+    pub shard_count: Option<u64>,
+    /// Per-document coverage, in path order.
+    pub docs: Vec<DocCoverage>,
+    /// Grid indices covered by no document, ascending.
+    pub missing: Vec<usize>,
+    /// Grid indices covered by more than one document, ascending.
+    pub duplicated: Vec<usize>,
+}
+
+impl SweepCoverage {
+    /// Points covered at least once.
+    pub fn covered(&self) -> usize {
+        self.total_points - self.missing.len()
+    }
+
+    /// Whether the directory is ready to [`merge_dir`]: every point
+    /// covered exactly once.
+    pub fn complete(&self) -> bool {
+        self.missing.is_empty() && self.duplicated.is_empty()
+    }
+}
+
+/// Inspects a result-collection directory: which grid points the present
+/// documents cover, which are missing, which are duplicated.
+///
+/// # Errors
+///
+/// Unreadable or malformed documents, and documents from *different*
+/// sweeps mixed into one directory, are still loud [`SpecError`]s naming
+/// the offending file — only incomplete/duplicated coverage is tolerated.
+pub fn coverage_dir(dir: &Path) -> Result<SweepCoverage, SpecError> {
+    // Same loading and consistency rules as `merge_dir` — including the
+    // total_points-vs-expansion guard, so a lying document cannot make
+    // the status pass iterate a fantasy-sized grid.
+    let SweepDocs {
+        docs,
+        total,
+        shard_count,
+        ..
+    } = load_sweep_docs(dir)?;
+    let sweep_name = docs[0].1.sweep.base.name.clone();
+
+    let mut hits: std::collections::BTreeMap<usize, usize> = Default::default();
+    let docs: Vec<DocCoverage> = docs
+        .into_iter()
+        .map(|(path, doc)| {
+            let mut indices: Vec<usize> = doc.points.iter().map(|p| p.index).collect();
+            indices.sort_unstable();
+            for &i in &indices {
+                *hits.entry(i).or_insert(0) += 1;
+            }
+            DocCoverage {
+                path,
+                shard: doc.shard,
+                indices,
+            }
+        })
+        .collect();
+    let missing = (0..total).filter(|i| !hits.contains_key(i)).collect();
+    let duplicated = hits
+        .iter()
+        .filter_map(|(&i, &n)| (n > 1).then_some(i))
+        .collect();
+    Ok(SweepCoverage {
+        sweep_name,
+        total_points: total,
+        shard_count,
+        docs,
+        missing,
+        duplicated,
     })
 }
 
@@ -414,6 +595,28 @@ mod tests {
                     covered.extend(r);
                 }
                 assert_eq!(covered, (0..total).collect::<Vec<_>>(), "{total}/{count}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_balanced_and_leaves_no_shard_empty() {
+        // The regression that motivated the fix: 4 points over 3 shards
+        // must come out 2/1/1, not 2/2/0.
+        let sizes: Vec<usize> = (0..3)
+            .map(|i| ShardId::new(i, 3).unwrap().range(4).len())
+            .collect();
+        assert_eq!(sizes, vec![2, 1, 1]);
+        for total in [1usize, 2, 5, 7, 16, 97] {
+            for count in [1u64, 2, 3, 5, 8, 16] {
+                let sizes: Vec<usize> = (0..count)
+                    .map(|i| ShardId::new(i, count).unwrap().range(total).len())
+                    .collect();
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced {sizes:?} for {total}/{count}");
+                if total >= count as usize {
+                    assert!(min >= 1, "empty shard in {sizes:?} for {total}/{count}");
+                }
             }
         }
     }
@@ -504,6 +707,106 @@ mod tests {
         assert_eq!(back.total_points, shard.total_points);
         assert_eq!(back.points.len(), shard.points.len());
         assert_eq!(back.to_json().pretty(), shard.to_json().pretty());
+    }
+
+    #[test]
+    fn corrupt_documents_are_spec_errors_naming_the_file() {
+        let sweep = small_sweep();
+        let base = std::env::temp_dir().join(format!("eacp-exec-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // Truncated JSON.
+        let truncated = base.join("truncated");
+        let path = run_sweep(&sweep, Some(ShardId::new(0, 2).unwrap()), 1)
+            .unwrap()
+            .save(&truncated)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = merge_dir(&truncated).unwrap_err();
+        assert!(matches!(err, SpecError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("shard-0-of-2.json"), "{err}");
+
+        // A total_points that does not match the embedded sweep must be a
+        // SpecError, never an allocation-size panic.
+        let lying = base.join("lying");
+        let path = run_sweep(&sweep, Some(ShardId::new(0, 2).unwrap()), 1)
+            .unwrap()
+            .save(&lying)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap().replace(
+            "\"total_points\": 4",
+            "\"total_points\": 1152921504606846976",
+        );
+        std::fs::write(&path, text).unwrap();
+        let err = merge_dir(&lying).unwrap_err();
+        assert!(err.to_string().contains("expands to 4"), "{err}");
+        assert!(err.to_string().contains("shard-0-of-2.json"), "{err}");
+        // coverage_dir shares the guard: the lie must not become the
+        // status pass's iteration bound.
+        let err = coverage_dir(&lying).unwrap_err();
+        assert!(err.to_string().contains("expands to 4"), "{err}");
+
+        // Structurally-wrong field types also name the file.
+        let wrong = base.join("wrong");
+        std::fs::create_dir_all(&wrong).unwrap();
+        std::fs::write(
+            wrong.join("shard-bad.json"),
+            r#"{"sweep": 3, "points": "x"}"#,
+        )
+        .unwrap();
+        let err = merge_dir(&wrong).unwrap_err();
+        assert!(err.to_string().contains("shard-bad.json"), "{err}");
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn coverage_reports_missing_and_duplicated_points_without_failing() {
+        let sweep = small_sweep();
+        let base = std::env::temp_dir().join(format!("eacp-exec-coverage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = base.join("partial");
+
+        // Shards 0 and 2 of 3 present, shard 0 duplicated under a second
+        // file name; shard 1 still owed.
+        run_sweep(&sweep, Some(ShardId::new(0, 3).unwrap()), 1)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        run_sweep(&sweep, Some(ShardId::new(2, 3).unwrap()), 1)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        std::fs::copy(
+            dir.join("shard-0-of-3.json"),
+            dir.join("shard-0-of-3-copy.json"),
+        )
+        .unwrap();
+
+        let cov = coverage_dir(&dir).unwrap();
+        assert_eq!(cov.sweep_name, "grid");
+        assert_eq!(cov.total_points, 4);
+        assert_eq!(cov.shard_count, Some(3));
+        assert_eq!(cov.docs.len(), 3);
+        // Balanced 4-over-3 partition: shard 0 owns {0,1}, shard 1 owns
+        // {2}, shard 2 owns {3}.
+        assert_eq!(cov.missing, vec![2]);
+        assert_eq!(cov.duplicated, vec![0, 1]);
+        assert_eq!(cov.covered(), 3);
+        assert!(!cov.complete());
+
+        // Completing the set clears both lists.
+        std::fs::remove_file(dir.join("shard-0-of-3-copy.json")).unwrap();
+        run_sweep(&sweep, Some(ShardId::new(1, 3).unwrap()), 1)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        let cov = coverage_dir(&dir).unwrap();
+        assert!(cov.complete(), "{cov:?}");
+        assert_eq!(cov.covered(), 4);
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests of the work-queue scheduler's determinism contract:
+//! for any worker count and any injected lease-failure pattern (workers
+//! abandoning assignments mid-block), `QueueRunner` produces a `Summary`
+//! bit-identical to the sequential `LocalRunner::new(1)`.
+
+use eacp_exec::{
+    BlockAssignment, InProcessWorker, Job, LocalRunner, QueueRunner, Runner, Summary, Worker,
+};
+use eacp_spec::{ExperimentSpec, McSpec, SpecError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn job(reps: u64, seed: u64) -> Job {
+    let mut spec = ExperimentSpec::paper_nominal();
+    spec.mc = McSpec {
+        replications: reps,
+        seed,
+        threads: 0,
+    };
+    Job::from_spec(&spec).expect("valid property-test spec")
+}
+
+/// Abandons the first `fail_attempts` leases of every block whose bit is
+/// set in `fail_mask` — a deterministic model of workers dying mid-block.
+struct FlakyWorker {
+    fail_mask: u64,
+    fail_attempts: u32,
+    attempts: Mutex<HashMap<u64, u32>>,
+}
+
+impl FlakyWorker {
+    fn new(fail_mask: u64, fail_attempts: u32) -> Self {
+        Self {
+            fail_mask,
+            fail_attempts,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Worker for FlakyWorker {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError> {
+        let attempt = {
+            let mut seen = self.attempts.lock().unwrap();
+            let n = seen.entry(assignment.block).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let targeted = assignment.block < 64 && (self.fail_mask >> assignment.block) & 1 == 1;
+        if targeted && attempt <= self.fail_attempts {
+            return Err(SpecError::invalid(format!(
+                "injected abandonment (block {}, attempt {attempt})",
+                assignment.block
+            )));
+        }
+        InProcessWorker.run_assignment(job, assignment)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Any worker count, any failed-lease pattern, any retry depth the
+    /// budget survives: the queue's merged summary equals the sequential
+    /// runner's bit for bit.
+    #[test]
+    fn queue_runner_with_failures_matches_sequential_local_runner(
+        workers in 1usize..=64,
+        fail_mask in 0u64..256,
+        fail_attempts in 1u32..=2,
+        seed in 0u64..1000,
+    ) {
+        // Block size 8 over 56 replications: 7 blocks, so worker counts
+        // both below and far above the block count are exercised.
+        let job = job(56, seed);
+        let reference = LocalRunner::new(1).with_block_size(8).run(&job).unwrap();
+        let queued = QueueRunner::new(workers)
+            .with_block_size(8)
+            .with_max_attempts(fail_attempts + 1)
+            .with_worker(FlakyWorker::new(fail_mask, fail_attempts))
+            .run(&job)
+            .unwrap();
+        prop_assert_eq!(&queued, &reference,
+            "workers={} fail_mask={:#b} fail_attempts={}", workers, fail_mask, fail_attempts);
+    }
+
+    /// The default (derived) block rule is shared too: queue and local
+    /// runners agree for arbitrary job sizes without explicit block sizes.
+    #[test]
+    fn queue_runner_matches_local_runner_for_arbitrary_job_sizes(
+        reps in 1u64..200,
+        workers in 1usize..=16,
+        threads in 1usize..=8,
+    ) {
+        let job = job(reps, 11);
+        let local = LocalRunner::new(threads).run(&job).unwrap();
+        let queued = QueueRunner::new(workers).run(&job).unwrap();
+        prop_assert_eq!(&queued, &local, "reps={} workers={} threads={}", reps, workers, threads);
+    }
+}

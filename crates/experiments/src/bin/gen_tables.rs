@@ -3,7 +3,7 @@
 //! ```text
 //! gen-tables [--table 1|2|3|4] [--reps N] [--seed S]
 //!            [--format text|markdown|csv] [--out DIR] [--no-shape]
-//!            [--physical-fault-model]
+//!            [--physical-fault-model] [--queue-workers N]
 //! ```
 //!
 //! Defaults: all four tables, 10,000 replications per cell (the paper's
@@ -17,7 +17,7 @@
 
 use eacp_experiments::compare::render_comparison;
 use eacp_experiments::shape::{check_table, tally};
-use eacp_experiments::{render, run_table_with, TableId};
+use eacp_experiments::{render, TableId};
 use eacp_sim::ExecutorOptions;
 use std::io::Write;
 
@@ -29,6 +29,7 @@ struct Args {
     out_dir: Option<String>,
     shape: bool,
     physical_fault_model: bool,
+    queue_workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         out_dir: None,
         shape: true,
         physical_fault_model: false,
+        queue_workers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,11 +78,18 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out_dir = Some(value("--out")?),
             "--no-shape" => args.shape = false,
             "--physical-fault-model" => args.physical_fault_model = true,
+            "--queue-workers" => {
+                args.queue_workers = Some(
+                    value("--queue-workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-workers: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: gen-tables [--table 1|2|3|4] [--reps N] [--seed S] \
                      [--format text|markdown|csv] [--out DIR] [--no-shape] \
-                     [--physical-fault-model]"
+                     [--physical-fault-model] [--queue-workers N]"
                 );
                 std::process::exit(0);
             }
@@ -103,10 +112,19 @@ fn main() {
         faults_during_overhead: args.physical_fault_model,
         ..ExecutorOptions::default()
     };
+    // The scheduling choice rides on the executor spec; summaries are
+    // bit-identical with or without the queue.
+    let mut executor = eacp_spec::ExecSpec::from_options(&options);
+    if let Some(workers) = args.queue_workers {
+        executor = executor.with_queue(eacp_spec::QueueSpec {
+            workers,
+            ..Default::default()
+        });
+    }
     let mut any_shape_failure = false;
     for &id in &args.tables {
         let t0 = std::time::Instant::now();
-        let result = run_table_with(id, args.reps, args.seed, options);
+        let result = eacp_experiments::run_table_exec(id, args.reps, args.seed, executor);
         let elapsed = t0.elapsed();
         match args.format.as_str() {
             "markdown" => println!("{}", render::to_markdown(&result)),

@@ -141,6 +141,27 @@ pub fn cell_experiment(
     seed: u64,
     options: ExecutorOptions,
 ) -> ExperimentSpec {
+    cell_experiment_exec(
+        config,
+        spec,
+        scheme,
+        replications,
+        seed,
+        ExecSpec::from_options(&options),
+    )
+}
+
+/// [`cell_experiment`] with the full executor section — including the
+/// execution-layer scheduling choice ([`eacp_spec::QueueSpec`]) that
+/// [`ExecutorOptions`] cannot express.
+pub fn cell_experiment_exec(
+    config: &TableConfig,
+    spec: &CellSpec,
+    scheme: SchemeId,
+    replications: u64,
+    seed: u64,
+    executor: ExecSpec,
+) -> ExperimentSpec {
     let policy = scheme_policy_spec(config, spec, scheme);
     ExperimentSpec {
         name: format!(
@@ -162,7 +183,7 @@ pub fn cell_experiment(
             seed,
             threads: 0,
         },
-        executor: ExecSpec::from_options(&options),
+        executor,
     }
 }
 
@@ -186,10 +207,31 @@ pub fn run_cell_with(
     seed: u64,
     options: ExecutorOptions,
 ) -> CellResult {
+    run_cell_exec(
+        config,
+        spec,
+        replications,
+        seed,
+        ExecSpec::from_options(&options),
+    )
+}
+
+/// [`run_cell_with`] with the full executor section: with a
+/// [`eacp_spec::QueueSpec`] present the cell's replications are scheduled
+/// through the work-queue runner (`eacp_exec::run` dispatches on it) —
+/// summaries are bit-identical either way.
+pub fn run_cell_exec(
+    config: &TableConfig,
+    spec: &CellSpec,
+    replications: u64,
+    seed: u64,
+    executor: ExecSpec,
+) -> CellResult {
     let schemes = SchemeId::ALL
         .iter()
         .map(|&scheme| {
-            let experiment = cell_experiment(config, spec, scheme, replications, seed, options);
+            let experiment =
+                cell_experiment_exec(config, spec, scheme, replications, seed, executor);
             let (summary, report) =
                 eacp_exec::run(&experiment).expect("table cells are valid experiment specs");
             debug_assert_eq!(summary.anomalies, 0, "policy anomaly in {scheme:?}");
@@ -221,18 +263,30 @@ pub fn run_table_with(
     seed: u64,
     options: ExecutorOptions,
 ) -> TableResult {
+    run_table_exec(id, replications, seed, ExecSpec::from_options(&options))
+}
+
+/// [`run_table_with`] with the full executor section (see
+/// [`run_cell_exec`]); `gen-tables --queue-workers N` regenerates whole
+/// tables through the work-queue scheduler this way.
+pub fn run_table_exec(
+    id: TableId,
+    replications: u64,
+    seed: u64,
+    executor: ExecSpec,
+) -> TableResult {
     let config = crate::tables::table_config(id);
     let cells = config
         .cells
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            run_cell_with(
+            run_cell_exec(
                 &config,
                 spec,
                 replications,
                 seed.wrapping_add(i as u64),
-                options,
+                executor,
             )
         })
         .collect();
@@ -321,6 +375,27 @@ mod tests {
             assert_eq!(reread, s.spec);
             let (summary, _) = eacp_exec::run(&reread).unwrap();
             assert_eq!(summary, s.summary, "scheme {}", s.name);
+        }
+    }
+
+    #[test]
+    fn queued_cell_is_bit_identical_to_the_plain_cell() {
+        let cfg = table_config(TableId::Table1);
+        let spec = cfg.cells[0];
+        let plain = run_cell(&cfg, &spec, 40, 6);
+        let queued = run_cell_exec(
+            &cfg,
+            &spec,
+            40,
+            6,
+            ExecSpec::default().with_queue(eacp_spec::QueueSpec {
+                workers: 3,
+                ..Default::default()
+            }),
+        );
+        for (a, b) in plain.schemes.iter().zip(&queued.schemes) {
+            assert_eq!(a.summary, b.summary, "scheme {}", a.name);
+            assert!(b.spec.executor.queue.is_some());
         }
     }
 

@@ -33,7 +33,8 @@
 //!
 //! Execution lives one layer up in `eacp-exec`: `eacp_exec::run(&spec)`
 //! turns a spec into a `(Summary, RunReport)` through the `Job`/`Runner`
-//! API (the deprecated [`run`] shim here predates it).
+//! API, picking the work-queue scheduler when the spec's
+//! [`ExecSpec::queue`] asks for it.
 //!
 //! # Example
 //!
@@ -72,10 +73,8 @@ pub use error::SpecError;
 pub use json::{FromJson, Json, ToJson};
 pub use model::{
     CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec,
-    ScenarioSpec, WorkSpec,
+    QueueSpec, ScenarioSpec, WorkSpec,
 };
 pub use presets::{paper_cell, preset, preset_names, PaperScheme};
-#[allow(deprecated)]
-pub use report::run;
 pub use report::{RunReport, StatsReport, SummaryReport};
 pub use sweep::{SweepAxis, SweepSpec};

@@ -1093,7 +1093,7 @@ impl Default for McSpec {
 }
 
 impl McSpec {
-    /// Builds the [`MonteCarlo`] runner.
+    /// Builds the [`MonteCarlo`] configuration.
     pub fn build(&self) -> Result<MonteCarlo, SpecError> {
         if self.replications == 0 {
             return Err(SpecError::invalid("replications must be positive"));
@@ -1127,7 +1127,66 @@ impl FromJson for McSpec {
     }
 }
 
-/// Executor semantics switches (mirrors [`ExecutorOptions`]).
+/// Work-queue scheduling configuration for the execution layer.
+///
+/// When present on an [`ExecSpec`], the experiment's replications are
+/// scheduled through `eacp-exec`'s `QueueRunner` — a work queue of
+/// canonical reduction blocks drained by a worker pool with lease retry —
+/// instead of the plain multi-threaded runner. Results are bit-identical
+/// either way; the queue buys failure tolerance and the seam for remote
+/// workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Worker-pool size (0 = available parallelism).
+    pub workers: usize,
+    /// Per-assignment attempt budget (first attempt + retries; ≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for QueueSpec {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_attempts: 3,
+        }
+    }
+}
+
+impl QueueSpec {
+    /// Validates the scheduling parameters.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.max_attempts == 0 {
+            return Err(SpecError::invalid(
+                "queue max_attempts must be at least 1 (the first attempt)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for QueueSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workers", self.workers.into()),
+            ("max_attempts", self.max_attempts.into()),
+        ])
+    }
+}
+
+impl FromJson for QueueSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let d = QueueSpec::default();
+        Ok(Self {
+            workers: json.get("workers").map_or(Ok(d.workers), Json::as_usize)?,
+            max_attempts: json
+                .get("max_attempts")
+                .map_or(Ok(d.max_attempts), Json::as_u32)?,
+        })
+    }
+}
+
+/// Executor semantics switches (mirrors [`ExecutorOptions`]), plus the
+/// execution-layer scheduling choice ([`QueueSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecSpec {
     /// Whether faults can strike during checkpoint/rollback operations.
@@ -1138,6 +1197,8 @@ pub struct ExecSpec {
     pub max_operations: u64,
     /// Zero-progress rounds tolerated before flagging an anomaly.
     pub max_stalled_rounds: u32,
+    /// Run through the work-queue scheduler (`None` = plain local runner).
+    pub queue: Option<QueueSpec>,
 }
 
 impl Default for ExecSpec {
@@ -1148,6 +1209,7 @@ impl Default for ExecSpec {
             stop_at_deadline: d.stop_at_deadline,
             max_operations: d.max_operations,
             max_stalled_rounds: d.max_stalled_rounds,
+            queue: None,
         }
     }
 }
@@ -1170,13 +1232,27 @@ impl ExecSpec {
             stop_at_deadline: options.stop_at_deadline,
             max_operations: options.max_operations,
             max_stalled_rounds: options.max_stalled_rounds,
+            queue: None,
         }
     }
 
+    /// Requests work-queue scheduling with a pool of `workers`.
+    pub fn with_queue(mut self, queue: QueueSpec) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+
     /// Builds the [`ExecutorOptions`].
+    ///
+    /// The queue configuration is not part of the engine options — it is
+    /// consumed by the execution layer — but it is validated here so
+    /// `ExperimentSpec::validate` rejects a bad one.
     pub fn build(&self) -> Result<ExecutorOptions, SpecError> {
         if self.max_operations == 0 {
             return Err(SpecError::invalid("max_operations must be positive"));
+        }
+        if let Some(queue) = &self.queue {
+            queue.validate()?;
         }
         Ok(ExecutorOptions {
             max_operations: self.max_operations,
@@ -1189,12 +1265,18 @@ impl ExecSpec {
 
 impl ToJson for ExecSpec {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("faults_during_overhead", self.faults_during_overhead.into()),
             ("stop_at_deadline", self.stop_at_deadline.into()),
             ("max_operations", self.max_operations.into()),
             ("max_stalled_rounds", self.max_stalled_rounds.into()),
-        ])
+        ];
+        // Emitted only when present, so documents written before the queue
+        // scheduler existed round-trip byte-identically.
+        if let Some(queue) = &self.queue {
+            fields.push(("queue", queue.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -1214,6 +1296,10 @@ impl FromJson for ExecSpec {
             max_stalled_rounds: json
                 .get("max_stalled_rounds")
                 .map_or(Ok(d.max_stalled_rounds), Json::as_u32)?,
+            queue: match json.get("queue") {
+                None | Some(Json::Null) => None,
+                Some(q) => Some(QueueSpec::from_json(q)?),
+            },
         })
     }
 }
@@ -1435,6 +1521,51 @@ mod tests {
         assert_eq!(spec.scenario.processors, 2);
         assert_eq!(spec.scenario.costs, CostsSpec::PaperScp);
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn queue_spec_round_trips_and_validates() {
+        // Absent queue config: the document keeps its pre-queue shape.
+        let spec = ExperimentSpec::paper_nominal();
+        assert!(spec.executor.queue.is_none());
+        assert!(!spec.to_json_string().contains("queue"));
+
+        let mut queued = spec.clone();
+        queued.executor = queued.executor.with_queue(QueueSpec {
+            workers: 3,
+            max_attempts: 5,
+        });
+        let text = queued.to_json_string();
+        assert!(text.contains("\"queue\""), "{text}");
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, queued);
+        assert_eq!(
+            back.executor.queue,
+            Some(QueueSpec {
+                workers: 3,
+                max_attempts: 5
+            })
+        );
+        back.validate().unwrap();
+
+        // A zero attempt budget can never run anything: rejected.
+        let mut bad = queued.clone();
+        bad.executor.queue = Some(QueueSpec {
+            workers: 1,
+            max_attempts: 0,
+        });
+        assert!(matches!(bad.validate(), Err(SpecError::Invalid(_))));
+
+        // Omitted fields default.
+        let partial = Json::parse(r#"{"queue": {"workers": 2}}"#).unwrap();
+        let exec = ExecSpec::from_json(&partial).unwrap();
+        assert_eq!(
+            exec.queue,
+            Some(QueueSpec {
+                workers: 2,
+                max_attempts: 3
+            })
+        );
     }
 
     #[test]
