@@ -30,6 +30,7 @@ fn single_run(make: impl Fn() -> Box<dyn Policy>, seed: u64) -> f64 {
     out.energy
 }
 
+/// The boxed-factory escape hatch: fresh `Box<dyn ...>` per replication.
 fn mc_job(reps: u64) -> Job {
     Job::from_parts(
         "bench-mc",
@@ -41,6 +42,21 @@ fn mc_job(reps: u64) -> Job {
         |seed| Box::new(PoissonProcess::new(1.4e-3, StdRng::seed_from_u64(seed))),
     )
     .expect("valid bench job")
+}
+
+/// The same experiment as [`mc_job`] through the spec path: pooled
+/// `PolicyKind`/`FaultKind` enums, reset per replication — the
+/// zero-allocation, monomorphized hot path.
+fn mc_job_pooled(reps: u64) -> Job {
+    let mut spec = eacp_spec::ExperimentSpec::paper_nominal();
+    spec.name = "bench-mc-pooled".into();
+    spec.executor = eacp_spec::ExecSpec::from_options(&ExecutorOptions::default());
+    spec.mc = eacp_spec::McSpec {
+        replications: reps,
+        seed: 3,
+        threads: 0,
+    };
+    Job::from_spec(&spec).expect("valid bench spec")
 }
 
 fn bench_simulator(c: &mut Criterion) {
@@ -66,6 +82,14 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| runner.run(&job).expect("bench job runs"))
         });
     }
+    // Pooled/monomorphized spec path vs the boxed factories above — the
+    // replication hot path's headline comparison (`eacp bench` reports the
+    // same pair on the paper-nominal 10k job as BENCH_simulator.json).
+    group.bench_function("a_d_s_1000_reps_pooled_spec_path", |b| {
+        let job = mc_job_pooled(1_000);
+        let runner = LocalRunner::default();
+        b.iter(|| runner.run(&job).expect("bench job runs"))
+    });
     // The work-queue scheduler against the plain runner at the same pool
     // size: the lease/retry machinery must cost noise, not throughput
     // (results are bit-identical by construction).

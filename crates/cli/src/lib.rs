@@ -40,17 +40,18 @@ use eacp_core::analysis::{
     checkpoint_interval_with_branch, choose_speed, estimated_completion_time, num_ccp, num_scp,
     IntervalInputs, OptimizeMethod, RenewalParams,
 };
+use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
 use eacp_exec::{
-    coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, PaperRef, QueueObserver,
-    QueueStatus, ShardId,
+    coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, Job, LocalRunner, PaperRef,
+    QueueObserver, QueueStatus, Runner, ShardId, Summary,
 };
 use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
 use eacp_rtsched::{PeriodicTask, TaskSet};
 use eacp_sim::{Executor, Policy, TraceRecorder};
 use eacp_spec::{
-    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, FromJson, McSpec,
-    PolicySpec, RunReport, ScenarioSpec, SweepSpec, ToJson, WorkSpec,
+    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, FromJson, Json, McSpec,
+    PolicySpec, RunReport, ScenarioSpec, SweepAxis, SweepSpec, ToJson, WorkSpec,
 };
 
 /// Usage text for `--help`.
@@ -70,6 +71,7 @@ USAGE:
   eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
   eacp table      <1|2|3|4> [--reps N] [--seed N] [--json]
   eacp feasibility --tasks name:wcet:period[:deadline][,...] [--k K] [--speed F]
+  eacp bench      [--reps N] [--quick] [--threads N] [--seed N] [--out FILE]
   eacp presets
 
 SHARDED SWEEPS:
@@ -80,6 +82,14 @@ SHARDED SWEEPS:
   status DIR` shows how far the collection has progressed (covered /
   missing / duplicated points) without failing. `eacp csv DIR` renders
   report documents as CSV with paper-value deltas.
+
+BENCH:
+  `eacp bench` measures replication throughput on the paper-nominal
+  10k-replication job (pooled spec path vs the boxed-factory escape
+  hatch, bit-identical by construction) plus one sweep cell, and writes
+  the numbers as BENCH_simulator.json (override with --out). Track
+  pooled.reps_per_s across commits for the perf trajectory. --quick runs
+  a reduced-replication smoke for CI.
 
 QUEUED EXECUTION:
   --queue schedules work through a work queue drained by a worker pool
@@ -137,8 +147,11 @@ pub struct Options {
     pub queue: bool,
     /// Worker-pool size for `--queue` (0 = automatic).
     pub workers: usize,
-    /// Output path: a directory for `sweep`, a file for `merge`/`csv`.
+    /// Output path: a directory for `sweep`, a file for
+    /// `merge`/`csv`/`bench`.
     pub out: String,
+    /// Reduced-replication quick mode (bench subcommand; CI smoke).
+    pub quick: bool,
     /// Emit results as JSON.
     pub json: bool,
     /// Print the effective spec instead of running it.
@@ -170,6 +183,7 @@ impl Default for Options {
             queue: false,
             workers: 0,
             out: String::new(),
+            quick: false,
             json: false,
             emit_spec: false,
             positional: Vec::new(),
@@ -214,6 +228,7 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--workers" => o.workers = parse_num(&val("--workers")?, "--workers")? as usize,
             "--out" => o.out = val("--out")?,
             "--queue" => o.queue = true,
+            "--quick" => o.quick = true,
             "--trace" => o.trace = true,
             "--json" => o.json = true,
             "--emit-spec" => o.emit_spec = true,
@@ -262,12 +277,13 @@ pub fn policy_spec_of(o: &Options) -> Result<PolicySpec, String> {
     PolicySpec::from_tag(&o.scheme, o.lambda, o.k, 0).map_err(|e| e.to_string())
 }
 
-/// Builds the policy named by `--scheme`.
+/// Builds the policy named by `--scheme` (the concrete [`PolicyKind`];
+/// box it where a `dyn Policy` is required).
 ///
 /// # Errors
 ///
 /// Returns a message for unknown scheme names.
-pub fn build_policy(o: &Options) -> Result<Box<dyn Policy>, String> {
+pub fn build_policy(o: &Options) -> Result<PolicyKind, String> {
     policy_spec_of(o)?.build().map_err(|e| e.to_string())
 }
 
@@ -414,9 +430,9 @@ pub fn cmd_run(o: &Options) -> Result<String, String> {
     let executor = Executor::new(&scenario).with_options(options);
     let out = if o.trace {
         // Tracing is just one Observer on the unified engine path.
-        executor.run_observed(&mut *policy, &mut *faults, &mut rec)
+        executor.run_observed(&mut policy, &mut faults, &mut rec)
     } else {
-        executor.run(&mut *policy, &mut *faults)
+        executor.run(&mut policy, &mut faults)
     };
     // Non-Poisson fault processes (burst, phased, ...) have no single λ;
     // show the fault kind instead of a confusing NaN.
@@ -1031,6 +1047,146 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// `eacp bench`: measured throughput telemetry for the replication hot
+/// path, written as a `BENCH_simulator.json` document.
+///
+/// Runs the paper-nominal job (10,000 replications; 500 with `--quick`)
+/// twice — once on the pooled/monomorphized spec path, once on the
+/// boxed-factory escape hatch ([`Job::from_spec_boxed`]: per-replication
+/// `Box<dyn ...>`, virtual dispatch) — plus one sweep grid cell, and
+/// reports wall time and replications/second for each. The two runs
+/// double as a live sanity check: their summaries must be bit-identical
+/// or the bench fails.
+///
+/// Note the boxed run still shares every *engine-level* optimization
+/// (pooled scratch, the integer-argmin `num_SCP`/`num_CCP`, inlined
+/// sampling), so `speedup_pooled_vs_boxed` isolates only the dispatch +
+/// per-replication-allocation cost. Cross-commit before/after comparisons
+/// come from tracking `pooled.reps_per_s` over the artifact trajectory,
+/// not from that ratio.
+///
+/// # Errors
+///
+/// Returns a message on invalid options, runner failures, a pooled/boxed
+/// summary mismatch, or an unwritable output path.
+pub fn cmd_bench(o: &Options) -> Result<String, String> {
+    use std::time::Instant;
+
+    let reps = if o.has("--reps") {
+        o.reps
+    } else if o.quick {
+        500
+    } else {
+        10_000
+    };
+    let mut spec = ExperimentSpec::paper_nominal();
+    spec.name = "bench-paper-nominal".into();
+    spec.mc = McSpec {
+        replications: reps,
+        seed: o.seed,
+        threads: o.threads,
+    };
+
+    let pooled_job = Job::from_spec(&spec).map_err(|e| e.to_string())?;
+    let boxed_job = Job::from_spec_boxed(&spec).map_err(|e| e.to_string())?;
+
+    let runner = LocalRunner::new(o.threads);
+    // Best-of-N wall time: robust against scheduler noise without a
+    // statistics engine (quick mode runs once — it feeds a CI artifact,
+    // not a comparison).
+    let iterations = if o.quick { 1 } else { 3 };
+    let time_job = |job: &Job| -> Result<(f64, Summary), String> {
+        let mut best = f64::INFINITY;
+        let mut summary = None;
+        for _ in 0..iterations {
+            let started = Instant::now();
+            let s = runner.run(job).map_err(|e| e.to_string())?;
+            best = best.min(started.elapsed().as_secs_f64());
+            summary = Some(s);
+        }
+        Ok((best, summary.expect("at least one iteration ran")))
+    };
+
+    let (pooled_s, pooled_summary) = time_job(&pooled_job)?;
+    let (boxed_s, boxed_summary) = time_job(&boxed_job)?;
+    if pooled_summary != boxed_summary {
+        return Err(
+            "bench sanity check failed: pooled and boxed paths produced different summaries"
+                .to_owned(),
+        );
+    }
+
+    // One sweep grid cell through the sweep executor, so the telemetry
+    // also tracks the per-point orchestration overhead.
+    let mut sweep_base = spec.clone();
+    sweep_base.name = "bench-sweep-cell".into();
+    let lambda = sweep_base.faults.nominal_lambda().unwrap_or(1.4e-3);
+    let sweep = SweepSpec {
+        base: sweep_base,
+        axes: vec![SweepAxis::Lambda(vec![lambda])],
+    };
+    let started = Instant::now();
+    let grid = run_sweep(&sweep, None, o.threads).map_err(|e| e.to_string())?;
+    let sweep_s = started.elapsed().as_secs_f64();
+    let sweep_reps = grid.points.len() as u64 * reps;
+
+    let threads = if o.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        o.threads
+    };
+    let section = |reps: u64, wall_s: f64| {
+        Json::obj([
+            ("wall_s", wall_s.into()),
+            ("reps_per_s", (reps as f64 / wall_s.max(1e-12)).into()),
+        ])
+    };
+    let speedup = boxed_s / pooled_s.max(1e-12);
+    let doc = Json::obj([
+        ("bench", "simulator".into()),
+        ("mode", if o.quick { "quick" } else { "full" }.into()),
+        ("job", spec.name.as_str().into()),
+        ("replications", reps.into()),
+        ("threads", threads.into()),
+        ("pooled", section(reps, pooled_s)),
+        ("boxed_baseline", section(reps, boxed_s)),
+        ("speedup_pooled_vs_boxed", speedup.into()),
+        (
+            "sweep_cell",
+            Json::obj([
+                ("points", grid.points.len().into()),
+                ("replications", sweep_reps.into()),
+                ("wall_s", sweep_s.into()),
+                (
+                    "reps_per_s",
+                    (sweep_reps as f64 / sweep_s.max(1e-12)).into(),
+                ),
+            ]),
+        ),
+    ]);
+
+    let path = if o.out.is_empty() {
+        "BENCH_simulator.json"
+    } else {
+        o.out.as_str()
+    };
+    std::fs::write(path, doc.pretty()).map_err(|e| format!("{path}: {e}"))?;
+
+    Ok(format!(
+        "bench simulator: {reps} replications on {threads} thread(s)\n\
+         pooled  : {pooled_s:.3} s  ({:.0} reps/s)\n\
+         boxed   : {boxed_s:.3} s  ({:.0} reps/s)\n\
+         speedup : {speedup:.2}x\n\
+         sweep   : {} point(s) in {sweep_s:.3} s\n\
+         wrote {path}",
+        reps as f64 / pooled_s.max(1e-12),
+        reps as f64 / boxed_s.max(1e-12),
+        grid.points.len(),
+    ))
+}
+
 /// Dispatches a full command line (without the program name).
 ///
 /// # Errors
@@ -1051,6 +1207,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),
         "feasibility" => cmd_feasibility(&parse_options(rest)?),
+        "bench" => cmd_bench(&parse_options(rest)?),
         "presets" => Ok(cmd_presets()),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -1124,6 +1281,34 @@ mod tests {
         use eacp_spec::FromJson;
         let spec = ExperimentSpec::from_json(doc.req("spec").unwrap()).unwrap();
         assert_eq!(spec.mc.replications, 50);
+    }
+
+    #[test]
+    fn bench_quick_writes_telemetry_document() {
+        let path = std::env::temp_dir().join(format!("eacp-bench-{}.json", std::process::id()));
+        let out = dispatch(args(&format!(
+            "bench --quick --reps 40 --threads 1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.req("bench").unwrap().as_str().unwrap(), "simulator");
+        assert_eq!(doc.req("mode").unwrap().as_str().unwrap(), "quick");
+        assert_eq!(doc.req("replications").unwrap().as_u64().unwrap(), 40);
+        for section in ["pooled", "boxed_baseline", "sweep_cell"] {
+            let s = doc.req(section).unwrap();
+            assert!(s.req("wall_s").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(s.req("reps_per_s").unwrap().as_f64().unwrap() > 0.0);
+        }
+        assert!(
+            doc.req("speedup_pooled_vs_boxed")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

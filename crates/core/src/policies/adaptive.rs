@@ -54,6 +54,8 @@ pub struct Adaptive {
     dvs_enabled: bool,
     fixed_speed: usize,
     optimizer: OptimizeMethod,
+    /// Configured fault-tolerance target `k` (the initial fault budget).
+    k: u32,
     /// Remaining fault budget `Rf` (decremented on each detected error).
     rf: f64,
     plan: Option<IntervalPlan>,
@@ -81,10 +83,19 @@ impl Adaptive {
             dvs_enabled,
             fixed_speed,
             optimizer: OptimizeMethod::PaperClosedForm,
+            k,
             rf: k as f64,
             plan: None,
             errors_seen: 0,
         }
+    }
+
+    /// Restores the just-constructed state (full fault budget, no plan,
+    /// no errors seen) so one instance can serve many replications.
+    pub fn reset(&mut self) {
+        self.rf = self.k as f64;
+        self.plan = None;
+        self.errors_seen = 0;
     }
 
     /// `A_D`: the DATE'03 ADT_DVS baseline — adaptive CSCP interval with

@@ -55,6 +55,12 @@ impl PoissonArrival {
     pub fn interval(&self) -> Option<f64> {
         self.interval
     }
+
+    /// Restores the just-constructed state (interval not yet computed) so
+    /// one instance can serve many replications.
+    pub fn reset(&mut self) {
+        self.interval = None;
+    }
 }
 
 impl Policy for PoissonArrival {
@@ -101,6 +107,12 @@ impl KFaultTolerant {
     /// configured speed).
     pub fn interval(&self) -> Option<f64> {
         self.interval
+    }
+
+    /// Restores the just-constructed state (interval not yet computed) so
+    /// one instance can serve many replications.
+    pub fn reset(&mut self) {
+        self.interval = None;
     }
 }
 

@@ -16,3 +16,69 @@ mod baselines;
 
 pub use adaptive::{Adaptive, SubCheckpointKind};
 pub use baselines::{KFaultTolerant, PoissonArrival};
+
+use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
+
+/// The closed set of in-repo checkpointing schemes, as one concrete type.
+///
+/// All eight spec schemes map onto these three implementations (the six
+/// adaptive variants are [`Adaptive`] configurations). Monte-Carlo loops
+/// build one `PolicyKind` per block and [`reset`](PolicyKind::reset) it
+/// per replication — no `Box<dyn Policy>` allocation, and the engine loop
+/// monomorphizes over the enum so `plan`/`on_compare` inline instead of
+/// dispatching virtually. Custom policies outside this set keep using the
+/// boxed trait object — the open, slower path.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub enum PolicyKind {
+    Poisson(PoissonArrival),
+    KFaultTolerant(KFaultTolerant),
+    Adaptive(Adaptive),
+}
+
+impl PolicyKind {
+    /// Restores the policy to its just-constructed state for a new
+    /// replication seeded with `seed`.
+    ///
+    /// Every in-repo scheme is deterministic given the execution it
+    /// observes, so the seed is currently unused — it is part of the
+    /// signature so randomized policies can join the pooled path without
+    /// changing any replication loop.
+    pub fn reset(&mut self, seed: u64) {
+        let _ = seed;
+        match self {
+            PolicyKind::Poisson(p) => p.reset(),
+            PolicyKind::KFaultTolerant(p) => p.reset(),
+            PolicyKind::Adaptive(p) => p.reset(),
+        }
+    }
+}
+
+impl Policy for PolicyKind {
+    #[inline]
+    fn name(&self) -> &str {
+        match self {
+            PolicyKind::Poisson(p) => p.name(),
+            PolicyKind::KFaultTolerant(p) => p.name(),
+            PolicyKind::Adaptive(p) => p.name(),
+        }
+    }
+
+    #[inline]
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> Directive {
+        match self {
+            PolicyKind::Poisson(p) => p.plan(ctx),
+            PolicyKind::KFaultTolerant(p) => p.plan(ctx),
+            PolicyKind::Adaptive(p) => p.plan(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_compare(&mut self, ctx: &PlanContext<'_>, kind: CheckpointKind, mismatch: bool) {
+        match self {
+            PolicyKind::Poisson(p) => p.on_compare(ctx, kind, mismatch),
+            PolicyKind::KFaultTolerant(p) => p.on_compare(ctx, kind, mismatch),
+            PolicyKind::Adaptive(p) => p.on_compare(ctx, kind, mismatch),
+        }
+    }
+}

@@ -74,11 +74,13 @@ impl CheckpointCosts {
     }
 
     /// Cycles of a full compare-and-store checkpoint (`c = ts + tcp`).
+    #[inline]
     pub fn cscp_cycles(&self) -> f64 {
         self.store_cycles + self.compare_cycles
     }
 
     /// Cycles consumed by a checkpoint of the given kind.
+    #[inline]
     pub fn cycles_of(&self, kind: CheckpointKind) -> f64 {
         match kind {
             CheckpointKind::Store => self.store_cycles,

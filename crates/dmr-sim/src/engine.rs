@@ -54,6 +54,37 @@ struct StorePoint {
     clean: bool,
 }
 
+/// Reusable working memory for [`Executor::run_with_scratch`].
+///
+/// The executor's only heap state is the stack of rollback targets. A
+/// fresh scratch per run means one `Vec` allocation per run — millions per
+/// Monte-Carlo grid — so replication loops allocate one scratch and thread
+/// it through every run: the stack is *cleared*, never reallocated, and
+/// its capacity converges to the deepest store stack the workload ever
+/// produces.
+#[derive(Debug)]
+pub struct ExecutorScratch {
+    stores: Vec<StorePoint>,
+    meter: EnergyMeter,
+}
+
+impl Default for ExecutorScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutorScratch {
+    /// Creates an empty scratch (first run sizes the store stack and the
+    /// energy meter's per-level table).
+    pub fn new() -> Self {
+        Self {
+            stores: Vec::new(),
+            meter: EnergyMeter::new(1),
+        }
+    }
+}
+
 /// Executes one task run under a [`Policy`] and a fault stream.
 ///
 /// See the crate-level documentation for the execution model, and
@@ -84,35 +115,68 @@ impl<'s> Executor<'s> {
     /// Equivalent to [`Executor::run_observed`] with a [`NoopObserver`] —
     /// the monomorphized no-op observer compiles away, so this *is* the
     /// fast path.
-    pub fn run(&self, policy: &mut dyn Policy, faults: &mut dyn FaultProcess) -> RunOutcome {
+    ///
+    /// Generic over the policy and fault process (`&mut dyn Policy` /
+    /// `&mut dyn FaultProcess` still work, as the `?Sized` instantiation):
+    /// concrete types monomorphize the whole engine loop, inlining
+    /// `plan`/`next_fault` into it with no virtual dispatch.
+    pub fn run<P: Policy + ?Sized, F: FaultProcess + ?Sized>(
+        &self,
+        policy: &mut P,
+        faults: &mut F,
+    ) -> RunOutcome {
         self.run_observed(policy, faults, &mut NoopObserver)
     }
 
     /// Like [`Executor::run`], streaming every execution event — segments,
     /// checkpoints, faults, rollbacks, speed changes, deadline misses,
     /// energy samples — into `obs` as it happens.
-    pub fn run_observed<O: Observer + ?Sized>(
+    pub fn run_observed<P: Policy + ?Sized, F: FaultProcess + ?Sized, O: Observer + ?Sized>(
         &self,
-        policy: &mut dyn Policy,
-        faults: &mut dyn FaultProcess,
+        policy: &mut P,
+        faults: &mut F,
         obs: &mut O,
     ) -> RunOutcome {
+        self.run_with_scratch(&mut ExecutorScratch::new(), policy, faults, obs)
+    }
+
+    /// [`Executor::run_observed`] with caller-pooled working memory — the
+    /// zero-allocation hot path every Monte-Carlo runner loops over.
+    ///
+    /// The scratch is cleared (not reallocated) at entry, so a loop that
+    /// reuses one scratch performs no heap allocation per run once the
+    /// store stack has reached its steady-state capacity.
+    pub fn run_with_scratch<P, F, O>(
+        &self,
+        scratch: &mut ExecutorScratch,
+        policy: &mut P,
+        faults: &mut F,
+        obs: &mut O,
+    ) -> RunOutcome
+    where
+        P: Policy + ?Sized,
+        F: FaultProcess + ?Sized,
+        O: Observer + ?Sized,
+    {
         let scenario = self.scenario;
         let task = scenario.task;
         let costs: &CheckpointCosts = &scenario.costs;
         let dvs = &scenario.dvs;
         let deadline = task.deadline;
 
-        let mut meter = EnergyMeter::new(scenario.processors);
+        let meter = &mut scratch.meter;
+        meter.reset(scenario.processors);
         let mut now = 0.0_f64;
         let mut pos = 0.0_f64;
         let mut speed = dvs.slowest();
         // The two processors start in a known-equal, stored state: the task
         // image itself is the first rollback target.
-        let mut stores: Vec<StorePoint> = vec![StorePoint {
+        let stores = &mut scratch.stores;
+        stores.clear();
+        stores.push(StorePoint {
             pos: 0.0,
             clean: true,
-        }];
+        });
         // Time of the first fault since the states last provably agreed;
         // `Some` means the running states currently diverge.
         let mut pending_fault: Option<f64> = None;
@@ -139,6 +203,18 @@ impl<'s> Executor<'s> {
         let mut ops: u64 = 0;
         let mut stalled_rounds: u32 = 0;
         let mut deadline_missed = false;
+
+        // One planning-view constructor for both planning points in the
+        // loop (pre-segment plan and post-compare notification).
+        let plan_ctx = |now: f64, pos: f64, speed: usize| PlanContext {
+            now,
+            position_cycles: pos,
+            work_cycles: task.work_cycles,
+            deadline,
+            speed,
+            costs,
+            dvs,
+        };
 
         // Advances wall-clock time by `dt`, consuming fault arrivals that
         // land in the window. Returns the number of faults consumed.
@@ -181,16 +257,7 @@ impl<'s> Executor<'s> {
                 break;
             }
 
-            let ctx = PlanContext {
-                now,
-                position_cycles: pos,
-                work_cycles: task.work_cycles,
-                deadline,
-                speed,
-                costs,
-                dvs,
-            };
-            let directive = policy.plan(&ctx);
+            let directive = policy.plan(&plan_ctx(now, pos, speed));
 
             let (want_speed, compute_time, checkpoint) = match directive {
                 Directive::Abort => {
@@ -356,16 +423,7 @@ impl<'s> Executor<'s> {
             }
 
             if checkpoint.compares() {
-                let post_ctx = PlanContext {
-                    now,
-                    position_cycles: pos,
-                    work_cycles: task.work_cycles,
-                    deadline,
-                    speed,
-                    costs,
-                    dvs,
-                };
-                policy.on_compare(&post_ctx, checkpoint, snapshot_diverged);
+                policy.on_compare(&plan_ctx(now, pos, speed), checkpoint, snapshot_diverged);
             }
 
             if out.completed {

@@ -82,7 +82,7 @@ mod task;
 pub mod trace;
 
 pub use costs::CheckpointCosts;
-pub use engine::{Executor, ExecutorOptions};
+pub use engine::{Executor, ExecutorOptions, ExecutorScratch};
 pub use montecarlo::{replication_seed, MonteCarlo, Summary};
 pub use observe::{NoopObserver, Observer};
 pub use outcome::{Anomaly, RunOutcome};

@@ -55,6 +55,7 @@ impl MonteCarlo {
 /// (`eacp-exec`'s `Job`/`Runner`, local or queued) derives replication
 /// `rep`'s seed this way, so replication outcomes are identical no matter
 /// which driver, thread count, worker pool or shard ran them.
+#[inline]
 pub fn replication_seed(base_seed: u64, replication: u64) -> u64 {
     let mut z = base_seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)

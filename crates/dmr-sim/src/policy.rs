@@ -18,12 +18,14 @@ pub enum CheckpointKind {
 impl CheckpointKind {
     /// Whether this operation compares the two processors' states
     /// (i.e. can detect a fault).
+    #[inline]
     pub fn compares(self) -> bool {
         matches!(self, CheckpointKind::Compare | CheckpointKind::CompareStore)
     }
 
     /// Whether this operation stores a snapshot (i.e. creates a rollback
     /// target).
+    #[inline]
     pub fn stores(self) -> bool {
         matches!(self, CheckpointKind::Store | CheckpointKind::CompareStore)
     }

@@ -128,6 +128,7 @@ impl DvsConfig {
     }
 
     /// Number of levels.
+    #[inline]
     pub fn len(&self) -> usize {
         self.levels.len()
     }
@@ -142,6 +143,7 @@ impl DvsConfig {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    #[inline]
     pub fn level(&self, index: usize) -> SpeedLevel {
         self.levels[index]
     }
@@ -196,6 +198,21 @@ impl EnergyMeter {
         }
     }
 
+    /// Resets the meter to its just-constructed state for `processors`,
+    /// keeping the per-level table's capacity — replication loops reuse
+    /// one meter instead of allocating one per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero.
+    pub fn reset(&mut self, processors: u32) {
+        assert!(processors > 0, "at least one processor is required");
+        self.processors = processors;
+        self.total = NeumaierSum::new();
+        self.cycles_per_level.clear();
+        self.switches = 0;
+    }
+
     /// Records `cycles` executed (per processor) at `level`.
     ///
     /// Negative or non-finite cycle counts are rejected.
@@ -203,6 +220,7 @@ impl EnergyMeter {
     /// # Panics
     ///
     /// Panics if `cycles` is negative or not finite.
+    #[inline]
     pub fn record_cycles(&mut self, cycles: f64, level: SpeedLevel) {
         assert!(
             cycles >= 0.0 && cycles.is_finite(),

@@ -9,16 +9,35 @@
 //! Both keep the workspace's bit-identical seeding contract: replication
 //! `i` always runs with [`replication_seed`]`(base_seed, i)`.
 
-use eacp_faults::FaultProcess;
+use eacp_core::policies::PolicyKind;
+use eacp_faults::{FaultKind, FaultProcess};
 use eacp_sim::{
-    replication_seed, Executor, ExecutorOptions, Observer, Policy, RunOutcome, Scenario,
+    replication_seed, Executor, ExecutorOptions, ExecutorScratch, Observer, Policy, RunOutcome,
+    Scenario,
 };
-use eacp_spec::{ExperimentSpec, SpecError};
+use eacp_spec::{ExperimentSpec, FaultSpec, PolicySpec, SpecError};
 
 /// Builds a fresh policy for one replication seed.
 pub type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn Policy> + Send + Sync>;
 /// Builds a fresh fault stream for one replication seed.
 pub type FaultFactory = Box<dyn Fn(u64) -> Box<dyn FaultProcess> + Send + Sync>;
+
+/// How a job constructs its per-replication policy and fault stream.
+enum Dispatch {
+    /// Spec-built jobs: the concrete [`PolicyKind`]/[`FaultKind`] enums,
+    /// built once per block and `reset(seed)` per replication — the
+    /// zero-allocation, monomorphized hot path.
+    Spec {
+        policy: PolicySpec,
+        faults: FaultSpec,
+    },
+    /// `from_parts` jobs: boxed factories called once per replication —
+    /// the open escape hatch for custom policies, at trait-object speed.
+    Factories {
+        policy: PolicyFactory,
+        faults: FaultFactory,
+    },
+}
 
 /// A validated Monte-Carlo experiment: scenario, executor semantics,
 /// replication plan and per-replication policy/fault construction.
@@ -29,8 +48,7 @@ pub struct Job {
     options: ExecutorOptions,
     replications: u64,
     base_seed: u64,
-    policy: PolicyFactory,
-    faults: FaultFactory,
+    dispatch: Dispatch,
 }
 
 impl std::fmt::Debug for Job {
@@ -40,6 +58,13 @@ impl std::fmt::Debug for Job {
             .field("policy_name", &self.policy_name)
             .field("replications", &self.replications)
             .field("base_seed", &self.base_seed)
+            .field(
+                "dispatch",
+                &match self.dispatch {
+                    Dispatch::Spec { .. } => "spec",
+                    Dispatch::Factories { .. } => "factories",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
@@ -55,11 +80,9 @@ impl Job {
         if spec.mc.replications == 0 {
             return Err(SpecError::invalid("replications must be positive"));
         }
-        // Validate once; the factories below can then expect success.
+        // Validate once; replication loops can then expect success.
         let policy_name = spec.policy.build()?.name().to_owned();
         spec.faults.build(0)?;
-        let policy_spec = spec.policy;
-        let fault_spec = spec.faults.clone();
         Ok(Self {
             name: spec.name.clone(),
             policy_name,
@@ -67,9 +90,41 @@ impl Job {
             options,
             replications: spec.mc.replications,
             base_seed: spec.mc.seed,
-            policy: Box::new(move |_seed| policy_spec.build().expect("validated policy spec")),
-            faults: Box::new(move |seed| fault_spec.build(seed).expect("validated fault spec")),
+            dispatch: Dispatch::Spec {
+                policy: spec.policy,
+                faults: spec.faults.clone(),
+            },
         })
+    }
+
+    /// Builds the same experiment as [`Job::from_spec`], but routed
+    /// through the boxed-factory escape hatch: a fresh
+    /// `Box<dyn Policy>` / `Box<dyn FaultProcess>` per replication,
+    /// dispatched virtually, with no instance pooling.
+    ///
+    /// This is the trait-object path the pooled enums replaced. It exists
+    /// for measurement and proof: `eacp bench` times it against the
+    /// pooled path, and the golden bit-identity tests pin both paths to
+    /// the same `Summary` for every scheme × fault process.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the same invalid specs as [`Job::from_spec`].
+    pub fn from_spec_boxed(spec: &ExperimentSpec) -> Result<Self, SpecError> {
+        let policy_spec = spec.policy;
+        let fault_spec = spec.faults.clone();
+        // Validate up front so the factories can expect success.
+        policy_spec.build()?;
+        fault_spec.build(0)?;
+        Self::from_parts(
+            spec.name.clone(),
+            spec.scenario.build()?,
+            spec.executor.build()?,
+            spec.mc.replications,
+            spec.mc.seed,
+            move |_seed| Box::new(policy_spec.build().expect("validated policy spec")),
+            move |seed| Box::new(fault_spec.build(seed).expect("validated fault spec")),
+        )
     }
 
     /// Builds a job from explicit parts — the escape hatch for policies and
@@ -101,8 +156,10 @@ impl Job {
             options,
             replications,
             base_seed,
-            policy,
-            faults: Box::new(faults),
+            dispatch: Dispatch::Factories {
+                policy,
+                faults: Box::new(faults),
+            },
         })
     }
 
@@ -139,31 +196,80 @@ impl Job {
     /// Runs one replication, streaming its events (and the replication
     /// bracket) into `obs`.
     ///
-    /// This is the single-replication building block every runner loops
-    /// over; calling it directly is how tracing tools replay one specific
-    /// replication of a Monte-Carlo experiment.
+    /// Routed through the same [`Replicator`] machinery the runners loop
+    /// over, so a traced replay of one specific replication executes the
+    /// exact code path — pooled scratch, monomorphized enum dispatch for
+    /// spec jobs — that produced it inside a Monte-Carlo run.
     pub fn run_replication<O: Observer + ?Sized>(
         &self,
         replication: u64,
         obs: &mut O,
     ) -> RunOutcome {
-        let executor = Executor::new(&self.scenario).with_options(self.options);
-        self.run_replication_on(&executor, replication, obs)
+        self.replicator().run_replication(replication, obs)
     }
 
-    /// [`Job::run_replication`] with a caller-held executor (runners build
-    /// the executor once per block instead of once per replication).
-    pub(crate) fn run_replication_on<O: Observer + ?Sized>(
-        &self,
-        executor: &Executor<'_>,
+    /// Creates the per-block replication driver: the executor, the pooled
+    /// [`ExecutorScratch`], and — for spec-built jobs — one concrete
+    /// policy/fault-process pair that is `reset(seed)` per replication.
+    pub(crate) fn replicator(&self) -> Replicator<'_> {
+        let pooled = match &self.dispatch {
+            Dispatch::Spec { policy, faults } => Some((
+                policy.build().expect("validated policy spec"),
+                faults.build(self.base_seed).expect("validated fault spec"),
+            )),
+            Dispatch::Factories { .. } => None,
+        };
+        Replicator {
+            job: self,
+            executor: Executor::new(&self.scenario).with_options(self.options),
+            scratch: ExecutorScratch::new(),
+            pooled,
+        }
+    }
+}
+
+/// Runs a job's replications one at a time, reusing everything reusable:
+/// the executor, the engine's [`ExecutorScratch`], and (for spec-built
+/// jobs) the policy and fault-process instances themselves.
+///
+/// On the pooled path a replication performs **no heap allocation**: the
+/// policy and fault process are `reset(seed)` in place — the reproducible
+/// equivalent of rebuilding them — and the engine reuses the scratch's
+/// store stack and energy meter. A golden integration test pins this path
+/// bit-identical to the boxed-factory path for every scheme × fault
+/// process.
+pub(crate) struct Replicator<'j> {
+    job: &'j Job,
+    executor: Executor<'j>,
+    scratch: ExecutorScratch,
+    pooled: Option<(PolicyKind, FaultKind)>,
+}
+
+impl Replicator<'_> {
+    /// Runs one replication under the workspace seeding contract,
+    /// streaming the replication bracket and engine events into `obs`.
+    pub(crate) fn run_replication<O: Observer + ?Sized>(
+        &mut self,
         replication: u64,
         obs: &mut O,
     ) -> RunOutcome {
-        let seed = replication_seed(self.base_seed, replication);
+        let seed = replication_seed(self.job.base_seed, replication);
         obs.on_replication_start(replication, seed);
-        let mut policy = (self.policy)(seed);
-        let mut faults = (self.faults)(seed);
-        let out = executor.run_observed(&mut *policy, &mut *faults, obs);
+        let out = match (&mut self.pooled, &self.job.dispatch) {
+            (Some((policy, faults)), _) => {
+                policy.reset(seed);
+                faults.reset(seed);
+                self.executor
+                    .run_with_scratch(&mut self.scratch, policy, faults, obs)
+            }
+            (None, Dispatch::Factories { policy, faults }) => {
+                let mut policy = policy(seed);
+                let mut faults = faults(seed);
+                self.executor
+                    .run_with_scratch(&mut self.scratch, &mut *policy, &mut *faults, obs)
+            }
+            (None, Dispatch::Spec { .. }) => unreachable!("spec jobs always pool"),
+        };
         obs.on_replication_end(replication, &out);
         out
     }

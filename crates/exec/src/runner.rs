@@ -12,7 +12,7 @@
 //! threads, or the sequential observed path.
 
 use crate::job::Job;
-use eacp_sim::{Executor, NoopObserver, Observer, Summary};
+use eacp_sim::{NoopObserver, Observer, Summary};
 use eacp_spec::SpecError;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -109,11 +109,15 @@ pub(crate) fn canonical_block_size(override_size: u64, replications: u64) -> u64
 }
 
 /// Reduces one block of replications sequentially.
+///
+/// One [`Job::replicator`] serves the whole block: executor, engine
+/// scratch and (for spec jobs) the policy/fault instances are built once
+/// here and reused — reset, not reallocated — for every replication.
 pub(crate) fn run_block<O: Observer + ?Sized>(job: &Job, lo: u64, hi: u64, obs: &mut O) -> Summary {
-    let executor = Executor::new(job.scenario()).with_options(job.options());
+    let mut replicator = job.replicator();
     let mut partial = Summary::empty();
     for rep in lo..hi {
-        let out = job.run_replication_on(&executor, rep, obs);
+        let out = replicator.run_replication(rep, obs);
         partial.absorb(&out);
     }
     partial

@@ -1,0 +1,119 @@
+//! Golden bit-identity of the pooled/monomorphized replication path.
+//!
+//! Spec-built jobs run on `PolicyKind`/`FaultKind` enums that are built
+//! once per block and `reset(seed)` per replication, with the engine's
+//! scratch pooled across runs. These tests pin that hot path byte-identical
+//! to the boxed-factory escape hatch (per-replication `Box<dyn Policy>` /
+//! `Box<dyn FaultProcess>`) for **every** spec scheme × fault-process
+//! combination, across runners, thread counts and the single-replication
+//! replay entry point.
+
+use eacp_exec::{Job, LocalRunner, QueueRunner, Runner};
+use eacp_sim::NoopObserver;
+use eacp_spec::{ExperimentSpec, FaultSpec, McSpec, PolicySpec};
+
+/// One representative of every stochastic fault process, plus the
+/// deterministic schedule, at rates that actually produce rollbacks.
+fn fault_specs() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("poisson", FaultSpec::Poisson { lambda: 2e-3 }),
+        (
+            "weibull",
+            FaultSpec::Weibull {
+                shape: 0.7,
+                scale: 700.0,
+            },
+        ),
+        (
+            "burst",
+            FaultSpec::Burst {
+                quiet_rate: 1e-4,
+                burst_rate: 2e-2,
+                mean_quiet_dwell: 5_000.0,
+                mean_burst_dwell: 500.0,
+            },
+        ),
+        (
+            "phased",
+            FaultSpec::Phased {
+                phases: vec![(4_000.0, 5e-4), (1_000.0, 5e-3)],
+                repeat: true,
+            },
+        ),
+    ]
+}
+
+fn golden_spec(tag: &str, name: &str, faults: FaultSpec, reps: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper_nominal();
+    spec.name = format!("golden-{tag}-{name}");
+    spec.policy = PolicySpec::from_tag(tag, 1.4e-3, 5, 0).expect("known scheme tag");
+    spec.faults = faults;
+    spec.mc = McSpec {
+        replications: reps,
+        seed: 77,
+        threads: 1,
+    };
+    spec
+}
+
+/// The trait-object path: fresh `Box<dyn ...>` per replication, virtual
+/// dispatch, no pooling.
+fn boxed_job(spec: &ExperimentSpec) -> Job {
+    Job::from_spec_boxed(spec).expect("valid golden job")
+}
+
+#[test]
+fn pooled_path_matches_boxed_path_for_every_scheme_and_fault_process() {
+    for tag in PolicySpec::TAGS {
+        for (fault_name, fault_spec) in fault_specs() {
+            let spec = golden_spec(tag, fault_name, fault_spec, 120);
+            let pooled_job = Job::from_spec(&spec).unwrap();
+            let boxed = LocalRunner::new(1).run(&boxed_job(&spec)).unwrap();
+            let pooled = LocalRunner::new(1).run(&pooled_job).unwrap();
+            assert_eq!(pooled, boxed, "scheme {tag} × faults {fault_name}");
+            // Some combinations must actually exercise faults for the
+            // identity to mean anything.
+            if fault_name == "poisson" {
+                assert!(pooled.faults.mean() > 0.0, "{tag} saw no faults");
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_path_is_runner_invariant() {
+    // A scheme with rollback-driven replanning (deep policy state) and a
+    // state-machine fault process: the hardest combination to pool.
+    let spec = golden_spec(
+        "a_d_s",
+        "burst",
+        fault_specs().remove(2).1, // burst
+        200,
+    );
+    let job = Job::from_spec(&spec).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    for threads in [2, 4, 8] {
+        let threaded = LocalRunner::new(threads).run(&job).unwrap();
+        assert_eq!(reference, threaded, "threads = {threads}");
+    }
+    for workers in [1, 3, 16] {
+        let queued = QueueRunner::new(workers).run(&job).unwrap();
+        assert_eq!(reference, queued, "workers = {workers}");
+    }
+}
+
+#[test]
+fn single_replication_replay_matches_the_runner_path() {
+    // `Job::run_replication` routes through the same pooled machinery, so
+    // replaying replication `i` alone reproduces its in-run outcome.
+    for (fault_name, fault_spec) in fault_specs() {
+        let spec = golden_spec("a_d_c", fault_name, fault_spec, 40);
+        let pooled_job = Job::from_spec(&spec).unwrap();
+        let boxed = boxed_job(&spec);
+        for rep in [0u64, 7, 39] {
+            let a = pooled_job.run_replication(rep, &mut NoopObserver);
+            let b = boxed.run_replication(rep, &mut NoopObserver);
+            assert_eq!(a, b, "rep {rep} × faults {fault_name}");
+        }
+    }
+}

@@ -125,9 +125,11 @@ pub fn scheme_policy_spec(config: &TableConfig, spec: &CellSpec, scheme: SchemeI
 
 /// Builds the policy for one scheme at one cell.
 pub fn make_policy(config: &TableConfig, spec: &CellSpec, scheme: SchemeId) -> Box<dyn Policy> {
-    scheme_policy_spec(config, spec, scheme)
-        .build()
-        .expect("table configurations are valid policies")
+    Box::new(
+        scheme_policy_spec(config, spec, scheme)
+            .build()
+            .expect("table configurations are valid policies"),
+    )
 }
 
 /// The complete experiment description for one scheme at one cell — the

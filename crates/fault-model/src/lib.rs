@@ -36,7 +36,7 @@
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 pub mod sampling;
 
@@ -73,6 +73,67 @@ impl<T: FaultProcess + ?Sized> FaultProcess for Box<T> {
     }
 }
 
+/// The closed set of fault processes, as one concrete type.
+///
+/// `Box<dyn FaultProcess>` pays a heap allocation per construction and a
+/// virtual call per arrival; Monte-Carlo loops construct one process per
+/// *block* as a `FaultKind` and [`reset`](FaultKind::reset) it per
+/// replication instead. The enum match is a perfectly-predicted branch
+/// (one variant per job) and lets each process's sampler inline into the
+/// simulation loop. Custom processes outside this set keep using the boxed
+/// trait object — the open, slower path.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub enum FaultKind {
+    Poisson(PoissonProcess<StdRng>),
+    Deterministic(DeterministicFaults),
+    Weibull(WeibullRenewal<StdRng>),
+    Burst(BurstProcess<StdRng>),
+    Phased(PhasedPoisson<StdRng>),
+}
+
+impl FaultKind {
+    /// Rewinds the process to time zero, re-seeded — **exactly** the
+    /// stream a fresh construction from the same parameters with
+    /// `StdRng::seed_from_u64(seed)` would produce.
+    ///
+    /// This is the pooling contract replication loops rely on: one
+    /// instance per block, `reset(seed)` per replication, bit-identical
+    /// arrivals to building from scratch.
+    pub fn reset(&mut self, seed: u64) {
+        match self {
+            FaultKind::Poisson(p) => p.restart(StdRng::seed_from_u64(seed)),
+            FaultKind::Deterministic(d) => d.restart(),
+            FaultKind::Weibull(w) => w.restart(StdRng::seed_from_u64(seed)),
+            FaultKind::Burst(b) => b.restart(StdRng::seed_from_u64(seed)),
+            FaultKind::Phased(p) => p.restart(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl FaultProcess for FaultKind {
+    #[inline]
+    fn next_fault(&mut self) -> f64 {
+        match self {
+            FaultKind::Poisson(p) => p.next_fault(),
+            FaultKind::Deterministic(d) => d.next_fault(),
+            FaultKind::Weibull(w) => w.next_fault(),
+            FaultKind::Burst(b) => b.next_fault(),
+            FaultKind::Phased(p) => p.next_fault(),
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        match self {
+            FaultKind::Poisson(p) => p.mean_rate(),
+            FaultKind::Deterministic(d) => d.mean_rate(),
+            FaultKind::Weibull(w) => w.mean_rate(),
+            FaultKind::Burst(b) => b.mean_rate(),
+            FaultKind::Phased(p) => p.mean_rate(),
+        }
+    }
+}
+
 /// Homogeneous Poisson fault arrivals with rate `λ` — the paper's model.
 ///
 /// Inter-arrival times are i.i.d. `Exp(λ)`. A non-positive rate yields a
@@ -103,9 +164,17 @@ impl<R: Rng> PoissonProcess<R> {
     pub fn rate(&self) -> f64 {
         self.rate
     }
+
+    /// Rewinds the process to time zero with a fresh RNG — exactly
+    /// equivalent to `PoissonProcess::new(self.rate(), rng)`.
+    pub fn restart(&mut self, rng: R) {
+        self.now = 0.0;
+        self.rng = rng;
+    }
 }
 
 impl<R: Rng> FaultProcess for PoissonProcess<R> {
+    #[inline]
     fn next_fault(&mut self) -> f64 {
         if self.rate <= 0.0 {
             return f64::INFINITY;
@@ -155,9 +224,16 @@ impl DeterministicFaults {
     pub fn remaining(&self) -> &[f64] {
         &self.times[self.next.min(self.times.len())..]
     }
+
+    /// Rewinds the schedule to its first instant — equivalent to
+    /// rebuilding from the same times, without re-sorting or reallocating.
+    pub fn restart(&mut self) {
+        self.next = 0;
+    }
 }
 
 impl FaultProcess for DeterministicFaults {
+    #[inline]
     fn next_fault(&mut self) -> f64 {
         match self.times.get(self.next) {
             Some(&t) => {
@@ -216,9 +292,17 @@ impl<R: Rng> WeibullRenewal<R> {
     pub fn scale(&self) -> f64 {
         self.scale
     }
+
+    /// Rewinds the process to time zero with a fresh RNG — exactly
+    /// equivalent to `WeibullRenewal::new(shape, scale, rng)`.
+    pub fn restart(&mut self, rng: R) {
+        self.now = 0.0;
+        self.rng = rng;
+    }
 }
 
 impl<R: Rng> FaultProcess for WeibullRenewal<R> {
+    #[inline]
     fn next_fault(&mut self) -> f64 {
         self.now += sample_weibull(&mut self.rng, self.shape, self.scale);
         self.now
@@ -295,9 +379,18 @@ impl<R: Rng> BurstProcess<R> {
     pub fn in_burst(&self) -> bool {
         self.in_burst
     }
+
+    /// Rewinds to the quiet state at time zero with a fresh RNG — exactly
+    /// equivalent to rebuilding with the same rates and dwells.
+    pub fn restart(&mut self, rng: R) {
+        self.in_burst = false;
+        self.now = 0.0;
+        self.rng = rng;
+    }
 }
 
 impl<R: Rng> FaultProcess for BurstProcess<R> {
+    #[inline]
     fn next_fault(&mut self) -> f64 {
         // Competing exponentials: in each state, the sooner of (next fault,
         // state switch) wins; iterate until a fault fires.
@@ -548,9 +641,17 @@ impl<R: Rng> PhasedPoisson<R> {
         }
         self.phases.last().expect("non-empty").1
     }
+
+    /// Rewinds to phase 0 at time zero with a fresh RNG — exactly
+    /// equivalent to rebuilding with the same profile.
+    pub fn restart(&mut self, rng: R) {
+        self.now = 0.0;
+        self.rng = rng;
+    }
 }
 
 impl<R: Rng> FaultProcess for PhasedPoisson<R> {
+    #[inline]
     fn next_fault(&mut self) -> f64 {
         // Inversion: find t with ∫_{now}^{t} λ(s) ds = E, E ~ Exp(1).
         let mut target = sample_exponential(&mut self.rng, 1.0);

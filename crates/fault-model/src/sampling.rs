@@ -20,6 +20,7 @@ use rand::Rng;
 /// let x = eacp_faults::sample_exponential(&mut rng, 2.0);
 /// assert!(x > 0.0);
 /// ```
+#[inline]
 pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     assert!(
         rate > 0.0 && rate.is_finite(),
@@ -36,6 +37,7 @@ pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 /// # Panics
 ///
 /// Panics unless `shape > 0` and `scale > 0` (both finite).
+#[inline]
 pub fn sample_weibull<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
     assert!(
         shape > 0.0 && shape.is_finite(),

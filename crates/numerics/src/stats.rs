@@ -40,6 +40,7 @@ impl OnlineStats {
     }
 
     /// Adds one observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;

@@ -40,6 +40,9 @@ impl NeumaierSum {
     }
 
     /// Adds one term.
+    // Non-generic and called per recorded segment from other crates:
+    // inline so the compensation arithmetic fuses into the caller's loop.
+    #[inline]
     pub fn add(&mut self, x: f64) {
         let t = self.sum + x;
         if self.sum.abs() >= x.abs() {
@@ -51,6 +54,7 @@ impl NeumaierSum {
     }
 
     /// Current compensated total.
+    #[inline]
     pub fn value(&self) -> f64 {
         self.sum + self.compensation
     }

@@ -1,20 +1,23 @@
 //! The spec types: one serializable description per simulation concept.
 //!
 //! Every type here is plain data with a `build()` method that turns it into
-//! the corresponding runtime object (`Scenario`, `Box<dyn Policy>`,
-//! `Box<dyn FaultProcess>`, `MonteCarlo`, `ExecutorOptions`). Building
-//! validates: all the panicking invariants of the runtime constructors are
-//! checked up front and reported as [`SpecError`]s instead.
+//! the corresponding runtime object (`Scenario`, [`PolicyKind`],
+//! [`FaultKind`], `MonteCarlo`, `ExecutorOptions`). Building validates:
+//! all the panicking invariants of the runtime constructors are checked up
+//! front and reported as [`SpecError`]s instead. Policies and fault
+//! processes build as concrete enums — the monomorphized hot path — and
+//! can be boxed into `dyn Policy` / `dyn FaultProcess` where the open
+//! trait-object path is needed.
 
 use crate::error::SpecError;
 use crate::json::{FromJson, Json, ToJson};
 use eacp_core::analysis::OptimizeMethod;
-use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival};
+use eacp_core::policies::{Adaptive, KFaultTolerant, PoissonArrival, PolicyKind};
 use eacp_energy::{DvsConfig, SpeedLevel};
 use eacp_faults::{
-    BurstProcess, DeterministicFaults, FaultProcess, PhasedPoisson, PoissonProcess, WeibullRenewal,
+    BurstProcess, DeterministicFaults, FaultKind, PhasedPoisson, PoissonProcess, WeibullRenewal,
 };
-use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Policy, Scenario, TaskSpec};
+use eacp_sim::{CheckpointCosts, ExecutorOptions, MonteCarlo, Scenario, TaskSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -450,18 +453,22 @@ pub enum FaultSpec {
 }
 
 impl FaultSpec {
-    /// Builds the fault process for one replication seed.
+    /// Builds the fault process for one replication seed, as the concrete
+    /// [`FaultKind`] enum (no heap allocation, no virtual dispatch).
     ///
     /// The same `(spec, seed)` pair always yields an identical stream —
     /// this is the reproducibility contract every experiment relies on.
-    pub fn build(&self, seed: u64) -> Result<Box<dyn FaultProcess>, SpecError> {
+    /// Replication loops build once per block and re-seed the instance via
+    /// [`FaultKind::reset`], which yields the same stream as rebuilding.
+    /// Box the result for the open `dyn FaultProcess` escape hatch.
+    pub fn build(&self, seed: u64) -> Result<FaultKind, SpecError> {
         let rng = StdRng::seed_from_u64(seed);
         match self {
             FaultSpec::Poisson { lambda } => {
                 if lambda.is_nan() {
                     return Err(SpecError::invalid("fault rate must not be NaN"));
                 }
-                Ok(Box::new(PoissonProcess::new(*lambda, rng)))
+                Ok(FaultKind::Poisson(PoissonProcess::new(*lambda, rng)))
             }
             FaultSpec::Deterministic { times } => {
                 if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
@@ -469,12 +476,14 @@ impl FaultSpec {
                         "deterministic fault instants must be finite and non-negative",
                     ));
                 }
-                Ok(Box::new(DeterministicFaults::new(times.clone())))
+                Ok(FaultKind::Deterministic(DeterministicFaults::new(
+                    times.clone(),
+                )))
             }
             FaultSpec::Weibull { shape, scale } => {
                 finite_pos(*shape, "Weibull shape")?;
                 finite_pos(*scale, "Weibull scale")?;
-                Ok(Box::new(WeibullRenewal::new(*shape, *scale, rng)))
+                Ok(FaultKind::Weibull(WeibullRenewal::new(*shape, *scale, rng)))
             }
             FaultSpec::Burst {
                 quiet_rate,
@@ -486,7 +495,7 @@ impl FaultSpec {
                 finite_pos(*burst_rate, "burst rate")?;
                 finite_pos(*mean_quiet_dwell, "quiet dwell")?;
                 finite_pos(*mean_burst_dwell, "burst dwell")?;
-                Ok(Box::new(BurstProcess::new(
+                Ok(FaultKind::Burst(BurstProcess::new(
                     *quiet_rate,
                     *burst_rate,
                     *mean_quiet_dwell,
@@ -502,7 +511,11 @@ impl FaultSpec {
                     finite_pos(d, "phase duration")?;
                     finite_nonneg(r, "phase rate")?;
                 }
-                Ok(Box::new(PhasedPoisson::new(phases.clone(), *repeat, rng)))
+                Ok(FaultKind::Phased(PhasedPoisson::new(
+                    phases.clone(),
+                    *repeat,
+                    rng,
+                )))
             }
         }
     }
@@ -818,11 +831,14 @@ impl PolicySpec {
         })
     }
 
-    /// Builds a fresh policy instance.
+    /// Builds a fresh policy instance, as the concrete [`PolicyKind`]
+    /// enum (no heap allocation, no virtual dispatch).
     ///
-    /// Policies are stateful across one run, so Monte-Carlo drivers call
-    /// this once per replication.
-    pub fn build(&self) -> Result<Box<dyn Policy>, SpecError> {
+    /// Policies are stateful across one run. Monte-Carlo drivers build
+    /// one instance per block and restore it per replication via
+    /// [`PolicyKind::reset`], which is equivalent to building fresh. Box
+    /// the result for the open `dyn Policy` escape hatch.
+    pub fn build(&self) -> Result<PolicyKind, SpecError> {
         let check_lambda = |l: f64| -> Result<f64, SpecError> {
             if l >= 0.0 && !l.is_nan() {
                 Ok(l)
@@ -839,33 +855,33 @@ impl PolicySpec {
                         "the Poisson baseline needs a positive lambda (its interval is sqrt(2C/λ))",
                     ));
                 }
-                Box::new(PoissonArrival::new(lambda, speed))
+                PolicyKind::Poisson(PoissonArrival::new(lambda, speed))
             }
             PolicySpec::KFaultTolerant { k, speed } => {
                 if k == 0 {
                     return Err(SpecError::invalid("k-fault-tolerant requires k >= 1"));
                 }
-                Box::new(KFaultTolerant::new(k, speed))
+                PolicyKind::KFaultTolerant(KFaultTolerant::new(k, speed))
             }
             PolicySpec::AdtDvs {
                 lambda,
                 k,
                 optimizer,
-            } => Box::new(
+            } => PolicyKind::Adaptive(
                 Adaptive::adt_dvs(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
             ),
             PolicySpec::DvsScp {
                 lambda,
                 k,
                 optimizer,
-            } => Box::new(
+            } => PolicyKind::Adaptive(
                 Adaptive::dvs_scp(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
             ),
             PolicySpec::DvsCcp {
                 lambda,
                 k,
                 optimizer,
-            } => Box::new(
+            } => PolicyKind::Adaptive(
                 Adaptive::dvs_ccp(check_lambda(lambda)?, k).with_optimizer(optimizer.build()),
             ),
             PolicySpec::Scp {
@@ -873,7 +889,7 @@ impl PolicySpec {
                 k,
                 speed,
                 optimizer,
-            } => Box::new(
+            } => PolicyKind::Adaptive(
                 Adaptive::scp(check_lambda(lambda)?, k, speed).with_optimizer(optimizer.build()),
             ),
             PolicySpec::Ccp {
@@ -881,11 +897,11 @@ impl PolicySpec {
                 k,
                 speed,
                 optimizer,
-            } => Box::new(
+            } => PolicyKind::Adaptive(
                 Adaptive::ccp(check_lambda(lambda)?, k, speed).with_optimizer(optimizer.build()),
             ),
             PolicySpec::Cscp { lambda, k, speed } => {
-                Box::new(Adaptive::cscp(check_lambda(lambda)?, k, speed))
+                PolicyKind::Adaptive(Adaptive::cscp(check_lambda(lambda)?, k, speed))
             }
         })
     }
@@ -1410,6 +1426,8 @@ impl FromJson for ExperimentSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eacp_faults::FaultProcess;
+    use eacp_sim::Policy;
 
     #[test]
     fn every_policy_tag_builds_with_matching_name() {

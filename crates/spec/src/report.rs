@@ -225,7 +225,7 @@ mod tests {
             let seed = replication_seed(spec.mc.seed, rep);
             let mut policy = spec.policy.build().unwrap();
             let mut faults = spec.faults.build(seed).unwrap();
-            summary.absorb(&executor.run(&mut *policy, &mut *faults));
+            summary.absorb(&executor.run(&mut policy, &mut faults));
         }
         RunReport {
             spec: spec.clone(),

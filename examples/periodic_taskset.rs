@@ -68,9 +68,11 @@ fn main() {
         seed: 13,
     };
     let report = run_executive(&config, |_, lambda| {
-        PolicySpec::from_tag("a_d_s", lambda, k, 0)
-            .and_then(|p| p.build())
-            .expect("valid policy spec")
+        Box::new(
+            PolicySpec::from_tag("a_d_s", lambda, k, 0)
+                .and_then(|p| p.build())
+                .expect("valid policy spec"),
+        )
     });
     println!(
         "{} jobs, {} deadline misses (miss ratio {:.3}), total energy {:.0}",

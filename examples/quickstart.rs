@@ -57,7 +57,7 @@ fn main() {
         let policy_spec = PolicySpec::from_tag(tag, lambda, k, 0).expect("known tag");
         let mut policy = policy_spec.build().expect("valid policy spec");
         let mut faults = PoissonProcess::new(lambda, StdRng::seed_from_u64(2006));
-        let out = Executor::new(&scenario).run(&mut *policy, &mut faults);
+        let out = Executor::new(&scenario).run(&mut policy, &mut faults);
         println!(
             "{:<8} timely={} finish={:>8.1} energy={:>8.0} faults={:>2} rollbacks={:>2} \
              checkpoints={:>3} fast-fraction={:.2}",

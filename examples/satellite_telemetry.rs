@@ -120,7 +120,7 @@ fn main() {
         .and_then(|p| p.build())
         .expect("valid policy spec");
     let mut faults = eacp::faults::PoissonProcess::new(2e-3, StdRng::seed_from_u64(7));
-    let out = Executor::new(&scenario).run(&mut *policy, &mut faults);
+    let out = Executor::new(&scenario).run(&mut policy, &mut faults);
     println!(
         "timely={} finish={:.0} energy={:.0} faults={} rollbacks={} SCPs={} CSCPs={} \
          fast-fraction={:.2}",

@@ -46,7 +46,7 @@ fn main() {
         .build(0)
         .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_observed(&mut *policy, &mut *faults, &mut rec);
+    let out = Executor::new(&scenario).run_observed(&mut policy, &mut faults, &mut rec);
     print!("{}", rec.render(100));
     println!(
         "-> completed={} with {} SCPs, {} CSCPs, {} rollback(s)\n",
@@ -65,7 +65,7 @@ fn main() {
         .build(0)
         .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_observed(&mut *policy, &mut *faults, &mut rec);
+    let out = Executor::new(&scenario).run_observed(&mut policy, &mut faults, &mut rec);
     print!("{}", rec.render(100));
     println!(
         "-> completed={} with {} CCPs, {} CSCPs, {} rollback(s)\n",
@@ -83,7 +83,7 @@ fn main() {
     .build(0)
     .expect("valid fault spec");
     let mut rec = TraceRecorder::new();
-    let out = Executor::new(&scenario).run_observed(&mut *policy, &mut *faults, &mut rec);
+    let out = Executor::new(&scenario).run_observed(&mut policy, &mut faults, &mut rec);
     // The full event log is long; show the bar plus the speed changes.
     let rendered = rec.render(100);
     for line in rendered.lines().take(1) {

@@ -2,6 +2,7 @@
 //! round-tripping, scheme coverage, and the determinism contract
 //! `spec + seed = identical results` (including thread-count invariance).
 
+use eacp::sim::Policy;
 use eacp::spec::{
     paper_cell, preset, preset_names, ExperimentSpec, FaultSpec, McSpec, PaperScheme, PolicySpec,
     SweepAxis, SweepSpec,

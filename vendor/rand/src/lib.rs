@@ -138,10 +138,15 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
         }
 
+        // Non-generic and on every sample's hot path: without the inline
+        // hint the xoshiro step would be an opaque cross-crate call in
+        // every simulation loop.
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
