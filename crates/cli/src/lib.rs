@@ -18,7 +18,10 @@
 //!   thresholds, `num_SCP`/`num_CCP`, `t_est`, chosen speed);
 //! * `table` — regenerate one of the paper's tables;
 //! * `feasibility` — checkpoint-aware EDF/RM analysis of a periodic task
-//!   set;
+//!   set, with a per-k sensitivity table (spec-driven via
+//!   [`ExecutiveSpec`], or the `--tasks` shorthand);
+//! * `executive` — run the non-preemptive EDF executive over N
+//!   hyperperiods and emit an [`eacp_spec::ExecutiveRunReport`];
 //! * `presets` — list the named experiment presets.
 //!
 //! Every simulation subcommand is spec-driven: `--spec file.json` loads an
@@ -46,12 +49,16 @@ use eacp_exec::{
     coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, Job, LocalRunner, PaperRef,
     QueueObserver, QueueStatus, Runner, ShardId, Summary,
 };
-use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
-use eacp_rtsched::{PeriodicTask, TaskSet};
+use eacp_rtsched::feasibility::{
+    edf_density, k_fault_wcet, minimum_feasible_speed, rm_response_times,
+};
+use eacp_rtsched::TaskSet;
 use eacp_sim::{Executor, Policy, TraceRecorder};
 use eacp_spec::{
-    preset, preset_names, CostsSpec, ExecSpec, ExperimentSpec, FaultSpec, FromJson, Json, McSpec,
-    PolicySpec, RunReport, ScenarioSpec, SweepAxis, SweepSpec, ToJson, WorkSpec,
+    executive_preset, executive_preset_names, preset, preset_names, CostsSpec, ExecSpec,
+    ExecutiveSpec, ExperimentSpec, FaultSpec, FromJson, Json, McSpec, PeriodicTaskSpec,
+    PolicyAssignment, PolicySpec, RunReport, ScenarioSpec, SweepAxis, SweepSpec, TaskSetSpec,
+    ToJson, WorkSpec,
 };
 
 /// Usage text for `--help`.
@@ -70,9 +77,22 @@ USAGE:
   eacp csv        <DIR> [--out FILE]
   eacp analyze    [--util U] [--lambda L] [--k K] [--deadline D] [--variant scp|ccp]
   eacp table      <1|2|3|4> [--reps N] [--seed N] [--json]
-  eacp feasibility --tasks name:wcet:period[:deadline][,...] [--k K] [--speed F]
+  eacp feasibility [SPEC] [--tasks name:wcet:period[:deadline][,...]] [--k K] [--speed F]
+  eacp executive  [SPEC] [--tasks ...] [--scheme S] [--lambda L] [--k K]
+                  [--hyperperiods N] [--seed N] [--json]
   eacp bench      [--reps N] [--quick] [--threads N] [--seed N] [--out FILE]
+                  [--baseline FILE [--max-regress FRAC]]
   eacp presets
+
+PERIODIC TASK SETS (feasibility/executive):
+  Both subcommands resolve an ExecutiveSpec: --spec file.json loads a
+  document, --preset NAME a named workload (avionics-trio,
+  k-fault-feasibility-sweep), and --tasks desugars the shorthand into the
+  same spec (flags override either). `feasibility` runs the
+  checkpoint-aware EDF/RM analysis plus a per-k sensitivity table;
+  `executive` simulates N hyperperiods of non-preemptive EDF and emits a
+  JSON report (--json) with per-task deadline misses, energy and
+  checkpoint totals. --emit-spec prints the effective spec on both.
 
 SHARDED SWEEPS:
   --shard I/N runs only shard I's grid-index range; --out DIR writes the
@@ -133,10 +153,16 @@ pub struct Options {
     pub threads: usize,
     /// Print a trace timeline (run subcommand).
     pub trace: bool,
-    /// Task-set spec (feasibility subcommand).
+    /// Task-set spec (feasibility/executive subcommands).
     pub tasks: String,
     /// Fixed speed for feasibility (frequency value).
     pub speed: f64,
+    /// Hyperperiods the executive simulates.
+    pub hyperperiods: u32,
+    /// Baseline BENCH document to compare against (bench subcommand).
+    pub baseline: String,
+    /// Tolerated fractional replications/sec regression vs the baseline.
+    pub max_regress: f64,
     /// Path to an `ExperimentSpec`/`SweepSpec` JSON document.
     pub spec: String,
     /// Name of a built-in preset.
@@ -177,6 +203,9 @@ impl Default for Options {
             trace: false,
             tasks: String::new(),
             speed: 1.0,
+            hyperperiods: 1,
+            baseline: String::new(),
+            max_regress: 0.30,
             spec: String::new(),
             preset: String::new(),
             shard: String::new(),
@@ -221,6 +250,11 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--reps" => o.reps = parse_num(&val("--reps")?, "--reps")? as u64,
             "--threads" => o.threads = parse_num(&val("--threads")?, "--threads")? as usize,
             "--speed" => o.speed = parse_num(&val("--speed")?, "--speed")?,
+            "--hyperperiods" => {
+                o.hyperperiods = parse_num(&val("--hyperperiods")?, "--hyperperiods")? as u32
+            }
+            "--baseline" => o.baseline = val("--baseline")?,
+            "--max-regress" => o.max_regress = parse_num(&val("--max-regress")?, "--max-regress")?,
             "--tasks" => o.tasks = val("--tasks")?,
             "--spec" => o.spec = val("--spec")?,
             "--preset" => o.preset = val("--preset")?,
@@ -253,6 +287,19 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
                 .to_owned(),
         );
     }
+    if o.has("--max-regress") {
+        if !o.has("--baseline") {
+            return Err("--max-regress only applies with --baseline".to_owned());
+        }
+        // A value >= 1 would make the regression floor non-positive and
+        // silently wave every slowdown through.
+        if !(o.max_regress > 0.0 && o.max_regress < 1.0) {
+            return Err(format!(
+                "--max-regress must be a fraction in (0, 1) — e.g. 0.30 for 30% — got {}",
+                o.max_regress
+            ));
+        }
+    }
     Ok(o)
 }
 
@@ -265,6 +312,25 @@ fn costs_of(o: &Options) -> CostsSpec {
         CostsSpec::PaperScp
     } else {
         CostsSpec::PaperCcp
+    }
+}
+
+/// Applies `--lambda` to a spec's fault process. Only the Poisson process
+/// has a single rate to override; anything else is a loud error shared by
+/// every spec-resolving subcommand.
+fn override_lambda(faults: &mut FaultSpec, lambda: f64) -> Result<(), String> {
+    match faults {
+        FaultSpec::Poisson { lambda: l } => {
+            *l = lambda;
+            Ok(())
+        }
+        other => Err(format!(
+            "--lambda cannot override a {} fault process",
+            other
+                .to_json()
+                .req("kind")
+                .map_or("?", |k| k.as_str().unwrap_or("?"))
+        )),
     }
 }
 
@@ -374,18 +440,7 @@ fn experiment_spec_with(o: &Options, flag_executor: ExecSpec) -> Result<Experime
         spec.scenario.costs = costs_of(o);
     }
     if o.has("--lambda") {
-        match &mut spec.faults {
-            FaultSpec::Poisson { lambda } => *lambda = o.lambda,
-            other => {
-                return Err(format!(
-                    "--lambda cannot override a {} fault process",
-                    other
-                        .to_json()
-                        .req("kind")
-                        .map_or("?", |k| k.as_str().unwrap_or("?"))
-                ))
-            }
-        }
+        override_lambda(&mut spec.faults, o.lambda)?;
         spec.policy = spec.policy.with_lambda(o.lambda);
     }
     if o.has("--k") {
@@ -888,6 +943,16 @@ pub fn cmd_presets() -> String {
             fault_kind,
         ));
     }
+    out.push_str("periodic workloads (eacp executive|feasibility --preset NAME):\n");
+    for name in executive_preset_names() {
+        let spec = executive_preset(name).expect("every listed preset exists");
+        out.push_str(&format!(
+            "  {:<26} {} task(s), {} hyperperiod(s)\n",
+            name,
+            spec.tasks.len(),
+            spec.hyperperiods,
+        ));
+    }
     out
 }
 
@@ -970,12 +1035,14 @@ pub fn cmd_table(o: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parses `name:wcet:period[:deadline]` task lists.
+/// Parses `name:wcet:period[:deadline]` task lists into a [`TaskSetSpec`].
 ///
 /// # Errors
 ///
-/// Returns a message for malformed specs.
-pub fn parse_taskset(spec: &str) -> Result<TaskSet, String> {
+/// Returns a message for malformed lists (invalid *values* — zero period,
+/// deadline beyond the period — surface later as `SpecError`s when the
+/// spec is validated).
+pub fn parse_taskset_spec(spec: &str) -> Result<TaskSetSpec, String> {
     let mut tasks = Vec::new();
     for part in spec.split(',').filter(|s| !s.is_empty()) {
         let fields: Vec<&str> = part.split(':').collect();
@@ -996,18 +1063,138 @@ pub fn parse_taskset(spec: &str) -> Result<TaskSet, String> {
                 .map_err(|e| format!("task {part:?}: bad deadline: {e}"))?,
             None => period,
         };
-        tasks.push(PeriodicTask::new(fields[0], wcet, period, deadline));
+        tasks.push(PeriodicTaskSpec {
+            name: fields[0].to_owned(),
+            wcet,
+            period,
+            deadline,
+        });
     }
     if tasks.is_empty() {
         return Err("no tasks given".into());
     }
-    Ok(TaskSet::new(tasks))
+    Ok(TaskSetSpec { tasks })
 }
 
-/// `eacp feasibility`: checkpoint-aware EDF/RM analysis.
+/// Parses `name:wcet:period[:deadline]` task lists into the runtime
+/// [`TaskSet`] (the `--tasks` shorthand validated through the spec layer).
+///
+/// # Errors
+///
+/// Returns a message for malformed lists or invalid task parameters.
+pub fn parse_taskset(spec: &str) -> Result<TaskSet, String> {
+    parse_taskset_spec(spec)?.build().map_err(|e| e.to_string())
+}
+
+/// Resolves the effective [`ExecutiveSpec`] for `feasibility`/`executive`:
+/// load `--spec`/`--preset` if given, else desugar `--tasks` plus flags
+/// into a spec. Explicit flags override the loaded document.
+///
+/// # Errors
+///
+/// Returns a message when no task source is given, for unreadable spec
+/// files, unknown presets/schemes, or invalid parameters.
+pub fn executive_spec(o: &Options) -> Result<ExecutiveSpec, String> {
+    let mut spec = if !o.spec.is_empty() {
+        ExecutiveSpec::load(std::path::Path::new(&o.spec)).map_err(|e| e.to_string())?
+    } else if !o.preset.is_empty() {
+        executive_preset(&o.preset).ok_or_else(|| {
+            format!(
+                "unknown executive preset {:?} (known: {})",
+                o.preset,
+                executive_preset_names().join(", ")
+            )
+        })?
+    } else if !o.tasks.is_empty() {
+        let mut spec =
+            ExecutiveSpec::new(format!("cli-{}", o.scheme), parse_taskset_spec(&o.tasks)?);
+        spec.costs = costs_of(o);
+        spec.faults = FaultSpec::Poisson { lambda: o.lambda };
+        spec.policy = PolicyAssignment::Shared(policy_spec_of(o)?);
+        spec.k = o.k;
+        spec.speed = o.speed;
+        spec.hyperperiods = o.hyperperiods;
+        spec.seed = o.seed;
+        spec
+    } else {
+        return Err(
+            "a task set is required: --tasks name:wcet:period[,...], --spec file.json \
+             or --preset NAME"
+                .to_owned(),
+        );
+    };
+
+    // Explicit flags override whatever the document said.
+    let override_policies = |spec: &mut ExecutiveSpec, f: &dyn Fn(PolicySpec) -> PolicySpec| {
+        spec.policy = match spec.policy.clone() {
+            PolicyAssignment::Shared(p) => PolicyAssignment::Shared(f(p)),
+            PolicyAssignment::PerTask(ps) => {
+                PolicyAssignment::PerTask(ps.into_iter().map(f).collect())
+            }
+        };
+    };
+    if o.has("--scheme") {
+        // Carry the loaded spec's parameters into the new scheme unless
+        // the matching flag was also passed — switching the scheme must
+        // not silently reset k, λ or the pinned speed to flag defaults.
+        // (A per-task assignment collapses to one shared scheme; the
+        // policy k and pinned speed carry from the first task's policy.
+        // The top-level spec.k stays what it was: it parameterizes the
+        // feasibility analysis, not the policies.)
+        let lambda = if o.has("--lambda") {
+            o.lambda
+        } else {
+            spec.faults.nominal_lambda().unwrap_or(o.lambda)
+        };
+        let first_policy = match &spec.policy {
+            PolicyAssignment::Shared(p) => Some(p),
+            PolicyAssignment::PerTask(ps) => ps.first(),
+        };
+        let k = if o.has("--k") {
+            o.k
+        } else {
+            first_policy.and_then(PolicySpec::k).unwrap_or(spec.k)
+        };
+        let speed = first_policy.and_then(PolicySpec::speed).unwrap_or(0);
+        spec.policy = PolicyAssignment::Shared(
+            PolicySpec::from_tag(&o.scheme, lambda, k, speed).map_err(|e| e.to_string())?,
+        );
+    }
+    if o.has("--variant") {
+        spec.costs = costs_of(o);
+    }
+    if o.has("--lambda") {
+        override_lambda(&mut spec.faults, o.lambda)?;
+        override_policies(&mut spec, &|p| p.with_lambda(o.lambda));
+    }
+    if o.has("--k") {
+        spec.k = o.k;
+        override_policies(&mut spec, &|p| p.with_k(o.k));
+    }
+    if o.has("--speed") {
+        spec.speed = o.speed;
+    }
+    if o.has("--hyperperiods") {
+        spec.hyperperiods = o.hyperperiods;
+    }
+    if o.has("--seed") {
+        spec.seed = o.seed;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// `eacp feasibility`: checkpoint-aware EDF/RM analysis of the resolved
+/// [`ExecutiveSpec`], plus a per-k sensitivity table over the spec's DVS
+/// levels.
 pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
-    let set = parse_taskset(&o.tasks)?;
-    let costs = costs_of(o).build().map_err(|e| e.to_string())?;
+    let spec = executive_spec(o)?;
+    if o.emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let set = spec.tasks.build().map_err(|e| e.to_string())?;
+    let costs = spec.costs.build().map_err(|e| e.to_string())?;
+    let dvs = spec.dvs.build().map_err(|e| e.to_string())?;
     let mut out = String::new();
     for t in set.tasks() {
         out.push_str(&format!(
@@ -1016,15 +1203,15 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
             t.wcet_cycles,
             t.period,
             t.deadline,
-            o.k,
-            k_fault_wcet(t.wcet_cycles, costs.cscp_cycles(), o.k)
+            spec.k,
+            k_fault_wcet(t.wcet_cycles, costs.cscp_cycles(), spec.k)
         ));
     }
-    let density = edf_density(&set, &costs, o.k, o.speed);
+    let density = edf_density(&set, &costs, spec.k, spec.speed);
     out.push_str(&format!(
         "hyperperiod = {}\nEDF density at f={} : {:.3} → {}\n",
         set.hyperperiod(),
-        o.speed,
+        spec.speed,
         density,
         if density <= 1.0 {
             "feasible"
@@ -1032,7 +1219,7 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
             "INFEASIBLE"
         }
     ));
-    match rm_response_times(&set, &costs, o.k, o.speed) {
+    match rm_response_times(&set, &costs, spec.k, spec.speed) {
         Some(r) => {
             out.push_str("RM response times:\n");
             for (t, resp) in set.tasks().iter().zip(&r) {
@@ -1043,6 +1230,61 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
             }
         }
         None => out.push_str("RM: not schedulable\n"),
+    }
+    // How much fault tolerance the set can afford: EDF density and the
+    // slowest feasible DVS level for every k up to the spec's target.
+    out.push_str("k-fault sensitivity (EDF density, minimum feasible DVS level):\n");
+    for k in 0..=spec.k {
+        let d = edf_density(&set, &costs, k, spec.speed);
+        let min_speed = match minimum_feasible_speed(&set, &costs, k, &dvs) {
+            Some(idx) => format!("f{}", idx + 1),
+            None => "infeasible at every level".to_owned(),
+        };
+        out.push_str(&format!(
+            "  k={k}: density(f={}) = {d:.3}, min level = {min_speed}\n",
+            spec.speed
+        ));
+    }
+    Ok(out)
+}
+
+/// `eacp executive`: simulate the resolved [`ExecutiveSpec`] over N
+/// hyperperiods of non-preemptive EDF and report per-task deadline
+/// misses, energy and checkpoint totals.
+pub fn cmd_executive(o: &Options) -> Result<String, String> {
+    let spec = executive_spec(o)?;
+    if o.emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let (_, report) = eacp_exec::run_executive(&spec).map_err(|e| e.to_string())?;
+    if o.json {
+        return Ok(report.to_json_string());
+    }
+    let s = &report.summary;
+    let mut out = format!(
+        "executive {}: {} task(s), hyperperiod {} × {} = horizon {:.0}\n\
+         jobs={} misses={} (ratio {:.3}) energy={:.0}\n\
+         faults={} rollbacks={} checkpoints: SCP={} CCP={} CSCP={}\n",
+        report.spec.name,
+        report.tasks.len(),
+        s.hyperperiod,
+        report.spec.hyperperiods,
+        s.horizon,
+        s.jobs,
+        s.deadline_misses,
+        s.miss_ratio,
+        s.total_energy,
+        s.faults,
+        s.rollbacks,
+        s.checkpoints.store,
+        s.checkpoints.compare,
+        s.checkpoints.compare_store,
+    );
+    for (t, policy) in report.tasks.iter().zip(&report.policy_names) {
+        out.push_str(&format!(
+            "  {:<20} {:<6} {:>3} jobs  {:>3} misses  E={:<10.0} faults={:<4} worst R={:.0}\n",
+            t.name, policy, t.jobs, t.deadline_misses, t.energy, t.faults, t.worst_response,
+        ));
     }
     Ok(out)
 }
@@ -1092,9 +1334,14 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
 
     let runner = LocalRunner::new(o.threads);
     // Best-of-N wall time: robust against scheduler noise without a
-    // statistics engine (quick mode runs once — it feeds a CI artifact,
-    // not a comparison).
-    let iterations = if o.quick { 1 } else { 3 };
+    // statistics engine. Quick mode runs once when it only feeds a CI
+    // artifact — but a --baseline comparison is a comparison, so it
+    // always gets the best-of-3 treatment.
+    let iterations = if o.quick && o.baseline.is_empty() {
+        1
+    } else {
+        3
+    };
     let time_job = |job: &Job| -> Result<(f64, Summary), String> {
         let mut best = f64::INFINITY;
         let mut summary = None;
@@ -1174,7 +1421,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     };
     std::fs::write(path, doc.pretty()).map_err(|e| format!("{path}: {e}"))?;
 
-    Ok(format!(
+    let mut out = format!(
         "bench simulator: {reps} replications on {threads} thread(s)\n\
          pooled  : {pooled_s:.3} s  ({:.0} reps/s)\n\
          boxed   : {boxed_s:.3} s  ({:.0} reps/s)\n\
@@ -1184,6 +1431,54 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         reps as f64 / pooled_s.max(1e-12),
         reps as f64 / boxed_s.max(1e-12),
         grid.points.len(),
+    );
+    if !o.baseline.is_empty() {
+        out.push('\n');
+        out.push_str(&check_bench_baseline(
+            &o.baseline,
+            reps as f64 / pooled_s.max(1e-12),
+            o.max_regress,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Compares the measured pooled replications/sec against a tracked
+/// baseline document, failing on a regression beyond `max_regress`
+/// (a fraction: 0.30 tolerates a 30% slowdown — headroom for
+/// runner-to-runner noise; the tracked number is what CI pins).
+///
+/// # Errors
+///
+/// Returns a message for an unreadable/invalid baseline document or a
+/// replications/sec regression beyond the tolerance.
+fn check_bench_baseline(
+    path: &str,
+    pooled_reps_per_s: f64,
+    max_regress: f64,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    let baseline = doc
+        .req("pooled")
+        .and_then(|p| p.req("reps_per_s"))
+        .and_then(Json::as_f64)
+        .map_err(|e| format!("baseline {path}: {e}"))?;
+    let floor = baseline * (1.0 - max_regress);
+    let ratio = pooled_reps_per_s / baseline.max(1e-12);
+    if pooled_reps_per_s < floor {
+        return Err(format!(
+            "perf regression: pooled {pooled_reps_per_s:.0} reps/s is {:.1}% below the \
+             baseline {baseline:.0} reps/s in {path} (tolerance {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            max_regress * 100.0,
+        ));
+    }
+    Ok(format!(
+        "baseline check ok: pooled {pooled_reps_per_s:.0} reps/s vs {baseline:.0} baseline \
+         ({:+.1}%, tolerance -{:.0}%)",
+        (ratio - 1.0) * 100.0,
+        max_regress * 100.0,
     ))
 }
 
@@ -1207,6 +1502,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),
         "feasibility" => cmd_feasibility(&parse_options(rest)?),
+        "executive" => cmd_executive(&parse_options(rest)?),
         "bench" => cmd_bench(&parse_options(rest)?),
         "presets" => Ok(cmd_presets()),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
@@ -1241,6 +1537,22 @@ mod tests {
     #[test]
     fn parse_rejects_bad_variant() {
         assert!(parse_options(args("--variant xyz").into_iter()).is_err());
+    }
+
+    #[test]
+    fn parse_validates_max_regress() {
+        // Requires --baseline, and must be a fraction in (0, 1): a value
+        // like 30 (percent misread) would disable the gate entirely.
+        assert!(parse_options(args("--max-regress 0.3").into_iter()).is_err());
+        for bad in ["30", "1.0", "0", "-0.1"] {
+            let line = format!("--baseline b.json --max-regress {bad}");
+            assert!(
+                parse_options(args(&line).into_iter()).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+        let o = parse_options(args("--baseline b.json --max-regress 0.25").into_iter()).unwrap();
+        assert_eq!(o.max_regress, 0.25);
     }
 
     #[test]

@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod executive;
 pub mod job;
 pub mod queue;
 pub mod runner;
 pub mod shard;
 
 pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
+pub use executive::{run_executive, run_executive_observed};
 pub use job::{FaultFactory, Job, PolicyFactory};
 pub use queue::{
     run_sweep_queued, BlockAssignment, InProcessWorker, Lease, NoopQueueObserver, QueueObserver,

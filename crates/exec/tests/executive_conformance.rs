@@ -1,0 +1,162 @@
+//! Conformance suite for the spec-driven EDF executive: determinism
+//! (same spec + seed ⇒ byte-identical report), consistency with the
+//! single-job Monte-Carlo path, and invariance of the aggregates.
+
+use eacp_exec::{run_executive, Job};
+use eacp_sim::{replication_seed, NoopObserver};
+use eacp_spec::{
+    CostsSpec, DvsSpec, ExecSpec, ExecutiveSpec, ExperimentSpec, FaultSpec, McSpec,
+    PolicyAssignment, PolicySpec, ScenarioSpec, TaskSetSpec, WorkSpec,
+};
+
+fn duo_spec() -> ExecutiveSpec {
+    let lambda = 8e-4;
+    let mut spec = ExecutiveSpec::new(
+        "conformance-duo",
+        TaskSetSpec::implicit([("sensor", 600.0, 4_000), ("control", 1_300.0, 8_000)]),
+    );
+    spec.faults = FaultSpec::Poisson { lambda };
+    spec.policy = PolicyAssignment::Shared(PolicySpec::from_tag("a_d_s", lambda, 2, 0).unwrap());
+    spec.hyperperiods = 3;
+    spec.seed = 99;
+    spec
+}
+
+/// Same spec + seed ⇒ byte-identical `ExecutiveRunReport` JSON, including
+/// through a serialize/parse cycle of the spec itself.
+#[test]
+fn executive_report_is_deterministic() {
+    let spec = duo_spec();
+    let (_, first) = run_executive(&spec).unwrap();
+    let (_, second) = run_executive(&spec).unwrap();
+    assert_eq!(first.to_json_string(), second.to_json_string());
+
+    // The document round-trip drives the identical run.
+    let reparsed = ExecutiveSpec::from_json_str(&spec.to_json_string()).unwrap();
+    let (_, third) = run_executive(&reparsed).unwrap();
+    assert_eq!(first.to_json_string(), third.to_json_string());
+
+    // A different seed changes the fault stream (and, with λ > 0 over a
+    // long horizon, almost surely the report).
+    let mut reseeded = spec.clone();
+    reseeded.seed = 100;
+    let (_, fourth) = run_executive(&reseeded).unwrap();
+    assert_ne!(first.to_json_string(), fourth.to_json_string());
+}
+
+/// A single-task executive over one hyperperiod is the same computation
+/// as one replication of the equivalent single-job Monte-Carlo
+/// experiment: same scenario, same policy, same fault stream.
+#[test]
+fn single_task_executive_matches_single_job_run() {
+    for lambda in [0.0, 1.4e-3, 4e-3] {
+        let wcet = 5_200.0;
+        let deadline = 10_000u64;
+        let mc_seed = 77;
+
+        let experiment = ExperimentSpec {
+            name: "single-job".into(),
+            scenario: ScenarioSpec {
+                work: WorkSpec::Cycles {
+                    work_cycles: wcet,
+                    deadline: deadline as f64,
+                },
+                costs: CostsSpec::PaperScp,
+                dvs: DvsSpec::PaperDefault,
+                processors: 2,
+            },
+            faults: FaultSpec::Poisson { lambda },
+            policy: PolicySpec::from_tag("a_d_s", lambda, 5, 0).unwrap(),
+            mc: McSpec {
+                replications: 1,
+                seed: mc_seed,
+                threads: 1,
+            },
+            // The executive runs jobs under the physical default
+            // semantics; the experiment must match.
+            executor: ExecSpec::default(),
+        };
+        let job = Job::from_spec(&experiment).unwrap();
+        let out = job.run_replication(0, &mut NoopObserver);
+
+        let mut executive = ExecutiveSpec::new(
+            "single-task",
+            TaskSetSpec::implicit([("solo", wcet, deadline)]),
+        );
+        executive.faults = FaultSpec::Poisson { lambda };
+        executive.policy = PolicyAssignment::Shared(experiment.policy);
+        executive.hyperperiods = 1;
+        // The Monte-Carlo path seeds replication i's fault stream with
+        // replication_seed(base, i); hand the executive replication 0's
+        // stream so both consume identical fault arrivals.
+        executive.seed = replication_seed(mc_seed, 0);
+
+        let (raw, report) = run_executive(&executive).unwrap();
+        assert_eq!(raw.jobs.len(), 1, "λ={lambda}");
+        let j = &raw.jobs[0];
+        assert_eq!(j.timely, out.timely, "λ={lambda}");
+        assert_eq!(j.faults, out.faults, "λ={lambda}");
+        assert_eq!(j.rollbacks, out.rollbacks, "λ={lambda}");
+        assert_eq!(j.store_checkpoints, out.store_checkpoints, "λ={lambda}");
+        assert_eq!(j.compare_checkpoints, out.compare_checkpoints, "λ={lambda}");
+        assert_eq!(
+            j.compare_store_checkpoints, out.compare_store_checkpoints,
+            "λ={lambda}"
+        );
+        assert_eq!(j.energy, out.energy, "λ={lambda}");
+        assert_eq!(j.finished - j.started, out.finish_time, "λ={lambda}");
+        assert_eq!(report.summary.total_energy, out.energy, "λ={lambda}");
+        assert_eq!(
+            report.summary.deadline_misses,
+            u64::from(!out.timely),
+            "λ={lambda}"
+        );
+    }
+}
+
+/// The serializable aggregates are a pure fold of the raw per-job
+/// records — totals match, per-task rows sum to the summary.
+#[test]
+fn aggregates_are_consistent_with_raw_records() {
+    let (raw, report) = run_executive(&duo_spec()).unwrap();
+    assert_eq!(report.summary.jobs as usize, raw.jobs.len());
+    assert_eq!(report.summary.deadline_misses as usize, raw.deadline_misses);
+    let energy: f64 = raw.jobs.iter().map(|j| j.energy).sum();
+    assert!((report.summary.total_energy - energy).abs() < 1e-9);
+    let faults: u64 = raw.jobs.iter().map(|j| u64::from(j.faults)).sum();
+    assert_eq!(report.summary.faults, faults);
+    let per_task_jobs: u64 = report.tasks.iter().map(|t| t.jobs).sum();
+    assert_eq!(per_task_jobs, report.summary.jobs);
+    let per_task_cp: u64 = report.tasks.iter().map(|t| t.checkpoints.total()).sum();
+    assert_eq!(per_task_cp, report.summary.checkpoints.total());
+    // Worst response per task really is the max over that task's jobs.
+    for (idx, t) in report.tasks.iter().enumerate() {
+        let worst = raw
+            .jobs_of(idx)
+            .map(|j| j.finished - j.release)
+            .fold(0.0f64, f64::max);
+        assert_eq!(t.worst_response, worst);
+    }
+}
+
+/// Per-task assignments really drive different policies per task.
+#[test]
+fn per_task_policies_are_applied_per_task() {
+    let mut spec = duo_spec();
+    spec.policy = PolicyAssignment::PerTask(vec![
+        PolicySpec::from_tag("a_d_s", 8e-4, 2, 0).unwrap(),
+        PolicySpec::from_tag("kft", 8e-4, 3, 0).unwrap(),
+    ]);
+    let (_, report) = run_executive(&spec).unwrap();
+    assert_eq!(
+        report.policy_names,
+        vec!["A_D_S".to_owned(), "k-f-t".into()]
+    );
+
+    // The shared-assignment run differs (k-f-t schedules differently).
+    let (_, shared) = run_executive(&duo_spec()).unwrap();
+    assert_ne!(
+        report.tasks[1].checkpoints, shared.tasks[1].checkpoints,
+        "k-f-t and A_D_S should place different checkpoints on the control task"
+    );
+}

@@ -10,7 +10,9 @@
 use crate::TaskSet;
 use eacp_energy::DvsConfig;
 use eacp_faults::{FaultProcess, PoissonProcess};
-use eacp_sim::{CheckpointCosts, Executor, ExecutorOptions, Policy, Scenario, TaskSpec};
+use eacp_sim::{
+    CheckpointCosts, Executor, ExecutorOptions, NoopObserver, Observer, Policy, Scenario, TaskSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +35,14 @@ pub struct JobRecord {
     pub energy: f64,
     /// Faults observed during this job.
     pub faults: u32,
+    /// Rollbacks taken by this job.
+    pub rollbacks: u32,
+    /// Store checkpoints (SCP) executed by this job.
+    pub store_checkpoints: u32,
+    /// Compare checkpoints (CCP) executed by this job.
+    pub compare_checkpoints: u32,
+    /// Compare-and-store checkpoints (CSCP) executed by this job.
+    pub compare_store_checkpoints: u32,
 }
 
 /// Aggregated result of a hyperperiod simulation.
@@ -79,12 +89,32 @@ pub struct ExecutiveConfig<'a> {
     pub seed: u64,
 }
 
+/// Workload-level inputs of an executive run, independent of where the
+/// fault stream comes from. This is the seedable, spec-drivable shape:
+/// `eacp_exec::run_executive` builds one from an
+/// `eacp_spec::ExecutiveSpec` and supplies the stream it built from the
+/// spec's `FaultSpec` + seed.
+pub struct ExecutiveParams<'a> {
+    /// The periodic workload.
+    pub set: &'a TaskSet,
+    /// Checkpoint costs shared by all tasks.
+    pub costs: CheckpointCosts,
+    /// DVS levels shared by all tasks.
+    pub dvs: DvsConfig,
+    /// Number of hyperperiods to simulate.
+    pub hyperperiods: u32,
+    /// Executor semantics every job runs under.
+    pub options: ExecutorOptions,
+}
+
 /// Runs the executive: jobs scheduled non-preemptively by EDF, each
 /// executed under a policy built by `make_policy(task_index, lambda)`.
 ///
-/// The fault stream is global wall-clock Poisson; each job sees the
-/// arrivals that land inside its execution window, which preserves the
-/// burstiness across job boundaries.
+/// The fault stream is global wall-clock Poisson seeded from
+/// `config.seed`; each job sees the arrivals that land inside its
+/// execution window, which preserves the burstiness across job
+/// boundaries. This is a convenience wrapper over
+/// [`run_executive_stream`].
 ///
 /// # Panics
 ///
@@ -93,8 +123,48 @@ pub fn run_executive<F>(config: &ExecutiveConfig<'_>, mut make_policy: F) -> Exe
 where
     F: FnMut(usize, f64) -> Box<dyn Policy>,
 {
-    assert!(config.hyperperiods > 0, "at least one hyperperiod");
-    let horizon = (config.set.hyperperiod() * config.hyperperiods as u64) as f64;
+    let params = ExecutiveParams {
+        set: config.set,
+        costs: config.costs,
+        dvs: config.dvs.clone(),
+        hyperperiods: config.hyperperiods,
+        options: ExecutorOptions::default(),
+    };
+    let mut faults = PoissonProcess::new(config.lambda, StdRng::seed_from_u64(config.seed));
+    run_executive_stream(
+        &params,
+        &mut faults,
+        |task| make_policy(task, config.lambda),
+        &mut NoopObserver,
+    )
+}
+
+/// Runs the executive over an explicit fault stream, streaming every
+/// engine event of every job into `observer`.
+///
+/// This is the general entry point: the caller owns the fault process
+/// (any [`FaultProcess`], seeded however it likes — the reproducibility
+/// contract is *same stream + same params ⇒ identical report*) and the
+/// policy factory `make_policy(task_index)`. Jobs are released at period
+/// multiples over `params.hyperperiods` hyperperiods and dispatched
+/// non-preemptively by earliest absolute deadline.
+///
+/// # Panics
+///
+/// Panics if `params.hyperperiods == 0`.
+pub fn run_executive_stream<FP, MK, O>(
+    params: &ExecutiveParams<'_>,
+    faults: &mut FP,
+    mut make_policy: MK,
+    observer: &mut O,
+) -> ExecutiveReport
+where
+    FP: FaultProcess + ?Sized,
+    MK: FnMut(usize) -> Box<dyn Policy>,
+    O: Observer + ?Sized,
+{
+    assert!(params.hyperperiods > 0, "at least one hyperperiod");
+    let horizon = (params.set.hyperperiod() * params.hyperperiods as u64) as f64;
 
     // Build the release list.
     struct Pending {
@@ -103,7 +173,7 @@ where
         abs_deadline: f64,
     }
     let mut releases: Vec<Pending> = Vec::new();
-    for (idx, t) in config.set.tasks().iter().enumerate() {
+    for (idx, t) in params.set.tasks().iter().enumerate() {
         let mut r = 0u64;
         while (r as f64) < horizon {
             releases.push(Pending {
@@ -116,9 +186,13 @@ where
     }
     releases.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
 
-    // Global fault stream shifted per job window.
-    let mut faults = PoissonProcess::new(config.lambda, StdRng::seed_from_u64(config.seed));
+    // Global fault stream shifted per job window. A job's collection
+    // window extends to its deadline, but the job may finish sooner —
+    // arrivals it never experienced are carried over (as absolute times)
+    // for whichever job runs next, so back-to-back jobs see the complete
+    // stream.
     let mut next_fault = faults.next_fault();
+    let mut carry: Vec<f64> = Vec::new();
 
     let mut now = 0.0_f64;
     let mut done: Vec<JobRecord> = Vec::new();
@@ -148,7 +222,7 @@ where
             .map(|(i, _)| i)
             .expect("ready is non-empty");
         let job = ready.swap_remove(best);
-        let task = &config.set.tasks()[job.task];
+        let task = &params.set.tasks()[job.task];
 
         let started = now;
         let rel_deadline = job.abs_deadline - started;
@@ -163,30 +237,61 @@ where
                 timely: false,
                 energy: 0.0,
                 faults: 0,
+                rollbacks: 0,
+                store_checkpoints: 0,
+                compare_checkpoints: 0,
+                compare_store_checkpoints: 0,
             });
             continue;
         }
         let scenario = Scenario::new(
             TaskSpec::new(task.wcet_cycles, rel_deadline),
-            config.costs,
-            config.dvs.clone(),
+            params.costs,
+            params.dvs.clone(),
         );
-        // Faults inside this job's window, re-based to job-local time.
+        // Faults inside this job's window, re-based to job-local time:
+        // first the carried-over arrivals earlier jobs never reached
+        // (those before `started` landed in idle time and strike nothing),
+        // then the global stream. The window is generous — the job cannot
+        // run longer than its relative deadline (the executor cuts off
+        // there) — and whatever the job does not experience is returned
+        // to `carry` below.
         let mut local: Vec<f64> = Vec::new();
-        // Collect a generous window: the job cannot run longer than its
-        // relative deadline (the executor cuts off there).
         let window_end = started + rel_deadline + 1.0;
+        carry.retain(|&t| {
+            if t >= window_end {
+                return true;
+            }
+            if t >= started {
+                local.push(t - started);
+            }
+            false
+        });
         while next_fault < window_end {
             if next_fault >= started {
                 local.push(next_fault - started);
             }
             next_fault = faults.next_fault();
         }
-        let mut local_faults = eacp_faults::DeterministicFaults::new(local);
-        let mut policy = make_policy(job.task, config.lambda);
+        // Carried times predate everything still in the stream, and both
+        // sources are ascending — but interleavings across jobs can leave
+        // `carry` unsorted, so restore the order the executor expects.
+        local.sort_by(f64::total_cmp);
+        let mut local_faults = eacp_faults::DeterministicFaults::new(local.clone());
+        let mut policy = make_policy(job.task);
         let out = Executor::new(&scenario)
-            .with_options(ExecutorOptions::default())
-            .run(&mut policy, &mut local_faults);
+            .with_options(params.options)
+            .run_observed(&mut policy, &mut local_faults, observer);
+
+        // Arrivals strictly after the finish were never experienced:
+        // hand them to subsequent jobs.
+        carry.extend(
+            local
+                .iter()
+                .filter(|&&t| t > out.finish_time)
+                .map(|&t| started + t),
+        );
+        carry.sort_by(f64::total_cmp);
 
         let finished = started + out.finish_time;
         done.push(JobRecord {
@@ -198,6 +303,10 @@ where
             timely: out.timely,
             energy: out.energy,
             faults: out.faults,
+            rollbacks: out.rollbacks,
+            store_checkpoints: out.store_checkpoints,
+            compare_checkpoints: out.compare_checkpoints,
+            compare_store_checkpoints: out.compare_store_checkpoints,
         });
         now = finished.max(started);
     }
@@ -298,6 +407,57 @@ mod tests {
         let report = run_executive(&cfg, |_, l| Box::new(Adaptive::dvs_scp(l, 1)));
         assert!(report.deadline_misses > 0);
         assert!(report.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn faults_after_a_jobs_finish_carry_over_to_the_next_job() {
+        // Job A (task 0) finishes around t ≈ 560, long before its t = 4000
+        // deadline; job B (task 1) then occupies t ≈ 560..2000. A fault at
+        // t = 1000 lands inside A's collection window but after A's
+        // finish — it must strike B, not vanish with A's window.
+        let set = light_set();
+        let params = ExecutiveParams {
+            set: &set,
+            costs: CheckpointCosts::paper_scp_variant(),
+            dvs: DvsConfig::paper_default(),
+            hyperperiods: 1,
+            options: ExecutorOptions::default(),
+        };
+        let mut faults = eacp_faults::DeterministicFaults::new(vec![1_000.0]);
+        let report = run_executive_stream(
+            &params,
+            &mut faults,
+            |_| Box::new(Adaptive::dvs_scp(1e-3, 2)),
+            &mut NoopObserver,
+        );
+        let total: u32 = report.jobs.iter().map(|j| j.faults).sum();
+        assert_eq!(total, 1, "the carried fault must be experienced once");
+        assert_eq!(report.jobs_of(0).map(|j| j.faults).sum::<u32>(), 0);
+        assert_eq!(report.jobs_of(1).map(|j| j.faults).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn idle_faults_strike_nothing() {
+        // One tiny job finishing almost immediately; a fault long after
+        // the finish but before the deadline lands in idle time and must
+        // not be charged to anyone.
+        let set = TaskSet::new(vec![PeriodicTask::new("tiny", 10.0, 100_000, 10_000)]);
+        let params = ExecutiveParams {
+            set: &set,
+            costs: CheckpointCosts::paper_scp_variant(),
+            dvs: DvsConfig::paper_default(),
+            hyperperiods: 1,
+            options: ExecutorOptions::default(),
+        };
+        let mut faults = eacp_faults::DeterministicFaults::new(vec![5_000.0]);
+        let report = run_executive_stream(
+            &params,
+            &mut faults,
+            |_| Box::new(Adaptive::dvs_scp(1e-3, 1)),
+            &mut NoopObserver,
+        );
+        assert_eq!(report.jobs.iter().map(|j| j.faults).sum::<u32>(), 0);
+        assert_eq!(report.deadline_misses, 0);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Property-based tests of the k-fault-tolerant WCET inflation and the
+//! feasibility analyses built on it.
+
+use eacp_rtsched::feasibility::{edf_density, k_fault_wcet, minimum_feasible_speed};
+use eacp_rtsched::{PeriodicTask, TaskSet};
+use eacp_sim::CheckpointCosts;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The k-fault WCET inflation is strictly monotone in k (another
+    /// tolerated fault always costs a re-executed interval plus its
+    /// checkpoint) and bounded below by the fault-free form `N + c`.
+    #[test]
+    fn k_fault_wcet_is_monotone_in_k(
+        n in 10.0f64..1e6,
+        c in 0.5f64..500.0,
+        k in 0u32..40,
+    ) {
+        let w_k = k_fault_wcet(n, c, k);
+        let w_next = k_fault_wcet(n, c, k + 1);
+        prop_assert!(w_next > w_k, "WCET_{}({n}) = {w_next} <= WCET_{}({n}) = {w_k}", k + 1, k);
+        prop_assert!(w_k >= n + c - 1e-9);
+        // The closed form: N + 2·sqrt(kNc) + kc.
+        if k > 0 {
+            let expected = n + 2.0 * (k as f64 * n * c).sqrt() + k as f64 * c;
+            prop_assert!((w_k - expected).abs() < 1e-6 * expected.max(1.0));
+        }
+    }
+
+    /// Monotonicity lifts to the analyses: EDF density never decreases
+    /// with k, and the minimum feasible DVS level never gets slower.
+    #[test]
+    fn feasibility_is_monotone_in_k(
+        wcet in 50.0f64..1500.0,
+        scale in 1u64..=4,
+        k in 0u32..10,
+    ) {
+        let period = 4_000 * scale;
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", wcet, period, period),
+            PeriodicTask::new("b", wcet * 1.5, period * 2, period * 2),
+        ]);
+        let costs = CheckpointCosts::paper_scp_variant();
+        let d_k = edf_density(&set, &costs, k, 1.0);
+        let d_next = edf_density(&set, &costs, k + 1, 1.0);
+        prop_assert!(d_next > d_k);
+
+        let dvs = eacp_energy::DvsConfig::paper_default();
+        let s_k = minimum_feasible_speed(&set, &costs, k, &dvs);
+        let s_next = minimum_feasible_speed(&set, &costs, k + 1, &dvs);
+        // A feasible level for k+1 faults is feasible for k; the index
+        // can only grow (or fall off the table) as k grows.
+        match (s_k, s_next) {
+            (Some(a), Some(b)) => prop_assert!(a <= b),
+            (None, Some(_)) => prop_assert!(false, "k+1 feasible but k infeasible"),
+            _ => {}
+        }
+    }
+}

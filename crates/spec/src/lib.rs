@@ -15,6 +15,9 @@
 //! * [`McSpec`] / [`ExecSpec`] — replications, seeding, threads, and
 //!   executor semantics;
 //! * [`SweepSpec`] — grids over utilization, λ, k, costs and seeds;
+//! * [`TaskSetSpec`] / [`ExecutiveSpec`] — periodic task sets and the
+//!   EDF-executive workload around them ([`executive`] module), with the
+//!   serializable [`ExecutiveRunReport`] result schema;
 //! * [`presets`] — the paper's operating points by name, plus new
 //!   workloads (`satellite-telemetry`, `battery-budget`,
 //!   `high-fault-burst`).
@@ -63,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod executive;
 pub mod json;
 pub mod model;
 pub mod presets;
@@ -70,11 +74,17 @@ pub mod report;
 pub mod sweep;
 
 pub use error::SpecError;
+pub use executive::{
+    CheckpointTotals, ExecutiveRunReport, ExecutiveSpec, ExecutiveSummaryReport, PeriodicTaskSpec,
+    PolicyAssignment, TaskReport, TaskSetSpec,
+};
 pub use json::{FromJson, Json, ToJson};
 pub use model::{
     CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec,
     QueueSpec, ScenarioSpec, WorkSpec,
 };
-pub use presets::{paper_cell, preset, preset_names, PaperScheme};
+pub use presets::{
+    executive_preset, executive_preset_names, paper_cell, preset, preset_names, PaperScheme,
+};
 pub use report::{RunReport, StatsReport, SummaryReport};
 pub use sweep::{SweepAxis, SweepSpec};

@@ -12,6 +12,7 @@
 //!   the burst/phased fault models and non-paper operating points.
 
 use crate::error::SpecError;
+use crate::executive::{ExecutiveSpec, PolicyAssignment, TaskSetSpec};
 use crate::model::{
     CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, PolicySpec, ScenarioSpec,
     WorkSpec,
@@ -199,6 +200,74 @@ pub fn preset(name: &str) -> Option<ExperimentSpec> {
     Some(spec)
 }
 
+/// Looks up a periodic-workload preset by name (`eacp executive
+/// --preset ...`, `eacp feasibility --preset ...`).
+///
+/// * `avionics-trio` — the three-task avionics workload of
+///   `examples/periodic_taskset.rs`: attitude control, sensor fusion and
+///   telemetry downlink under the shared `A_D_S` policy, five
+///   hyperperiods at λ = 5e-4.
+/// * `k-fault-feasibility-sweep` — a heavier five-task set near the EDF
+///   feasibility boundary at `f1`, meant for `eacp feasibility`'s per-k
+///   sensitivity table (`k = 5` upper bound); its executive run uses
+///   per-task policies (the proposed scheme on the tight tasks, static
+///   `k-f-t` on the slack ones).
+pub fn executive_preset(name: &str) -> Option<ExecutiveSpec> {
+    match name {
+        "avionics-trio" => {
+            let lambda = 5e-4;
+            let k = 2;
+            let mut spec = ExecutiveSpec::new(
+                name,
+                TaskSetSpec::implicit([
+                    ("attitude-control", 900.0, 5_000),
+                    ("sensor-fusion", 1_400.0, 10_000),
+                    ("telemetry-downlink", 2_600.0, 20_000),
+                ]),
+            );
+            spec.faults = FaultSpec::Poisson { lambda };
+            spec.policy =
+                PolicyAssignment::Shared(PolicySpec::from_tag("a_d_s", lambda, k, 0).ok()?);
+            spec.k = k;
+            spec.hyperperiods = 5;
+            spec.seed = 13;
+            Some(spec)
+        }
+        "k-fault-feasibility-sweep" => {
+            let lambda = 1e-3;
+            let k = 5;
+            let mut spec = ExecutiveSpec::new(
+                name,
+                TaskSetSpec::implicit([
+                    ("guidance", 1_100.0, 4_000),
+                    ("nav-filter", 800.0, 5_000),
+                    ("actuation", 600.0, 8_000),
+                    ("health-monitor", 900.0, 10_000),
+                    ("logging", 1_500.0, 20_000),
+                ]),
+            );
+            spec.faults = FaultSpec::Poisson { lambda };
+            spec.policy = PolicyAssignment::PerTask(vec![
+                PolicySpec::from_tag("a_d_s", lambda, k, 0).ok()?,
+                PolicySpec::from_tag("a_d_s", lambda, k, 0).ok()?,
+                PolicySpec::from_tag("kft", lambda, 2, 0).ok()?,
+                PolicySpec::from_tag("a_d_s", lambda, k, 0).ok()?,
+                PolicySpec::from_tag("kft", lambda, 2, 0).ok()?,
+            ]);
+            spec.k = k;
+            spec.hyperperiods = 3;
+            spec.seed = 2006;
+            Some(spec)
+        }
+        _ => None,
+    }
+}
+
+/// All stable periodic-workload preset names.
+pub fn executive_preset_names() -> Vec<&'static str> {
+    vec!["avionics-trio", "k-fault-feasibility-sweep"]
+}
+
 /// All stable preset names.
 pub fn preset_names() -> Vec<&'static str> {
     vec![
@@ -234,6 +303,16 @@ mod tests {
         assert!(preset("table9-a").is_none());
         assert!(preset("table1-z").is_none());
         assert!(preset("bogus").is_none());
+        assert!(executive_preset("bogus").is_none());
+    }
+
+    #[test]
+    fn every_executive_preset_exists_and_validates() {
+        for name in executive_preset_names() {
+            let spec = executive_preset(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, name);
+        }
     }
 
     #[test]

@@ -1,28 +1,39 @@
 //! Beyond the paper: a periodic avionics-style task set under checkpointed
-//! DMR execution — feasibility analysis first, then a hyperperiod
-//! simulation with the paper's `A_D_S` policy per job.
+//! DMR execution — loaded from the shipped `specs/avionics-trio.json`
+//! spec document, feasibility analysis first, then a hyperperiod
+//! simulation through `eacp_exec::run_executive`.
 //!
 //! ```text
 //! cargo run --release --example periodic_taskset
 //! ```
+//!
+//! The same document drives the CLI:
+//!
+//! ```text
+//! eacp feasibility --spec specs/avionics-trio.json
+//! eacp executive   --spec specs/avionics-trio.json --json
+//! ```
 
-use eacp::rtsched::executive::{run_executive, ExecutiveConfig};
+use eacp::exec::run_executive;
 use eacp::rtsched::feasibility::{edf_density, k_fault_wcet, rm_response_times};
-use eacp::rtsched::{PeriodicTask, TaskSet};
-use eacp::spec::{CostsSpec, DvsSpec, PolicySpec};
+use eacp::spec::ExecutiveSpec;
 
 fn main() {
-    let set = TaskSet::new(vec![
-        PeriodicTask::new("attitude-control", 900.0, 5_000, 5_000),
-        PeriodicTask::new("sensor-fusion", 1_400.0, 10_000, 10_000),
-        PeriodicTask::new("telemetry-downlink", 2_600.0, 20_000, 20_000),
-    ]);
-    // Checkpoint costs and the DVS table come from the same spec layer the
-    // CLI and the experiments harness build from.
-    let costs = CostsSpec::PaperScp.build().expect("valid costs spec");
-    let k = 2;
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/avionics-trio.json"
+    ));
+    let spec = ExecutiveSpec::load(path).expect("shipped spec parses");
+    spec.validate().expect("shipped spec validates");
 
-    println!("== Task set ==");
+    // Everything below builds from the document — the task set, the
+    // checkpoint costs, the DVS table, the fault stream and the policy
+    // assignment all live in one JSON file.
+    let set = spec.tasks.build().expect("valid task set");
+    let costs = spec.costs.build().expect("valid costs spec");
+    let k = spec.k;
+
+    println!("== Task set ({}) ==", spec.name);
     for t in set.tasks() {
         println!(
             "{:<20} N={:>6} cycles  T={:>6}  WCET_k({k}) = {:.0} cycles",
@@ -58,42 +69,24 @@ fn main() {
         None => println!("RM: not schedulable at f1"),
     }
 
-    println!("\n== Hyperperiod simulation (non-preemptive EDF, λ = 5e-4) ==");
-    let config = ExecutiveConfig {
-        set: &set,
-        costs,
-        dvs: DvsSpec::PaperDefault.build().expect("valid DVS spec"),
-        lambda: 5e-4,
-        hyperperiods: 5,
-        seed: 13,
-    };
-    let report = run_executive(&config, |_, lambda| {
-        Box::new(
-            PolicySpec::from_tag("a_d_s", lambda, k, 0)
-                .and_then(|p| p.build())
-                .expect("valid policy spec"),
-        )
-    });
+    println!(
+        "\n== Hyperperiod simulation (non-preemptive EDF, {} hyperperiods, seed {}) ==",
+        spec.hyperperiods, spec.seed
+    );
+    let (_, report) = run_executive(&spec).expect("valid executive spec");
+    let s = &report.summary;
     println!(
         "{} jobs, {} deadline misses (miss ratio {:.3}), total energy {:.0}",
-        report.jobs.len(),
-        report.deadline_misses,
-        report.miss_ratio(),
-        report.total_energy
+        s.jobs, s.deadline_misses, s.miss_ratio, s.total_energy
     );
-    for (i, t) in set.tasks().iter().enumerate() {
-        let jobs: Vec<_> = report.jobs_of(i).collect();
-        let faults: u32 = jobs.iter().map(|j| j.faults).sum();
-        let worst_resp = jobs
-            .iter()
-            .map(|j| j.finished - j.release)
-            .fold(0.0_f64, f64::max);
+    for (t, policy) in report.tasks.iter().zip(&report.policy_names) {
         println!(
-            "  {:<20} {} jobs, {} faults, worst response {:.0}",
+            "  {:<20} {policy}: {} jobs, {} faults, {} checkpoints, worst response {:.0}",
             t.name,
-            jobs.len(),
-            faults,
-            worst_resp
+            t.jobs,
+            t.faults,
+            t.checkpoints.total(),
+            t.worst_response
         );
     }
 }
