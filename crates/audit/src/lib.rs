@@ -1,0 +1,149 @@
+//! `eacp-audit` — workspace invariant linter for the EACP reproduction.
+//!
+//! Every guarantee this workspace sells — Summaries bit-identical across
+//! thread and worker counts, `QueueRunner` ≡ `LocalRunner` under any
+//! failure schedule, zero allocation per replication — rests on source
+//! invariants that example-based tests can only spot-check. This crate
+//! rejects the violating *patterns at the source level*:
+//!
+//! * **R1-determinism** — no `Instant`/`SystemTime`, `HashMap`/`HashSet`,
+//!   `std::env` or entropy-seeded RNGs in the simulation/execution crates.
+//! * **R2-unsafe** — every crate root carries `#![forbid(unsafe_code)]`.
+//! * **R3-alloc** — no allocation constructors in hot modules outside
+//!   `// audit:setup: <reason>` functions and `#[cfg(test)]` blocks.
+//! * **R4-panic** — no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
+//!   in non-test library code.
+//! * **R5-allow** — `// audit:allow(<rule>): <reason>` suppresses a
+//!   finding on the next line (or its own, when trailing); a bare allow
+//!   without a reason is itself a violation.
+//!
+//! Findings are reported as `file:line: rule-id: message`; any finding
+//! makes `eacp-audit check` exit nonzero, and CI gates on it. The analyzer
+//! is a purpose-built line/token scanner (see [`scan`]) — std-only, no
+//! third-party parser, consistent with the workspace's offline-build
+//! constraint.
+//!
+//! The static pass is paired with a *dynamic* witness: the
+//! `zero_alloc` integration test in `eacp-exec` (behind the `alloc-count`
+//! feature) installs a counting `#[global_allocator]` and proves the
+//! replication loop allocation-free for every scheme × fault process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod rules;
+pub mod scan;
+
+pub use classify::{classify, FileClass, DETERMINISM_CRATES, HOT_MODULES};
+pub use rules::{audit_source, Finding, Rule};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Audits every in-scope `.rs` file under a workspace root.
+///
+/// Findings come back sorted by (file, line, rule) so reports and golden
+/// assertions are stable.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources,
+/// and an [`io::ErrorKind::NotFound`] when `root` is not a workspace
+/// (no `Cargo.toml`).
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} is not a cargo workspace (no Cargo.toml)",
+                root.display()
+            ),
+        ));
+    }
+    let mut files = Vec::new();
+    collect_sources(root, root, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in files {
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let source = fs::read_to_string(root.join(&rel))?;
+        findings.extend(audit_source(&rel, class, &source));
+    }
+    Ok(findings)
+}
+
+/// Recursively collects workspace-relative paths of candidate `.rs` files.
+///
+/// Only `src/` trees are audited (see [`classify`]); the walk prunes
+/// everything else early so `target/` is never traversed.
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | "tests" | "benches" | "examples" | "fixtures" | ".git" | ".github"
+            ) {
+                continue;
+            }
+            collect_sources(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative_unix(root, &path) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with unix separators (findings must render the
+/// same on every platform).
+fn relative_unix(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/audit");
+        assert!(root.join("crates/audit").is_dir());
+    }
+
+    #[test]
+    fn auditing_a_non_workspace_is_an_error() {
+        assert!(audit_workspace(Path::new("/definitely/not/a/workspace")).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! `eacp-audit` — the workspace invariant linter's command-line front end.
+//!
+//! ```text
+//! eacp-audit check [ROOT]   # audit the workspace (default: find root
+//!                           # upward from the current directory);
+//!                           # exit 0 clean, 1 on findings, 2 on usage/IO
+//! eacp-audit rules          # list the enforced rules
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(args.get(1).map(PathBuf::from)),
+        Some("rules") => {
+            print!("{}", rules_text());
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("eacp-audit: unknown command `{other}`\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(root: Option<PathBuf>) -> ExitCode {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("eacp-audit: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match eacp_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "eacp-audit: no [workspace] Cargo.toml above {} — pass a root explicitly",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match eacp_audit::audit_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "audit: workspace clean ({} rules enforced)",
+                eacp_audit::Rule::ALL.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            let files: std::collections::BTreeSet<&str> =
+                findings.iter().map(|f| f.file.as_str()).collect();
+            eprintln!(
+                "audit: {} finding(s) in {} file(s) — run `eacp-audit rules` for the policy",
+                findings.len(),
+                files.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("eacp-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn rules_text() -> String {
+    let mut out = String::from("enforced rules (any finding fails the audit):\n");
+    for rule in eacp_audit::Rule::ALL {
+        out.push_str(&format!("  {:<15} {}\n", rule.id(), rule.describe()));
+    }
+    out.push_str(
+        "\nsuppression: `// audit:allow(<rule>): <reason>` on (or directly above) the line;\n\
+         hot-path setup fns: `// audit:setup: <reason>` directly above the fn.\n",
+    );
+    out
+}
+
+fn usage() -> String {
+    "eacp-audit — workspace invariant linter\n\
+     \n\
+     usage:\n\
+     \x20 eacp-audit check [ROOT]   audit the workspace (exit 1 on findings)\n\
+     \x20 eacp-audit rules          list the enforced rules\n"
+        .to_owned()
+}

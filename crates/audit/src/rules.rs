@@ -1,0 +1,459 @@
+//! The audit rules (R1–R5), finding representation, and the allow-comment
+//! grammar.
+//!
+//! Every finding is reported as `file:line: rule-id: message` and any
+//! finding fails the audit. A finding can be suppressed with an
+//! allow comment carrying a reason:
+//!
+//! ```text
+//! // audit:allow(determinism): seeded from the spec, not the clock
+//! let t = Instant::now();
+//! ```
+//!
+//! The allow applies to the next line — or to its own line when it is a
+//! trailing comment after code. A bare allow without a reason, or one
+//! naming an unknown rule, is itself a violation (R5).
+
+use crate::classify::FileClass;
+use crate::scan::{scan, Line};
+
+/// The audited invariants. Short names are the allow-comment vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no wall-clock, hash-order, environment or entropy dependence in
+    /// the simulation/execution crates.
+    Determinism,
+    /// R2: every crate root carries `#![forbid(unsafe_code)]`.
+    Unsafe,
+    /// R3: no allocation constructors in designated hot modules outside
+    /// setup functions and tests.
+    Alloc,
+    /// R4: no `unwrap`/`expect`/`panic!`-family calls in non-test library
+    /// code.
+    Panic,
+    /// R5: allow comments must be well-formed and carry a reason.
+    Allow,
+}
+
+impl Rule {
+    /// The stable rule id used in reports (`R1-determinism`, …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "R1-determinism",
+            Rule::Unsafe => "R2-unsafe",
+            Rule::Alloc => "R3-alloc",
+            Rule::Panic => "R4-panic",
+            Rule::Allow => "R5-allow",
+        }
+    }
+
+    /// The short name accepted inside `audit:allow(...)`.
+    pub fn allow_name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Unsafe => "unsafe",
+            Rule::Alloc => "alloc",
+            Rule::Panic => "panic",
+            Rule::Allow => "allow",
+        }
+    }
+
+    fn from_allow_name(name: &str) -> Option<Self> {
+        match name {
+            "determinism" => Some(Rule::Determinism),
+            "unsafe" => Some(Rule::Unsafe),
+            "alloc" => Some(Rule::Alloc),
+            "panic" => Some(Rule::Panic),
+            _ => None,
+        }
+    }
+
+    /// Every rule, in report order — for `eacp-audit rules`.
+    pub const ALL: [Rule; 5] = [
+        Rule::Determinism,
+        Rule::Unsafe,
+        Rule::Alloc,
+        Rule::Panic,
+        Rule::Allow,
+    ];
+
+    /// One-line description for the rule listing.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::Determinism => {
+                "forbids Instant/SystemTime, HashMap/HashSet, std::env and entropy-seeded RNGs \
+                 in the simulation/execution crates (dmr-sim, fault-model, core, rt-sched, \
+                 energy-model, numerics, exec)"
+            }
+            Rule::Unsafe => "every workspace crate root must carry #![forbid(unsafe_code)]",
+            Rule::Alloc => {
+                "forbids allocation constructors (Box::new, Vec::new, vec!, to_vec, \
+                 String::from/new, to_owned, to_string, format!, collect::<Vec, with_capacity) \
+                 in hot modules outside `// audit:setup: <reason>` functions and tests"
+            }
+            Rule::Panic => {
+                "forbids .unwrap()/.expect(/panic!/todo!/unimplemented! in non-test library code"
+            }
+            Rule::Allow => {
+                "`// audit:allow(<rule>): <reason>` suppresses a finding on the next \
+                 code-bearing line (or its own, when trailing); a bare allow without a reason \
+                 is a violation"
+            }
+        }
+    }
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, unix separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation naming the offending construct.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// A parsed allow grant. `target_line == 0` means "the next code-bearing
+/// line after `from_line`" and is resolved once all lines are scanned.
+#[derive(Debug)]
+struct Grant {
+    from_line: usize,
+    target_line: usize,
+    rule: Rule,
+}
+
+/// Constructs R1 forbids, matched as whole identifiers.
+const DETERMINISM_IDENTS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is nondeterministic; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic; use BTreeSet",
+    ),
+    ("Instant", "wall-clock reads break replay determinism"),
+    ("SystemTime", "wall-clock reads break replay determinism"),
+    ("from_entropy", "entropy-seeded RNG; seed from the spec"),
+    ("thread_rng", "entropy-seeded RNG; seed from the spec"),
+    ("OsRng", "entropy-seeded RNG; seed from the spec"),
+];
+
+/// Substring R1 forbids (paths).
+const DETERMINISM_PATHS: &[(&str, &str)] = &[
+    ("std::env", "environment reads are machine-dependent"),
+    ("rand::random", "entropy-seeded RNG; seed from the spec"),
+];
+
+/// Allocation constructors R3 forbids in hot modules, as substrings of
+/// comment/string-stripped code.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Box::new",
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    ".to_vec(",
+    "String::from",
+    "String::new",
+    "String::with_capacity",
+    ".to_owned(",
+    ".to_string(",
+    "format!",
+    "collect::<Vec",
+];
+
+/// Panic-family constructs R4 forbids in non-test library code.
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+/// Audits one file's source text under the given classification.
+///
+/// `file` is the workspace-relative display path used in findings.
+pub fn audit_source(file: &str, class: FileClass, source: &str) -> Vec<Finding> {
+    let lines = scan(source);
+    let mut findings = Vec::new();
+    let mut grants: Vec<Grant> = Vec::new();
+
+    // Pass 1: allow-comment grammar (R5) and grant collection.
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        collect_allows(file, n, line, &mut grants, &mut findings);
+    }
+    for grant in &mut grants {
+        if grant.target_line == 0 {
+            grant.target_line = lines
+                .iter()
+                .enumerate()
+                .skip(grant.from_line)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map_or(usize::MAX, |(idx, _)| idx + 1);
+        }
+    }
+
+    // Pass 2: per-line rules.
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        if line.in_test {
+            continue;
+        }
+        if class.determinism {
+            check_determinism(file, n, line, &mut findings);
+        }
+        if class.hot && !line.in_setup {
+            check_alloc(file, n, line, &mut findings);
+        }
+        if class.library {
+            check_panic(file, n, line, &mut findings);
+        }
+    }
+
+    // Per-file rule: crate roots must forbid unsafe code.
+    if class.crate_root
+        && !lines.iter().any(|l| {
+            let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+            compact.contains("#![forbid(unsafe_code)]")
+        })
+    {
+        findings.push(Finding {
+            file: file.to_owned(),
+            line: 1,
+            rule: Rule::Unsafe,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+        });
+    }
+
+    // Apply grants.
+    findings.retain(|f| {
+        !grants
+            .iter()
+            .any(|g| g.target_line == f.line && g.rule == f.rule)
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Parses `audit:allow(rule): reason` occurrences in a line's comment.
+fn collect_allows(
+    file: &str,
+    n: usize,
+    line: &Line,
+    grants: &mut Vec<Grant>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut bad = |message: String| {
+        findings.push(Finding {
+            file: file.to_owned(),
+            line: n,
+            rule: Rule::Allow,
+            message,
+        });
+    };
+
+    // A directive must *start* the comment (`// audit:allow(...)`), so
+    // prose that merely mentions the grammar — doc comments, this very
+    // file — is never parsed as one.
+    let comment = line.comment.trim_start();
+    if let Some(tail) = comment.strip_prefix("audit:allow") {
+        let Some(open) = tail.strip_prefix('(') else {
+            bad("malformed allow: expected `audit:allow(<rule>): <reason>`".to_owned());
+            return;
+        };
+        let Some(close) = open.find(')') else {
+            bad("malformed allow: unclosed rule name".to_owned());
+            return;
+        };
+        let name = open[..close].trim();
+        let Some(rule) = Rule::from_allow_name(name) else {
+            bad(format!(
+                "unknown rule `{name}` in allow (expected determinism, unsafe, alloc or panic)"
+            ));
+            return;
+        };
+        let after = open[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(format!(
+                "allow({name}) without a reason — write `audit:allow({name}): <why this is sound>`"
+            ));
+            return;
+        }
+        // Trailing comment after code suppresses its own line; a comment
+        // on a line of its own suppresses the next code-bearing line (so
+        // the explanation may span several comment lines).
+        let target_line = if line.code.trim().is_empty() { 0 } else { n };
+        grants.push(Grant {
+            from_line: n,
+            target_line,
+            rule,
+        });
+    } else if let Some(tail) = comment.strip_prefix("audit:setup") {
+        // Setup markers share the reason requirement (the scanner already
+        // honored the exemption; an unreasoned marker is still reported).
+        if tail
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .is_empty()
+        {
+            bad(
+                "setup marker without a reason — write `audit:setup: <why allocation is \
+                 setup-only>`"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+fn check_determinism(file: &str, n: usize, line: &Line, findings: &mut Vec<Finding>) {
+    for (ident, why) in DETERMINISM_IDENTS {
+        if contains_ident(&line.code, ident) {
+            findings.push(Finding {
+                file: file.to_owned(),
+                line: n,
+                rule: Rule::Determinism,
+                message: format!("`{ident}` in a determinism-critical crate: {why}"),
+            });
+        }
+    }
+    for (path, why) in DETERMINISM_PATHS {
+        if line.code.contains(path) {
+            findings.push(Finding {
+                file: file.to_owned(),
+                line: n,
+                rule: Rule::Determinism,
+                message: format!("`{path}` in a determinism-critical crate: {why}"),
+            });
+        }
+    }
+}
+
+fn check_alloc(file: &str, n: usize, line: &Line, findings: &mut Vec<Finding>) {
+    for pat in ALLOC_PATTERNS {
+        if let Some(pos) = line.code.find(pat) {
+            // Patterns that start mid-identifier (`vec!` inside `my_vec!`)
+            // need a non-ident boundary on the left; `.`-anchored patterns
+            // carry their own boundary.
+            if !pat.starts_with('.') && pos > 0 && is_ident_char(line.code.as_bytes()[pos - 1]) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_owned(),
+                line: n,
+                rule: Rule::Alloc,
+                message: format!(
+                    "allocation constructor `{pat}` in a hot module — pool it in setup \
+                     (see `audit:setup`) or move it off the replication path"
+                ),
+            });
+            break; // one alloc finding per line is enough
+        }
+    }
+}
+
+fn check_panic(file: &str, n: usize, line: &Line, findings: &mut Vec<Finding>) {
+    for pat in PANIC_PATTERNS {
+        let mut start = 0usize;
+        while let Some(off) = line.code[start..].find(pat) {
+            let pos = start + off;
+            start = pos + pat.len();
+            if !pat.starts_with('.') && pos > 0 && is_ident_char(line.code.as_bytes()[pos - 1]) {
+                continue; // e.g. `deny_panic!` must not match `panic!`
+            }
+            findings.push(Finding {
+                file: file.to_owned(),
+                line: n,
+                rule: Rule::Panic,
+                message: format!(
+                    "`{}` in library code — propagate an error, or annotate the checked \
+                     invariant with audit:allow(panic)",
+                    pat.trim_start_matches('.')
+                ),
+            });
+        }
+    }
+}
+
+fn contains_ident(code: &str, ident: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0usize;
+    while let Some(off) = code[start..].find(ident) {
+        let pos = start + off;
+        let end = pos + ident.len();
+        let left_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        start = pos + ident.len();
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FileClass;
+
+    fn lib_class() -> FileClass {
+        FileClass {
+            crate_root: false,
+            library: true,
+            determinism: true,
+            hot: false,
+        }
+    }
+
+    #[test]
+    fn determinism_rule_matches_whole_identifiers_only() {
+        let f = audit_source("x.rs", lib_class(), "let m = MyHashMapLike::new();\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = audit_source("x.rs", lib_class(), "use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let src = "let t = now_instant(); // audit:allow(panic): not a panic\nx.unwrap();\n";
+        let f = audit_source("x.rs", lib_class(), src);
+        // The allow targets line 1 (no panic there), so line 2 still fires.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn bare_allow_is_a_violation() {
+        let src = "// audit:allow(panic)\nx.unwrap();\n";
+        let f = audit_source("x.rs", lib_class(), src);
+        assert!(f.iter().any(|f| f.rule == Rule::Allow));
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Panic),
+            "a bare allow must not suppress"
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "let x = y.unwrap_or(0); let z = y.unwrap_or_else(f);\n";
+        assert!(audit_source("x.rs", lib_class(), src).is_empty());
+    }
+}

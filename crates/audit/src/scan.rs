@@ -1,0 +1,352 @@
+//! Source scanner: splits each line of a Rust file into *code text* and
+//! *comment text*, with string/char-literal contents blanked out of the
+//! code, and tracks brace-delimited exemption regions (`#[cfg(test)]`
+//! items and `audit:setup`-marked functions).
+//!
+//! The scanner is deliberately lexical — no parsing, no `syn`, no
+//! third-party crates (the workspace builds offline). It understands just
+//! enough Rust surface syntax for the rules to be reliable:
+//!
+//! * line comments (`//`), nested block comments (`/* /* */ */`),
+//! * string literals with escapes, byte strings, raw strings
+//!   (`r"…"`, `r#"…"#`, `br#"…"#`), char and byte literals,
+//!   lifetimes (`'a` is *not* a char literal),
+//! * brace depth, computed only from code text.
+//!
+//! Rule patterns are then matched against the blanked code text, so a
+//! `".unwrap()"` inside a string or a doc comment never fires, and the
+//! allow-comment grammar is matched against the comment text, so
+//! `audit:allow` inside a string never suppresses anything.
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Source text with comments removed and literal contents blanked
+    /// (quotes kept, interiors replaced by spaces).
+    pub code: String,
+    /// Concatenated comment text on this line (comment markers stripped).
+    pub comment: String,
+    /// True while inside a `#[cfg(test)]` item (or on its opening line).
+    pub in_test: bool,
+    /// True while inside a function marked with a preceding
+    /// `// audit:setup: <reason>` comment (hot-path allocation exemption).
+    pub in_setup: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exempt {
+    Test,
+    Setup,
+}
+
+/// Scans a whole file into per-line code/comment text plus exemption
+/// flags. Lines are returned in order; line numbers are index + 1.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines = split_literals(source);
+    mark_regions(&mut lines);
+    lines
+}
+
+/// Pass 1: separate code from comments and blank literal interiors.
+fn split_literals(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut mode = Mode::Code;
+
+    for raw in source.lines() {
+        let mut line = Line::default();
+        let bytes = raw.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let b = bytes[i];
+            match mode {
+                Mode::Code => {
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = Mode::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'"' {
+                        line.code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                        continue;
+                    }
+                    if let Some(hashes) = raw_string_open(bytes, i) {
+                        line.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += skip_raw_open(bytes, i);
+                        continue;
+                    }
+                    if b == b'\'' {
+                        if let Some(len) = char_literal_len(bytes, i) {
+                            // Entire literal on this line: blank it.
+                            line.code.push('\'');
+                            line.code.push(' ');
+                            line.code.push('\'');
+                            i += len;
+                            continue;
+                        }
+                        // A lifetime (or stray quote): plain code.
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(b as char);
+                    i += 1;
+                }
+                Mode::LineComment => {
+                    line.comment.push(b as char);
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                    line.comment.push(b as char);
+                    i += 1;
+                }
+                Mode::Str => {
+                    if b == b'\\' {
+                        line.code.push(' ');
+                        if i + 1 < bytes.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'"' {
+                        line.code.push('"');
+                        mode = Mode::Code;
+                    } else {
+                        line.code.push(' ');
+                    }
+                    i += 1;
+                }
+                Mode::RawStr(hashes) => {
+                    if b == b'"' && closes_raw(bytes, i, hashes) {
+                        line.code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        // Line comments end with the line; strings/block comments carry on.
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Is `bytes[i..]` the opening of a raw (byte) string? Returns the hash
+/// count when it is.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    // `r` must not be part of a longer identifier (`for`, `number_r`…).
+    if i > 0 && is_ident(bytes[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Length of the `r#"`-style opener at `i` (caller checked it opens).
+fn skip_raw_open(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // r
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    j + 1 - i // closing quote of the opener
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Length of a char/byte literal starting at the `'` at `i`, or `None`
+/// when this quote starts a lifetime instead.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => {
+            // Escaped char: scan to the closing quote on this line.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                if bytes[j] == b'\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if bytes.get(i + 2) == Some(&b'\'') => Some(3),
+        _ => None, // lifetime: 'a, '_, 'static
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Pass 2: mark `#[cfg(test)]` and `audit:setup` regions by brace depth.
+fn mark_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut stack: Vec<(i64, Exempt)> = Vec::new();
+    let mut pending: Option<Exempt> = None;
+
+    for line in lines.iter_mut() {
+        let compact: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("#[cfg(test)]")
+            || compact.contains("#[cfg(all(test")
+            || compact.contains("#[cfg(any(test")
+        {
+            pending = Some(Exempt::Test);
+        }
+        if line.comment.trim_start().starts_with("audit:setup") {
+            pending = Some(Exempt::Setup);
+        }
+
+        let before_test = stack.iter().any(|(_, k)| *k == Exempt::Test);
+        let before_setup = stack.iter().any(|(_, k)| *k == Exempt::Setup);
+
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(kind) = pending.take() {
+                        stack.push((depth, kind));
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    while stack.last().is_some_and(|(d, _)| *d > depth) {
+                        stack.pop();
+                    }
+                }
+                ';' if pending == Some(Exempt::Test) && stack.is_empty() => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // braceless item; don't latch onto a later block.
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+
+        let after_test = stack.iter().any(|(_, k)| *k == Exempt::Test);
+        let after_setup = stack.iter().any(|(_, k)| *k == Exempt::Setup);
+        line.in_test = before_test || after_test;
+        line.in_setup = before_setup || after_setup;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_out_of_code() {
+        let src = r#"let x = "a.unwrap() // not code"; // real.unwrap() comment"#;
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("real.unwrap() comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn byte_and_escaped_char_literals_are_blanked() {
+        let lines = scan("m(b'{'); n('\\n'); o('}');");
+        let code = &lines[0].code;
+        assert!(!code.contains('{'), "code = {code:?}");
+        assert!(!code.contains('}'), "code = {code:?}");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = scan("let s = r#\"panic!(\"x\")\"#; done();");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].code.contains("done()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = scan("a(); /* x /* y */ still */ b();\nc();");
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[0].code.contains("still"));
+        assert!(lines[1].code.contains("c()"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_whole_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test, "region must close with the module");
+    }
+
+    #[test]
+    fn cfg_test_on_a_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }\n";
+        let lines = scan(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn setup_marker_exempts_one_function() {
+        let src = "// audit:setup: builds the pool\nfn build() {\n    Vec::new();\n}\nfn hot() { Vec::new(); }\n";
+        let lines = scan(src);
+        assert!(lines[2].in_setup);
+        assert!(!lines[4].in_setup, "exemption must end with the fn");
+    }
+}

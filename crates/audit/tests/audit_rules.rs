@@ -1,0 +1,131 @@
+//! Golden-output tests: each fixture under `tests/fixtures/` is audited
+//! with an explicit [`FileClass`] and must yield exactly the expected
+//! findings, rendered in the `file:line: rule-id: message` report format.
+
+use eacp_audit::{audit_source, FileClass};
+
+fn rendered(file: &str, class: FileClass, source: &str) -> Vec<String> {
+    audit_source(file, class, source)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+const LIBRARY: FileClass = FileClass {
+    crate_root: false,
+    library: true,
+    determinism: false,
+    hot: false,
+};
+
+#[test]
+fn determinism_fixture_matches_golden() {
+    let got = rendered(
+        "fx/determinism.rs",
+        FileClass {
+            determinism: true,
+            ..LIBRARY
+        },
+        include_str!("fixtures/determinism.rs"),
+    );
+    assert_eq!(
+        got,
+        [
+            "fx/determinism.rs:3: R1-determinism: `HashMap` in a determinism-critical crate: \
+             iteration order is nondeterministic; use BTreeMap",
+            "fx/determinism.rs:6: R1-determinism: `Instant` in a determinism-critical crate: \
+             wall-clock reads break replay determinism",
+            "fx/determinism.rs:11: R1-determinism: `std::env` in a determinism-critical crate: \
+             environment reads are machine-dependent",
+        ]
+    );
+}
+
+#[test]
+fn panic_fixture_matches_golden() {
+    let got = rendered("fx/panics.rs", LIBRARY, include_str!("fixtures/panics.rs"));
+    assert_eq!(
+        got,
+        [
+            "fx/panics.rs:4: R4-panic: `unwrap()` in library code — propagate an error, or \
+             annotate the checked invariant with audit:allow(panic)",
+            "fx/panics.rs:8: R4-panic: `panic!` in library code — propagate an error, or \
+             annotate the checked invariant with audit:allow(panic)",
+        ]
+    );
+}
+
+#[test]
+fn hot_alloc_fixture_matches_golden() {
+    let got = rendered(
+        "fx/hot_alloc.rs",
+        FileClass {
+            hot: true,
+            ..LIBRARY
+        },
+        include_str!("fixtures/hot_alloc.rs"),
+    );
+    assert_eq!(
+        got,
+        [
+            "fx/hot_alloc.rs:4: R3-alloc: allocation constructor `Vec::new` in a hot module — \
+             pool it in setup (see `audit:setup`) or move it off the replication path",
+            "fx/hot_alloc.rs:5: R3-alloc: allocation constructor `format!` in a hot module — \
+             pool it in setup (see `audit:setup`) or move it off the replication path",
+        ]
+    );
+}
+
+#[test]
+fn allow_misuse_fixture_matches_golden() {
+    let got = rendered(
+        "fx/allow_errors.rs",
+        LIBRARY,
+        include_str!("fixtures/allow_errors.rs"),
+    );
+    assert_eq!(
+        got,
+        [
+            "fx/allow_errors.rs:3: R5-allow: allow(panic) without a reason — write \
+             `audit:allow(panic): <why this is sound>`",
+            "fx/allow_errors.rs:6: R5-allow: unknown rule `frobnicate` in allow (expected \
+             determinism, unsafe, alloc or panic)",
+        ]
+    );
+}
+
+#[test]
+fn missing_forbid_fixture_matches_golden() {
+    let got = rendered(
+        "fx/missing_forbid.rs",
+        FileClass {
+            crate_root: true,
+            ..LIBRARY
+        },
+        include_str!("fixtures/missing_forbid.rs"),
+    );
+    assert_eq!(
+        got,
+        ["fx/missing_forbid.rs:1: R2-unsafe: crate root is missing #![forbid(unsafe_code)]"]
+    );
+}
+
+#[test]
+fn clean_fixtures_stay_clean_under_other_rules() {
+    // The determinism fixture only violates R1: with determinism scoping
+    // off it must come back clean (the allow grant stays well-formed).
+    let got = rendered(
+        "fx/determinism.rs",
+        LIBRARY,
+        include_str!("fixtures/determinism.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+
+    // The hot-path fixture allocates, but that is fine off the hot list.
+    let got = rendered(
+        "fx/hot_alloc.rs",
+        LIBRARY,
+        include_str!("fixtures/hot_alloc.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}

@@ -1,0 +1,10 @@
+//! R5 fixture: malformed allow directives.
+
+// audit:allow(panic)
+pub fn bare() {}
+
+// audit:allow(frobnicate): not a rule.
+pub fn unknown() {}
+
+// audit:allow(panic): reasoned but unused grants are not an error.
+pub fn unused() {}

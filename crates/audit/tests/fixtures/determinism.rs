@@ -1,0 +1,21 @@
+//! R1 fixture: forbidden nondeterminism sources in a scoped crate.
+
+use std::collections::HashMap;
+
+fn timing() {
+    let t = Instant::now();
+    let _ = t;
+}
+
+fn env_read() {
+    let _ = std::env::var("SEED");
+}
+
+fn string_mention() {
+    let _ = "HashMap in a string literal is fine";
+}
+
+fn suppressed() {
+    // audit:allow(determinism): fixture — demonstrating a reasoned grant.
+    let _ = HashSet::with_capacity(4);
+}

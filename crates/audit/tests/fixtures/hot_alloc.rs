@@ -1,0 +1,12 @@
+//! R3 fixture: allocation in a hot module, with the setup exemption.
+
+pub fn hot_loop(buf: &mut Vec<u64>) {
+    let v = Vec::new();
+    let s = format!("x{}", buf.len());
+    let _ = (v, s);
+}
+
+// audit:setup: fixture — builds pooled scratch once per job.
+pub fn setup() -> Vec<u64> {
+    Vec::with_capacity(64)
+}

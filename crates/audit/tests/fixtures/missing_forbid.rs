@@ -1,0 +1,3 @@
+//! R2 fixture: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

@@ -1,0 +1,21 @@
+//! R4 fixture: panic-policy violations, test exemption, trailing allow.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn worse() {
+    panic!("boom");
+}
+
+pub fn checked(x: Option<u32>) -> u32 {
+    x.expect("caller checked") // audit:allow(panic): fixture invariant.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! The workspace must audit clean: this is the same gate CI runs via
+//! `eacp-audit check`, expressed as a test so `cargo test` alone catches
+//! a regression even without the CI job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_audits_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("audit crate lives two levels below the workspace root");
+    let findings = eacp_audit::audit_workspace(root).expect("workspace is readable");
+    assert!(
+        findings.is_empty(),
+        "workspace has audit findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+}

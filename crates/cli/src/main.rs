@@ -1,5 +1,7 @@
 //! The `eacp` command-line tool (see `eacp --help`).
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 
 fn main() {

@@ -242,6 +242,8 @@ impl Policy for Adaptive {
             }
         }
         let sub = self.sub;
+        // audit:allow(panic): the branch above either fills `self.plan` or
+        // returns `Abort`, so the option is always `Some` here.
         let plan = self.plan.as_mut().expect("plan was just ensured");
         let f = ctx.dvs.level(plan.speed).frequency;
         let remaining_time = remaining / f;
@@ -255,6 +257,8 @@ impl Policy for Adaptive {
         let kind = if last_of_interval || final_segment {
             CheckpointKind::CompareStore
         } else {
+            // audit:allow(panic): the constructor only accepts `m > 1` plans
+            // together with a sub-checkpoint kind, so `sub` is `Some`.
             match sub.expect("m > 1 only with a sub-checkpoint kind") {
                 SubCheckpointKind::Store => CheckpointKind::Store,
                 SubCheckpointKind::Compare => CheckpointKind::Compare,

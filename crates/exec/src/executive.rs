@@ -52,6 +52,8 @@ pub fn run_executive_observed<O: Observer + ?Sized>(
     let report = run_executive_stream(
         &params,
         &mut faults,
+        // audit:allow(panic): `spec.validate()` above checked every
+        // per-task policy assignment.
         |task| Box::new(policy.for_task(task).build().expect("validated policy")),
         observer,
     );

@@ -74,6 +74,8 @@ impl Job {
     ///
     /// Every component is validated up front, so later replication builds
     /// cannot fail inside worker threads.
+    // audit:setup: job construction — validation and name clones happen
+    // once per job, before any replication runs.
     pub fn from_spec(spec: &ExperimentSpec) -> Result<Self, SpecError> {
         let scenario = spec.scenario.build()?;
         let options = spec.executor.build()?;
@@ -110,6 +112,8 @@ impl Job {
     /// # Errors
     ///
     /// Fails on the same invalid specs as [`Job::from_spec`].
+    // audit:setup: the boxed escape hatch allocates by design — that is
+    // the path the pooled enums are benchmarked against.
     pub fn from_spec_boxed(spec: &ExperimentSpec) -> Result<Self, SpecError> {
         let policy_spec = spec.policy;
         let fault_spec = spec.faults.clone();
@@ -122,7 +126,9 @@ impl Job {
             spec.executor.build()?,
             spec.mc.replications,
             spec.mc.seed,
+            // audit:allow(panic): both specs were just validated above.
             move |_seed| Box::new(policy_spec.build().expect("validated policy spec")),
+            // audit:allow(panic): both specs were just validated above.
             move |seed| Box::new(fault_spec.build(seed).expect("validated fault spec")),
         )
     }
@@ -134,6 +140,7 @@ impl Job {
     /// # Errors
     ///
     /// Fails when `replications == 0`.
+    // audit:setup: job construction — the factories are boxed once here.
     pub fn from_parts(
         name: impl Into<String>,
         scenario: Scenario,
@@ -211,10 +218,20 @@ impl Job {
     /// Creates the per-block replication driver: the executor, the pooled
     /// [`ExecutorScratch`], and — for spec-built jobs — one concrete
     /// policy/fault-process pair that is `reset(seed)` per replication.
-    pub(crate) fn replicator(&self) -> Replicator<'_> {
+    ///
+    /// This is the zero-allocation entry point for running *many*
+    /// replications: build the replicator once, then call
+    /// [`Replicator::run_replication`] in a loop. (The convenience
+    /// [`Job::run_replication`] builds a fresh one per call.) The
+    /// `alloc-count` witness test pins the pooled loop allocation-free.
+    // audit:setup: builds the pooled executor/scratch/policy/faults once
+    // per block; replications then only reset them.
+    pub fn replicator(&self) -> Replicator<'_> {
         let pooled = match &self.dispatch {
             Dispatch::Spec { policy, faults } => Some((
+                // audit:allow(panic): `from_spec` validated both specs.
                 policy.build().expect("validated policy spec"),
+                // audit:allow(panic): `from_spec` validated both specs.
                 faults.build(self.base_seed).expect("validated fault spec"),
             )),
             Dispatch::Factories { .. } => None,
@@ -238,7 +255,7 @@ impl Job {
 /// store stack and energy meter. A golden integration test pins this path
 /// bit-identical to the boxed-factory path for every scheme × fault
 /// process.
-pub(crate) struct Replicator<'j> {
+pub struct Replicator<'j> {
     job: &'j Job,
     executor: Executor<'j>,
     scratch: ExecutorScratch,
@@ -248,7 +265,7 @@ pub(crate) struct Replicator<'j> {
 impl Replicator<'_> {
     /// Runs one replication under the workspace seeding contract,
     /// streaming the replication bracket and engine events into `obs`.
-    pub(crate) fn run_replication<O: Observer + ?Sized>(
+    pub fn run_replication<O: Observer + ?Sized>(
         &mut self,
         replication: u64,
         obs: &mut O,

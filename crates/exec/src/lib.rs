@@ -57,7 +57,7 @@ pub mod shard;
 
 pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
 pub use executive::{run_executive, run_executive_observed};
-pub use job::{FaultFactory, Job, PolicyFactory};
+pub use job::{FaultFactory, Job, PolicyFactory, Replicator};
 pub use queue::{
     run_sweep_queued, BlockAssignment, InProcessWorker, Lease, NoopQueueObserver, QueueObserver,
     QueueRunner, QueueStatus, WorkQueue, Worker,

@@ -139,6 +139,9 @@ pub(crate) fn merge_blocks(blocks: Vec<Summary>) -> Summary {
 /// imposes a replication order, so runners fall back to this sequential
 /// schedule — over the same canonical blocks — and the aggregate stays
 /// bit-identical to their parallel fast paths.
+// audit:setup: per-job orchestration — allocates one partial per block,
+// never inside the replication loop (that is `run_block`, which stays
+// under the hot-path allocation rule).
 pub(crate) fn run_sequential_observed<O: Observer + ?Sized>(
     job: &Job,
     block_size_override: u64,
@@ -161,6 +164,9 @@ impl Runner for LocalRunner {
         "local"
     }
 
+    // audit:setup: per-job orchestration — worker vectors and the block
+    // index are allocated once per run; the replication loop itself is
+    // `run_block`.
     fn run(&self, job: &Job) -> Result<Summary, SpecError> {
         let reps = job.replications();
         let block = self.effective_block(reps);
@@ -195,6 +201,8 @@ impl Runner for LocalRunner {
                 }));
             }
             for h in handles {
+                // audit:allow(panic): re-raises a worker thread's panic on
+                // the caller thread instead of silently dropping blocks.
                 worker_results.push(h.join().expect("simulation worker panicked"));
             }
         });
@@ -208,6 +216,8 @@ impl Runner for LocalRunner {
         Ok(merge_blocks(
             by_index
                 .into_iter()
+                // audit:allow(panic): the work-stealing loop hands out each
+                // block index exactly once and every worker joined above.
                 .map(|p| p.expect("every block is reduced exactly once"))
                 .collect(),
         ))

@@ -3,6 +3,10 @@
 //! abandoning assignments mid-block), `QueueRunner` produces a `Summary`
 //! bit-identical to the sequential `LocalRunner::new(1)`.
 
+// Test doubles key attempt counts by block id and never iterate the map,
+// so hash order is irrelevant (see clippy.toml on R1 scope).
+#![allow(clippy::disallowed_types)]
+
 use eacp_exec::{
     BlockAssignment, InProcessWorker, Job, LocalRunner, QueueRunner, Runner, Summary, Worker,
 };

@@ -16,6 +16,8 @@
 //! cartesian product, or explicit spec lists where it is not. `--emit-spec`
 //! prints the expanded documents instead of running them.
 
+#![forbid(unsafe_code)]
+
 use eacp_spec::{
     CostsSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec, SweepAxis, SweepSpec,
     ToJson,

@@ -42,8 +42,7 @@ pub fn compare_with_paper(result: &TableResult) -> Vec<SchemeErrors> {
                 name = s.name.clone();
                 let (pm, pp) = (s.summary.p_timely(), paper.p_of(scheme));
                 p_abs.push(pm - pp);
-                if worst.is_none() || (pm - pp).abs() > (worst.unwrap().2 - worst.unwrap().3).abs()
-                {
+                if worst.is_none_or(|(_, _, wm, wp)| (pm - pp).abs() > (wm - wp).abs()) {
                     worst = Some((cell.spec.utilization, cell.spec.lambda, pm, pp));
                 }
                 let (em, ep) = (s.summary.mean_energy_timely(), paper.e_of(scheme));

@@ -54,6 +54,8 @@ impl CellResult {
         self.schemes
             .iter()
             .find(|s| s.scheme == id)
+            // audit:allow(panic): run_table iterates SchemeId::ALL, so every
+            // id is present by construction.
             .expect("all schemes are always run")
     }
 }
@@ -89,6 +91,8 @@ pub fn cell_scenario_spec(config: &TableConfig, spec: &CellSpec) -> ScenarioSpec
 pub fn cell_scenario(config: &TableConfig, spec: &CellSpec) -> Scenario {
     cell_scenario_spec(config, spec)
         .build()
+        // audit:allow(panic): the table configs are compiled-in constants
+        // exercised by every experiments test; an invalid one is a bug here.
         .expect("table configurations are valid scenarios")
 }
 
@@ -128,6 +132,8 @@ pub fn make_policy(config: &TableConfig, spec: &CellSpec, scheme: SchemeId) -> B
     Box::new(
         scheme_policy_spec(config, spec, scheme)
             .build()
+            // audit:allow(panic): same compiled-in table constants as the
+            // scenario above; failure is a programming error, not input.
             .expect("table configurations are valid policies"),
     )
 }
@@ -235,6 +241,8 @@ pub fn run_cell_exec(
             let experiment =
                 cell_experiment_exec(config, spec, scheme, replications, seed, executor);
             let (summary, report) =
+                // audit:allow(panic): specs are assembled from validated
+                // table constants; eacp_exec::run only errs on invalid specs.
                 eacp_exec::run(&experiment).expect("table cells are valid experiment specs");
             debug_assert_eq!(summary.anomalies, 0, "policy anomaly in {scheme:?}");
             SchemeResult {

@@ -201,8 +201,8 @@ where
 
     loop {
         // Admit releases up to `now`.
-        while iter.peek().is_some_and(|p| p.release <= now + 1e-9) {
-            ready.push(iter.next().expect("peeked"));
+        while let Some(p) = iter.next_if(|p| p.release <= now + 1e-9) {
+            ready.push(p);
         }
         if ready.is_empty() {
             match iter.next() {
@@ -214,13 +214,17 @@ where
                 None => break,
             }
         }
-        // EDF: earliest absolute deadline first.
-        let best = ready
+        // EDF: earliest absolute deadline first. The refill above either
+        // pushed a job or broke out of the loop, but spelling the empty
+        // case as a loop exit keeps this panic-free by construction.
+        let Some(best) = ready
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.abs_deadline.total_cmp(&b.abs_deadline))
             .map(|(i, _)| i)
-            .expect("ready is non-empty");
+        else {
+            break;
+        };
         let job = ready.swap_remove(best);
         let task = &params.set.tasks()[job.task];
 

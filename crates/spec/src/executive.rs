@@ -348,6 +348,7 @@ impl ExecutiveSpec {
 
 /// The default shared scheme: the paper's proposed `A_D_S`.
 fn default_policy(lambda: f64, k: u32) -> PolicySpec {
+    // audit:allow(panic): "a_d_s" is a literal member of `PolicySpec::TAGS`.
     PolicySpec::from_tag("a_d_s", lambda, k, 0).expect("a_d_s is a known tag")
 }
 

@@ -328,7 +328,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), SpecError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), SpecError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -360,7 +360,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, SpecError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -371,7 +371,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -385,7 +385,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, SpecError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -405,7 +405,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, SpecError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             match self.bump() {
@@ -481,8 +481,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)

@@ -13,6 +13,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wall-clock timing is this shim's whole purpose; the R1 determinism rule
+// (see clippy.toml) targets the simulation crates, not the bench harness.
+#![allow(clippy::disallowed_types)]
 
 use std::time::{Duration, Instant};
 
