@@ -19,7 +19,9 @@
 
 /// Crates whose sources must stay deterministic (R1): anything that runs
 /// inside a replication or computes results that reports compare
-/// bit-for-bit.
+/// bit-for-bit. The result store qualifies because a cache hit must be
+/// byte-identical to recomputation — filesystem and clock access are
+/// confined to its backend behind `audit:allow` notes.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "dmr-sim",
     "fault-model",
@@ -28,6 +30,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "energy-model",
     "numerics",
     "exec",
+    "store",
 ];
 
 /// Modules on the per-replication hot path (R3): allocation here must be
@@ -133,6 +136,10 @@ mod tests {
             })
         );
         assert!(classify("crates/experiments/src/bin/sweep.rs").is_some_and(|c| !c.library));
+        // The result store is determinism-scoped: a cache hit must be
+        // byte-identical to recomputation.
+        assert!(classify("crates/store/src/fs.rs").is_some_and(|c| c.determinism && c.library));
+        assert!(classify("crates/store/src/lib.rs").is_some_and(|c| c.determinism && c.crate_root));
         // Vendored shims: R2 on the root only.
         assert_eq!(
             classify("vendor/rand/src/lib.rs"),

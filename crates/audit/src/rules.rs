@@ -83,7 +83,7 @@ impl Rule {
             Rule::Determinism => {
                 "forbids Instant/SystemTime, HashMap/HashSet, std::env and entropy-seeded RNGs \
                  in the simulation/execution crates (dmr-sim, fault-model, core, rt-sched, \
-                 energy-model, numerics, exec)"
+                 energy-model, numerics, exec, store)"
             }
             Rule::Unsafe => "every workspace crate root must carry #![forbid(unsafe_code)]",
             Rule::Alloc => {

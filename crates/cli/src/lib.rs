@@ -22,6 +22,9 @@
 //!   [`ExecutiveSpec`], or the `--tasks` shorthand);
 //! * `executive` — run the non-preemptive EDF executive over N
 //!   hyperperiods and emit an [`eacp_spec::ExecutiveRunReport`];
+//! * `store` — inspect (`status`), prune (`gc`) and audit (`verify`) the
+//!   content-addressed result store that `run`/`mc`/`sweep` consult with
+//!   `--store DIR` (or `$EACP_STORE`);
 //! * `presets` — list the named experiment presets.
 //!
 //! Every simulation subcommand is spec-driven: `--spec file.json` loads an
@@ -47,7 +50,7 @@ use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
 use eacp_exec::{
     coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, Job, LocalRunner, PaperRef,
-    QueueObserver, QueueStatus, Runner, ShardId, Summary,
+    QueueObserver, QueueRunner, QueueStatus, Runner, ShardId, Summary,
 };
 use eacp_rtsched::feasibility::{
     edf_density, k_fault_wcet, minimum_feasible_speed, rm_response_times,
@@ -60,6 +63,11 @@ use eacp_spec::{
     PolicyAssignment, PolicySpec, RunReport, ScenarioSpec, SweepAxis, SweepSpec, TaskSetSpec,
     ToJson, WorkSpec,
 };
+use eacp_store::{
+    run_cached, run_cached_single, run_sweep_cached, store_coverage, verify_store, CacheMode,
+    CacheOutcome, FsBackend, MemBackend, NoopStoreObserver, RetentionPolicy, StoreBackend,
+    StoreCounters, STORE_ENV_VAR,
+};
 
 /// Usage text for `--help`.
 pub const USAGE: &str = "\
@@ -67,11 +75,12 @@ eacp — energy-aware adaptive checkpointing (DATE 2006 reproduction)
 
 USAGE:
   eacp run        [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
-                  [--variant scp|ccp] [--seed N] [--trace]
+                  [--variant scp|ccp] [--seed N] [--trace] [CACHE]
   eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
+                  [CACHE]
   eacp sweep      --spec sweep.json [--reps N] [--json] [--shard I/N] [--out DIR]
-                  [--queue [--workers N]]
+                  [--queue [--workers N]] [CACHE]
   eacp merge      <DIR> [--out FILE]
   eacp queue      status <DIR>
   eacp csv        <DIR> [--out FILE]
@@ -82,7 +91,15 @@ USAGE:
                   [--hyperperiods N] [--seed N] [--json]
   eacp bench      [--reps N] [--quick] [--threads N] [--seed N] [--out FILE]
                   [--baseline FILE [--max-regress FRAC]]
+  eacp store      status [--spec sweep.json [--reps N] [--seed N]]
+                  | gc [--max-entries N] [--max-bytes N] | verify [--sample N]
+                  (all take --store DIR or $EACP_STORE)
   eacp presets
+
+CACHE (run/mc/sweep):
+  --store DIR        consult/record a result store (default: $EACP_STORE)
+  --no-cache         ignore any configured store for this invocation
+  --refresh          recompute and re-record even on a hit
 
 PERIODIC TASK SETS (feasibility/executive):
   Both subcommands resolve an ExecutiveSpec: --spec file.json loads a
@@ -110,6 +127,18 @@ BENCH:
   the numbers as BENCH_simulator.json (override with --out). Track
   pooled.reps_per_s across commits for the perf trajectory. --quick runs
   a reduced-replication smoke for CI.
+
+RESULT STORE:
+  A store is a content-addressed cache of finished cells: each result is
+  keyed by a stable hash of the canonical spec (minus name, Monte-Carlo
+  block and queue scheduling) plus (seed, replications). With --store DIR
+  (or $EACP_STORE), `run`/`mc` serve hits byte-identical to recomputation
+  and record misses; `sweep --store` is resumable — kill it anywhere,
+  rerun, and only uncovered grid cells are computed. Corrupt entries are
+  quarantined and recomputed, never served. `eacp store status` reports
+  health (add --spec sweep.json for grid coverage), `gc` applies a
+  retention policy, `verify` recomputes sampled cells and fails on any
+  byte mismatch.
 
 QUEUED EXECUTION:
   --queue schedules work through a work queue drained by a worker pool
@@ -173,6 +202,18 @@ pub struct Options {
     pub queue: bool,
     /// Worker-pool size for `--queue` (0 = automatic).
     pub workers: usize,
+    /// Result-store directory (`--store`; empty = consult `$EACP_STORE`).
+    pub store: String,
+    /// Ignore any configured result store for this invocation.
+    pub no_cache: bool,
+    /// Recompute and re-record even on a store hit.
+    pub refresh: bool,
+    /// Retention bound for `store gc`: keep at most this many entries.
+    pub max_entries: u64,
+    /// Retention bound for `store gc`: keep at most this many bytes.
+    pub max_bytes: u64,
+    /// Cells to spot-check for `store verify` (0 = all).
+    pub sample: u64,
     /// Output path: a directory for `sweep`, a file for
     /// `merge`/`csv`/`bench`.
     pub out: String,
@@ -211,6 +252,12 @@ impl Default for Options {
             shard: String::new(),
             queue: false,
             workers: 0,
+            store: String::new(),
+            no_cache: false,
+            refresh: false,
+            max_entries: 0,
+            max_bytes: 0,
+            sample: 0,
             out: String::new(),
             quick: false,
             json: false,
@@ -260,7 +307,15 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--preset" => o.preset = val("--preset")?,
             "--shard" => o.shard = val("--shard")?,
             "--workers" => o.workers = parse_num(&val("--workers")?, "--workers")? as usize,
+            "--store" => o.store = val("--store")?,
+            "--max-entries" => {
+                o.max_entries = parse_num(&val("--max-entries")?, "--max-entries")? as u64
+            }
+            "--max-bytes" => o.max_bytes = parse_num(&val("--max-bytes")?, "--max-bytes")? as u64,
+            "--sample" => o.sample = parse_num(&val("--sample")?, "--sample")? as u64,
             "--out" => o.out = val("--out")?,
+            "--no-cache" => o.no_cache = true,
+            "--refresh" => o.refresh = true,
             "--queue" => o.queue = true,
             "--quick" => o.quick = true,
             "--trace" => o.trace = true,
@@ -279,6 +334,12 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
     }
     if o.has("--workers") && !o.queue {
         return Err("--workers only applies with --queue".to_owned());
+    }
+    if o.no_cache && o.refresh {
+        return Err("--no-cache conflicts with --refresh".to_owned());
+    }
+    if o.no_cache && o.has("--store") {
+        return Err("--no-cache conflicts with --store (drop one)".to_owned());
     }
     if o.queue && o.has("--threads") {
         return Err(
@@ -313,6 +374,107 @@ fn costs_of(o: &Options) -> CostsSpec {
     } else {
         CostsSpec::PaperCcp
     }
+}
+
+/// Resolves the result store for `run`/`mc`/`sweep`: `--store DIR` wins,
+/// else `$EACP_STORE`, else no store. `--no-cache` disables both.
+///
+/// # Errors
+///
+/// Returns a message for an unopenable store directory, or `--refresh`
+/// with no store configured.
+fn resolve_store(o: &Options) -> Result<Option<FsBackend>, String> {
+    let dir = if !o.store.is_empty() {
+        o.store.clone()
+    } else if o.no_cache {
+        String::new()
+    } else {
+        // The CLI is outside the audit's R1 determinism scope: resolving
+        // operator configuration from the environment is its job.
+        #[allow(clippy::disallowed_methods)]
+        std::env::var(STORE_ENV_VAR).unwrap_or_default()
+    };
+    if o.no_cache || dir.is_empty() {
+        if o.refresh {
+            return Err(format!(
+                "--refresh needs a store (--store DIR or ${STORE_ENV_VAR})"
+            ));
+        }
+        return Ok(None);
+    }
+    FsBackend::open(std::path::Path::new(&dir))
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+/// The store required by `eacp store` subcommands (which make no sense
+/// without one).
+fn require_store(o: &Options) -> Result<FsBackend, String> {
+    resolve_store(o)?
+        .ok_or_else(|| format!("store: no store configured (--store DIR or ${STORE_ENV_VAR})"))
+}
+
+fn cache_mode(o: &Options) -> CacheMode {
+    if o.refresh {
+        CacheMode::Refresh
+    } else {
+        CacheMode::ReadWrite
+    }
+}
+
+/// One-line cache telemetry appended to `run`/`mc` text output.
+fn store_note(cache: CacheOutcome, source: Option<&std::path::Path>) -> String {
+    let what = match cache {
+        CacheOutcome::Hit => "hit — served from the store",
+        CacheOutcome::Miss => "miss — computed and recorded",
+        CacheOutcome::Refreshed => "refreshed — recomputed and re-recorded",
+    };
+    match source {
+        Some(p) => format!("store: {what} ({})\n", p.display()),
+        None => format!("store: {what}\n"),
+    }
+}
+
+/// The coverage footer shared by `eacp queue status` (report directories)
+/// and `eacp store status --spec` (store cells): covered/missing counts —
+/// plus duplicates where the collection can have them — and a readiness
+/// verdict.
+fn coverage_summary(
+    covered: usize,
+    total: usize,
+    missing: &[usize],
+    duplicated: Option<&[usize]>,
+    complete_msg: &str,
+    incomplete_msg: &str,
+) -> String {
+    let fmt_indices = |v: &[usize]| {
+        if v.is_empty() {
+            "none".to_owned()
+        } else {
+            format!(
+                "{:?}{}",
+                &v[..v.len().min(8)],
+                if v.len() > 8 { ", ..." } else { "" }
+            )
+        }
+    };
+    let mut out = format!(
+        "covered {covered}/{total} points; missing: {}",
+        fmt_indices(missing)
+    );
+    if let Some(dup) = duplicated {
+        out.push_str(&format!("; duplicated: {}", fmt_indices(dup)));
+    }
+    out.push('\n');
+    let complete = missing.is_empty() && duplicated.is_none_or(<[usize]>::is_empty);
+    out.push_str("status: ");
+    out.push_str(if complete {
+        complete_msg
+    } else {
+        incomplete_msg
+    });
+    out.push('\n');
+    out
 }
 
 /// Applies `--lambda` to a spec's fault process. Only the Poisson process
@@ -477,17 +639,31 @@ pub fn cmd_run(o: &Options) -> Result<String, String> {
     if o.emit_spec {
         return Ok(spec.to_json_string());
     }
+    let store = resolve_store(o)?;
     let scenario = spec.scenario.build().map_err(|e| e.to_string())?;
     let mut policy = spec.policy.build().map_err(|e| e.to_string())?;
-    let mut faults = spec.faults.build(spec.mc.seed).map_err(|e| e.to_string())?;
-    let options = spec.executor.build().map_err(|e| e.to_string())?;
     let mut rec = TraceRecorder::new();
-    let executor = Executor::new(&scenario).with_options(options);
-    let out = if o.trace {
-        // Tracing is just one Observer on the unified engine path.
-        executor.run_observed(&mut policy, &mut faults, &mut rec)
-    } else {
-        executor.run(&mut policy, &mut faults)
+    let mut note = String::new();
+    let out = match &store {
+        // Tracing needs a live execution — the cache can replay the
+        // outcome but not the event stream.
+        Some(backend) if !o.trace => {
+            let cached = run_cached_single(&spec, backend, cache_mode(o), &NoopStoreObserver)
+                .map_err(|e| e.to_string())?;
+            note = store_note(cached.cache, cached.source.as_deref());
+            cached.outcome
+        }
+        _ => {
+            let mut faults = spec.faults.build(spec.mc.seed).map_err(|e| e.to_string())?;
+            let options = spec.executor.build().map_err(|e| e.to_string())?;
+            let executor = Executor::new(&scenario).with_options(options);
+            if o.trace {
+                // Tracing is just one Observer on the unified engine path.
+                executor.run_observed(&mut policy, &mut faults, &mut rec)
+            } else {
+                executor.run(&mut policy, &mut faults)
+            }
+        }
     };
     // Non-Poisson fault processes (burst, phased, ...) have no single λ;
     // show the fault kind instead of a confusing NaN.
@@ -529,6 +705,7 @@ pub fn cmd_run(o: &Options) -> Result<String, String> {
         out.compare_store_checkpoints,
         out.fast_fraction(),
     );
+    s.push_str(&note);
     if o.trace {
         s.push('\n');
         s.push_str(&rec.render(100));
@@ -542,15 +719,26 @@ pub fn cmd_mc(o: &Options) -> Result<String, String> {
     if o.emit_spec {
         return Ok(spec.to_json_string());
     }
-    let (summary, report) = eacp_exec::run(&spec).map_err(|e| e.to_string())?;
+    let mut note = String::new();
+    let (summary, report) = match resolve_store(o)? {
+        Some(backend) => {
+            let run = run_cached(&spec, &backend, cache_mode(o), &NoopStoreObserver)
+                .map_err(|e| e.to_string())?;
+            note = store_note(run.cache, run.report.source.as_deref());
+            (run.summary, run.report)
+        }
+        None => eacp_exec::run(&spec).map_err(|e| e.to_string())?,
+    };
     if o.json {
+        // The report document is byte-identical on hit and miss; cache
+        // telemetry stays out of it.
         return Ok(report.to_json().pretty());
     }
     let (lo, hi) = summary.p_timely_ci(1.96);
     Ok(format!(
         "scheme={} reps={}\nP = {:.4} [95% CI {:.4}, {:.4}]\nE(timely) = {:.0}\n\
          E(all) = {:.0}\nfaults/run = {:.2}  rollbacks/run = {:.2}\n\
-         checkpoints/run = {:.1}  fast-fraction = {:.3}\naborted = {}  anomalies = {}\n",
+         checkpoints/run = {:.1}  fast-fraction = {:.3}\naborted = {}  anomalies = {}\n{note}",
         report.policy_name,
         summary.replications,
         summary.p_timely(),
@@ -620,8 +808,28 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         let docs: Vec<eacp_spec::Json> = specs[range].iter().map(ToJson::to_json).collect();
         return Ok(eacp_spec::Json::Array(docs).pretty());
     }
+    let store = resolve_store(o)?;
     let progress = QueueProgress::default();
-    let grid = if o.queue {
+    let counters = StoreCounters::new();
+    let grid = if let Some(backend) = &store {
+        // Store-backed sweep: covered cells are served, the rest are
+        // scheduled on the chosen runner and recorded — this is what makes
+        // an interrupted sweep resumable.
+        let runner: Box<dyn Runner> = if o.queue {
+            Box::new(QueueRunner::new(o.workers))
+        } else {
+            Box::new(LocalRunner::new(sweep.base.mc.threads))
+        };
+        run_sweep_cached(
+            &sweep,
+            shard,
+            runner.as_ref(),
+            backend,
+            cache_mode(o),
+            &counters,
+        )
+        .map_err(|e| e.to_string())?
+    } else if o.queue {
         run_sweep_queued(
             &sweep,
             shard,
@@ -633,7 +841,17 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
     } else {
         run_sweep(&sweep, shard, sweep.base.mc.threads).map_err(|e| e.to_string())?
     };
-    let queue_note = if o.queue {
+    let queue_note = if store.is_some() {
+        let mut s = format!(
+            ", store: {} served, {} computed",
+            counters.hits(),
+            counters.records()
+        );
+        if counters.quarantined() > 0 {
+            s.push_str(&format!(", {} quarantined", counters.quarantined()));
+        }
+        s
+    } else if o.queue {
         format!(", queued: {}", progress.render(o.workers))
     } else {
         String::new()
@@ -758,35 +976,92 @@ pub fn cmd_queue(o: &Options) -> Result<String, String> {
                     if doc.indices.len() == 1 { "" } else { "s" },
                 ));
             }
-            let fmt_indices = |v: &[usize]| {
-                if v.is_empty() {
-                    "none".to_owned()
-                } else {
-                    format!(
-                        "{:?}{}",
-                        &v[..v.len().min(8)],
-                        if v.len() > 8 { ", ..." } else { "" }
-                    )
-                }
-            };
-            out.push_str(&format!(
-                "covered {}/{} points; missing: {}; duplicated: {}\n",
+            out.push_str(&coverage_summary(
                 cov.covered(),
                 cov.total_points,
-                fmt_indices(&cov.missing),
-                fmt_indices(&cov.duplicated),
+                &cov.missing,
+                Some(&cov.duplicated),
+                "complete — ready to merge",
+                "incomplete — not ready to merge",
             ));
-            out.push_str(if cov.complete() {
-                "status: complete — ready to merge\n"
-            } else {
-                "status: incomplete — not ready to merge\n"
-            });
             Ok(out)
         }
         Some(other) => Err(format!(
             "unknown queue subcommand {other:?} (expected: status)"
         )),
         None => Err("queue: missing subcommand (expected: status)".to_owned()),
+    }
+}
+
+/// `eacp store`: result-store utilities — `status` reports backend health
+/// (and, with `--spec sweep.json`, how much of that grid the store
+/// covers), `gc` applies a retention policy, `verify` recomputes sampled
+/// cells and fails on any byte mismatch with the stored entry.
+pub fn cmd_store(o: &Options) -> Result<String, String> {
+    let backend = require_store(o)?;
+    match o.positional.first().map(String::as_str) {
+        Some("status") => {
+            let health = backend.health().map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "store at {}\nentries: {} ({} bytes); quarantined: {}\n",
+                health.location, health.entries, health.total_bytes, health.quarantined
+            );
+            if !o.spec.is_empty() {
+                let mut sweep =
+                    SweepSpec::load(std::path::Path::new(&o.spec)).map_err(|e| e.to_string())?;
+                // Cells are keyed by (spec hash, seed, replications), so
+                // coverage must be asked about the same Monte-Carlo block
+                // the sweep ran with — honor the same overrides.
+                if o.has("--reps") {
+                    sweep.base.mc.replications = o.reps;
+                }
+                if o.has("--seed") {
+                    sweep.base.mc.seed = o.seed;
+                }
+                let cov = store_coverage(&backend, &sweep).map_err(|e| e.to_string())?;
+                out.push_str(&format!(
+                    "sweep {:?}: {} grid points\n",
+                    cov.sweep_name, cov.total_points
+                ));
+                out.push_str(&coverage_summary(
+                    cov.covered(),
+                    cov.total_points,
+                    &cov.missing,
+                    None,
+                    "complete — a store-backed sweep is served entirely from cache",
+                    "incomplete — a store-backed sweep computes the missing points",
+                ));
+            }
+            Ok(out)
+        }
+        Some("gc") => {
+            if !o.has("--max-entries") && !o.has("--max-bytes") {
+                return Err(
+                    "store gc: set a retention bound (--max-entries N and/or --max-bytes N)"
+                        .to_owned(),
+                );
+            }
+            let policy = RetentionPolicy {
+                max_entries: o.has("--max-entries").then_some(o.max_entries),
+                max_bytes: o.has("--max-bytes").then_some(o.max_bytes),
+            };
+            let report = backend.evict(&policy).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "examined {} entries; evicted {} ({} bytes reclaimed); {} remaining\n",
+                report.examined, report.evicted, report.reclaimed_bytes, report.remaining
+            ))
+        }
+        Some("verify") => {
+            let report = verify_store(&backend, o.sample as usize).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "verified {} of {} entries: stored bytes match recomputation\n",
+                report.checked, report.entries
+            ))
+        }
+        Some(other) => Err(format!(
+            "unknown store subcommand {other:?} (expected: status|gc|verify)"
+        )),
+        None => Err("store: missing subcommand (expected: status|gc|verify)".to_owned()),
     }
 }
 
@@ -1388,6 +1663,26 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     let sweep_s = started.elapsed().as_secs_f64();
     let sweep_reps = grid.points.len() as u64 * reps;
 
+    // Result-store round-trip on the same cell: a cold miss pays compute
+    // plus record, a warm hit replays the persisted summary.
+    let store = MemBackend::new();
+    let started = Instant::now();
+    let cold = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
+        .map_err(|e| e.to_string())?;
+    let cold_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let warm = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
+        .map_err(|e| e.to_string())?;
+    let warm_s = started.elapsed().as_secs_f64();
+    if cold.cache != CacheOutcome::Miss
+        || warm.cache != CacheOutcome::Hit
+        || warm.summary != pooled_summary
+    {
+        return Err(
+            "bench sanity check failed: store hit diverged from the computed summary".to_owned(),
+        );
+    }
+
     let threads = if o.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -1423,6 +1718,14 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
                 ),
             ]),
         ),
+        (
+            "store",
+            Json::obj([
+                ("cold_miss", section(reps, cold_s)),
+                ("warm_hit", section(reps, warm_s)),
+                ("hit_speedup", (cold_s / warm_s.max(1e-12)).into()),
+            ]),
+        ),
     ]);
 
     let path = if o.out.is_empty() {
@@ -1438,10 +1741,13 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
          boxed   : {boxed_s:.3} s  ({:.0} reps/s)\n\
          speedup : {speedup:.2}x\n\
          sweep   : {} point(s) in {sweep_s:.3} s\n\
+         store   : cold {cold_s:.3} s, warm hit {:.2} ms ({:.0}x)\n\
          wrote {path}",
         reps as f64 / pooled_s.max(1e-12),
         reps as f64 / boxed_s.max(1e-12),
         grid.points.len(),
+        warm_s * 1e3,
+        cold_s / warm_s.max(1e-12),
     );
     if !o.baseline.is_empty() {
         out.push('\n');
@@ -1509,6 +1815,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "sweep" => cmd_sweep(&parse_options(rest)?),
         "merge" => cmd_merge(&parse_options(rest)?),
         "queue" => cmd_queue(&parse_options(rest)?),
+        "store" => cmd_store(&parse_options(rest)?),
         "csv" => cmd_csv(&parse_options(rest)?),
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "table" => cmd_table(&parse_options(rest)?),
@@ -1853,5 +2160,125 @@ mod tests {
         let err = dispatch(args(&format!("sweep --spec {p} --scheme a_d"))).unwrap_err();
         assert!(err.contains("--scheme"), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_flags_are_validated() {
+        assert!(parse_options(args("--no-cache --refresh").into_iter()).is_err());
+        assert!(parse_options(args("--store d --no-cache").into_iter()).is_err());
+        // --refresh needs a store; checked at resolution, not parse, so
+        // $EACP_STORE can still satisfy it.
+        let err = dispatch(args("mc --refresh --reps 30")).unwrap_err();
+        assert!(err.contains("--refresh"), "{err}");
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eacp-cli-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mc_store_serves_hits_byte_identical() {
+        let dir = temp_store("mc");
+        let s = dir.to_str().unwrap();
+        let line = format!("mc --reps 50 --seed 9 --threads 1 --store {s}");
+        let cold = dispatch(args(&line)).unwrap();
+        assert!(
+            cold.contains("store: miss — computed and recorded"),
+            "{cold}"
+        );
+        let warm = dispatch(args(&line)).unwrap();
+        assert!(
+            warm.contains("store: hit — served from the store"),
+            "{warm}"
+        );
+
+        // The JSON report document is byte-identical on hit and miss and
+        // carries no cache telemetry.
+        let json_line = format!("{line} --json");
+        let a = dispatch(args(&json_line)).unwrap();
+        let b = dispatch(args(&json_line)).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.contains("store:"), "{a}");
+
+        let refreshed = dispatch(args(&format!("{line} --refresh"))).unwrap();
+        assert!(refreshed.contains("store: refreshed"), "{refreshed}");
+        // --no-cache computes without consulting the configured store.
+        let bypassed = dispatch(args("mc --reps 50 --seed 9 --threads 1 --no-cache")).unwrap();
+        assert!(!bypassed.contains("store:"), "{bypassed}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_store_caches_single_executions_but_not_traces() {
+        let dir = temp_store("run");
+        let s = dir.to_str().unwrap();
+        let line = format!("run --seed 7 --store {s}");
+        let cold = dispatch(args(&line)).unwrap();
+        assert!(cold.contains("store: miss"), "{cold}");
+        let warm = dispatch(args(&line)).unwrap();
+        assert!(warm.contains("store: hit"), "{warm}");
+        // Identical execution report either way (modulo the cache note).
+        assert_eq!(
+            cold.replace("store: miss — computed and recorded", ""),
+            warm.split("store: hit").next().unwrap().to_owned() + "\n",
+        );
+        // A traced run needs the live event stream: no cache note.
+        let traced = dispatch(args(&format!("{line} --trace"))).unwrap();
+        assert!(!traced.contains("store:"), "{traced}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_store_resumes_and_store_subcommands_inspect_it() {
+        use eacp_spec::{SweepAxis, SweepSpec};
+        let dir = temp_store("sweep");
+        let s = dir.to_str().unwrap();
+        let spec_path = dir.join("sweep.json");
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "grid".into();
+        base.mc.replications = 30;
+        base.mc.threads = 1;
+        let sweep = SweepSpec {
+            base,
+            axes: vec![SweepAxis::Lambda(vec![1.0e-4, 1.4e-3])],
+        };
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&spec_path, sweep.to_json_string()).unwrap();
+        let p = spec_path.to_str().unwrap();
+
+        // "Interrupted": only shard 0 of 2 lands in the store.
+        let out = dispatch(args(&format!("sweep --spec {p} --shard 0/2 --store {s}"))).unwrap();
+        assert!(out.contains("store: 0 served, 1 computed"), "{out}");
+
+        let status = dispatch(args(&format!("store status --spec {p} --store {s}"))).unwrap();
+        assert!(status.contains("entries: 1"), "{status}");
+        assert!(
+            status.contains("covered 1/2 points; missing: [1]"),
+            "{status}"
+        );
+        assert!(status.contains("incomplete"), "{status}");
+
+        // Resume over the full grid: the finished half is served.
+        let resumed = dispatch(args(&format!("sweep --spec {p} --store {s}"))).unwrap();
+        assert!(resumed.contains("store: 1 served, 1 computed"), "{resumed}");
+        let plain = dispatch(args(&format!("sweep --spec {p}"))).unwrap();
+        assert_eq!(resumed.replace(", store: 1 served, 1 computed", ""), plain);
+
+        let status = dispatch(args(&format!("store status --spec {p} --store {s}"))).unwrap();
+        assert!(
+            status.contains("complete — a store-backed sweep is served"),
+            "{status}"
+        );
+
+        // verify recomputes every cell and matches bytes; gc prunes.
+        let verified = dispatch(args(&format!("store verify --store {s}"))).unwrap();
+        assert!(verified.contains("verified 2 of 2 entries"), "{verified}");
+        let gc = dispatch(args(&format!("store gc --max-entries 1 --store {s}"))).unwrap();
+        assert!(gc.contains("evicted 1"), "{gc}");
+        assert!(dispatch(args(&format!("store gc --store {s}"))).is_err());
+        assert!(dispatch(args(&format!("store bogus --store {s}"))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

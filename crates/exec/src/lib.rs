@@ -64,8 +64,8 @@ pub use queue::{
 };
 pub use runner::{LocalRunner, Runner};
 pub use shard::{
-    coverage_dir, list_report_files, merge_dir, run_sweep, run_sweep_with, DocCoverage, GridReport,
-    PointReport, ShardId, SweepCoverage,
+    coverage_dir, list_report_files, merge_dir, run_point, run_sweep, run_sweep_with, DocCoverage,
+    GridReport, PointReport, ShardId, SweepCoverage,
 };
 
 // The execution vocabulary lives in `eacp-sim` (the engine emits the
@@ -98,6 +98,7 @@ pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
         summary: SummaryReport::from_summary(&summary),
+        source: None,
     };
     Ok((summary, report))
 }

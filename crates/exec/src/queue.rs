@@ -551,6 +551,7 @@ pub fn run_sweep_queued(
         total_points: total,
         shard,
         points,
+        source: None,
     })
 }
 

@@ -115,7 +115,7 @@ pub struct PointReport {
 }
 
 /// A sweep result document: the whole grid, or one shard of it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GridReport {
     /// The sweep that produced (or will reproduce) these points.
     pub sweep: SweepSpec,
@@ -125,6 +125,21 @@ pub struct GridReport {
     pub shard: Option<ShardId>,
     /// Covered points, ascending by grid index.
     pub points: Vec<PointReport>,
+    /// Where this document was loaded from (`None` for freshly computed
+    /// grids). Never serialized — diagnostics provenance only, so merge
+    /// failures can name the artifact a bad point came from.
+    pub source: Option<PathBuf>,
+}
+
+// Like `RunReport`: provenance is where the document came from, not part
+// of the result, so a loaded shard compares equal to its recomputation.
+impl PartialEq for GridReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.sweep == other.sweep
+            && self.total_points == other.total_points
+            && self.shard == other.shard
+            && self.points == other.points
+    }
 }
 
 impl GridReport {
@@ -161,12 +176,17 @@ impl GridReport {
             .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
         let json = Json::parse(&text)
             .map_err(|e| SpecError::invalid(format!("{}: {e}", path.display())))?;
-        Self::from_json(&json).map_err(|e| {
+        let mut doc = Self::from_json(&json).map_err(|e| {
             SpecError::invalid(format!(
                 "{}: invalid sweep report document: {e}",
                 path.display()
             ))
-        })
+        })?;
+        doc.source = Some(path.to_path_buf());
+        for point in &mut doc.points {
+            point.report.source = Some(path.to_path_buf());
+        }
+        Ok(doc)
     }
 }
 
@@ -210,6 +230,7 @@ impl FromJson for GridReport {
             total_points: json.req("total_points")?.as_usize()?,
             shard,
             points,
+            source: None,
         })
     }
 }
@@ -256,19 +277,21 @@ pub fn run_sweep_with(
         total_points: total,
         shard,
         points,
+        source: None,
     })
 }
 
-pub(crate) fn run_point(
-    runner: &dyn Runner,
-    spec: &ExperimentSpec,
-) -> Result<RunReport, SpecError> {
+/// Runs one grid point's spec on a [`Runner`], wrapping the summary as a
+/// [`RunReport`] — the single-point unit of work shared by the sweep
+/// executors and the result store's cache-or-compute path.
+pub fn run_point(runner: &dyn Runner, spec: &ExperimentSpec) -> Result<RunReport, SpecError> {
     let job = Job::from_spec(spec)?;
     let summary = runner.run(&job)?;
     Ok(RunReport {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
         summary: SummaryReport::from_summary(&summary),
+        source: None,
     })
 }
 
@@ -362,6 +385,7 @@ pub fn merge_dir(dir: &Path) -> Result<GridReport, SpecError> {
         // audit:allow(panic): the `missing` check above already rejected
         // grids with any unfilled slot.
         points: slots.into_iter().map(|s| s.expect("checked")).collect(),
+        source: None,
     })
 }
 

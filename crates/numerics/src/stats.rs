@@ -132,6 +132,30 @@ impl OnlineStats {
         let se = self.std_error();
         (self.mean() - z * se, self.mean() + z * se)
     }
+
+    /// The exact accumulator state `(count, mean, m2, min, max)`.
+    ///
+    /// Unlike the derived views ([`OnlineStats::mean`] returns NaN when
+    /// empty, variance divides `m2` by `n`), this is the *lossless* raw
+    /// state: persisting these five values and restoring them with
+    /// [`OnlineStats::from_raw_parts`] reproduces the accumulator bit for
+    /// bit — what a result store needs for cache hits that are
+    /// byte-identical to recomputation. The raw state never holds NaN
+    /// (empty is `(0, 0.0, 0.0, +inf, -inf)`).
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::raw_parts`] state.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// Wilson score interval for a binomial proportion.
@@ -228,6 +252,30 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_exactly() {
+        let mut s = OnlineStats::new();
+        for x in [1.0 / 3.0, -7.25, 1e-300, 42.0] {
+            s.push(x);
+        }
+        for stats in [s, OnlineStats::new()] {
+            let (count, mean, m2, min, max) = stats.raw_parts();
+            let back = OnlineStats::from_raw_parts(count, mean, m2, min, max);
+            assert_eq!(back.count(), stats.count());
+            assert_eq!(back.mean.to_bits(), stats.mean.to_bits());
+            assert_eq!(back.m2.to_bits(), stats.m2.to_bits());
+            assert_eq!(back.min.to_bits(), stats.min.to_bits());
+            assert_eq!(back.max.to_bits(), stats.max.to_bits());
+        }
+        // Empty state is finite-free of NaN: (0, 0.0, 0.0, +inf, -inf).
+        let (count, mean, m2, min, max) = OnlineStats::new().raw_parts();
+        assert_eq!(count, 0);
+        assert_eq!(mean, 0.0);
+        assert_eq!(m2, 0.0);
+        assert_eq!(min, f64::INFINITY);
+        assert_eq!(max, f64::NEG_INFINITY);
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl FromJson for SummaryReport {
 }
 
 /// The result of running one [`ExperimentSpec`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// The spec that produced this result (embedded for provenance).
     pub spec: ExperimentSpec,
@@ -184,6 +184,42 @@ pub struct RunReport {
     pub policy_name: String,
     /// The serializable aggregate.
     pub summary: SummaryReport,
+    /// Where this report was loaded from (`None` for freshly computed
+    /// reports). Never serialized — pure diagnostics provenance, so merge
+    /// and store-verification failures can name the offending artifact.
+    pub source: Option<std::path::PathBuf>,
+}
+
+// `source` is where the report came *from*, not part of what it *says*:
+// a loaded report must compare equal to the in-memory recomputation it
+// claims to record, so equality covers only the serialized fields.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.policy_name == other.policy_name
+            && self.summary == other.summary
+    }
+}
+
+impl RunReport {
+    /// Reads one report document, recording `path` as its
+    /// [`RunReport::source`].
+    ///
+    /// # Errors
+    ///
+    /// Unreadable files, malformed JSON and schema mismatches all carry
+    /// the offending path.
+    pub fn load(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        let json = Json::parse(&text)
+            .map_err(|e| SpecError::invalid(format!("{}: {e}", path.display())))?;
+        let mut report = Self::from_json(&json).map_err(|e| {
+            SpecError::invalid(format!("{}: invalid run report: {e}", path.display()))
+        })?;
+        report.source = Some(path.to_path_buf());
+        Ok(report)
+    }
 }
 
 impl ToJson for RunReport {
@@ -202,6 +238,7 @@ impl FromJson for RunReport {
             spec: ExperimentSpec::from_json(json.req("spec")?)?,
             policy_name: json.req("policy")?.as_str()?.to_owned(),
             summary: SummaryReport::from_json(json.req("summary")?)?,
+            source: None,
         })
     }
 }
@@ -231,6 +268,7 @@ mod tests {
             spec: spec.clone(),
             policy_name: spec.policy.policy_name().to_owned(),
             summary: SummaryReport::from_summary(&summary),
+            source: None,
         }
     }
 
@@ -276,5 +314,25 @@ mod tests {
         assert_eq!(back.policy_name, report.policy_name);
         // NaN-bearing stats compare via canonical JSON text.
         assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn load_records_the_source_path_without_affecting_equality() {
+        let report = run_for_test(&small_spec());
+        let dir = std::env::temp_dir().join(format!("eacp-spec-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::write(&path, report.to_json().pretty()).unwrap();
+
+        let loaded = RunReport::load(&path).unwrap();
+        assert_eq!(loaded.source.as_deref(), Some(path.as_path()));
+        // Provenance is diagnostics-only: the loaded report still equals
+        // the in-memory one, and serializes to the same bytes.
+        assert_eq!(loaded, report);
+        assert_eq!(loaded.to_json().pretty(), report.to_json().pretty());
+
+        let err = RunReport::load(&dir.join("absent.json")).unwrap_err();
+        assert!(err.to_string().contains("absent.json"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

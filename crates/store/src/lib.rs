@@ -1,0 +1,428 @@
+//! Content-addressed persistent result store for EACP experiments.
+//!
+//! The simulator is deterministic: a result is a pure function of the
+//! canonical experiment spec, the Monte-Carlo seed and the replication
+//! count. That triple is a [`CellId`] — the spec part content-addressed by
+//! a SHA-256 [`SpecHash`] over the canonical JSON text — and this crate
+//! caches results by cell so repeated runs, resumed sweeps and CI jobs
+//! serve finished cells from storage instead of recomputing them.
+//!
+//! The determinism contract is what makes the cache *sound*: a hit is
+//! byte-identical to a recomputation (entries persist the lossless
+//! accumulator state, not the rounded report schema), and `eacp store
+//! verify` can prove it at any time by re-running a cell and comparing
+//! bytes. Storage is pluggable behind [`StoreBackend`]: [`FsBackend`]
+//! persists one JSON file per cell with atomic write-rename and
+//! quarantine-on-corruption; [`MemBackend`] is the in-memory reference.
+//!
+//! Entry points:
+//!
+//! * [`run_cached`] — cache-or-compute for one Monte-Carlo experiment
+//!   (`eacp mc`);
+//! * [`run_cached_single`] — the same for one raw-seed execution
+//!   (`eacp run`), keyed with the `replications == 0` sentinel;
+//! * [`run_sweep_cached`] — a resumable sweep: only uncovered grid cells
+//!   are scheduled onto the runner;
+//! * [`verify_store`] / [`verify_cell`] — recompute stored cells and fail
+//!   on any byte mismatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cell;
+pub mod fs;
+pub mod hash;
+pub mod observe;
+pub mod sweep;
+
+pub use backend::{EvictionReport, Lookup, MemBackend, RetentionPolicy, StoreBackend, StoreHealth};
+pub use cell::{CellEntry, CellId, CellPayload};
+pub use fs::{FsBackend, STORE_ENV_VAR};
+pub use hash::{cell_spec_json, sha256, spec_hash, SpecHash};
+pub use observe::{NoopStoreObserver, StoreCounters, StoreObserver};
+pub use sweep::{run_sweep_cached, store_coverage, StoreCoverage};
+
+use eacp_exec::{Job, LocalRunner, QueueRunner, Runner};
+use eacp_sim::{RunOutcome, Summary};
+use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
+
+/// How the cache participates in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Serve hits, record misses — the default.
+    ReadWrite,
+    /// Ignore any existing entry, recompute, and overwrite (`--refresh`).
+    Refresh,
+}
+
+/// Where a result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the store without computing.
+    Hit,
+    /// Computed (no intact entry existed) and recorded.
+    Miss,
+    /// Recomputed and overwritten under [`CacheMode::Refresh`].
+    Refreshed,
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Refreshed => "refreshed",
+        })
+    }
+}
+
+/// The result of a cache-or-compute Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The cell the run landed in.
+    pub id: CellId,
+    /// The exact in-memory aggregate (bit-identical on hit and miss).
+    pub summary: Summary,
+    /// The serializable report; on a hit its `source` names the store
+    /// entry the result was served from.
+    pub report: RunReport,
+    /// Hit, miss, or refresh.
+    pub cache: CacheOutcome,
+}
+
+/// Cache-or-compute for one experiment spec (the `eacp mc` path).
+///
+/// The compute side matches `eacp_exec::run` exactly: the spec's executor
+/// section picks the queue or local scheduler. Either way the summary is
+/// bit-identical (the canonical-reduction contract), which is why the
+/// scheduling choice is not part of the cell key.
+pub fn run_cached(
+    spec: &ExperimentSpec,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<CachedRun, SpecError> {
+    match spec.executor.queue {
+        Some(q) => {
+            q.validate()?;
+            let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
+            run_cached_with(spec, &runner, store, mode, observer)
+        }
+        None => run_cached_with(
+            spec,
+            &LocalRunner::new(spec.mc.threads),
+            store,
+            mode,
+            observer,
+        ),
+    }
+}
+
+/// [`run_cached`] on an explicit [`Runner`] — the seam the resumable sweep
+/// shares with the single-experiment path.
+pub fn run_cached_with(
+    spec: &ExperimentSpec,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<CachedRun, SpecError> {
+    let id = CellId::for_spec(spec);
+    if mode == CacheMode::ReadWrite {
+        match store.get(&id)? {
+            Lookup::Hit { entry, .. } => {
+                observer.on_hit(&id);
+                let summary = entry.as_summary()?.clone();
+                let report = RunReport {
+                    spec: spec.clone(),
+                    policy_name: entry.policy.clone(),
+                    summary: SummaryReport::from_summary(&summary),
+                    source: entry.source,
+                };
+                return Ok(CachedRun {
+                    id,
+                    summary,
+                    report,
+                    cache: CacheOutcome::Hit,
+                });
+            }
+            Lookup::Quarantined { detail } => observer.on_quarantine(&id, &detail),
+            Lookup::Miss => {}
+        }
+        observer.on_miss(&id);
+    }
+    let job = Job::from_spec(spec)?;
+    let summary = runner.run(&job)?;
+    store.put(&CellEntry::summary(spec, &summary))?;
+    observer.on_record(&id);
+    let report = RunReport {
+        spec: spec.clone(),
+        policy_name: job.policy_name().to_owned(),
+        summary: SummaryReport::from_summary(&summary),
+        source: None,
+    };
+    Ok(CachedRun {
+        id,
+        summary,
+        report,
+        cache: match mode {
+            CacheMode::ReadWrite => CacheOutcome::Miss,
+            CacheMode::Refresh => CacheOutcome::Refreshed,
+        },
+    })
+}
+
+/// The result of a cache-or-compute single execution.
+#[derive(Debug, Clone)]
+pub struct CachedSingle {
+    /// The cell (always the `replications == 0` sentinel).
+    pub id: CellId,
+    /// The run's outcome (bit-identical on hit and miss).
+    pub outcome: RunOutcome,
+    /// On a hit, the store entry the result was served from.
+    pub source: Option<std::path::PathBuf>,
+    /// Hit, miss, or refresh.
+    pub cache: CacheOutcome,
+}
+
+/// Cache-or-compute for one raw-seed execution (the `eacp run` path).
+///
+/// Single executions run one replication directly with `mc.seed` — a
+/// different computation from a 1-replication Monte-Carlo cell, so they
+/// are keyed with the `replications == 0` sentinel. Anomalous outcomes
+/// (policy bugs) are returned but never recorded.
+pub fn run_cached_single(
+    spec: &ExperimentSpec,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<CachedSingle, SpecError> {
+    let id = CellId::for_single(spec);
+    if mode == CacheMode::ReadWrite {
+        match store.get(&id)? {
+            Lookup::Hit { entry, .. } => {
+                observer.on_hit(&id);
+                return Ok(CachedSingle {
+                    id,
+                    outcome: entry.as_outcome()?.clone(),
+                    source: entry.source,
+                    cache: CacheOutcome::Hit,
+                });
+            }
+            Lookup::Quarantined { detail } => observer.on_quarantine(&id, &detail),
+            Lookup::Miss => {}
+        }
+        observer.on_miss(&id);
+    }
+    let outcome = run_single(spec)?;
+    if outcome.anomaly.is_none() {
+        store.put(&CellEntry::outcome(spec, &outcome))?;
+        observer.on_record(&id);
+    }
+    Ok(CachedSingle {
+        id,
+        outcome,
+        source: None,
+        cache: match mode {
+            CacheMode::ReadWrite => CacheOutcome::Miss,
+            CacheMode::Refresh => CacheOutcome::Refreshed,
+        },
+    })
+}
+
+/// One raw-seed execution of a spec — the computation `eacp run` performs,
+/// reproduced here so `verify_cell` can re-derive single-execution cells.
+fn run_single(spec: &ExperimentSpec) -> Result<RunOutcome, SpecError> {
+    let scenario = spec.scenario.build()?;
+    let mut policy = spec.policy.build()?;
+    let mut faults = spec.faults.build(spec.mc.seed)?;
+    let options = spec.executor.build()?;
+    Ok(eacp_sim::Executor::new(&scenario)
+        .with_options(options)
+        .run(&mut policy, &mut faults))
+}
+
+/// Recomputes one stored cell and fails unless the stored bytes equal the
+/// recomputation's canonical bytes exactly.
+///
+/// The error names the entry's provenance path (filesystem backends), so a
+/// mismatched artifact is identifiable without bisecting the store.
+pub fn verify_cell(store: &dyn StoreBackend, id: &CellId) -> Result<(), SpecError> {
+    let (entry, text) = match store.get(id)? {
+        Lookup::Hit { entry, text } => (entry, text),
+        Lookup::Miss => return Err(SpecError::invalid(format!("cell {id} is not in the store"))),
+        Lookup::Quarantined { detail } => {
+            return Err(SpecError::invalid(format!(
+                "cell {id} failed integrity checks and was quarantined: {detail}"
+            )))
+        }
+    };
+    let spec = entry.experiment_spec()?;
+    let recomputed = if id.replications == 0 {
+        CellEntry::outcome(&spec, &run_single(&spec)?)
+    } else {
+        let job = Job::from_spec(&spec)?;
+        CellEntry::summary(&spec, &LocalRunner::new(0).run(&job)?)
+    };
+    if recomputed.canonical_text() != text {
+        let origin = entry
+            .source
+            .as_ref()
+            .map_or_else(|| "in-memory entry".to_owned(), |p| p.display().to_string());
+        return Err(SpecError::invalid(format!(
+            "cell {id} ({origin}): stored bytes differ from recomputation — \
+             corrupt entry or non-reproducible result"
+        )));
+    }
+    Ok(())
+}
+
+/// What [`verify_store`] checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Live entries in the store.
+    pub entries: u64,
+    /// Entries recomputed and byte-compared.
+    pub checked: u64,
+}
+
+/// Recomputes a deterministic sample of the store's cells (`sample == 0`
+/// means every cell) and fails on the first byte mismatch.
+///
+/// The sample is an even stride over the sorted cell ids — deterministic
+/// by construction, so repeated verification of an unchanged store checks
+/// the same cells.
+pub fn verify_store(store: &dyn StoreBackend, sample: usize) -> Result<VerifyReport, SpecError> {
+    let ids = store.list()?;
+    let n = ids.len();
+    let take = if sample == 0 { n } else { sample.min(n) };
+    for k in 0..take {
+        verify_cell(store, &ids[k * n / take])?;
+    }
+    Ok(VerifyReport {
+        entries: n as u64,
+        checked: take as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eacp_spec::{McSpec, ToJson};
+
+    fn small_spec(seed: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_nominal();
+        spec.mc = McSpec {
+            replications: 60,
+            seed,
+            threads: 1,
+        };
+        spec
+    }
+
+    #[test]
+    fn hit_is_byte_identical_to_recomputation() {
+        let store = MemBackend::new();
+        let counters = StoreCounters::new();
+        let spec = small_spec(3);
+
+        let miss = run_cached(&spec, &store, CacheMode::ReadWrite, &counters).unwrap();
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        let hit = run_cached(&spec, &store, CacheMode::ReadWrite, &counters).unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+
+        let (direct_summary, direct_report) = eacp_exec::run(&spec).unwrap();
+        assert_eq!(hit.summary, direct_summary, "hit must be bit-identical");
+        assert_eq!(
+            hit.report.to_json().pretty(),
+            direct_report.to_json().pretty(),
+            "hit report must serialize byte-identically"
+        );
+        assert_eq!((counters.hits(), counters.misses()), (1, 1));
+        assert_eq!(counters.records(), 1);
+    }
+
+    #[test]
+    fn refresh_recomputes_and_overwrites() {
+        let store = MemBackend::new();
+        let spec = small_spec(4);
+        run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        let refreshed = run_cached(&spec, &store, CacheMode::Refresh, &NoopStoreObserver).unwrap();
+        assert_eq!(refreshed.cache, CacheOutcome::Refreshed);
+        // The overwrite is idempotent: the next lookup still hits.
+        let hit = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(hit.summary, refreshed.summary);
+    }
+
+    #[test]
+    fn single_executions_cache_under_the_sentinel() {
+        let store = MemBackend::new();
+        let spec = small_spec(5);
+        let miss =
+            run_cached_single(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        assert_eq!(miss.id.replications, 0);
+        let hit =
+            run_cached_single(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(hit.outcome, miss.outcome, "hit must be bit-identical");
+        // The sentinel cell never collides with a Monte-Carlo cell of the
+        // same spec and seed.
+        let mc = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        assert_ne!(mc.id, hit.id);
+        assert_eq!(store.health().unwrap().entries, 2);
+    }
+
+    #[test]
+    fn verify_passes_on_intact_stores_and_names_tampered_cells() {
+        let store = MemBackend::new();
+        for seed in 0..3 {
+            run_cached(
+                &small_spec(seed),
+                &store,
+                CacheMode::ReadWrite,
+                &NoopStoreObserver,
+            )
+            .unwrap();
+        }
+        run_cached_single(
+            &small_spec(9),
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        let report = verify_store(&store, 0).unwrap();
+        assert_eq!(report.entries, 4);
+        assert_eq!(report.checked, 4);
+        // Sampling checks fewer cells but still passes deterministically.
+        let report = verify_store(&store, 2).unwrap();
+        assert_eq!(report.checked, 2);
+
+        // Tamper with a payload value. The count is not covered by the
+        // spec hash and stays internally consistent, so the entry passes
+        // integrity checks — only the byte comparison against an actual
+        // recomputation can catch it.
+        let ids = store.list().unwrap();
+        let Lookup::Hit { mut entry, .. } = store.get(&ids[0]).unwrap() else {
+            panic!("expected hit");
+        };
+        match &mut entry.payload {
+            CellPayload::Summary(s) => s.timely = s.timely.wrapping_sub(1),
+            CellPayload::Outcome(o) => o.faults += 1,
+        }
+        store.put(&entry).unwrap();
+        let err = verify_store(&store, 0).unwrap_err();
+        assert!(err.to_string().contains("differ"), "{err}");
+    }
+
+    #[test]
+    fn missing_cells_are_verify_errors() {
+        let store = MemBackend::new();
+        let id = CellId::for_spec(&small_spec(1));
+        let err = verify_cell(&store, &id).unwrap_err();
+        assert!(err.to_string().contains("not in the store"), "{err}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Store-backed sweeps: serve finished grid cells, schedule only the rest.
+//!
+//! A sweep expansion derives each grid point's spec (and per-point seed)
+//! deterministically from the grid index, so every point *is* a cell. A
+//! store-backed sweep is therefore resumable for free: kill it anywhere,
+//! rerun with the same store, and the finished prefix is served as cache
+//! hits while only the uncovered cells go through the runner. The
+//! resulting [`GridReport`] is byte-identical to an uninterrupted run —
+//! hits reconstruct the exact summary from the lossless entry payload.
+
+use crate::backend::{Lookup, StoreBackend};
+use crate::cell::CellId;
+use crate::observe::StoreObserver;
+use crate::{run_cached_with, CacheMode};
+use eacp_exec::{GridReport, PointReport, Runner, ShardId};
+use eacp_spec::{SpecError, SweepSpec};
+
+/// How much of a sweep's grid the store already covers — the store-side
+/// analogue of the execution layer's `SweepCoverage` over report files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreCoverage {
+    /// The sweep's base experiment name.
+    pub sweep_name: String,
+    /// Total grid points in the full sweep.
+    pub total_points: usize,
+    /// Grid indices with no intact store entry, ascending.
+    pub missing: Vec<usize>,
+}
+
+impl StoreCoverage {
+    /// Points already covered by intact entries.
+    pub fn covered(&self) -> usize {
+        self.total_points - self.missing.len()
+    }
+
+    /// Whether a store-backed sweep would be served entirely from cache.
+    pub fn complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Inspects how much of `sweep`'s grid the store already holds.
+///
+/// Corrupt entries encountered along the way are quarantined by the
+/// backend and counted as missing — exactly what a subsequent
+/// [`run_sweep_cached`] would recompute.
+pub fn store_coverage(
+    store: &dyn StoreBackend,
+    sweep: &SweepSpec,
+) -> Result<StoreCoverage, SpecError> {
+    let specs = sweep.expand()?;
+    let mut missing = Vec::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let id = CellId::for_spec(spec);
+        if !matches!(store.get(&id)?, Lookup::Hit { .. }) {
+            missing.push(index);
+        }
+    }
+    Ok(StoreCoverage {
+        sweep_name: sweep.base.name.clone(),
+        total_points: specs.len(),
+        missing,
+    })
+}
+
+/// Runs a sweep shard against a store: covered cells are served, uncovered
+/// cells are scheduled onto `runner` and recorded.
+///
+/// Drop-in replacement for `eacp_exec::run_sweep_with` — same shard
+/// semantics, same report document, byte-identical output (a point's
+/// report never depends on whether it was computed or served).
+pub fn run_sweep_cached(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<GridReport, SpecError> {
+    let specs = sweep.expand()?;
+    let total = specs.len();
+    let range = match shard {
+        Some(s) => s.range(total),
+        None => 0..total,
+    };
+    let mut points = Vec::with_capacity(range.len());
+    for index in range {
+        let spec = &specs[index];
+        let cached = run_cached_with(spec, runner, store, mode, observer)
+            .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
+        points.push(PointReport {
+            index,
+            report: cached.report,
+        });
+    }
+    Ok(GridReport {
+        sweep: sweep.clone(),
+        total_points: total,
+        shard,
+        points,
+        source: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheOutcome, MemBackend, NoopStoreObserver, StoreCounters};
+    use eacp_exec::{run_sweep_with, LocalRunner};
+    use eacp_spec::{ExperimentSpec, McSpec, SweepAxis, ToJson};
+
+    fn small_sweep() -> SweepSpec {
+        let mut base = ExperimentSpec::paper_nominal();
+        base.name = "grid".into();
+        base.mc = McSpec {
+            replications: 40,
+            seed: 5,
+            threads: 1,
+        };
+        SweepSpec {
+            base,
+            axes: vec![
+                SweepAxis::Lambda(vec![1.0e-4, 1.4e-3]),
+                SweepAxis::K(vec![1, 5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn cached_sweep_matches_plain_sweep_byte_for_byte() {
+        let sweep = small_sweep();
+        let runner = LocalRunner::new(1);
+        let store = MemBackend::new();
+        let counters = StoreCounters::new();
+
+        let plain = run_sweep_with(&sweep, None, &runner).unwrap();
+        let cold = run_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &counters,
+        )
+        .unwrap();
+        assert_eq!(cold, plain);
+        assert_eq!(cold.to_json().pretty(), plain.to_json().pretty());
+        assert_eq!((counters.hits(), counters.misses()), (0, 4));
+
+        // Warm rerun: all four points served, still byte-identical.
+        let warm = run_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &counters,
+        )
+        .unwrap();
+        assert_eq!(warm.to_json().pretty(), plain.to_json().pretty());
+        assert_eq!((counters.hits(), counters.misses()), (4, 4));
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_from_the_store() {
+        let sweep = small_sweep();
+        let runner = LocalRunner::new(1);
+        let store = MemBackend::new();
+
+        // "Killed at the shard boundary": only shard 0 of 2 completed.
+        let shard0 = ShardId::new(0, 2).unwrap();
+        run_sweep_cached(
+            &sweep,
+            Some(shard0),
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+
+        let coverage = store_coverage(&store, &sweep).unwrap();
+        assert_eq!(coverage.sweep_name, "grid");
+        assert_eq!(coverage.total_points, 4);
+        assert_eq!(coverage.covered(), 2);
+        assert_eq!(coverage.missing, vec![2, 3]);
+        assert!(!coverage.complete());
+
+        // Resume over the full grid: the finished half hits, the rest
+        // computes, and the result equals an uninterrupted run.
+        let counters = StoreCounters::new();
+        let resumed = run_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &counters,
+        )
+        .unwrap();
+        assert_eq!((counters.hits(), counters.misses()), (2, 2));
+        let plain = run_sweep_with(&sweep, None, &runner).unwrap();
+        assert_eq!(resumed.to_json().pretty(), plain.to_json().pretty());
+        assert!(store_coverage(&store, &sweep).unwrap().complete());
+    }
+
+    #[test]
+    fn per_point_seed_axes_key_distinct_cells() {
+        // A seed axis gives grid points identical canonical specs that
+        // differ only in mc.seed — the cell key must keep them apart.
+        let mut sweep = small_sweep();
+        sweep.axes = vec![SweepAxis::Seed(vec![1, 2, 3])];
+        let store = MemBackend::new();
+        let report = run_sweep_cached(
+            &sweep,
+            None,
+            &LocalRunner::new(1),
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(store.health().unwrap().entries, 3);
+    }
+
+    #[test]
+    fn hits_carry_no_stale_spec() {
+        // A hit's report embeds the *caller's* expansion spec (name, mc
+        // and all), not a reconstruction from the canonical document —
+        // otherwise merged grids would lose their names.
+        let sweep = small_sweep();
+        let store = MemBackend::new();
+        let runner = LocalRunner::new(1);
+        run_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        let warm = run_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        let expected = sweep.expand().unwrap();
+        for point in &warm.points {
+            assert_eq!(point.report.spec, expected[point.index]);
+        }
+    }
+
+    #[test]
+    fn single_point_cache_outcome_is_visible() {
+        let sweep = small_sweep();
+        let store = MemBackend::new();
+        let spec = &sweep.expand().unwrap()[0];
+        let runner = LocalRunner::new(1);
+        let first = run_cached_with(
+            spec,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let second = run_cached_with(
+            spec,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert!(second.report.source.is_none(), "memory backend has no path");
+        assert_eq!(second.summary, first.summary);
+    }
+}
