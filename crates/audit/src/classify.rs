@@ -39,6 +39,9 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/dmr-sim/src/engine.rs",
     "crates/exec/src/runner.rs",
     "crates/exec/src/job.rs",
+    "crates/exec/src/workload.rs",
+    "crates/exec/src/executive_mc.rs",
+    "crates/rt-sched/src/executive.rs",
 ];
 
 /// Which rule families apply to one file.
@@ -113,17 +116,27 @@ mod tests {
 
     #[test]
     fn scope_contract() {
-        // Hot module in a determinism crate.
-        let c = classify("crates/dmr-sim/src/engine.rs");
-        assert_eq!(
-            c,
-            Some(FileClass {
-                crate_root: false,
-                library: true,
-                determinism: true,
-                hot: true,
-            })
-        );
+        // Hot modules in determinism crates — including the executive
+        // replication path (workload seam, executive Monte-Carlo, and the
+        // rt-sched executive engine it drives).
+        for hot in [
+            "crates/dmr-sim/src/engine.rs",
+            "crates/exec/src/workload.rs",
+            "crates/exec/src/executive_mc.rs",
+            "crates/rt-sched/src/executive.rs",
+        ] {
+            let c = classify(hot);
+            assert_eq!(
+                c,
+                Some(FileClass {
+                    crate_root: false,
+                    library: true,
+                    determinism: true,
+                    hot: true,
+                }),
+                "{hot}"
+            );
+        }
         // Binary entry points: R2 but not R4.
         let c = classify("crates/cli/src/main.rs");
         assert_eq!(

@@ -21,7 +21,11 @@
 //!   set, with a per-k sensitivity table (spec-driven via
 //!   [`ExecutiveSpec`], or the `--tasks` shorthand);
 //! * `executive` — run the non-preemptive EDF executive over N
-//!   hyperperiods and emit an [`eacp_spec::ExecutiveRunReport`];
+//!   hyperperiods and emit an [`eacp_spec::ExecutiveRunReport`]; with
+//!   `--mc` run N seeded horizons through the replication engine
+//!   (mergeable [`eacp_exec::ExecutiveSummary`], store-cacheable), and
+//!   with `--sweep grid.json` expand an [`ExecutiveSweepSpec`] grid with
+//!   the same shard/store workflow as `sweep`;
 //! * `store` — inspect (`status`), prune (`gc`) and audit (`verify`) the
 //!   content-addressed result store that `run`/`mc`/`sweep` consult with
 //!   `--store DIR` (or `$EACP_STORE`);
@@ -49,8 +53,10 @@ use eacp_core::analysis::{
 use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
 use eacp_exec::{
-    coverage_dir, merge_dir, run_sweep, run_sweep_queued, GridReport, Job, LocalRunner, PaperRef,
-    QueueObserver, QueueRunner, QueueStatus, Runner, ShardId, Summary,
+    coverage_dir, executive_coverage_dir, merge_dir, merge_executive_dir, render_executive_csv,
+    run_executive_point, run_executive_sweep, run_sweep, run_sweep_queued, ExecutiveGridReport,
+    ExecutiveJob, ExecutivePointReport, GridReport, Job, LocalRunner, PaperRef, QueueObserver,
+    QueueRunner, QueueStatus, Runner, ShardId, Summary,
 };
 use eacp_rtsched::feasibility::{
     edf_density, k_fault_wcet, minimum_feasible_speed, rm_response_times,
@@ -59,12 +65,13 @@ use eacp_rtsched::TaskSet;
 use eacp_sim::{Executor, Policy, TraceRecorder};
 use eacp_spec::{
     executive_preset, executive_preset_names, preset, preset_names, CostsSpec, ExecSpec,
-    ExecutiveSpec, ExperimentSpec, FaultSpec, FromJson, Json, McSpec, PeriodicTaskSpec,
-    PolicyAssignment, PolicySpec, RunReport, ScenarioSpec, SweepAxis, SweepSpec, TaskSetSpec,
-    ToJson, WorkSpec,
+    ExecutiveMcSpec, ExecutiveSpec, ExecutiveSweepSpec, ExperimentSpec, FaultSpec, FromJson, Json,
+    McSpec, PeriodicTaskSpec, PolicyAssignment, PolicySpec, RunReport, ScenarioSpec, SweepAxis,
+    SweepSpec, TaskSetSpec, ToJson, WorkSpec,
 };
 use eacp_store::{
-    run_cached, run_cached_single, run_sweep_cached, store_coverage, verify_store, CacheMode,
+    executive_store_coverage, run_cached, run_cached_single, run_executive_cached,
+    run_executive_sweep_cached, run_sweep_cached, store_coverage, verify_store, CacheMode,
     CacheOutcome, FsBackend, MemBackend, NoopStoreObserver, RetentionPolicy, StoreBackend,
     StoreCounters, STORE_ENV_VAR,
 };
@@ -89,6 +96,9 @@ USAGE:
   eacp feasibility [SPEC] [--tasks name:wcet:period[:deadline][,...]] [--k K] [--speed F]
   eacp executive  [SPEC] [--tasks ...] [--scheme S] [--lambda L] [--k K]
                   [--hyperperiods N] [--seed N] [--json]
+                  | --mc [--reps N] [--threads N] [--queue [--workers N]] [CACHE]
+                  | --sweep grid.json [--reps N] [--shard I/N] [--out DIR]
+                  [--queue [--workers N]] [CACHE]
   eacp bench      [--reps N] [--quick] [--threads N] [--seed N] [--out FILE]
                   [--baseline FILE [--max-regress FRAC]]
   eacp store      status [--spec sweep.json [--reps N] [--seed N]]
@@ -110,6 +120,17 @@ PERIODIC TASK SETS (feasibility/executive):
   `executive` simulates N hyperperiods of non-preemptive EDF and emits a
   JSON report (--json) with per-task deadline misses, energy and
   checkpoint totals. --emit-spec prints the effective spec on both.
+
+EXECUTIVE MONTE-CARLO:
+  `executive --mc` runs the spec's mc.replications seeded horizons
+  (replication i seeds hyperperiod horizon i) and reports miss-ratio /
+  energy distributions with per-task aggregates; the summary is
+  bit-identical for any --threads or --queue --workers count, and
+  --store serves repeat cells byte-identical to recomputation.
+  `executive --sweep grid.json` expands an executive sweep document
+  (hyperperiods/utilization/lambda/k/seed axes) with the same --shard /
+  --out / --store workflow as `eacp sweep`; `merge`, `queue status` and
+  `csv` detect executive report collections automatically.
 
 SHARDED SWEEPS:
   --shard I/N runs only shard I's grid-index range; --out DIR writes the
@@ -188,6 +209,10 @@ pub struct Options {
     pub speed: f64,
     /// Hyperperiods the executive simulates.
     pub hyperperiods: u32,
+    /// Monte-Carlo mode for `executive` (`--mc`: N seeded horizons).
+    pub mc: bool,
+    /// Executive sweep document (`executive --sweep grid.json`).
+    pub sweep: String,
     /// Baseline BENCH document to compare against (bench subcommand).
     pub baseline: String,
     /// Tolerated fractional replications/sec regression vs the baseline.
@@ -245,6 +270,8 @@ impl Default for Options {
             tasks: String::new(),
             speed: 1.0,
             hyperperiods: 1,
+            mc: false,
+            sweep: String::new(),
             baseline: String::new(),
             max_regress: 0.30,
             spec: String::new(),
@@ -303,6 +330,7 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--baseline" => o.baseline = val("--baseline")?,
             "--max-regress" => o.max_regress = parse_num(&val("--max-regress")?, "--max-regress")?,
             "--tasks" => o.tasks = val("--tasks")?,
+            "--sweep" => o.sweep = val("--sweep")?,
             "--spec" => o.spec = val("--spec")?,
             "--preset" => o.preset = val("--preset")?,
             "--shard" => o.shard = val("--shard")?,
@@ -316,6 +344,7 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--out" => o.out = val("--out")?,
             "--no-cache" => o.no_cache = true,
             "--refresh" => o.refresh = true,
+            "--mc" => o.mc = true,
             "--queue" => o.queue = true,
             "--quick" => o.quick = true,
             "--trace" => o.trace = true,
@@ -955,7 +984,14 @@ pub fn cmd_queue(o: &Options) -> Result<String, String> {
                 .positional
                 .get(1)
                 .ok_or("queue status: missing report directory")?;
-            let cov = coverage_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let dir = std::path::Path::new(dir);
+            // Executive collections produce the same SweepCoverage shape,
+            // so both kinds render through one coverage formatter.
+            let cov = if dir_has_executive_reports(dir)? {
+                executive_coverage_dir(dir).map_err(|e| e.to_string())?
+            } else {
+                coverage_dir(dir).map_err(|e| e.to_string())?
+            };
             let mut out = format!(
                 "sweep {:?}: {} grid points{}\n",
                 cov.sweep_name,
@@ -1007,18 +1043,37 @@ pub fn cmd_store(o: &Options) -> Result<String, String> {
                 health.location, health.entries, health.total_bytes, health.quarantined
             );
             if !o.spec.is_empty() {
-                let mut sweep =
-                    SweepSpec::load(std::path::Path::new(&o.spec)).map_err(|e| e.to_string())?;
+                let text =
+                    std::fs::read_to_string(&o.spec).map_err(|e| format!("{}: {e}", o.spec))?;
+                let json = Json::parse(&text).map_err(|e| format!("{}: {e}", o.spec))?;
                 // Cells are keyed by (spec hash, seed, replications), so
                 // coverage must be asked about the same Monte-Carlo block
-                // the sweep ran with — honor the same overrides.
-                if o.has("--reps") {
-                    sweep.base.mc.replications = o.reps;
-                }
-                if o.has("--seed") {
-                    sweep.base.mc.seed = o.seed;
-                }
-                let cov = store_coverage(&backend, &sweep).map_err(|e| e.to_string())?;
+                // the sweep ran with — honor the same overrides. Both
+                // sweep kinds produce one StoreCoverage shape, rendered
+                // through the shared coverage formatter below.
+                let cov = if json_is_executive_sweep(&json) {
+                    let mut sweep = ExecutiveSweepSpec::from_json(&json)
+                        .map_err(|e| format!("{}: {e}", o.spec))?;
+                    if o.has("--reps") {
+                        let mut mc = sweep.base.mc_or_default();
+                        mc.replications = o.reps;
+                        sweep.base.mc = Some(mc);
+                    }
+                    if o.has("--seed") {
+                        sweep.base.seed = o.seed;
+                    }
+                    executive_store_coverage(&backend, &sweep).map_err(|e| e.to_string())?
+                } else {
+                    let mut sweep =
+                        SweepSpec::from_json(&json).map_err(|e| format!("{}: {e}", o.spec))?;
+                    if o.has("--reps") {
+                        sweep.base.mc.replications = o.reps;
+                    }
+                    if o.has("--seed") {
+                        sweep.base.mc.seed = o.seed;
+                    }
+                    store_coverage(&backend, &sweep).map_err(|e| e.to_string())?
+                };
                 out.push_str(&format!(
                     "sweep {:?}: {} grid points\n",
                     cov.sweep_name, cov.total_points
@@ -1065,24 +1120,51 @@ pub fn cmd_store(o: &Options) -> Result<String, String> {
     }
 }
 
+/// Whether a report directory holds *executive* sweep documents (the
+/// embedded sweep base describes a periodic task set) rather than
+/// single-task experiment reports. The first document that embeds a
+/// sweep decides; merge/coverage then reject any mixed stragglers.
+fn dir_has_executive_reports(dir: &std::path::Path) -> Result<bool, String> {
+    let paths = eacp_exec::list_report_files(dir).map_err(|e| e.to_string())?;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(sweep) = json.get("sweep") {
+            return Ok(sweep.get("base").is_some_and(|b| b.get("tasks").is_some()));
+        }
+    }
+    Ok(false)
+}
+
+/// Whether a sweep *document* is an executive sweep (base has a task
+/// set) rather than a single-task experiment sweep (base has a
+/// scenario).
+fn json_is_executive_sweep(json: &Json) -> bool {
+    json.get("base").is_some_and(|b| b.get("tasks").is_some())
+}
+
 /// `eacp merge`: reassemble a directory of shard report documents into the
-/// full grid report (printed, or written with `--out`).
+/// full grid report (printed, or written with `--out`). Handles both
+/// single-task and executive sweep collections — the document shape
+/// picks the merge path.
 pub fn cmd_merge(o: &Options) -> Result<String, String> {
     let dir = o
         .positional
         .first()
         .ok_or("merge: missing report directory")?;
-    let grid = merge_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
-    let text = grid.to_json().pretty();
+    let dir = std::path::Path::new(dir);
+    let (text, points) = if dir_has_executive_reports(dir)? {
+        let grid = merge_executive_dir(dir).map_err(|e| e.to_string())?;
+        (grid.to_json().pretty(), grid.points.len())
+    } else {
+        let grid = merge_dir(dir).map_err(|e| e.to_string())?;
+        (grid.to_json().pretty(), grid.points.len())
+    };
     if o.out.is_empty() {
         return Ok(text);
     }
     std::fs::write(&o.out, &text).map_err(|e| format!("{}: {e}", o.out))?;
-    Ok(format!(
-        "merged {} grid points into {}\n",
-        grid.points.len(),
-        o.out
-    ))
+    Ok(format!("merged {points} grid points into {}\n", o.out))
 }
 
 /// `eacp csv`: render a directory of report documents (grid/shard files
@@ -1093,13 +1175,62 @@ pub fn cmd_csv(o: &Options) -> Result<String, String> {
         .positional
         .first()
         .ok_or("csv: missing report directory")?;
-    let rows = load_report_rows(std::path::Path::new(dir))?;
-    let csv = eacp_exec::csv::render_rows(&rows, &paper_ref_of);
+    let dir = std::path::Path::new(dir);
+    let (csv, rows) = if dir_has_executive_reports(dir)? {
+        let points = load_executive_points(dir)?;
+        (render_executive_csv(&points), points.len())
+    } else {
+        let rows = load_report_rows(dir)?;
+        (
+            eacp_exec::csv::render_rows(&rows, &paper_ref_of),
+            rows.len(),
+        )
+    };
     if o.out.is_empty() {
         return Ok(csv);
     }
     std::fs::write(&o.out, &csv).map_err(|e| format!("{}: {e}", o.out))?;
-    Ok(format!("wrote {} ({} rows)\n", o.out, rows.len()))
+    Ok(format!("wrote {} ({} rows)\n", o.out, rows))
+}
+
+/// Loads every executive sweep report document under `dir` into grid
+/// points sorted by index — the executive analogue of
+/// [`load_report_rows`], with the same loud duplicate-coverage failure.
+// The map keys duplicate-detection paths; nothing iterates it (see
+// clippy.toml on R1 scope).
+#[allow(clippy::disallowed_types)]
+fn load_executive_points(dir: &std::path::Path) -> Result<Vec<ExecutivePointReport>, String> {
+    let paths = eacp_exec::list_report_files(dir).map_err(|e| e.to_string())?;
+    let mut points: Vec<ExecutivePointReport> = Vec::new();
+    let mut seen: std::collections::HashMap<usize, std::path::PathBuf> =
+        std::collections::HashMap::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let grid = ExecutiveGridReport::from_json(&json).map_err(|e| {
+            format!(
+                "{}: invalid executive sweep report document: {e}",
+                path.display()
+            )
+        })?;
+        for p in grid.points {
+            if let Some(first) = seen.insert(p.index, path.clone()) {
+                return Err(format!(
+                    "{}: grid point {} already covered by {} — merged and \
+                     shard documents mixed in one directory?",
+                    path.display(),
+                    p.index,
+                    first.display()
+                ));
+            }
+            points.push(p);
+        }
+    }
+    if points.is_empty() {
+        return Err(format!("{}: no report documents found", dir.display()));
+    }
+    points.sort_by_key(|p| p.index);
+    Ok(points)
 }
 
 /// Loads every `.json` report document under `dir` into CSV rows: sweep
@@ -1531,8 +1662,17 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
 
 /// `eacp executive`: simulate the resolved [`ExecutiveSpec`] over N
 /// hyperperiods of non-preemptive EDF and report per-task deadline
-/// misses, energy and checkpoint totals.
+/// misses, energy and checkpoint totals. `--mc` runs N seeded horizons
+/// through the replication engine instead ([`cmd_executive_mc`]);
+/// `--sweep grid.json` expands an executive sweep document
+/// ([`cmd_executive_sweep`]).
 pub fn cmd_executive(o: &Options) -> Result<String, String> {
+    if !o.sweep.is_empty() {
+        return cmd_executive_sweep(o);
+    }
+    if o.mc {
+        return cmd_executive_mc(o);
+    }
     let spec = executive_spec(o)?;
     if o.emit_spec {
         return Ok(spec.to_json_string());
@@ -1565,6 +1705,247 @@ pub fn cmd_executive(o: &Options) -> Result<String, String> {
         out.push_str(&format!(
             "  {:<20} {:<6} {:>3} jobs  {:>3} misses  E={:<10.0} faults={:<4} worst R={:.0}\n",
             t.name, policy, t.jobs, t.deadline_misses, t.energy, t.faults, t.worst_response,
+        ));
+    }
+    Ok(out)
+}
+
+/// `eacp executive --mc`: Monte-Carlo over seeded executive horizons —
+/// replication `i` runs one whole hyperperiod horizon with
+/// `replication_seed(spec.seed, i)` and the per-horizon observations are
+/// folded into a mergeable [`eacp_exec::ExecutiveSummary`].
+///
+/// The Monte-Carlo flags (`--reps`, `--threads`, `--queue --workers`)
+/// are folded into the spec's `mc` section, so `--emit-spec` reproduces
+/// exactly what this command executes; with a store configured the cell
+/// is served byte-identical to recomputation.
+fn cmd_executive_mc(o: &Options) -> Result<String, String> {
+    let mut spec = executive_spec(o)?;
+    let mut mc = spec.mc_or_default();
+    if o.has("--reps") {
+        mc.replications = o.reps;
+    }
+    if o.has("--threads") {
+        mc.threads = o.threads;
+    }
+    if o.queue {
+        mc.queue = Some(eacp_spec::QueueSpec {
+            workers: o.workers,
+            ..Default::default()
+        });
+    }
+    spec.mc = Some(mc);
+    spec.validate().map_err(|e| e.to_string())?;
+    if o.emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let mut note = String::new();
+    let report = match resolve_store(o)? {
+        Some(backend) => {
+            let run = run_executive_cached(&spec, &backend, cache_mode(o), &NoopStoreObserver)
+                .map_err(|e| e.to_string())?;
+            note = store_note(run.cache, run.source.as_deref());
+            run.report
+        }
+        None => {
+            // Same dispatch as the single-task path: an mc.queue section
+            // picks the work-queue runner, result-neutral by construction.
+            let mc = spec.mc_or_default();
+            let runner: Box<dyn Runner> = match mc.queue {
+                Some(q) => Box::new(QueueRunner::new(q.workers).with_max_attempts(q.max_attempts)),
+                None => Box::new(LocalRunner::new(mc.threads)),
+            };
+            run_executive_point(runner.as_ref(), &spec).map_err(|e| e.to_string())?
+        }
+    };
+    if o.json {
+        // Byte-identical on hit and miss; cache telemetry stays out.
+        return Ok(report.to_json().pretty());
+    }
+    let s = &report.summary;
+    let sd = |stats: &eacp_numerics::OnlineStats| stats.population_variance().sqrt();
+    let horizons = s.horizons.max(1) as f64;
+    let mut out = format!(
+        "executive mc {}: {} seeded horizons × {} hyperperiod(s), {} task(s)\n\
+         miss ratio = {:.4} (sd {:.4})  E(horizon) = {:.0} (sd {:.0})\n\
+         jobs/horizon = {:.1}  faults/horizon = {:.2}  rollbacks/horizon = {:.2}\n\
+         checkpoints/horizon: SCP={:.1} CCP={:.1} CSCP={:.1}\n",
+        report.spec.name,
+        s.horizons,
+        report.spec.hyperperiods,
+        report.spec.tasks.len(),
+        s.mean_miss_ratio(),
+        sd(&s.miss_ratio),
+        s.mean_energy(),
+        sd(&s.energy),
+        s.jobs as f64 / horizons,
+        s.horizon_faults.mean(),
+        s.horizon_rollbacks.mean(),
+        s.checkpoints.store as f64 / horizons,
+        s.checkpoints.compare as f64 / horizons,
+        s.checkpoints.compare_store as f64 / horizons,
+    );
+    for ((task, agg), policy) in report
+        .spec
+        .tasks
+        .tasks
+        .iter()
+        .zip(&s.per_task)
+        .zip(&report.policy_names)
+    {
+        out.push_str(&format!(
+            "  {:<20} {:<6} {:>6} jobs  {:>4} misses  E={:<12.0} faults={:<6} worst R={:.0}\n",
+            task.name,
+            policy,
+            agg.jobs,
+            agg.deadline_misses,
+            agg.energy,
+            agg.faults,
+            agg.worst_response,
+        ));
+    }
+    out.push_str(&note);
+    Ok(out)
+}
+
+/// `eacp executive --sweep grid.json`: expand an
+/// [`ExecutiveSweepSpec`] and run every grid point (or one `--shard i/n`
+/// of it) as an executive Monte-Carlo, with the same resumable-store and
+/// sharded-collection workflow as the single-task `eacp sweep`.
+fn cmd_executive_sweep(o: &Options) -> Result<String, String> {
+    if !o.spec.is_empty() || !o.preset.is_empty() || !o.tasks.is_empty() {
+        return Err(
+            "executive --sweep: the sweep document embeds its base spec — drop \
+             --spec/--preset/--tasks"
+                .to_owned(),
+        );
+    }
+    // Grid axes own the experiment shape; only base-level Monte-Carlo
+    // knobs make sense as overrides (mirrors `eacp sweep`).
+    for flag in [
+        "--scheme",
+        "--lambda",
+        "--k",
+        "--hyperperiods",
+        "--speed",
+        "--variant",
+    ] {
+        if o.has(flag) {
+            return Err(format!(
+                "executive --sweep: {flag} cannot override a sweep document — edit the \
+                 base spec or its axes"
+            ));
+        }
+    }
+    let mut sweep =
+        ExecutiveSweepSpec::load(std::path::Path::new(&o.sweep)).map_err(|e| e.to_string())?;
+    if o.has("--reps") || o.has("--threads") {
+        let mut mc = sweep.base.mc_or_default();
+        if o.has("--reps") {
+            mc.replications = o.reps;
+        }
+        if o.has("--threads") {
+            mc.threads = o.threads;
+        }
+        sweep.base.mc = Some(mc);
+    }
+    if o.has("--seed") {
+        sweep.base.seed = o.seed;
+    }
+    let shard = if o.shard.is_empty() {
+        None
+    } else {
+        Some(ShardId::parse(&o.shard).map_err(|e| e.to_string())?)
+    };
+    let base_mc = sweep.base.mc_or_default();
+    if o.emit_spec {
+        let mut specs = sweep.expand().map_err(|e| e.to_string())?;
+        if o.queue {
+            // Emitted point specs must reproduce the scheduling choice.
+            for spec in &mut specs {
+                let mut mc = spec.mc_or_default();
+                mc.queue = Some(eacp_spec::QueueSpec {
+                    workers: o.workers,
+                    ..Default::default()
+                });
+                spec.mc = Some(mc);
+            }
+        }
+        let range = shard.map_or(0..specs.len(), |s| s.range(specs.len()));
+        let docs: Vec<Json> = specs[range].iter().map(ToJson::to_json).collect();
+        return Ok(Json::Array(docs).pretty());
+    }
+    let store = resolve_store(o)?;
+    let counters = StoreCounters::new();
+    let runner: Box<dyn Runner> = if o.queue {
+        Box::new(QueueRunner::new(o.workers))
+    } else {
+        Box::new(LocalRunner::new(base_mc.threads))
+    };
+    let grid = if let Some(backend) = &store {
+        run_executive_sweep_cached(
+            &sweep,
+            shard,
+            runner.as_ref(),
+            backend,
+            cache_mode(o),
+            &counters,
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        run_executive_sweep(&sweep, shard, runner.as_ref()).map_err(|e| e.to_string())?
+    };
+    let queue_note = if store.is_some() {
+        let mut s = format!(
+            ", store: {} served, {} computed",
+            counters.hits(),
+            counters.records()
+        );
+        if counters.quarantined() > 0 {
+            s.push_str(&format!(", {} quarantined", counters.quarantined()));
+        }
+        s
+    } else {
+        String::new()
+    };
+    if !o.out.is_empty() {
+        let path = grid
+            .save(std::path::Path::new(&o.out))
+            .map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "wrote {} ({} of {} grid points{}{queue_note})\n",
+            path.display(),
+            grid.points.len(),
+            grid.total_points,
+            shard.map_or_else(String::new, |s| format!(", shard {s}")),
+        ));
+    }
+    if o.json {
+        let docs: Vec<Json> = grid.points.iter().map(|p| p.report.to_json()).collect();
+        return Ok(Json::Array(docs).pretty());
+    }
+    let mut out = format!(
+        "executive sweep over {} points ({} seeded horizons each{}{queue_note})\n\n\
+         {:<44} {:>10} {:>12} {:>10}\n",
+        grid.total_points,
+        base_mc.replications,
+        shard.map_or_else(String::new, |s| format!(
+            ", shard {s}: {} points",
+            grid.points.len()
+        )),
+        "experiment",
+        "miss",
+        "E(horizon)",
+        "faults"
+    );
+    for p in &grid.points {
+        let r = &p.report;
+        out.push_str(&format!(
+            "{:<44} {:>10.4} {:>12.0} {:>10.2}\n",
+            r.spec.name,
+            r.summary.mean_miss_ratio(),
+            r.summary.mean_energy(),
+            r.summary.horizon_faults.mean(),
         ));
     }
     Ok(out)
@@ -1683,6 +2064,50 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         );
     }
 
+    // Executive horizon throughput over the avionics-trio workload
+    // (specs/avionics-trio.json ships the same document): the replication
+    // engine pushed through the Workload seam, timed single- and
+    // multi-threaded. The two runs double as a live bit-identity check.
+    let exec_horizons = if o.has("--reps") {
+        reps.min(200)
+    } else if o.quick {
+        50
+    } else {
+        200
+    };
+    let mut exec_spec =
+        executive_preset("avionics-trio").ok_or("bench: missing avionics-trio preset")?;
+    exec_spec.name = "bench-executive".into();
+    exec_spec.seed = o.seed;
+    exec_spec.mc = Some(ExecutiveMcSpec {
+        replications: exec_horizons,
+        threads: 1,
+        queue: None,
+    });
+    let exec_job = ExecutiveJob::from_spec(&exec_spec).map_err(|e| e.to_string())?;
+    let time_executive =
+        |runner: &LocalRunner| -> Result<(f64, eacp_exec::ExecutiveSummary), String> {
+            let mut best = f64::INFINITY;
+            let mut summary = None;
+            for _ in 0..iterations {
+                let started = Instant::now();
+                let s = runner.run_executive(&exec_job).map_err(|e| e.to_string())?;
+                best = best.min(started.elapsed().as_secs_f64());
+                summary = Some(s);
+            }
+            summary
+                .map(|s| (best, s))
+                .ok_or_else(|| "bench ran zero iterations".to_owned())
+        };
+    let (exec_single_s, exec_single) = time_executive(&LocalRunner::new(1))?;
+    let (exec_multi_s, exec_multi) = time_executive(&LocalRunner::new(o.threads))?;
+    if exec_single != exec_multi {
+        return Err(
+            "bench sanity check failed: executive summaries diverged across thread counts"
+                .to_owned(),
+        );
+    }
+
     let threads = if o.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -1726,6 +2151,34 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
                 ("hit_speedup", (cold_s / warm_s.max(1e-12)).into()),
             ]),
         ),
+        (
+            "executive",
+            Json::obj([
+                ("job", exec_spec.name.as_str().into()),
+                ("horizons", exec_horizons.into()),
+                (
+                    "single_thread",
+                    Json::obj([
+                        ("wall_s", exec_single_s.into()),
+                        (
+                            "horizons_per_s",
+                            (exec_horizons as f64 / exec_single_s.max(1e-12)).into(),
+                        ),
+                    ]),
+                ),
+                (
+                    "multi_thread",
+                    Json::obj([
+                        ("threads", threads.into()),
+                        ("wall_s", exec_multi_s.into()),
+                        (
+                            "horizons_per_s",
+                            (exec_horizons as f64 / exec_multi_s.max(1e-12)).into(),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
 
     let path = if o.out.is_empty() {
@@ -1742,18 +2195,23 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
          speedup : {speedup:.2}x\n\
          sweep   : {} point(s) in {sweep_s:.3} s\n\
          store   : cold {cold_s:.3} s, warm hit {:.2} ms ({:.0}x)\n\
+         executive: {exec_horizons} horizons — 1 thread {exec_single_s:.3} s ({:.0}/s), \
+         {threads} thread(s) {exec_multi_s:.3} s ({:.0}/s)\n\
          wrote {path}",
         reps as f64 / pooled_s.max(1e-12),
         reps as f64 / boxed_s.max(1e-12),
         grid.points.len(),
         warm_s * 1e3,
         cold_s / warm_s.max(1e-12),
+        exec_horizons as f64 / exec_single_s.max(1e-12),
+        exec_horizons as f64 / exec_multi_s.max(1e-12),
     );
     if !o.baseline.is_empty() {
         out.push('\n');
         out.push_str(&check_bench_baseline(
             &o.baseline,
             reps as f64 / pooled_s.max(1e-12),
+            exec_horizons as f64 / exec_single_s.max(1e-12),
             o.max_regress,
         )?);
     }
@@ -1772,6 +2230,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
 fn check_bench_baseline(
     path: &str,
     pooled_reps_per_s: f64,
+    exec_horizons_per_s: f64,
     max_regress: f64,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
@@ -1791,12 +2250,37 @@ fn check_bench_baseline(
             max_regress * 100.0,
         ));
     }
-    Ok(format!(
+    let mut out = format!(
         "baseline check ok: pooled {pooled_reps_per_s:.0} reps/s vs {baseline:.0} baseline \
          ({:+.1}%, tolerance -{:.0}%)",
         (ratio - 1.0) * 100.0,
         max_regress * 100.0,
-    ))
+    );
+    // The executive section gates too when the baseline records one
+    // (older baseline documents without it still pass the pooled gate).
+    if let Ok(exec_base) = doc
+        .req("executive")
+        .and_then(|e| e.req("single_thread"))
+        .and_then(|s| s.req("horizons_per_s"))
+        .and_then(Json::as_f64)
+    {
+        let exec_ratio = exec_horizons_per_s / exec_base.max(1e-12);
+        if exec_horizons_per_s < exec_base * (1.0 - max_regress) {
+            return Err(format!(
+                "perf regression: executive {exec_horizons_per_s:.0} horizons/s is {:.1}% \
+                 below the baseline {exec_base:.0} horizons/s in {path} (tolerance {:.0}%)",
+                (1.0 - exec_ratio) * 100.0,
+                max_regress * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "\nbaseline check ok: executive {exec_horizons_per_s:.0} horizons/s vs \
+             {exec_base:.0} baseline ({:+.1}%, tolerance -{:.0}%)",
+            (exec_ratio - 1.0) * 100.0,
+            max_regress * 100.0,
+        ));
+    }
+    Ok(out)
 }
 
 /// Dispatches a full command line (without the program name).
@@ -2279,6 +2763,185 @@ mod tests {
         assert!(gc.contains("evicted 1"), "{gc}");
         assert!(dispatch(args(&format!("store gc --store {s}"))).is_err());
         assert!(dispatch(args(&format!("store bogus --store {s}"))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    const EXEC_DUO: &str = "--tasks sensor:500:4000,control:1200:8000 --lambda 8e-4 --k 2 \
+                            --hyperperiods 2 --seed 7";
+
+    #[test]
+    fn executive_mc_reports_distributions_and_is_runner_invariant() {
+        let out = dispatch(args(&format!(
+            "executive {EXEC_DUO} --mc --reps 12 --threads 1"
+        )))
+        .unwrap();
+        assert!(out.contains("executive mc"), "{out}");
+        assert!(out.contains("12 seeded horizons"), "{out}");
+        assert!(out.contains("miss ratio ="), "{out}");
+        assert!(out.contains("sensor"), "{out}");
+
+        // Runner placement (threads, queue workers) never changes a bit
+        // of the Monte-Carlo aggregate.
+        let summary_of = |line: &str| {
+            let doc = Json::parse(&dispatch(args(line)).unwrap()).unwrap();
+            doc.req("summary").unwrap().pretty()
+        };
+        let single = summary_of(&format!(
+            "executive {EXEC_DUO} --mc --reps 12 --threads 1 --json"
+        ));
+        let multi = summary_of(&format!(
+            "executive {EXEC_DUO} --mc --reps 12 --threads 4 --json"
+        ));
+        let queued = summary_of(&format!(
+            "executive {EXEC_DUO} --mc --reps 12 --queue --workers 3 --json"
+        ));
+        assert_eq!(single, multi);
+        assert_eq!(single, queued);
+    }
+
+    #[test]
+    fn executive_mc_emit_spec_records_the_scheduling_choice() {
+        let emitted = dispatch(args(&format!(
+            "executive {EXEC_DUO} --mc --reps 9 --queue --workers 2 --emit-spec"
+        )))
+        .unwrap();
+        let spec = ExecutiveSpec::from_json_str(&emitted).unwrap();
+        let mc = spec.mc.expect("mc section recorded");
+        assert_eq!(mc.replications, 9);
+        assert_eq!(mc.queue.map(|q| q.workers), Some(2));
+    }
+
+    #[test]
+    fn executive_mc_store_serves_hits_byte_identical() {
+        let dir = temp_store("exec-mc");
+        let s = dir.to_str().unwrap();
+        let line = format!("executive {EXEC_DUO} --mc --reps 10 --threads 1 --store {s}");
+        let cold = dispatch(args(&line)).unwrap();
+        assert!(cold.contains("store: miss"), "{cold}");
+        let warm = dispatch(args(&line)).unwrap();
+        assert!(warm.contains("store: hit"), "{warm}");
+        // The JSON report document is byte-identical on hit and miss.
+        let json_line = format!("{line} --json");
+        let a = dispatch(args(&json_line)).unwrap();
+        let b = dispatch(args(&json_line)).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.contains("store:"), "{a}");
+        let verified = dispatch(args(&format!("store verify --store {s}"))).unwrap();
+        assert!(verified.contains("verified 1 of 1 entries"), "{verified}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn write_executive_sweep(dir: &std::path::Path) -> std::path::PathBuf {
+        use eacp_spec::{ExecutiveSweepAxis, ExecutiveSweepSpec};
+        let mut base = executive_preset("avionics-trio").unwrap();
+        base.name = "exec-grid".into();
+        base.hyperperiods = 2;
+        base.mc = Some(ExecutiveMcSpec {
+            replications: 8,
+            threads: 1,
+            queue: None,
+        });
+        let sweep = ExecutiveSweepSpec {
+            base,
+            axes: vec![ExecutiveSweepAxis::Lambda(vec![2.0e-4, 1.0e-3])],
+        };
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("exec-sweep.json");
+        std::fs::write(&path, sweep.to_json_string()).unwrap();
+        path
+    }
+
+    #[test]
+    fn executive_sweep_shards_merge_and_render_like_experiment_sweeps() {
+        let dir = temp_store("exec-sweep");
+        let spec_path = write_executive_sweep(&dir);
+        let p = spec_path.to_str().unwrap();
+
+        let full = dispatch(args(&format!("executive --sweep {p}"))).unwrap();
+        assert!(full.contains("executive sweep over 2 points"), "{full}");
+        assert!(full.contains("exec-grid-l0.0002"), "{full}");
+
+        // Shards collect into a report directory; status/merge/csv all
+        // detect the executive document shape.
+        let reports = dir.join("reports");
+        for shard in ["0/2", "1/2"] {
+            let out = dispatch(args(&format!(
+                "executive --sweep {p} --shard {shard} --out {}",
+                reports.display()
+            )))
+            .unwrap();
+            assert!(out.contains("1 of 2 grid points"), "{out}");
+        }
+        let status = dispatch(args(&format!("queue status {}", reports.display()))).unwrap();
+        assert!(status.contains("covered 2/2 points"), "{status}");
+        assert!(status.contains("ready to merge"), "{status}");
+
+        let merged_path = dir.join("merged.json");
+        let merged = dispatch(args(&format!(
+            "merge {} --out {}",
+            reports.display(),
+            merged_path.display()
+        )))
+        .unwrap();
+        assert!(merged.contains("merged 2 grid points"), "{merged}");
+
+        let csv = dispatch(args(&format!("csv {}", reports.display()))).unwrap();
+        assert!(
+            csv.starts_with("index,experiment,policies,horizons"),
+            "{csv}"
+        );
+        assert!(csv.contains("exec-grid-l0.0002"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn executive_sweep_store_resumes_byte_identically() {
+        let dir = temp_store("exec-resume");
+        let spec_path = write_executive_sweep(&dir);
+        let p = spec_path.to_str().unwrap();
+        let s = dir.to_str().unwrap();
+
+        // "Interrupted": only shard 0 of 2 lands in the store.
+        let out = dispatch(args(&format!(
+            "executive --sweep {p} --shard 0/2 --store {s}"
+        )))
+        .unwrap();
+        assert!(out.contains("store: 0 served, 1 computed"), "{out}");
+
+        let status = dispatch(args(&format!("store status --spec {p} --store {s}"))).unwrap();
+        assert!(
+            status.contains("covered 1/2 points; missing: [1]"),
+            "{status}"
+        );
+        assert!(status.contains("incomplete"), "{status}");
+
+        // Resume over the full grid: the finished half is served, and the
+        // report is byte-identical to an uninterrupted run.
+        let resumed = dispatch(args(&format!("executive --sweep {p} --store {s}"))).unwrap();
+        assert!(resumed.contains("store: 1 served, 1 computed"), "{resumed}");
+        let plain = dispatch(args(&format!("executive --sweep {p}"))).unwrap();
+        assert_eq!(resumed.replace(", store: 1 served, 1 computed", ""), plain);
+
+        let status = dispatch(args(&format!("store status --spec {p} --store {s}"))).unwrap();
+        assert!(status.contains("complete"), "{status}");
+        let verified = dispatch(args(&format!("store verify --store {s}"))).unwrap();
+        assert!(verified.contains("verified 2 of 2 entries"), "{verified}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn executive_sweep_rejects_shape_overrides() {
+        let dir = temp_store("exec-flags");
+        let spec_path = write_executive_sweep(&dir);
+        let p = spec_path.to_str().unwrap();
+        let err = dispatch(args(&format!("executive --sweep {p} --lambda 1e-3"))).unwrap_err();
+        assert!(err.contains("--lambda"), "{err}");
+        let err = dispatch(args(&format!(
+            "executive --sweep {p} --preset avionics-trio"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--spec/--preset/--tasks"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

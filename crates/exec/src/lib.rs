@@ -50,13 +50,22 @@
 
 pub mod csv;
 pub mod executive;
+pub mod executive_mc;
+pub mod executive_shard;
 pub mod job;
 pub mod queue;
 pub mod runner;
 pub mod shard;
+pub mod workload;
 
 pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
 pub use executive::{run_executive, run_executive_observed};
+pub use executive_mc::{ExecutiveJob, ExecutiveReplicator, ExecutiveSummary, TaskAggregate};
+pub use executive_shard::{
+    executive_coverage_dir, merge_executive_dir, render_executive_csv, run_executive_point,
+    run_executive_sweep, ExecutiveGridReport, ExecutiveMcReport, ExecutivePointReport,
+    EXECUTIVE_CSV_HEADER,
+};
 pub use job::{FaultFactory, Job, PolicyFactory, Replicator};
 pub use queue::{
     run_sweep_queued, BlockAssignment, InProcessWorker, Lease, NoopQueueObserver, QueueObserver,
@@ -67,6 +76,7 @@ pub use shard::{
     coverage_dir, list_report_files, merge_dir, run_point, run_sweep, run_sweep_with, DocCoverage,
     GridReport, PointReport, ShardId, SweepCoverage,
 };
+pub use workload::{run_workload_local, run_workload_queued, Replicate, Workload};
 
 // The execution vocabulary lives in `eacp-sim` (the engine emits the
 // events); re-exported here so runner-level code needs one import path.

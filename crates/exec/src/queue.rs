@@ -501,10 +501,27 @@ impl<W: Worker> Runner for QueueRunner<W> {
     fn run_observed(&self, job: &Job, obs: &mut dyn Observer) -> Result<Summary, SpecError> {
         Ok(run_sequential_observed(job, self.block_size, obs))
     }
+
+    /// Executive workloads lease the same canonical blocks through a
+    /// [`WorkQueue`] ([`crate::workload::run_workload_queued`]): any
+    /// worker count and any failure/retry schedule produces the same
+    /// summary as [`LocalRunner`](crate::LocalRunner), bit for bit.
+    fn run_executive(
+        &self,
+        job: &crate::ExecutiveJob,
+    ) -> Result<crate::ExecutiveSummary, SpecError> {
+        crate::workload::run_workload_queued(
+            job,
+            self.workers,
+            self.max_attempts,
+            self.block_size,
+            &NoopQueueObserver,
+        )
+    }
 }
 
 /// Resolves a requested pool size: 0 means available parallelism.
-fn resolve_workers(workers: usize) -> usize {
+pub(crate) fn resolve_workers(workers: usize) -> usize {
     if workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -12,9 +12,8 @@
 //! threads, or the sequential observed path.
 
 use crate::job::Job;
-use eacp_sim::{NoopObserver, Observer, Summary};
+use eacp_sim::{Observer, Summary};
 use eacp_spec::SpecError;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Executes a [`Job`] into a [`Summary`].
 ///
@@ -36,6 +35,28 @@ pub trait Runner {
     /// fall back to a sequential schedule here; the aggregate is still
     /// bit-identical to [`Runner::run`].
     fn run_observed(&self, job: &Job, obs: &mut dyn Observer) -> Result<Summary, SpecError>;
+
+    /// Runs an executive Monte-Carlo workload: N seeded hyperperiod
+    /// horizons reduced into an [`ExecutiveSummary`]
+    /// ([`crate::ExecutiveSummary`]).
+    ///
+    /// The default is the sequential canonical reduction; implementations
+    /// override it to parallelize, and the determinism contract carries
+    /// over unchanged — same canonical blocks, same ascending merge, so
+    /// the summary is bit-identical on every runner and pool size.
+    ///
+    /// [`ExecutiveSummary`]: crate::ExecutiveSummary
+    ///
+    /// # Errors
+    ///
+    /// Scheduling failures only (e.g. a work queue exhausting its retry
+    /// budget); the workload itself cannot fail after validation.
+    fn run_executive(
+        &self,
+        job: &crate::ExecutiveJob,
+    ) -> Result<crate::ExecutiveSummary, SpecError> {
+        Ok(crate::workload::run_workload_local(job, 1, 0))
+    }
 }
 
 /// Multi-threaded in-process runner (std scoped threads, no work queues).
@@ -74,19 +95,9 @@ impl LocalRunner {
     ///
     /// Depends only on the replication count (never on the thread count):
     /// that is what makes the reduction canonical.
+    #[cfg(test)]
     fn effective_block(&self, replications: u64) -> u64 {
         canonical_block_size(self.block_size, replications)
-    }
-
-    fn effective_threads(&self, blocks: u64) -> usize {
-        let t = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-        t.clamp(1, blocks.max(1) as usize)
     }
 }
 
@@ -164,62 +175,18 @@ impl Runner for LocalRunner {
         "local"
     }
 
-    // audit:setup: per-job orchestration — worker vectors and the block
-    // index are allocated once per run; the replication loop itself is
-    // `run_block`.
+    /// The fast path routes through the generic [`Workload`] reduction
+    /// ([`crate::workload::run_workload_local`]): the [`Job`] impl of the
+    /// trait drives the same pooled [`crate::Replicator`] over the same
+    /// canonical blocks, so this is the pre-refactor reduction verbatim —
+    /// the golden-identity tests pin it bit for bit.
+    ///
+    /// [`Workload`]: crate::workload::Workload
     fn run(&self, job: &Job) -> Result<Summary, SpecError> {
-        let reps = job.replications();
-        let block = self.effective_block(reps);
-        let n_blocks = reps.div_ceil(block);
-        let threads = self.effective_threads(n_blocks);
-        if threads <= 1 {
-            return Ok(run_sequential_observed(
-                job,
-                self.block_size,
-                &mut NoopObserver,
-            ));
-        }
-
-        let next = AtomicU64::new(0);
-        let mut worker_results: Vec<Vec<(u64, Summary)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let next = &next;
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let b = next.fetch_add(1, Ordering::Relaxed);
-                        if b >= n_blocks {
-                            break;
-                        }
-                        let lo = b * block;
-                        let hi = (lo + block).min(reps);
-                        local.push((b, run_block(job, lo, hi, &mut NoopObserver)));
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                // audit:allow(panic): re-raises a worker thread's panic on
-                // the caller thread instead of silently dropping blocks.
-                worker_results.push(h.join().expect("simulation worker panicked"));
-            }
-        });
-
-        // Canonical order: place each block partial at its index, then
-        // merge ascending — the thread schedule is forgotten here.
-        let mut by_index: Vec<Option<Summary>> = vec![None; n_blocks as usize];
-        for (b, partial) in worker_results.into_iter().flatten() {
-            by_index[b as usize] = Some(partial);
-        }
-        Ok(merge_blocks(
-            by_index
-                .into_iter()
-                // audit:allow(panic): the work-stealing loop hands out each
-                // block index exactly once and every worker joined above.
-                .map(|p| p.expect("every block is reduced exactly once"))
-                .collect(),
+        Ok(crate::workload::run_workload_local(
+            job,
+            self.threads,
+            self.block_size,
         ))
     }
 
@@ -228,6 +195,17 @@ impl Runner for LocalRunner {
         // over the same canonical blocks so the aggregate stays
         // bit-identical to the parallel fast path.
         Ok(run_sequential_observed(job, self.block_size, obs))
+    }
+
+    fn run_executive(
+        &self,
+        job: &crate::ExecutiveJob,
+    ) -> Result<crate::ExecutiveSummary, SpecError> {
+        Ok(crate::workload::run_workload_local(
+            job,
+            self.threads,
+            self.block_size,
+        ))
     }
 }
 

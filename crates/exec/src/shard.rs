@@ -90,11 +90,11 @@ impl ShardId {
         lo..hi
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         Json::obj([("index", self.index.into()), ("count", self.count.into())])
     }
 
-    fn from_json(json: &Json) -> Result<Self, SpecError> {
+    pub(crate) fn from_json(json: &Json) -> Result<Self, SpecError> {
         Self::new(json.req("index")?.as_u64()?, json.req("count")?.as_u64()?)
     }
 }

@@ -2,11 +2,12 @@
 //! (same spec + seed ⇒ byte-identical report), consistency with the
 //! single-job Monte-Carlo path, and invariance of the aggregates.
 
-use eacp_exec::{run_executive, Job};
+use eacp_exec::{run_executive, ExecutiveJob, Job, LocalRunner, QueueRunner, Runner};
 use eacp_sim::{replication_seed, NoopObserver};
+use eacp_spec::ToJson;
 use eacp_spec::{
-    CostsSpec, DvsSpec, ExecSpec, ExecutiveSpec, ExperimentSpec, FaultSpec, McSpec,
-    PolicyAssignment, PolicySpec, ScenarioSpec, TaskSetSpec, WorkSpec,
+    CostsSpec, DvsSpec, ExecSpec, ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FaultSpec,
+    McSpec, PolicyAssignment, PolicySpec, ScenarioSpec, TaskSetSpec, WorkSpec,
 };
 
 fn duo_spec() -> ExecutiveSpec {
@@ -136,6 +137,35 @@ fn aggregates_are_consistent_with_raw_records() {
             .map(|j| j.finished - j.release)
             .fold(0.0f64, f64::max);
         assert_eq!(t.worst_response, worst);
+    }
+}
+
+/// The executive Monte-Carlo reduction is runner-invariant: every thread
+/// count, every worker count and any retry budget produce a summary that
+/// serializes byte-identically to the single-thread reference — the
+/// property the sharded sweeps, the queue path and the result store's
+/// cache hits all rest on.
+#[test]
+fn executive_summary_is_byte_identical_across_threads_and_workers() {
+    let mut spec = duo_spec();
+    spec.mc = Some(ExecutiveMcSpec {
+        replications: 24,
+        threads: 1,
+        queue: None,
+    });
+    let job = ExecutiveJob::from_spec(&spec).unwrap();
+    let reference = LocalRunner::new(1)
+        .run_executive(&job)
+        .unwrap()
+        .to_json()
+        .pretty();
+    for threads in [2usize, 4, 8] {
+        let summary = LocalRunner::new(threads).run_executive(&job).unwrap();
+        assert_eq!(summary.to_json().pretty(), reference, "threads = {threads}");
+    }
+    for workers in [1usize, 3, 16] {
+        let summary = QueueRunner::new(workers).run_executive(&job).unwrap();
+        assert_eq!(summary.to_json().pretty(), reference, "workers = {workers}");
     }
 }
 

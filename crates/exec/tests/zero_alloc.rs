@@ -22,9 +22,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use eacp_exec::Job;
+use eacp_exec::{ExecutiveJob, Job, Replicate, Workload};
 use eacp_sim::NoopObserver;
-use eacp_spec::{ExperimentSpec, FaultSpec, McSpec, PolicySpec};
+use eacp_spec::{
+    ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FaultSpec, McSpec, PolicyAssignment,
+    PolicySpec, TaskSetSpec,
+};
 
 /// Counts every allocation and reallocation. Deallocations are free:
 /// a hot loop that frees without allocating cannot grow the count.
@@ -106,10 +109,66 @@ const MEASURED: u64 = 32;
 /// would race the counter. Here the whole process is the measurement.
 fn main() {
     replication_loop_never_allocates_after_warmup();
+    executive_horizons_never_allocate_after_warmup();
     println!(
-        "zero-alloc witness: ok ({} schemes × 4 fault processes)",
+        "zero-alloc witness: ok ({} schemes × 4 fault processes + executive horizons)",
         PolicySpec::TAGS.len()
     );
+}
+
+/// The executive Monte-Carlo hot path: after warmup, one seeded horizon
+/// (fault-stream reset, per-task policy resets, a full hyperperiod of
+/// EDF jobs, the accumulator fold) must not allocate — the scratch job
+/// records, scenario template and policies are pooled in `replicator()`.
+fn executive_horizons_never_allocate_after_warmup() {
+    for (fault_name, fault_spec) in fault_specs() {
+        let lambda = 1.4e-3;
+        let mut spec = ExecutiveSpec::new(
+            format!("zero-alloc-executive-{fault_name}"),
+            TaskSetSpec::implicit([("sensor", 900.0, 4_000), ("control", 2_100.0, 8_000)]),
+        );
+        spec.faults = fault_spec;
+        spec.policy = PolicyAssignment::PerTask(vec![
+            PolicySpec::from_tag("a_d_s", lambda, 2, 0).expect("known scheme tag"),
+            PolicySpec::from_tag("kft", lambda, 2, 0).expect("known scheme tag"),
+        ]);
+        spec.hyperperiods = 2;
+        spec.seed = 77;
+        spec.mc = Some(ExecutiveMcSpec {
+            replications: WARMUP + MEASURED,
+            threads: 1,
+            queue: None,
+        });
+        let job = ExecutiveJob::from_spec(&spec).expect("valid witness spec");
+        // Building the replicator is setup: it allocates the scenario
+        // template, pooled scratch and policies exactly once.
+        let mut rep = job.replicator();
+        let mut acc = job.empty_acc();
+        for r in 0..WARMUP {
+            rep.run_one(r, &mut acc);
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for r in WARMUP..WARMUP + MEASURED {
+            rep.run_one(r, &mut acc);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "executive × faults {fault_name}: {} allocation(s) in {MEASURED} measured \
+             horizons (last size {})",
+            after - before,
+            LAST_SIZE.load(Ordering::SeqCst)
+        );
+        // Vacuity guard: the measured horizons must exercise the fault /
+        // rollback path, exactly where a per-replication allocation would
+        // hide.
+        assert!(
+            acc.faults > 0,
+            "executive × faults {fault_name}: no faults over {} horizons",
+            acc.horizons
+        );
+    }
 }
 
 fn replication_loop_never_allocates_after_warmup() {

@@ -223,6 +223,17 @@ impl DeterministicFaults {
         Self::default()
     }
 
+    /// An empty schedule whose buffer can hold `capacity` instants before
+    /// [`reload`](Self::reload) has to grow it. Pooled replication loops
+    /// use this so the window buffer is sized in setup rather than by the
+    /// densest window the fault process happens to produce mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            times: Vec::with_capacity(capacity),
+            next: 0,
+        }
+    }
+
     /// Remaining (not yet emitted) fault instants.
     pub fn remaining(&self) -> &[f64] {
         &self.times[self.next.min(self.times.len())..]
@@ -231,6 +242,30 @@ impl DeterministicFaults {
     /// Rewinds the schedule to its first instant — equivalent to
     /// rebuilding from the same times, without re-sorting or reallocating.
     pub fn restart(&mut self) {
+        self.next = 0;
+    }
+
+    /// Replaces the schedule in place with `times` (sorted ascending) and
+    /// rewinds to the first instant — exactly equivalent to
+    /// `*self = DeterministicFaults::new(times.to_vec())`, but reusing the
+    /// existing buffer. Replication loops that feed each run a fresh fault
+    /// window through one pooled schedule stop allocating once the buffer's
+    /// capacity reaches the largest window the workload produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instant is NaN or negative.
+    pub fn reload(&mut self, times: &[f64]) {
+        assert!(
+            times.iter().all(|t| t.is_finite() && *t >= 0.0),
+            "fault instants must be finite and non-negative"
+        );
+        self.times.clear();
+        self.times.extend_from_slice(times);
+        // Same total-order argument as `new`; `sort_unstable_by` is
+        // bit-identical to the stable sort for f64 keys, because
+        // `total_cmp`-equal values have identical bit patterns.
+        self.times.sort_unstable_by(f64::total_cmp);
         self.next = 0;
     }
 }
@@ -519,6 +554,25 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn deterministic_rejects_negative() {
         DeterministicFaults::new(vec![-1.0]);
+    }
+
+    #[test]
+    fn deterministic_reload_equals_rebuild() {
+        let mut pooled = DeterministicFaults::new(vec![9.0, 2.0]);
+        pooled.next_fault();
+        for times in [vec![5.0, 1.0, 3.0], vec![], vec![0.0, 0.0, 7.5]] {
+            pooled.reload(&times);
+            let mut fresh = DeterministicFaults::new(times);
+            for _ in 0..4 {
+                assert_eq!(pooled.next_fault().to_bits(), fresh.next_fault().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn deterministic_reload_rejects_nan() {
+        DeterministicFaults::none().reload(&[f64::NAN]);
     }
 
     #[test]

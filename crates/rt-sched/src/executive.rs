@@ -9,9 +9,10 @@
 
 use crate::TaskSet;
 use eacp_energy::DvsConfig;
-use eacp_faults::{FaultProcess, PoissonProcess};
+use eacp_faults::{DeterministicFaults, FaultProcess, PoissonProcess};
 use eacp_sim::{
-    CheckpointCosts, Executor, ExecutorOptions, NoopObserver, Observer, Policy, Scenario, TaskSpec,
+    CheckpointCosts, Executor, ExecutorOptions, ExecutorScratch, NoopObserver, Observer, Policy,
+    Scenario, TaskSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,6 +140,113 @@ where
     )
 }
 
+/// Supplies the checkpointing policy each dispatched job runs under.
+///
+/// The executive calls [`policy_for_job`](PolicyProvider::policy_for_job)
+/// once per dispatched job and uses the returned policy for that job only.
+/// Pooled implementations keep one policy instance per task and reset it
+/// in place — no allocation per job — while the legacy closure path boxes
+/// a fresh policy each time. Either way the returned policy must be in its
+/// initial state, so both paths drive the executor identically.
+pub trait PolicyProvider {
+    /// Returns the (freshly reset) policy for the next job of `task`.
+    fn policy_for_job(&mut self, task: usize) -> &mut dyn Policy;
+}
+
+/// Adapts the legacy `FnMut(usize) -> Box<dyn Policy>` factory to
+/// [`PolicyProvider`]: boxes a fresh policy per job, parked in a slot so a
+/// borrow can be handed out.
+struct FreshPolicies<MK> {
+    make: MK,
+    slot: Option<Box<dyn Policy>>,
+}
+
+impl<MK: FnMut(usize) -> Box<dyn Policy>> PolicyProvider for FreshPolicies<MK> {
+    fn policy_for_job(&mut self, task: usize) -> &mut dyn Policy {
+        self.slot = Some((self.make)(task));
+        // audit:allow(panic): the slot was filled on the line above.
+        self.slot.as_deref_mut().expect("slot just filled")
+    }
+}
+
+/// One pending release: a job waiting to be admitted or dispatched.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    task: usize,
+    release: f64,
+    abs_deadline: f64,
+}
+
+/// Reusable working memory for [`run_executive_pooled`].
+///
+/// An executive horizon needs a release list, a ready queue, fault-window
+/// buffers, a job log, one [`DeterministicFaults`] window, and the
+/// engine's [`ExecutorScratch`] — all of it reusable between horizons.
+/// Monte-Carlo loops allocate one scratch per block and thread it through
+/// every seeded horizon: buffers are *cleared*, never reallocated, and
+/// their capacities converge to the workload's steady state after the
+/// first horizon. The executive case of the `eacp-exec` zero-alloc
+/// witness checks this holds.
+#[derive(Debug)]
+pub struct ExecutiveScratch {
+    releases: Vec<Pending>,
+    ready: Vec<Pending>,
+    carry: Vec<f64>,
+    local: Vec<f64>,
+    jobs: Vec<JobRecord>,
+    window: DeterministicFaults,
+    exec: ExecutorScratch,
+}
+
+impl Default for ExecutiveScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutiveScratch {
+    /// Creates an empty scratch (the first horizon sizes every buffer).
+    // audit:setup: the scratch exists so horizons can reuse these buffers
+    // — they are allocated here once and only cleared afterwards.
+    pub fn new() -> Self {
+        Self {
+            releases: Vec::new(),
+            ready: Vec::new(),
+            // The release list, ready queue and job log converge to the
+            // workload's (fixed) job count after the first horizon, but
+            // the fault-window buffers track per-window arrival counts —
+            // heavy-tailed processes (Weibull shape < 1, bursts) can
+            // produce a window denser than anything seen during warmup.
+            // Pre-size them past any window the paper's scenarios reach
+            // so later horizons never regrow them; the executive case of
+            // the `eacp-exec` zero-alloc witness checks this holds.
+            carry: Vec::with_capacity(256),
+            local: Vec::with_capacity(256),
+            jobs: Vec::new(),
+            window: DeterministicFaults::with_capacity(256),
+            exec: ExecutorScratch::new(),
+        }
+    }
+
+    /// The last horizon's job records, in release order (ties broken by
+    /// task index) — what [`run_executive_pooled`] leaves behind.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Folds the last horizon's job log into an [`ExecutiveReport`],
+    /// consuming the scratch.
+    fn into_report(self) -> ExecutiveReport {
+        let total_energy = self.jobs.iter().map(|j| j.energy).sum();
+        let deadline_misses = self.jobs.iter().filter(|j| !j.timely).count();
+        ExecutiveReport {
+            jobs: self.jobs,
+            total_energy,
+            deadline_misses,
+        }
+    }
+}
+
 /// Runs the executive over an explicit fault stream, streaming every
 /// engine event of every job into `observer`.
 ///
@@ -149,13 +257,17 @@ where
 /// multiples over `params.hyperperiods` hyperperiods and dispatched
 /// non-preemptively by earliest absolute deadline.
 ///
+/// Convenience wrapper over [`run_executive_pooled`] with per-call working
+/// memory and fresh-boxed policies; replication loops use the pooled core
+/// directly.
+///
 /// # Panics
 ///
 /// Panics if `params.hyperperiods == 0`.
 pub fn run_executive_stream<FP, MK, O>(
     params: &ExecutiveParams<'_>,
     faults: &mut FP,
-    mut make_policy: MK,
+    make_policy: MK,
     observer: &mut O,
 ) -> ExecutiveReport
 where
@@ -163,16 +275,78 @@ where
     MK: FnMut(usize) -> Box<dyn Policy>,
     O: Observer + ?Sized,
 {
+    let mut scratch = ExecutiveScratch::new();
+    let mut scenario = scenario_template(params);
+    let mut policies = FreshPolicies {
+        make: make_policy,
+        slot: None,
+    };
+    run_executive_pooled(
+        params,
+        &mut scenario,
+        faults,
+        &mut policies,
+        observer,
+        &mut scratch,
+    );
+    scratch.into_report()
+}
+
+/// Builds the per-job scenario template [`run_executive_pooled`] expects:
+/// `params`' costs and DVS table around a placeholder task (the core
+/// overwrites `scenario.task` before every job).
+// audit:setup: one template per block — the DVS level table is cloned
+// here once; horizons only mutate the `task` field in place.
+pub fn scenario_template(params: &ExecutiveParams<'_>) -> Scenario {
+    Scenario::new(TaskSpec::new(1.0, 1.0), params.costs, params.dvs.clone())
+}
+
+/// The pooled executive core: one EDF horizon, allocation-free after
+/// warmup.
+///
+/// Behaviorally identical to [`run_executive_stream`] — same release
+/// order, same EDF tie-breaks, same fault-window carry semantics, same
+/// job records to the last bit — but every piece of working memory is
+/// caller-owned: `scenario` is a template whose `task` field is rewritten
+/// per job (costs and DVS must match the workload — see
+/// [`scenario_template`]), `policies` hands out per-task policies, and
+/// `scratch` pools every buffer including the engine scratch. The job log
+/// is left in [`ExecutiveScratch::jobs`], release-ordered.
+///
+/// # Panics
+///
+/// Panics if `params.hyperperiods == 0`.
+pub fn run_executive_pooled<FP, O>(
+    params: &ExecutiveParams<'_>,
+    scenario: &mut Scenario,
+    faults: &mut FP,
+    policies: &mut dyn PolicyProvider,
+    observer: &mut O,
+    scratch: &mut ExecutiveScratch,
+) where
+    FP: FaultProcess + ?Sized,
+    O: Observer + ?Sized,
+{
     assert!(params.hyperperiods > 0, "at least one hyperperiod");
+    debug_assert!(
+        scenario.costs == params.costs && scenario.dvs == params.dvs,
+        "scenario template disagrees with the executive params"
+    );
     let horizon = (params.set.hyperperiod() * params.hyperperiods as u64) as f64;
 
-    // Build the release list.
-    struct Pending {
-        task: usize,
-        release: f64,
-        abs_deadline: f64,
-    }
-    let mut releases: Vec<Pending> = Vec::new();
+    let ExecutiveScratch {
+        releases,
+        ready,
+        carry,
+        local,
+        jobs: done,
+        window,
+        exec,
+    } = scratch;
+
+    // Build the release list. Keys (release, task) are unique per job, so
+    // the unstable sort is order-identical to a stable one.
+    releases.clear();
     for (idx, t) in params.set.tasks().iter().enumerate() {
         let mut r = 0u64;
         while (r as f64) < horizon {
@@ -184,7 +358,7 @@ where
             r += t.period;
         }
     }
-    releases.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
+    releases.sort_unstable_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
 
     // Global fault stream shifted per job window. A job's collection
     // window extends to its deadline, but the job may finish sooner —
@@ -192,21 +366,23 @@ where
     // for whichever job runs next, so back-to-back jobs see the complete
     // stream.
     let mut next_fault = faults.next_fault();
-    let mut carry: Vec<f64> = Vec::new();
+    carry.clear();
 
     let mut now = 0.0_f64;
-    let mut done: Vec<JobRecord> = Vec::new();
-    let mut ready: Vec<Pending> = Vec::new();
-    let mut iter = releases.into_iter().peekable();
+    done.clear();
+    ready.clear();
+    let mut cursor = 0usize;
 
     loop {
         // Admit releases up to `now`.
-        while let Some(p) = iter.next_if(|p| p.release <= now + 1e-9) {
-            ready.push(p);
+        while cursor < releases.len() && releases[cursor].release <= now + 1e-9 {
+            ready.push(releases[cursor]);
+            cursor += 1;
         }
         if ready.is_empty() {
-            match iter.next() {
-                Some(p) => {
+            match releases.get(cursor) {
+                Some(&p) => {
+                    cursor += 1;
                     now = now.max(p.release);
                     ready.push(p);
                     continue;
@@ -248,11 +424,7 @@ where
             });
             continue;
         }
-        let scenario = Scenario::new(
-            TaskSpec::new(task.wcet_cycles, rel_deadline),
-            params.costs,
-            params.dvs.clone(),
-        );
+        scenario.task = TaskSpec::new(task.wcet_cycles, rel_deadline);
         // Faults inside this job's window, re-based to job-local time:
         // first the carried-over arrivals earlier jobs never reached
         // (those before `started` landed in idle time and strike nothing),
@@ -260,7 +432,7 @@ where
         // run longer than its relative deadline (the executor cuts off
         // there) — and whatever the job does not experience is returned
         // to `carry` below.
-        let mut local: Vec<f64> = Vec::new();
+        local.clear();
         let window_end = started + rel_deadline + 1.0;
         carry.retain(|&t| {
             if t >= window_end {
@@ -280,12 +452,13 @@ where
         // Carried times predate everything still in the stream, and both
         // sources are ascending — but interleavings across jobs can leave
         // `carry` unsorted, so restore the order the executor expects.
-        local.sort_by(f64::total_cmp);
-        let mut local_faults = eacp_faults::DeterministicFaults::new(local.clone());
-        let mut policy = make_policy(job.task);
-        let out = Executor::new(&scenario)
+        // (f64 keys: unstable sort is bit-identical to stable.)
+        local.sort_unstable_by(f64::total_cmp);
+        window.reload(local);
+        let policy = policies.policy_for_job(job.task);
+        let out = Executor::new(scenario)
             .with_options(params.options)
-            .run_observed(&mut policy, &mut local_faults, observer);
+            .run_with_scratch(exec, policy, window, observer);
 
         // Arrivals strictly after the finish were never experienced:
         // hand them to subsequent jobs.
@@ -295,7 +468,7 @@ where
                 .filter(|&&t| t > out.finish_time)
                 .map(|&t| started + t),
         );
-        carry.sort_by(f64::total_cmp);
+        carry.sort_unstable_by(f64::total_cmp);
 
         let finished = started + out.finish_time;
         done.push(JobRecord {
@@ -315,14 +488,7 @@ where
         now = finished.max(started);
     }
 
-    done.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
-    let total_energy = done.iter().map(|j| j.energy).sum();
-    let deadline_misses = done.iter().filter(|j| !j.timely).count();
-    ExecutiveReport {
-        jobs: done,
-        total_energy,
-        deadline_misses,
-    }
+    done.sort_unstable_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
 }
 
 #[cfg(test)]
@@ -462,6 +628,57 @@ mod tests {
         );
         assert_eq!(report.jobs.iter().map(|j| j.faults).sum::<u32>(), 0);
         assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn pooled_core_matches_stream_wrapper_bit_for_bit() {
+        // The pooled core (caller-owned scratch, in-place scenario and
+        // fault-window reuse) must reproduce the wrapper's report exactly,
+        // including across reuse of one scratch for several horizons.
+        let set = light_set();
+        let params = ExecutiveParams {
+            set: &set,
+            costs: CheckpointCosts::paper_scp_variant(),
+            dvs: DvsConfig::paper_default(),
+            hyperperiods: 4,
+            options: ExecutorOptions::default(),
+        };
+        struct PooledAdaptive(Vec<Adaptive>);
+        impl PolicyProvider for PooledAdaptive {
+            fn policy_for_job(&mut self, task: usize) -> &mut dyn Policy {
+                self.0[task] = Adaptive::dvs_scp(2e-3, 2);
+                &mut self.0[task]
+            }
+        }
+        let mut scratch = ExecutiveScratch::new();
+        let mut scenario = scenario_template(&params);
+        let mut provider =
+            PooledAdaptive(vec![Adaptive::dvs_scp(2e-3, 2), Adaptive::dvs_scp(2e-3, 2)]);
+        for seed in [42u64, 43, 44] {
+            let mut faults = PoissonProcess::new(2e-3, rand::rngs::StdRng::seed_from_u64(seed));
+            run_executive_pooled(
+                &params,
+                &mut scenario,
+                &mut faults,
+                &mut provider,
+                &mut NoopObserver,
+                &mut scratch,
+            );
+            let mut faults = PoissonProcess::new(2e-3, rand::rngs::StdRng::seed_from_u64(seed));
+            let reference = run_executive_stream(
+                &params,
+                &mut faults,
+                |_| Box::new(Adaptive::dvs_scp(2e-3, 2)),
+                &mut NoopObserver,
+            );
+            assert_eq!(scratch.jobs(), reference.jobs.as_slice(), "seed {seed}");
+            assert!(scratch
+                .jobs()
+                .iter()
+                .zip(reference.jobs.iter())
+                .all(|(a, b)| a.energy.to_bits() == b.energy.to_bits()
+                    && a.finished.to_bits() == b.finished.to_bits()));
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::error::SpecError;
 use crate::json::{FromJson, Json, ToJson};
-use crate::model::{CostsSpec, DvsSpec, FaultSpec, PolicySpec};
+use crate::model::{CostsSpec, DvsSpec, FaultSpec, PolicySpec, QueueSpec};
 use eacp_rtsched::{PeriodicTask, TaskSet};
 
 /// One periodic task in serializable form.
@@ -254,6 +254,80 @@ impl FromJson for PolicyAssignment {
     }
 }
 
+/// Monte-Carlo parameters of an executive run: how many seeded horizons
+/// to simulate and how to execute them. The executive analogue of
+/// [`crate::McSpec`] — the seed lives on the enclosing [`ExecutiveSpec`],
+/// and horizon `i` derives its stream from `replication_seed(seed, i)`.
+///
+/// JSON shape: `{"replications": ..., "threads": ..., "queue": {...}}`
+/// with every field optional (`queue` is emitted only when present, so
+/// locally-run documents stay byte-stable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutiveMcSpec {
+    /// Number of independently seeded horizons.
+    pub replications: u64,
+    /// Worker threads for the local runner (0 = all available cores).
+    pub threads: usize,
+    /// Run through the work queue instead of the local runner.
+    pub queue: Option<QueueSpec>,
+}
+
+impl Default for ExecutiveMcSpec {
+    fn default() -> Self {
+        Self {
+            replications: 200,
+            threads: 0,
+            queue: None,
+        }
+    }
+}
+
+impl ExecutiveMcSpec {
+    /// Validates the Monte-Carlo parameters.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.replications == 0 {
+            return Err(SpecError::invalid(
+                "mc.replications must be at least 1 (a Monte-Carlo run needs horizons)",
+            ));
+        }
+        if let Some(q) = &self.queue {
+            q.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ExecutiveMcSpec {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = vec![
+            ("replications", self.replications.into()),
+            ("threads", self.threads.into()),
+        ];
+        if let Some(q) = &self.queue {
+            fields.push(("queue", q.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for ExecutiveMcSpec {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let defaults = Self::default();
+        Ok(Self {
+            replications: json
+                .get("replications")
+                .map_or(Ok(defaults.replications), Json::as_u64)?,
+            threads: json
+                .get("threads")
+                .map_or(Ok(defaults.threads), Json::as_usize)?,
+            queue: match json.get("queue") {
+                None | Some(Json::Null) => None,
+                Some(q) => Some(QueueSpec::from_json(q)?),
+            },
+        })
+    }
+}
+
 /// Everything needed to analyze and run a periodic workload: the
 /// feasibility inputs (`k`, `speed`) and the executive inputs
 /// (`faults`, `policy`, `hyperperiods`, `seed`) around one [`TaskSetSpec`].
@@ -279,8 +353,12 @@ pub struct ExecutiveSpec {
     pub speed: f64,
     /// Number of hyperperiods the executive simulates.
     pub hyperperiods: u32,
-    /// RNG seed for the fault stream.
+    /// RNG seed for the fault stream (base seed of the per-horizon
+    /// derivation when `mc` is present).
     pub seed: u64,
+    /// Monte-Carlo parameters for `eacp executive --mc`; `None` means a
+    /// single horizon (the original executive run).
+    pub mc: Option<ExecutiveMcSpec>,
 }
 
 impl ExecutiveSpec {
@@ -300,6 +378,7 @@ impl ExecutiveSpec {
             speed: 1.0,
             hyperperiods: 1,
             seed: 2006,
+            mc: None,
         }
     }
 
@@ -342,7 +421,16 @@ impl ExecutiveSpec {
         if self.hyperperiods == 0 {
             return Err(SpecError::invalid("hyperperiods must be at least 1"));
         }
+        if let Some(mc) = &self.mc {
+            mc.validate()?;
+        }
         Ok(())
+    }
+
+    /// The Monte-Carlo parameters, defaulted when the spec carries none —
+    /// what `eacp executive --mc` runs with before CLI overrides.
+    pub fn mc_or_default(&self) -> ExecutiveMcSpec {
+        self.mc.clone().unwrap_or_default()
     }
 }
 
@@ -354,7 +442,7 @@ fn default_policy(lambda: f64, k: u32) -> PolicySpec {
 
 impl ToJson for ExecutiveSpec {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("name", self.name.as_str().into()),
             ("tasks", self.tasks.to_json()),
             ("costs", self.costs.to_json()),
@@ -365,7 +453,13 @@ impl ToJson for ExecutiveSpec {
             ("speed", self.speed.into()),
             ("hyperperiods", self.hyperperiods.into()),
             ("seed", self.seed.into()),
-        ])
+        ];
+        // Emitted only when present, so pre-Monte-Carlo documents (and the
+        // checked-in presets) round-trip byte-identically.
+        if let Some(mc) = &self.mc {
+            fields.push(("mc", mc.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -400,6 +494,10 @@ impl FromJson for ExecutiveSpec {
             speed: json.get("speed").map_or(Ok(1.0), Json::as_f64)?,
             hyperperiods: json.get("hyperperiods").map_or(Ok(1), Json::as_u32)?,
             seed: json.get("seed").map_or(Ok(2006), Json::as_u64)?,
+            mc: match json.get("mc") {
+                None | Some(Json::Null) => None,
+                Some(mc) => Some(ExecutiveMcSpec::from_json(mc)?),
+            },
         })
     }
 }
@@ -714,6 +812,58 @@ mod tests {
         assert_eq!(spec.seed, 2006);
         assert!(matches!(spec.policy, PolicyAssignment::Shared(_)));
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn mc_section_round_trips_and_is_emitted_only_when_present() {
+        let mut spec = ExecutiveSpec::new("monte", trio());
+        assert!(
+            !spec.to_json_string().contains("\"mc\""),
+            "a spec without mc must serialize without an mc key"
+        );
+        assert_eq!(spec.mc_or_default(), ExecutiveMcSpec::default());
+
+        spec.mc = Some(ExecutiveMcSpec {
+            replications: 64,
+            threads: 2,
+            queue: Some(QueueSpec {
+                workers: 3,
+                max_attempts: 5,
+            }),
+        });
+        let back = ExecutiveSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back, spec);
+        back.validate().unwrap();
+
+        // Partial mc objects default field-wise.
+        let text = r#"{
+            "tasks": [{"name": "solo", "wcet": 500, "period": 4000}],
+            "mc": {"replications": 7}
+        }"#;
+        let partial = ExecutiveSpec::from_json_str(text).unwrap();
+        let mc = partial.mc.unwrap();
+        assert_eq!(mc.replications, 7);
+        assert_eq!(mc.threads, 0);
+        assert!(mc.queue.is_none());
+    }
+
+    #[test]
+    fn mc_validation_rejects_bad_parameters() {
+        let mut spec = ExecutiveSpec::new("bad-mc", trio());
+        spec.mc = Some(ExecutiveMcSpec {
+            replications: 0,
+            ..ExecutiveMcSpec::default()
+        });
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+
+        spec.mc = Some(ExecutiveMcSpec {
+            queue: Some(QueueSpec {
+                workers: 0,
+                max_attempts: 0,
+            }),
+            ..ExecutiveMcSpec::default()
+        });
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub mod sweep;
 
 pub use error::SpecError;
 pub use executive::{
-    CheckpointTotals, ExecutiveRunReport, ExecutiveSpec, ExecutiveSummaryReport, PeriodicTaskSpec,
-    PolicyAssignment, TaskReport, TaskSetSpec,
+    CheckpointTotals, ExecutiveMcSpec, ExecutiveRunReport, ExecutiveSpec, ExecutiveSummaryReport,
+    PeriodicTaskSpec, PolicyAssignment, TaskReport, TaskSetSpec,
 };
 pub use json::{FromJson, Json, ToJson};
 pub use model::{
@@ -87,4 +87,4 @@ pub use presets::{
     executive_preset, executive_preset_names, paper_cell, preset, preset_names, PaperScheme,
 };
 pub use report::{RunReport, StatsReport, SummaryReport};
-pub use sweep::{SweepAxis, SweepSpec};
+pub use sweep::{ExecutiveSweepAxis, ExecutiveSweepSpec, SweepAxis, SweepSpec};

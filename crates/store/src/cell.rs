@@ -22,10 +22,15 @@
 //! shortest-round-trip float formatting — the property that makes a cache
 //! hit byte-identical to recomputation.
 
-use crate::hash::{cell_spec_json, sha256, spec_hash, SpecHash};
+use crate::hash::{
+    cell_spec_json, executive_cell_spec_json, executive_spec_hash, sha256, spec_hash, SpecHash,
+};
+use eacp_exec::ExecutiveSummary;
 use eacp_numerics::OnlineStats;
 use eacp_sim::{RunOutcome, Summary};
-use eacp_spec::{ExperimentSpec, FromJson, Json, SpecError, ToJson};
+use eacp_spec::{
+    ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FromJson, Json, SpecError, ToJson,
+};
 use std::path::PathBuf;
 
 /// The key of one stored result.
@@ -57,6 +62,17 @@ impl CellId {
             replications: 0,
         }
     }
+
+    /// The cell an executive Monte-Carlo run of `spec` lands in. The seed
+    /// is the spec's top-level seed; the replication count is the horizon
+    /// count from the spec's `mc` section (its default when absent).
+    pub fn for_executive(spec: &ExecutiveSpec) -> Self {
+        Self {
+            spec_hash: executive_spec_hash(spec),
+            seed: spec.seed,
+            replications: spec.mc_or_default().replications,
+        }
+    }
 }
 
 impl std::fmt::Display for CellId {
@@ -80,6 +96,9 @@ pub enum CellPayload {
     Summary(Summary),
     /// One raw-seed execution (`replications == 0`).
     Outcome(RunOutcome),
+    /// Executive Monte-Carlo aggregate: N seeded hyperperiod horizons
+    /// (`replications >= 1`, over an executive cell spec).
+    Executive(ExecutiveSummary),
 }
 
 /// One stored result: key, canonical spec document, and payload.
@@ -135,12 +154,24 @@ impl CellEntry {
         }
     }
 
+    /// Builds the entry recording an executive Monte-Carlo run of `spec`.
+    /// The policy column holds the per-task names joined with `+`.
+    pub fn executive(spec: &ExecutiveSpec, summary: &ExecutiveSummary) -> Self {
+        Self {
+            cell: CellId::for_executive(spec),
+            policy: spec.policy.policy_names(spec.tasks.len()).join("+"),
+            spec: executive_cell_spec_json(spec),
+            payload: CellPayload::Executive(summary.clone()),
+            source: None,
+        }
+    }
+
     /// The Monte-Carlo aggregate, for summary cells.
     pub fn as_summary(&self) -> Result<&Summary, SpecError> {
         match &self.payload {
             CellPayload::Summary(s) => Ok(s),
-            CellPayload::Outcome(_) => Err(SpecError::invalid(format!(
-                "cell {} holds a single-execution outcome, not a summary",
+            _ => Err(SpecError::invalid(format!(
+                "cell {} does not hold a single-task Monte-Carlo summary",
                 self.cell
             ))),
         }
@@ -150,8 +181,19 @@ impl CellEntry {
     pub fn as_outcome(&self) -> Result<&RunOutcome, SpecError> {
         match &self.payload {
             CellPayload::Outcome(o) => Ok(o),
-            CellPayload::Summary(_) => Err(SpecError::invalid(format!(
-                "cell {} holds a Monte-Carlo summary, not a single-execution outcome",
+            _ => Err(SpecError::invalid(format!(
+                "cell {} does not hold a single-execution outcome",
+                self.cell
+            ))),
+        }
+    }
+
+    /// The executive Monte-Carlo aggregate, for executive cells.
+    pub fn as_executive(&self) -> Result<&ExecutiveSummary, SpecError> {
+        match &self.payload {
+            CellPayload::Executive(s) => Ok(s),
+            _ => Err(SpecError::invalid(format!(
+                "cell {} does not hold an executive Monte-Carlo summary",
                 self.cell
             ))),
         }
@@ -167,6 +209,23 @@ impl CellEntry {
         spec.mc.seed = self.cell.seed;
         spec.mc.replications = self.cell.replications.max(1);
         spec.mc.threads = 0;
+        Ok(spec)
+    }
+
+    /// Reconstructs a runnable [`ExecutiveSpec`] from the embedded
+    /// canonical document plus this entry's key — what `eacp store verify`
+    /// re-executes for executive cells. The canonical document carries no
+    /// `name`, `seed` or `mc`, so the name defaults, the seed comes from
+    /// the cell id and the horizon count from the cell's replications
+    /// (`threads = 0`, which cannot change the result).
+    pub fn executive_spec(&self) -> Result<ExecutiveSpec, SpecError> {
+        let mut spec = ExecutiveSpec::from_json(&self.spec)?;
+        spec.seed = self.cell.seed;
+        spec.mc = Some(ExecutiveMcSpec {
+            replications: self.cell.replications.max(1),
+            threads: 0,
+            queue: None,
+        });
         Ok(spec)
     }
 
@@ -212,6 +271,20 @@ impl CellEntry {
                     )));
                 }
             }
+            CellPayload::Executive(s) => {
+                if self.cell.replications == 0 {
+                    return Err(SpecError::invalid(format!(
+                        "cell {}: executive payload in a single-execution cell",
+                        self.cell
+                    )));
+                }
+                if s.horizons != self.cell.replications {
+                    return Err(SpecError::invalid(format!(
+                        "cell {}: executive summary covers {} horizons",
+                        self.cell, s.horizons
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -229,6 +302,9 @@ impl ToJson for CellEntry {
         let (kind, payload) = match &self.payload {
             CellPayload::Summary(s) => ("summary", summary_to_json(s)),
             CellPayload::Outcome(o) => ("outcome", outcome_to_json(o)),
+            // ExecutiveSummary's own ToJson is already lossless (raw
+            // accumulator state), so the entry embeds it verbatim.
+            CellPayload::Executive(s) => ("executive", s.to_json()),
         };
         Json::obj([
             ("spec_hash", self.cell.spec_hash.to_string().into()),
@@ -252,9 +328,13 @@ impl FromJson for CellEntry {
         let payload = match json.req("kind")?.as_str()? {
             "summary" => CellPayload::Summary(summary_from_json(json.req("payload")?)?),
             "outcome" => CellPayload::Outcome(outcome_from_json(json.req("payload")?)?),
+            "executive" => {
+                CellPayload::Executive(ExecutiveSummary::from_json(json.req("payload")?)?)
+            }
             other => {
                 return Err(SpecError::invalid(format!(
-                    "unknown cell payload kind {other:?} (expected summary or outcome)"
+                    "unknown cell payload kind {other:?} \
+                     (expected summary, outcome or executive)"
                 )))
             }
         };

@@ -21,7 +21,7 @@
 //! The build environment is offline, so the crate carries its own SHA-256
 //! (FIPS 180-4) rather than depending on a hashing crate.
 
-use eacp_spec::{ExperimentSpec, Json, SpecError, ToJson};
+use eacp_spec::{ExecutiveSpec, ExperimentSpec, Json, SpecError, ToJson};
 
 /// The 32-byte content address of a canonical cell spec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -110,6 +110,33 @@ fn strip_result_neutral(json: Json) -> Json {
 /// The content address of an experiment's canonical cell spec.
 pub fn spec_hash(spec: &ExperimentSpec) -> SpecHash {
     SpecHash(sha256(cell_spec_json(spec).pretty().as_bytes()))
+}
+
+/// The canonical cell-spec document of an executive experiment: its JSON
+/// with the result-neutral fields removed.
+///
+/// For executive specs three top-level fields are stripped: `name` (human
+/// label), `seed` (keys the cell alongside the hash, like `mc.seed` for
+/// single-task cells) and `mc` (replications key the cell; threads and
+/// queue scheduling are proven bit-identical by the canonical-reduction
+/// contract).
+pub fn executive_cell_spec_json(spec: &ExecutiveSpec) -> Json {
+    let Json::Object(fields) = spec.to_json() else {
+        // audit:allow(panic): ExecutiveSpec::to_json always builds an
+        // object; any other shape is a ToJson impl bug.
+        unreachable!("executive specs serialize to objects");
+    };
+    Json::Object(
+        fields
+            .into_iter()
+            .filter(|(k, _)| k != "name" && k != "seed" && k != "mc")
+            .collect(),
+    )
+}
+
+/// The content address of an executive spec's canonical cell document.
+pub fn executive_spec_hash(spec: &ExecutiveSpec) -> SpecHash {
+    SpecHash(sha256(executive_cell_spec_json(spec).pretty().as_bytes()))
 }
 
 /// SHA-256 (FIPS 180-4) of `data`.

@@ -39,13 +39,20 @@ pub mod sweep;
 pub use backend::{EvictionReport, Lookup, MemBackend, RetentionPolicy, StoreBackend, StoreHealth};
 pub use cell::{CellEntry, CellId, CellPayload};
 pub use fs::{FsBackend, STORE_ENV_VAR};
-pub use hash::{cell_spec_json, sha256, spec_hash, SpecHash};
+pub use hash::{
+    cell_spec_json, executive_cell_spec_json, executive_spec_hash, sha256, spec_hash, SpecHash,
+};
 pub use observe::{NoopStoreObserver, StoreCounters, StoreObserver};
-pub use sweep::{run_sweep_cached, store_coverage, StoreCoverage};
+pub use sweep::{
+    executive_store_coverage, run_executive_sweep_cached, run_sweep_cached, store_coverage,
+    StoreCoverage,
+};
 
-use eacp_exec::{Job, LocalRunner, QueueRunner, Runner};
+use eacp_exec::{
+    ExecutiveJob, ExecutiveMcReport, ExecutiveSummary, Job, LocalRunner, QueueRunner, Runner,
+};
 use eacp_sim::{RunOutcome, Summary};
-use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
+use eacp_spec::{ExecutiveSpec, ExperimentSpec, RunReport, SpecError, SummaryReport};
 
 /// How the cache participates in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +180,102 @@ pub fn run_cached_with(
     })
 }
 
+/// The result of a cache-or-compute executive Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct CachedExecutive {
+    /// The cell the run landed in.
+    pub id: CellId,
+    /// The exact in-memory aggregate (bit-identical on hit and miss).
+    pub summary: ExecutiveSummary,
+    /// The serializable report (spec embedded for provenance).
+    pub report: ExecutiveMcReport,
+    /// On a hit, the store entry the result was served from.
+    pub source: Option<std::path::PathBuf>,
+    /// Hit, miss, or refresh.
+    pub cache: CacheOutcome,
+}
+
+/// Cache-or-compute for one executive spec (the `eacp executive --mc`
+/// path).
+///
+/// The compute side matches the execution layer's dispatch exactly: an
+/// `mc.queue` section picks the work-queue runner, otherwise the local
+/// runner with `mc.threads` workers — a placement choice the canonical
+/// reduction proves result-neutral, which is why it is not part of the
+/// cell key.
+pub fn run_executive_cached(
+    spec: &ExecutiveSpec,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<CachedExecutive, SpecError> {
+    let mc = spec.mc_or_default();
+    match mc.queue {
+        Some(q) => {
+            q.validate()?;
+            let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
+            run_executive_cached_with(spec, &runner, store, mode, observer)
+        }
+        None => {
+            run_executive_cached_with(spec, &LocalRunner::new(mc.threads), store, mode, observer)
+        }
+    }
+}
+
+/// [`run_executive_cached`] on an explicit [`Runner`] — the seam the
+/// resumable executive sweep shares with the single-spec path.
+pub fn run_executive_cached_with(
+    spec: &ExecutiveSpec,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<CachedExecutive, SpecError> {
+    let id = CellId::for_executive(spec);
+    if mode == CacheMode::ReadWrite {
+        match store.get(&id)? {
+            Lookup::Hit { entry, .. } => {
+                observer.on_hit(&id);
+                let summary = entry.as_executive()?.clone();
+                let report = ExecutiveMcReport {
+                    spec: spec.clone(),
+                    policy_names: spec.policy.policy_names(spec.tasks.len()),
+                    summary: summary.clone(),
+                };
+                return Ok(CachedExecutive {
+                    id,
+                    summary,
+                    report,
+                    source: entry.source,
+                    cache: CacheOutcome::Hit,
+                });
+            }
+            Lookup::Quarantined { detail } => observer.on_quarantine(&id, &detail),
+            Lookup::Miss => {}
+        }
+        observer.on_miss(&id);
+    }
+    let job = ExecutiveJob::from_spec(spec)?;
+    let summary = runner.run_executive(&job)?;
+    store.put(&CellEntry::executive(spec, &summary))?;
+    observer.on_record(&id);
+    let report = ExecutiveMcReport {
+        spec: spec.clone(),
+        policy_names: job.policy_names(),
+        summary: summary.clone(),
+    };
+    Ok(CachedExecutive {
+        id,
+        summary,
+        report,
+        source: None,
+        cache: match mode {
+            CacheMode::ReadWrite => CacheOutcome::Miss,
+            CacheMode::Refresh => CacheOutcome::Refreshed,
+        },
+    })
+}
+
 /// The result of a cache-or-compute single execution.
 #[derive(Debug, Clone)]
 pub struct CachedSingle {
@@ -258,12 +361,21 @@ pub fn verify_cell(store: &dyn StoreBackend, id: &CellId) -> Result<(), SpecErro
             )))
         }
     };
-    let spec = entry.experiment_spec()?;
-    let recomputed = if id.replications == 0 {
-        CellEntry::outcome(&spec, &run_single(&spec)?)
-    } else {
-        let job = Job::from_spec(&spec)?;
-        CellEntry::summary(&spec, &LocalRunner::new(0).run(&job)?)
+    let recomputed = match &entry.payload {
+        CellPayload::Outcome(_) => {
+            let spec = entry.experiment_spec()?;
+            CellEntry::outcome(&spec, &run_single(&spec)?)
+        }
+        CellPayload::Summary(_) => {
+            let spec = entry.experiment_spec()?;
+            let job = Job::from_spec(&spec)?;
+            CellEntry::summary(&spec, &LocalRunner::new(0).run(&job)?)
+        }
+        CellPayload::Executive(_) => {
+            let spec = entry.executive_spec()?;
+            let job = ExecutiveJob::from_spec(&spec)?;
+            CellEntry::executive(&spec, &LocalRunner::new(0).run_executive(&job)?)
+        }
     };
     if recomputed.canonical_text() != text {
         let origin = entry
@@ -412,10 +524,108 @@ mod tests {
         match &mut entry.payload {
             CellPayload::Summary(s) => s.timely = s.timely.wrapping_sub(1),
             CellPayload::Outcome(o) => o.faults += 1,
+            CellPayload::Executive(s) => s.jobs = s.jobs.wrapping_add(1),
         }
         store.put(&entry).unwrap();
         let err = verify_store(&store, 0).unwrap_err();
         assert!(err.to_string().contains("differ"), "{err}");
+    }
+
+    fn executive_spec(seed: u64) -> ExecutiveSpec {
+        use eacp_spec::{ExecutiveMcSpec, FaultSpec, PolicyAssignment, PolicySpec, TaskSetSpec};
+        let mut spec = ExecutiveSpec::new(
+            "exec-store-test",
+            TaskSetSpec::implicit([("sensor", 500.0, 4_000), ("control", 1_200.0, 8_000)]),
+        );
+        spec.faults = FaultSpec::Poisson { lambda: 8e-4 };
+        spec.policy = PolicyAssignment::Shared(PolicySpec::from_tag("a_d_s", 8e-4, 2, 0).unwrap());
+        spec.hyperperiods = 2;
+        spec.seed = seed;
+        spec.mc = Some(ExecutiveMcSpec {
+            replications: 10,
+            threads: 1,
+            queue: None,
+        });
+        spec
+    }
+
+    #[test]
+    fn executive_hit_is_byte_identical_and_verifies() {
+        let store = MemBackend::new();
+        let counters = StoreCounters::new();
+        let spec = executive_spec(7);
+
+        let miss = run_executive_cached(&spec, &store, CacheMode::ReadWrite, &counters).unwrap();
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        assert_eq!(miss.id.seed, 7);
+        assert_eq!(miss.id.replications, 10);
+        let hit = run_executive_cached(&spec, &store, CacheMode::ReadWrite, &counters).unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(hit.summary, miss.summary, "hit must be bit-identical");
+        assert_eq!(
+            hit.report.to_json().pretty(),
+            miss.report.to_json().pretty(),
+            "hit report must serialize byte-identically"
+        );
+
+        // The stored entry re-verifies: recomputation is byte-identical.
+        verify_store(&store, 0).unwrap();
+
+        // Tampering is caught by the byte comparison.
+        let ids = store.list().unwrap();
+        let Lookup::Hit { mut entry, .. } = store.get(&ids[0]).unwrap() else {
+            panic!("expected hit");
+        };
+        match &mut entry.payload {
+            CellPayload::Executive(s) => s.jobs = s.jobs.wrapping_add(1),
+            _ => panic!("expected executive payload"),
+        }
+        store.put(&entry).unwrap();
+        let err = verify_store(&store, 0).unwrap_err();
+        assert!(err.to_string().contains("differ"), "{err}");
+    }
+
+    #[test]
+    fn executive_cells_never_collide_with_single_task_cells() {
+        let store = MemBackend::new();
+        let exec_spec = executive_spec(3);
+        let mc_spec = small_spec(3);
+        let a = run_executive_cached(&exec_spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
+            .unwrap();
+        let b = run_cached(&mc_spec, &store, CacheMode::ReadWrite, &NoopStoreObserver).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(store.health().unwrap().entries, 2);
+        // Asking an executive cell for a single-task summary is an error,
+        // not a silent reinterpretation.
+        let Lookup::Hit { entry, .. } = store.get(&a.id).unwrap() else {
+            panic!("expected hit");
+        };
+        assert!(entry.as_summary().is_err());
+        assert!(entry.as_executive().is_ok());
+    }
+
+    #[test]
+    fn executive_hash_ignores_name_seed_and_scheduling() {
+        let base = executive_spec(1);
+        let mut renamed = base.clone();
+        renamed.name = "something-else".into();
+        let mut reseeded = base.clone();
+        reseeded.seed = 99;
+        let mut rescheduled = base.clone();
+        rescheduled.mc = Some(eacp_spec::ExecutiveMcSpec {
+            replications: 500,
+            threads: 8,
+            queue: Some(eacp_spec::QueueSpec {
+                workers: 4,
+                max_attempts: 2,
+            }),
+        });
+        for variant in [&renamed, &reseeded, &rescheduled] {
+            assert_eq!(executive_spec_hash(&base), executive_spec_hash(variant));
+        }
+        let mut retasked = base.clone();
+        retasked.hyperperiods = 5;
+        assert_ne!(executive_spec_hash(&base), executive_spec_hash(&retasked));
     }
 
     #[test]

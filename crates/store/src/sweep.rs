@@ -11,9 +11,11 @@
 use crate::backend::{Lookup, StoreBackend};
 use crate::cell::CellId;
 use crate::observe::StoreObserver;
-use crate::{run_cached_with, CacheMode};
-use eacp_exec::{GridReport, PointReport, Runner, ShardId};
-use eacp_spec::{SpecError, SweepSpec};
+use crate::{run_cached_with, run_executive_cached_with, CacheMode};
+use eacp_exec::{
+    ExecutiveGridReport, ExecutivePointReport, GridReport, PointReport, Runner, ShardId,
+};
+use eacp_spec::{ExecutiveSweepSpec, SpecError, SweepSpec};
 
 /// How much of a sweep's grid the store already covers — the store-side
 /// analogue of the execution layer's `SweepCoverage` over report files.
@@ -94,6 +96,67 @@ pub fn run_sweep_cached(
         });
     }
     Ok(GridReport {
+        sweep: sweep.clone(),
+        total_points: total,
+        shard,
+        points,
+        source: None,
+    })
+}
+
+/// Inspects how much of an executive sweep's grid the store already holds
+/// — the same [`StoreCoverage`] the single-task path produces, so status
+/// commands render both kinds through one shared coverage formatter.
+pub fn executive_store_coverage(
+    store: &dyn StoreBackend,
+    sweep: &ExecutiveSweepSpec,
+) -> Result<StoreCoverage, SpecError> {
+    let specs = sweep.expand()?;
+    let mut missing = Vec::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let id = CellId::for_executive(spec);
+        if !matches!(store.get(&id)?, Lookup::Hit { .. }) {
+            missing.push(index);
+        }
+    }
+    Ok(StoreCoverage {
+        sweep_name: sweep.base.name.clone(),
+        total_points: specs.len(),
+        missing,
+    })
+}
+
+/// Runs an executive sweep shard against a store: covered cells are
+/// served, uncovered cells are scheduled onto `runner` and recorded.
+///
+/// Drop-in replacement for `eacp_exec::run_executive_sweep` — same shard
+/// semantics, same report document, byte-identical output (a point's
+/// report never depends on whether it was computed or served).
+pub fn run_executive_sweep_cached(
+    sweep: &ExecutiveSweepSpec,
+    shard: Option<ShardId>,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+) -> Result<ExecutiveGridReport, SpecError> {
+    let specs = sweep.expand()?;
+    let total = specs.len();
+    let range = match shard {
+        Some(s) => s.range(total),
+        None => 0..total,
+    };
+    let mut points = Vec::with_capacity(range.len());
+    for index in range {
+        let spec = &specs[index];
+        let cached = run_executive_cached_with(spec, runner, store, mode, observer)
+            .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
+        points.push(ExecutivePointReport {
+            index,
+            report: cached.report,
+        });
+    }
+    Ok(ExecutiveGridReport {
         sweep: sweep.clone(),
         total_points: total,
         shard,
@@ -254,6 +317,70 @@ mod tests {
         for point in &warm.points {
             assert_eq!(point.report.spec, expected[point.index]);
         }
+    }
+
+    fn executive_sweep() -> ExecutiveSweepSpec {
+        use eacp_spec::{
+            ExecutiveMcSpec, ExecutiveSpec, ExecutiveSweepAxis, FaultSpec, PolicyAssignment,
+            PolicySpec, TaskSetSpec,
+        };
+        let mut base = ExecutiveSpec::new(
+            "exec-grid",
+            TaskSetSpec::implicit([("sensor", 500.0, 4_000), ("control", 1_200.0, 8_000)]),
+        );
+        base.faults = FaultSpec::Poisson { lambda: 5e-4 };
+        base.policy = PolicyAssignment::Shared(PolicySpec::from_tag("a_d_s", 5e-4, 2, 0).unwrap());
+        base.hyperperiods = 2;
+        base.seed = 13;
+        base.mc = Some(ExecutiveMcSpec {
+            replications: 12,
+            threads: 1,
+            queue: None,
+        });
+        ExecutiveSweepSpec {
+            base,
+            axes: vec![ExecutiveSweepAxis::Lambda(vec![2e-4, 1e-3])],
+        }
+    }
+
+    #[test]
+    fn cached_executive_sweep_resumes_byte_identically() {
+        let sweep = executive_sweep();
+        let runner = LocalRunner::new(1);
+        let store = MemBackend::new();
+        let counters = StoreCounters::new();
+
+        let plain = eacp_exec::run_executive_sweep(&sweep, None, &runner).unwrap();
+
+        // "Killed" after shard 0 of 2; resume over the full grid.
+        let shard0 = ShardId::new(0, 2).unwrap();
+        run_executive_sweep_cached(
+            &sweep,
+            Some(shard0),
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &NoopStoreObserver,
+        )
+        .unwrap();
+        let coverage = executive_store_coverage(&store, &sweep).unwrap();
+        assert_eq!(coverage.sweep_name, "exec-grid");
+        assert_eq!(coverage.covered(), 1);
+        assert_eq!(coverage.missing, vec![1]);
+
+        let resumed = run_executive_sweep_cached(
+            &sweep,
+            None,
+            &runner,
+            &store,
+            CacheMode::ReadWrite,
+            &counters,
+        )
+        .unwrap();
+        assert_eq!((counters.hits(), counters.misses()), (1, 1));
+        assert_eq!(resumed, plain);
+        assert_eq!(resumed.to_json().pretty(), plain.to_json().pretty());
+        assert!(executive_store_coverage(&store, &sweep).unwrap().complete());
     }
 
     #[test]
