@@ -42,6 +42,8 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/exec/src/workload.rs",
     "crates/exec/src/executive_mc.rs",
     "crates/rt-sched/src/executive.rs",
+    "crates/fault-model/src/batch.rs",
+    "crates/core/src/policies/plan_cache.rs",
 ];
 
 /// Which rule families apply to one file.
@@ -124,6 +126,8 @@ mod tests {
             "crates/exec/src/workload.rs",
             "crates/exec/src/executive_mc.rs",
             "crates/rt-sched/src/executive.rs",
+            "crates/fault-model/src/batch.rs",
+            "crates/core/src/policies/plan_cache.rs",
         ] {
             let c = classify(hot);
             assert_eq!(

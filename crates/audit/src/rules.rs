@@ -81,7 +81,8 @@ impl Rule {
     pub fn describe(self) -> &'static str {
         match self {
             Rule::Determinism => {
-                "forbids Instant/SystemTime, HashMap/HashSet, std::env and entropy-seeded RNGs \
+                "forbids Instant/SystemTime, HashMap/HashSet, std::env, entropy-seeded RNGs \
+                 and float-environment access (arch intrinsics, runtime CPU-feature dispatch) \
                  in the simulation/execution crates (dmr-sim, fault-model, core, rt-sched, \
                  energy-model, numerics, exec, store)"
             }
@@ -153,12 +154,32 @@ const DETERMINISM_IDENTS: &[(&str, &str)] = &[
     ("from_entropy", "entropy-seeded RNG; seed from the spec"),
     ("thread_rng", "entropy-seeded RNG; seed from the spec"),
     ("OsRng", "entropy-seeded RNG; seed from the spec"),
+    (
+        "is_x86_feature_detected",
+        "runtime CPU-feature dispatch makes float results machine-dependent",
+    ),
+    (
+        "is_aarch64_feature_detected",
+        "runtime CPU-feature dispatch makes float results machine-dependent",
+    ),
 ];
 
 /// Substring R1 forbids (paths).
 const DETERMINISM_PATHS: &[(&str, &str)] = &[
     ("std::env", "environment reads are machine-dependent"),
     ("rand::random", "entropy-seeded RNG; seed from the spec"),
+    // The float environment (rounding mode, CPU-feature-dependent SIMD)
+    // is only reachable through arch intrinsics in safe Rust; forbidding
+    // them keeps closed-form results — the analytic serve tier compares
+    // them bitwise against Monte-Carlo — identical on every machine.
+    (
+        "std::arch",
+        "arch intrinsics can touch the float environment; results become machine-dependent",
+    ),
+    (
+        "core::arch",
+        "arch intrinsics can touch the float environment; results become machine-dependent",
+    ),
 ];
 
 /// Allocation constructors R3 forbids in hot modules, as substrings of
@@ -428,6 +449,28 @@ mod tests {
         assert!(f.is_empty(), "{f:?}");
         let f = audit_source("x.rs", lib_class(), "use std::collections::HashMap;\n");
         assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn determinism_rule_flags_float_environment_access() {
+        // The analytic serve tier's bitwise analytic ≡ MC contract relies
+        // on the float pipeline being identical everywhere; arch
+        // intrinsics and runtime feature dispatch are the only safe-Rust
+        // doors into machine-dependent float behavior.
+        let f = audit_source(
+            "x.rs",
+            lib_class(),
+            "use std::arch::x86_64::_MM_SET_ROUNDING_MODE;\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Determinism);
+        let f = audit_source(
+            "x.rs",
+            lib_class(),
+            "if is_x86_feature_detected!(\"avx2\") {}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::Determinism);
     }
 

@@ -54,7 +54,8 @@ use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
 use eacp_exec::{
     coverage_dir, executive_coverage_dir, merge_dir, merge_executive_dir, render_executive_csv,
-    run_executive_point, run_executive_sweep, run_sweep, run_sweep_queued, ExecutiveGridReport,
+    run_executive_point, run_executive_sweep, run_sweep, run_sweep_queued_tiered,
+    run_sweep_tiered, ExecutiveGridReport,
     ExecutiveJob, ExecutivePointReport, GridReport, Job, LocalRunner, PaperRef, QueueObserver,
     QueueRunner, QueueStatus, Runner, ShardId, Summary,
 };
@@ -70,8 +71,9 @@ use eacp_spec::{
     SweepSpec, TaskSetSpec, ToJson, WorkSpec,
 };
 use eacp_store::{
-    executive_store_coverage, run_cached, run_cached_single, run_executive_cached,
-    run_executive_sweep_cached, run_sweep_cached, store_coverage, verify_store, CacheMode,
+    executive_store_coverage, run_cached, run_cached_single, run_cached_tiered,
+    run_executive_cached, run_executive_sweep_cached, run_sweep_cached_tiered,
+    store_coverage, verify_store, CacheMode,
     CacheOutcome, FsBackend, MemBackend, NoopStoreObserver, RetentionPolicy, StoreBackend,
     StoreCounters, STORE_ENV_VAR,
 };
@@ -85,9 +87,9 @@ USAGE:
                   [--variant scp|ccp] [--seed N] [--trace] [CACHE]
   eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
-                  [CACHE]
+                  [--no-analytic] [CACHE]
   eacp sweep      --spec sweep.json [--reps N] [--json] [--shard I/N] [--out DIR]
-                  [--queue [--workers N]] [CACHE]
+                  [--queue [--workers N]] [--no-analytic] [CACHE]
   eacp merge      <DIR> [--out FILE]
   eacp queue      status <DIR>
   eacp csv        <DIR> [--out FILE]
@@ -110,6 +112,14 @@ CACHE (run/mc/sweep):
   --store DIR        consult/record a result store (default: $EACP_STORE)
   --no-cache         ignore any configured store for this invocation
   --refresh          recompute and re-record even on a hit
+
+ANALYTIC SERVE TIER (mc/sweep):
+  Replication-invariant cells — fault specs where every replication is
+  the same execution (poisson lambda=0, deterministic fault times) — are
+  answered in closed form: one execution, aggregated N times, marked
+  \"served\": \"analytic\" in reports and store cells. --no-analytic forces
+  the full Monte-Carlo loop; `store verify` re-derives each cell through
+  the tier that recorded it.
 
 PERIODIC TASK SETS (feasibility/executive):
   Both subcommands resolve an ExecutiveSpec: --spec file.json loads a
@@ -231,6 +241,9 @@ pub struct Options {
     pub store: String,
     /// Ignore any configured result store for this invocation.
     pub no_cache: bool,
+    /// Disable the closed-form serve tier: always run the full
+    /// Monte-Carlo loop even for replication-invariant cells.
+    pub no_analytic: bool,
     /// Recompute and re-record even on a store hit.
     pub refresh: bool,
     /// Retention bound for `store gc`: keep at most this many entries.
@@ -281,6 +294,7 @@ impl Default for Options {
             workers: 0,
             store: String::new(),
             no_cache: false,
+            no_analytic: false,
             refresh: false,
             max_entries: 0,
             max_bytes: 0,
@@ -343,6 +357,7 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--sample" => o.sample = parse_num(&val("--sample")?, "--sample")? as u64,
             "--out" => o.out = val("--out")?,
             "--no-cache" => o.no_cache = true,
+            "--no-analytic" => o.no_analytic = true,
             "--refresh" => o.refresh = true,
             "--mc" => o.mc = true,
             "--queue" => o.queue = true,
@@ -751,13 +766,22 @@ pub fn cmd_mc(o: &Options) -> Result<String, String> {
     let mut note = String::new();
     let (summary, report) = match resolve_store(o)? {
         Some(backend) => {
-            let run = run_cached(&spec, &backend, cache_mode(o), &NoopStoreObserver)
-                .map_err(|e| e.to_string())?;
+            let run = run_cached_tiered(
+                &spec,
+                &backend,
+                cache_mode(o),
+                &NoopStoreObserver,
+                !o.no_analytic,
+            )
+            .map_err(|e| e.to_string())?;
             note = store_note(run.cache, run.report.source.as_deref());
             (run.summary, run.report)
         }
-        None => eacp_exec::run(&spec).map_err(|e| e.to_string())?,
+        None => eacp_exec::run_tiered(&spec, !o.no_analytic).map_err(|e| e.to_string())?,
     };
+    if report.served == eacp_spec::ServeTier::Analytic {
+        note.insert_str(0, "served: analytic (replication-invariant cell)\n");
+    }
     if o.json {
         // The report document is byte-identical on hit and miss; cache
         // telemetry stays out of it.
@@ -849,26 +873,34 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         } else {
             Box::new(LocalRunner::new(sweep.base.mc.threads))
         };
-        run_sweep_cached(
+        run_sweep_cached_tiered(
             &sweep,
             shard,
             runner.as_ref(),
             backend,
             cache_mode(o),
             &counters,
+            !o.no_analytic,
         )
         .map_err(|e| e.to_string())?
     } else if o.queue {
-        run_sweep_queued(
+        run_sweep_queued_tiered(
             &sweep,
             shard,
             o.workers,
             eacp_exec::queue::DEFAULT_MAX_ATTEMPTS,
             &progress,
+            !o.no_analytic,
         )
         .map_err(|e| e.to_string())?
     } else {
-        run_sweep(&sweep, shard, sweep.base.mc.threads).map_err(|e| e.to_string())?
+        run_sweep_tiered(
+            &sweep,
+            shard,
+            &LocalRunner::new(sweep.base.mc.threads),
+            !o.no_analytic,
+        )
+        .map_err(|e| e.to_string())?
     };
     let queue_note = if store.is_some() {
         let mut s = format!(
@@ -1998,27 +2030,38 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     let boxed_job = Job::from_spec_boxed(&spec).map_err(|e| e.to_string())?;
 
     let runner = LocalRunner::new(o.threads);
-    // Best-of-N wall time: robust against scheduler noise without a
-    // statistics engine. Quick mode runs once when it only feeds a CI
-    // artifact — but a --baseline comparison is a comparison, so it
-    // always gets the best-of-3 treatment.
+    // Best-of-K wall time after one discarded warmup repetition: the
+    // warmup faults in code pages, branch predictors and the allocator so
+    // the first timed repetition isn't structurally the slowest, and
+    // best-of-K rides out scheduler noise without a statistics engine.
+    // Quick mode times once when it only feeds a CI artifact — but a
+    // --baseline comparison is a comparison, so it always gets the
+    // best-of-3 treatment.
     let iterations = if o.quick && o.baseline.is_empty() {
         1
     } else {
         3
     };
-    let time_job = |job: &Job| -> Result<(f64, Summary), String> {
+    let best_of = |mut timed: Box<dyn FnMut() -> Result<(f64, Summary), String> + '_>|
+     -> Result<(f64, Summary), String> {
+        timed()?; // warmup, discarded
         let mut best = f64::INFINITY;
         let mut summary = None;
         for _ in 0..iterations {
-            let started = Instant::now();
-            let s = runner.run(job).map_err(|e| e.to_string())?;
-            best = best.min(started.elapsed().as_secs_f64());
+            let (wall_s, s) = timed()?;
+            best = best.min(wall_s);
             summary = Some(s);
         }
         summary
             .map(|s| (best, s))
             .ok_or_else(|| "bench ran zero iterations".to_owned())
+    };
+    let time_job = |job: &Job| -> Result<(f64, Summary), String> {
+        best_of(Box::new(|| {
+            let started = Instant::now();
+            let s = runner.run(job).map_err(|e| e.to_string())?;
+            Ok((started.elapsed().as_secs_f64(), s))
+        }))
     };
 
     let (pooled_s, pooled_summary) = time_job(&pooled_job)?;
@@ -2026,6 +2069,39 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     if pooled_summary != boxed_summary {
         return Err(
             "bench sanity check failed: pooled and boxed paths produced different summaries"
+                .to_owned(),
+        );
+    }
+
+    // A replanning-dominated cell: 10x the nominal fault rate makes the
+    // adaptive policies recompute their checkpoint plan constantly, so
+    // this section tracks the replan/memoization path the nominal cell
+    // barely exercises. Fewer replications keep the wall time bounded —
+    // the recorded number is reps/s, so the count doesn't skew it.
+    let hl_reps = (reps / 10).max(100);
+    let mut hl_spec = ExperimentSpec::paper_nominal();
+    hl_spec.name = "bench-high-lambda".into();
+    hl_spec.faults = FaultSpec::Poisson { lambda: 1.4e-2 };
+    hl_spec.mc = McSpec {
+        replications: hl_reps,
+        seed: o.seed,
+        threads: o.threads,
+    };
+    let hl_job = Job::from_spec(&hl_spec).map_err(|e| e.to_string())?;
+    let (hl_s, _hl_summary) = time_job(&hl_job)?;
+
+    // The work-queue scheduler on the same nominal job: tracks the
+    // lease/drain orchestration overhead relative to the plain runner.
+    // The run doubles as a live bit-identity check across schedulers.
+    let queue_runner = QueueRunner::new(o.workers);
+    let (queue_s, queue_summary) = best_of(Box::new(|| {
+        let started = Instant::now();
+        let s = queue_runner.run(&pooled_job).map_err(|e| e.to_string())?;
+        Ok((started.elapsed().as_secs_f64(), s))
+    }))?;
+    if queue_summary != pooled_summary {
+        return Err(
+            "bench sanity check failed: queue and local schedulers produced different summaries"
                 .to_owned(),
         );
     }
@@ -2039,29 +2115,46 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         base: sweep_base,
         axes: vec![SweepAxis::Lambda(vec![lambda])],
     };
-    let started = Instant::now();
-    let grid = run_sweep(&sweep, None, o.threads).map_err(|e| e.to_string())?;
-    let sweep_s = started.elapsed().as_secs_f64();
-    let sweep_reps = grid.points.len() as u64 * reps;
+    let mut sweep_s = f64::INFINITY;
+    let mut sweep_points = 0;
+    for i in 0..=iterations {
+        let started = Instant::now();
+        let grid = run_sweep(&sweep, None, o.threads).map_err(|e| e.to_string())?;
+        if i > 0 {
+            sweep_s = sweep_s.min(started.elapsed().as_secs_f64());
+        }
+        sweep_points = grid.points.len();
+    }
+    let sweep_reps = sweep_points as u64 * reps;
 
     // Result-store round-trip on the same cell: a cold miss pays compute
-    // plus record, a warm hit replays the persisted summary.
-    let store = MemBackend::new();
-    let started = Instant::now();
-    let cold = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
-        .map_err(|e| e.to_string())?;
-    let cold_s = started.elapsed().as_secs_f64();
-    let started = Instant::now();
-    let warm = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
-        .map_err(|e| e.to_string())?;
-    let warm_s = started.elapsed().as_secs_f64();
-    if cold.cache != CacheOutcome::Miss
-        || warm.cache != CacheOutcome::Hit
-        || warm.summary != pooled_summary
-    {
-        return Err(
-            "bench sanity check failed: store hit diverged from the computed summary".to_owned(),
-        );
+    // plus record, a warm hit replays the persisted summary. Each
+    // repetition gets a fresh store so every cold is a true miss.
+    let mut cold_s = f64::INFINITY;
+    let mut warm_s = f64::INFINITY;
+    for i in 0..=iterations {
+        let store = MemBackend::new();
+        let started = Instant::now();
+        let cold = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
+            .map_err(|e| e.to_string())?;
+        let cold_rep_s = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let warm = run_cached(&spec, &store, CacheMode::ReadWrite, &NoopStoreObserver)
+            .map_err(|e| e.to_string())?;
+        let warm_rep_s = started.elapsed().as_secs_f64();
+        if cold.cache != CacheOutcome::Miss
+            || warm.cache != CacheOutcome::Hit
+            || warm.summary != pooled_summary
+        {
+            return Err(
+                "bench sanity check failed: store hit diverged from the computed summary"
+                    .to_owned(),
+            );
+        }
+        if i > 0 {
+            cold_s = cold_s.min(cold_rep_s);
+            warm_s = warm_s.min(warm_rep_s);
+        }
     }
 
     // Executive horizon throughput over the avionics-trio workload
@@ -2087,6 +2180,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     let exec_job = ExecutiveJob::from_spec(&exec_spec).map_err(|e| e.to_string())?;
     let time_executive =
         |runner: &LocalRunner| -> Result<(f64, eacp_exec::ExecutiveSummary), String> {
+            runner.run_executive(&exec_job).map_err(|e| e.to_string())?; // warmup
             let mut best = f64::INFINITY;
             let mut summary = None;
             for _ in 0..iterations {
@@ -2099,21 +2193,30 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
                 .map(|s| (best, s))
                 .ok_or_else(|| "bench ran zero iterations".to_owned())
         };
-    let (exec_single_s, exec_single) = time_executive(&LocalRunner::new(1))?;
-    let (exec_multi_s, exec_multi) = time_executive(&LocalRunner::new(o.threads))?;
-    if exec_single != exec_multi {
-        return Err(
-            "bench sanity check failed: executive summaries diverged across thread counts"
-                .to_owned(),
-        );
-    }
-
     let threads = if o.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
         o.threads
+    };
+    let (exec_single_s, exec_single) = time_executive(&LocalRunner::new(1))?;
+    // A second, threaded run is only a *multi*-thread measurement when the
+    // host can actually run more than one worker; on a single-core host
+    // the section is omitted instead of recording a mislabeled repeat of
+    // the single-thread number. When it runs, it doubles as a live
+    // bit-identity check across thread counts.
+    let exec_multi = if threads > 1 {
+        let (exec_multi_s, exec_multi) = time_executive(&LocalRunner::new(threads))?;
+        if exec_single != exec_multi {
+            return Err(
+                "bench sanity check failed: executive summaries diverged across thread counts"
+                    .to_owned(),
+            );
+        }
+        Some(exec_multi_s)
+    } else {
+        None
     };
     let section = |reps: u64, wall_s: f64| {
         Json::obj([
@@ -2122,6 +2225,33 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         ])
     };
     let speedup = boxed_s / pooled_s.max(1e-12);
+    let mut executive_fields = vec![
+        ("job", exec_spec.name.as_str().into()),
+        ("horizons", exec_horizons.into()),
+        (
+            "single_thread",
+            Json::obj([
+                ("wall_s", exec_single_s.into()),
+                (
+                    "horizons_per_s",
+                    (exec_horizons as f64 / exec_single_s.max(1e-12)).into(),
+                ),
+            ]),
+        ),
+    ];
+    if let Some(exec_multi_s) = exec_multi {
+        executive_fields.push((
+            "multi_thread",
+            Json::obj([
+                ("threads", threads.into()),
+                ("wall_s", exec_multi_s.into()),
+                (
+                    "horizons_per_s",
+                    (exec_horizons as f64 / exec_multi_s.max(1e-12)).into(),
+                ),
+            ]),
+        ));
+    }
     let doc = Json::obj([
         ("bench", "simulator".into()),
         ("mode", if o.quick { "quick" } else { "full" }.into()),
@@ -2132,9 +2262,26 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         ("boxed_baseline", section(reps, boxed_s)),
         ("speedup_pooled_vs_boxed", speedup.into()),
         (
+            "high_lambda",
+            Json::obj([
+                ("lambda", 1.4e-2.into()),
+                ("replications", hl_reps.into()),
+                ("wall_s", hl_s.into()),
+                ("reps_per_s", (hl_reps as f64 / hl_s.max(1e-12)).into()),
+            ]),
+        ),
+        (
+            "queue",
+            Json::obj([
+                ("workers", o.workers.into()),
+                ("wall_s", queue_s.into()),
+                ("reps_per_s", (reps as f64 / queue_s.max(1e-12)).into()),
+            ]),
+        ),
+        (
             "sweep_cell",
             Json::obj([
-                ("points", grid.points.len().into()),
+                ("points", sweep_points.into()),
                 ("replications", sweep_reps.into()),
                 ("wall_s", sweep_s.into()),
                 (
@@ -2151,34 +2298,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
                 ("hit_speedup", (cold_s / warm_s.max(1e-12)).into()),
             ]),
         ),
-        (
-            "executive",
-            Json::obj([
-                ("job", exec_spec.name.as_str().into()),
-                ("horizons", exec_horizons.into()),
-                (
-                    "single_thread",
-                    Json::obj([
-                        ("wall_s", exec_single_s.into()),
-                        (
-                            "horizons_per_s",
-                            (exec_horizons as f64 / exec_single_s.max(1e-12)).into(),
-                        ),
-                    ]),
-                ),
-                (
-                    "multi_thread",
-                    Json::obj([
-                        ("threads", threads.into()),
-                        ("wall_s", exec_multi_s.into()),
-                        (
-                            "horizons_per_s",
-                            (exec_horizons as f64 / exec_multi_s.max(1e-12)).into(),
-                        ),
-                    ]),
-                ),
-            ]),
-        ),
+        ("executive", Json::obj(executive_fields)),
     ]);
 
     let path = if o.out.is_empty() {
@@ -2188,23 +2308,32 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
     };
     std::fs::write(path, doc.pretty()).map_err(|e| format!("{path}: {e}"))?;
 
+    let exec_multi_note = match exec_multi {
+        Some(exec_multi_s) => format!(
+            ", {threads} thread(s) {exec_multi_s:.3} s ({:.0}/s)",
+            exec_horizons as f64 / exec_multi_s.max(1e-12),
+        ),
+        None => " (single-core host: threaded section omitted)".to_owned(),
+    };
     let mut out = format!(
         "bench simulator: {reps} replications on {threads} thread(s)\n\
          pooled  : {pooled_s:.3} s  ({:.0} reps/s)\n\
          boxed   : {boxed_s:.3} s  ({:.0} reps/s)\n\
          speedup : {speedup:.2}x\n\
-         sweep   : {} point(s) in {sweep_s:.3} s\n\
+         high-λ  : {hl_reps} reps at λ=1.4e-2 in {hl_s:.3} s ({:.0} reps/s)\n\
+         queue   : {queue_s:.3} s  ({:.0} reps/s)\n\
+         sweep   : {sweep_points} point(s) in {sweep_s:.3} s\n\
          store   : cold {cold_s:.3} s, warm hit {:.2} ms ({:.0}x)\n\
-         executive: {exec_horizons} horizons — 1 thread {exec_single_s:.3} s ({:.0}/s), \
-         {threads} thread(s) {exec_multi_s:.3} s ({:.0}/s)\n\
+         executive: {exec_horizons} horizons — 1 thread {exec_single_s:.3} s \
+         ({:.0}/s){exec_multi_note}\n\
          wrote {path}",
         reps as f64 / pooled_s.max(1e-12),
         reps as f64 / boxed_s.max(1e-12),
-        grid.points.len(),
+        hl_reps as f64 / hl_s.max(1e-12),
+        reps as f64 / queue_s.max(1e-12),
         warm_s * 1e3,
         cold_s / warm_s.max(1e-12),
         exec_horizons as f64 / exec_single_s.max(1e-12),
-        exec_horizons as f64 / exec_multi_s.max(1e-12),
     );
     if !o.baseline.is_empty() {
         out.push('\n');
@@ -2212,6 +2341,8 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
             &o.baseline,
             reps as f64 / pooled_s.max(1e-12),
             exec_horizons as f64 / exec_single_s.max(1e-12),
+            hl_reps as f64 / hl_s.max(1e-12),
+            reps as f64 / queue_s.max(1e-12),
             o.max_regress,
         )?);
     }
@@ -2231,6 +2362,8 @@ fn check_bench_baseline(
     path: &str,
     pooled_reps_per_s: f64,
     exec_horizons_per_s: f64,
+    high_lambda_reps_per_s: f64,
+    queue_reps_per_s: f64,
     max_regress: f64,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
@@ -2279,6 +2412,34 @@ fn check_bench_baseline(
             (exec_ratio - 1.0) * 100.0,
             max_regress * 100.0,
         ));
+    }
+    // The replanning-dominated and queue-scheduler sections gate the same
+    // way — optional in the baseline so older documents keep passing.
+    for (label, measured, section) in [
+        ("high-lambda", high_lambda_reps_per_s, "high_lambda"),
+        ("queue", queue_reps_per_s, "queue"),
+    ] {
+        if let Ok(base) = doc
+            .req(section)
+            .and_then(|s| s.req("reps_per_s"))
+            .and_then(Json::as_f64)
+        {
+            let ratio = measured / base.max(1e-12);
+            if measured < base * (1.0 - max_regress) {
+                return Err(format!(
+                    "perf regression: {label} {measured:.0} reps/s is {:.1}% below the \
+                     baseline {base:.0} reps/s in {path} (tolerance {:.0}%)",
+                    (1.0 - ratio) * 100.0,
+                    max_regress * 100.0,
+                ));
+            }
+            out.push_str(&format!(
+                "\nbaseline check ok: {label} {measured:.0} reps/s vs {base:.0} baseline \
+                 ({:+.1}%, tolerance -{:.0}%)",
+                (ratio - 1.0) * 100.0,
+                max_regress * 100.0,
+            ));
+        }
     }
     Ok(out)
 }
@@ -2410,7 +2571,13 @@ mod tests {
         assert_eq!(doc.req("bench").unwrap().as_str().unwrap(), "simulator");
         assert_eq!(doc.req("mode").unwrap().as_str().unwrap(), "quick");
         assert_eq!(doc.req("replications").unwrap().as_u64().unwrap(), 40);
-        for section in ["pooled", "boxed_baseline", "sweep_cell"] {
+        for section in [
+            "pooled",
+            "boxed_baseline",
+            "high_lambda",
+            "queue",
+            "sweep_cell",
+        ] {
             let s = doc.req(section).unwrap();
             assert!(s.req("wall_s").unwrap().as_f64().unwrap() >= 0.0);
             assert!(s.req("reps_per_s").unwrap().as_f64().unwrap() > 0.0);
@@ -2422,6 +2589,14 @@ mod tests {
                 .unwrap()
                 > 0.0
         );
+        // Honest labeling: a "multi_thread" executive section may only
+        // exist when it actually ran on more than one thread.
+        if let Ok(multi) = doc.req("executive").and_then(|e| e.req("multi_thread")) {
+            assert!(
+                multi.req("threads").unwrap().as_u64().unwrap() > 1,
+                "multi_thread section recorded on a single-thread run"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -7,7 +7,8 @@ use crate::analysis::{
     checkpoint_interval, choose_speed, num_ccp, num_scp, IntervalInputs, OptimizeMethod,
     RenewalParams,
 };
-use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
+use crate::policies::plan_cache::{ArgminCache, PlanCache};
+use eacp_sim::{CheckpointKind, CommitWindow, Directive, PlanContext, Policy};
 
 /// Which sub-checkpoint is placed between consecutive CSCPs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,39 @@ struct IntervalPlan {
     sub_interval: f64,
     m: u32,
     segments_done: u32,
+    /// The planned level's frequency (denormalized from `speed`).
+    freq: f64,
+    /// Reciprocal fast path for the per-segment `remaining / freq`:
+    /// `inv_exact` holds exactly when the frequency is a power of two, in
+    /// which case multiplying by `inv_freq` is bit-identical to dividing
+    /// (both are the correctly rounded `x·2⁻ᵏ`).
+    inv_freq: f64,
+    inv_exact: bool,
+}
+
+impl IntervalPlan {
+    fn new(speed: usize, sub_interval: f64, m: u32, freq: f64) -> Self {
+        let inv = 1.0 / freq;
+        Self {
+            speed,
+            sub_interval,
+            m,
+            segments_done: 0,
+            freq,
+            inv_freq: inv,
+            inv_exact: freq.to_bits() & ((1u64 << 52) - 1) == 0 && inv.is_finite(),
+        }
+    }
+
+    /// `remaining / freq`, bit-identical to writing the division.
+    #[inline]
+    fn remaining_time(&self, remaining: f64) -> f64 {
+        if self.inv_exact {
+            remaining * self.inv_freq
+        } else {
+            remaining / self.freq
+        }
+    }
 }
 
 /// The adaptive checkpointing policy of the paper.
@@ -61,6 +95,16 @@ pub struct Adaptive {
     plan: Option<IntervalPlan>,
     /// Count of detected errors (exposed for tests/diagnostics).
     errors_seen: u32,
+    /// Memoized replan decisions, exact-key direct-mapped. Survives
+    /// [`Adaptive::reset`]: replications in a block revisit the same
+    /// replan lattice, and an exact-key hit is bit-identical to the
+    /// uncached computation by construction.
+    cache: PlanCache,
+    /// Memoized `num_SCP`/`num_CCP` argmins keyed on (interval,
+    /// frequency, env). Hits even when the full replan key misses: the
+    /// Fig. 4 Poisson-branch interval is independent of remaining work
+    /// and time, so post-fault replans reuse the same argmin.
+    argmin_cache: ArgminCache,
 }
 
 impl Adaptive {
@@ -87,11 +131,17 @@ impl Adaptive {
             rf: k as f64,
             plan: None,
             errors_seen: 0,
+            cache: PlanCache::new(),
+            argmin_cache: ArgminCache::new(),
         }
     }
 
     /// Restores the just-constructed state (full fault budget, no plan,
     /// no errors seen) so one instance can serve many replications.
+    ///
+    /// The replan memo deliberately survives: it caches a pure function
+    /// of the replan inputs, so a later replication hitting an entry
+    /// computes exactly what a fresh instance would.
     pub fn reset(&mut self) {
         self.rf = self.k as f64;
         self.plan = None;
@@ -158,7 +208,15 @@ impl Adaptive {
     /// (default: the paper's closed-form procedure).
     pub fn with_optimizer(mut self, optimizer: OptimizeMethod) -> Self {
         self.optimizer = optimizer;
+        // Memoized decisions were computed under the previous optimizer.
+        self.cache.invalidate();
+        self.argmin_cache.invalidate();
         self
+    }
+
+    /// Lifetime replan-memo (hits, misses) — diagnostics and tests.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 
     /// Remaining fault budget `Rf`.
@@ -176,11 +234,47 @@ impl Adaptive {
         self.sub
     }
 
-    /// Builds a fresh interval plan (paper Fig. 6 lines 2–4 / 15–17).
-    /// Returns `None` when the deadline can no longer be met.
-    fn replan(&self, ctx: &PlanContext<'_>, remaining_cycles: f64) -> Option<IntervalPlan> {
+    /// Fingerprint of the planning environment (checkpoint costs and DVS
+    /// table) folded into the memo key, so an instance reused against a
+    /// different scenario — the `from_parts` escape hatch allows it —
+    /// can never serve a stale plan.
+    #[inline]
+    fn env_fingerprint(ctx: &PlanContext<'_>) -> u64 {
+        let mut fp = ctx
+            .costs
+            .store_cycles
+            .to_bits()
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ ctx.costs.compare_cycles.to_bits().rotate_left(21)
+            ^ ctx.costs.rollback_cycles.to_bits().rotate_left(42);
+        for level in ctx.dvs.levels() {
+            fp = fp
+                .rotate_left(7)
+                .wrapping_add(level.frequency.to_bits() ^ level.voltage.to_bits().rotate_left(32));
+        }
+        fp
+    }
+
+    /// Builds a fresh interval plan (paper Fig. 6 lines 2–4 / 15–17),
+    /// memoized through the exact-key [`PlanCache`]. Returns `None` when
+    /// the deadline can no longer be met.
+    fn replan(&mut self, ctx: &PlanContext<'_>, remaining_cycles: f64) -> Option<IntervalPlan> {
         let c_cycles = ctx.costs.cscp_cycles();
         let rd = ctx.time_left();
+        let key = [
+            remaining_cycles.to_bits(),
+            rd.to_bits(),
+            self.rf.to_bits(),
+            Self::env_fingerprint(ctx),
+        ];
+        if let Some((speed, m, sub_interval)) = self.cache.get(&key) {
+            return Some(IntervalPlan::new(
+                speed,
+                sub_interval,
+                m,
+                ctx.dvs.level(speed).frequency,
+            ));
+        }
         let speed = if self.dvs_enabled {
             choose_speed(remaining_cycles, rd, c_cycles, self.lambda, ctx.dvs)
         } else {
@@ -201,25 +295,29 @@ impl Adaptive {
         let (m, sub_interval) = match self.sub {
             None => (1, interval),
             Some(kind) => {
-                let params = RenewalParams::new(
-                    ctx.costs.store_cycles / f,
-                    ctx.costs.compare_cycles / f,
-                    ctx.costs.rollback_cycles / f,
-                    self.lambda,
-                );
-                let m = match kind {
-                    SubCheckpointKind::Store => num_scp(interval, &params, self.optimizer),
-                    SubCheckpointKind::Compare => num_ccp(interval, &params, self.optimizer),
+                let argmin_key = [interval.to_bits(), f.to_bits(), key[3]];
+                let m = match self.argmin_cache.get(&argmin_key) {
+                    Some(m) => m,
+                    None => {
+                        let params = RenewalParams::new(
+                            ctx.costs.store_cycles / f,
+                            ctx.costs.compare_cycles / f,
+                            ctx.costs.rollback_cycles / f,
+                            self.lambda,
+                        );
+                        let m = match kind {
+                            SubCheckpointKind::Store => num_scp(interval, &params, self.optimizer),
+                            SubCheckpointKind::Compare => num_ccp(interval, &params, self.optimizer),
+                        };
+                        self.argmin_cache.put(argmin_key, m);
+                        m
+                    }
                 };
                 (m, interval / m as f64)
             }
         };
-        Some(IntervalPlan {
-            speed,
-            sub_interval,
-            m,
-            segments_done: 0,
-        })
+        self.cache.put(key, speed, m, sub_interval);
+        Some(IntervalPlan::new(speed, sub_interval, m, f))
     }
 }
 
@@ -245,8 +343,7 @@ impl Policy for Adaptive {
         // audit:allow(panic): the branch above either fills `self.plan` or
         // returns `Abort`, so the option is always `Some` here.
         let plan = self.plan.as_mut().expect("plan was just ensured");
-        let f = ctx.dvs.level(plan.speed).frequency;
-        let remaining_time = remaining / f;
+        let remaining_time = plan.remaining_time(remaining);
         if plan.segments_done == 0 && remaining_time > ctx.time_left() + 1e-9 {
             // The paper's while-loop guard, re-checked at every CSCP
             // interval boundary.
@@ -279,6 +376,49 @@ impl Policy for Adaptive {
             self.errors_seen += 1;
             self.rf = (self.rf - 1.0).max(0.0);
             self.plan = None;
+        }
+    }
+
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        let remaining = ctx.remaining_cycles();
+        if remaining <= 1e-9 {
+            return None; // `plan()` would issue the zero-length commit
+        }
+        if self.plan.is_none() {
+            // Materialize the plan exactly as `plan()` would: `replan` is
+            // deterministic in (ctx, rf), so whether or not the executor
+            // takes the window, a later `plan()` call sees this identical
+            // plan (and `None` here means `plan()` will return `Abort`).
+            self.plan = Some(self.replan(ctx, remaining)?);
+        }
+        // audit:allow(panic): the branch above either fills `self.plan` or
+        // returns early, so the option is always `Some` here.
+        let plan = self.plan.as_ref().expect("plan was just ensured");
+        let remaining_time = plan.remaining_time(remaining);
+        if plan.segments_done == 0 && remaining_time > ctx.time_left() + 1e-9 {
+            return None; // the interval-boundary abort guard would fire
+        }
+        // Between errors the schedule is fixed (the paper replans only on
+        // faults): the rest of this CSCP interval is committed in advance.
+        let subs = (plan.m - 1).checked_sub(plan.segments_done)?;
+        let sub_kind = match self.sub {
+            Some(SubCheckpointKind::Compare) => CheckpointKind::Compare,
+            // `subs` is 0 for `m == 1` plans; the kind is then unused.
+            Some(SubCheckpointKind::Store) | None => CheckpointKind::Store,
+        };
+        Some(CommitWindow {
+            speed: plan.speed,
+            compute_time: plan.sub_interval,
+            sub_kind,
+            subs,
+        })
+    }
+
+    fn on_commit_window_executed(&mut self) {
+        // The window ends in a clean CSCP commit: `plan()` would have
+        // counted up to `m` and reset on issuing the CompareStore.
+        if let Some(plan) = &mut self.plan {
+            plan.segments_done = 0;
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Static-interval baseline schemes: Poisson-arrival and k-fault-tolerant.
 
 use crate::analysis::{k_fault_interval, poisson_interval};
-use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
+use eacp_sim::{CheckpointKind, CommitWindow, Directive, PlanContext, Policy};
 
 /// The Poisson-arrival baseline (Duda 1983): compare-and-store checkpoints
 /// at a constant interval `sqrt(2C/λ)`, minimizing the *average* execution
@@ -80,6 +80,26 @@ impl Policy for PoissonArrival {
         let dur = itv.min(ctx.remaining_time_at(self.speed));
         Directive::run(self.speed, dur, CheckpointKind::CompareStore)
     }
+
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        // Every segment commits: the next interval is a one-segment window.
+        // The executor only takes it when the interval fits before the
+        // task end, which is exactly when `plan()`'s min() would pick the
+        // constant interval; an infinite interval (λ = 0) is rejected by
+        // the executor's finiteness guard and falls back to `plan()`.
+        let f = ctx.dvs.level(self.speed).frequency;
+        let c = ctx.costs.cscp_cycles() / f;
+        let lambda = self.lambda;
+        let itv = *self
+            .interval
+            .get_or_insert_with(|| poisson_interval(c, lambda));
+        Some(CommitWindow {
+            speed: self.speed,
+            compute_time: itv,
+            sub_kind: CheckpointKind::Store, // unused: subs == 0
+            subs: 0,
+        })
+    }
 }
 
 /// The k-fault-tolerant baseline (Lee/Shin/Min 1999): compare-and-store
@@ -131,6 +151,25 @@ impl Policy for KFaultTolerant {
             .get_or_insert_with(|| k_fault_interval(n_time, k as f64, c));
         let dur = itv.min(ctx.remaining_time_at(self.speed));
         Directive::run(self.speed, dur, CheckpointKind::CompareStore)
+    }
+
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        // Same shape as `PoissonArrival`: one-segment commit windows at
+        // the constant Lee/Shin/Min interval (k = 0 gives an infinite
+        // interval, rejected by the executor's finiteness guard).
+        let f = ctx.dvs.level(self.speed).frequency;
+        let c = ctx.costs.cscp_cycles() / f;
+        let k = self.k;
+        let n_time = ctx.work_cycles / f;
+        let itv = *self
+            .interval
+            .get_or_insert_with(|| k_fault_interval(n_time, k as f64, c));
+        Some(CommitWindow {
+            speed: self.speed,
+            compute_time: itv,
+            sub_kind: CheckpointKind::Store, // unused: subs == 0
+            subs: 0,
+        })
     }
 }
 

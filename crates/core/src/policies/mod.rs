@@ -13,11 +13,12 @@
 
 mod adaptive;
 mod baselines;
+mod plan_cache;
 
 pub use adaptive::{Adaptive, SubCheckpointKind};
 pub use baselines::{KFaultTolerant, PoissonArrival};
 
-use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
+use eacp_sim::{CheckpointKind, CommitWindow, Directive, PlanContext, Policy};
 
 /// The closed set of in-repo checkpointing schemes, as one concrete type.
 ///
@@ -30,6 +31,12 @@ use eacp_sim::{CheckpointKind, Directive, PlanContext, Policy};
 /// boxed trait object — the open, slower path.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)]
+// `Adaptive` embeds its direct-mapped plan/argmin caches inline (~4 KiB)
+// so cache lookups stay pointer-chase-free on the replication hot path.
+// Instances are pooled per block, never created per replication, so the
+// variant-size skew costs nothing; boxing the caches would trade it for
+// an indirection on every plan call.
+#[allow(clippy::large_enum_variant)]
 pub enum PolicyKind {
     Poisson(PoissonArrival),
     KFaultTolerant(KFaultTolerant),
@@ -79,6 +86,24 @@ impl Policy for PolicyKind {
             PolicyKind::Poisson(p) => p.on_compare(ctx, kind, mismatch),
             PolicyKind::KFaultTolerant(p) => p.on_compare(ctx, kind, mismatch),
             PolicyKind::Adaptive(p) => p.on_compare(ctx, kind, mismatch),
+        }
+    }
+
+    #[inline]
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        match self {
+            PolicyKind::Poisson(p) => p.commit_window(ctx),
+            PolicyKind::KFaultTolerant(p) => p.commit_window(ctx),
+            PolicyKind::Adaptive(p) => p.commit_window(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_commit_window_executed(&mut self) {
+        match self {
+            PolicyKind::Poisson(p) => p.on_commit_window_executed(),
+            PolicyKind::KFaultTolerant(p) => p.on_commit_window_executed(),
+            PolicyKind::Adaptive(p) => p.on_commit_window_executed(),
         }
     }
 }

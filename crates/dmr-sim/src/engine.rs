@@ -8,7 +8,7 @@ use crate::scenario::Scenario;
 use crate::trace::TraceEvent;
 #[cfg(test)]
 use crate::trace::TraceRecorder;
-use eacp_energy::EnergyMeter;
+use eacp_energy::{EnergyMeter, SpeedLevel};
 use eacp_faults::FaultProcess;
 
 /// Tunable executor limits and switches.
@@ -40,6 +40,65 @@ impl Default for ExecutorOptions {
             max_stalled_rounds: 64,
             faults_during_overhead: true,
             stop_at_deadline: true,
+        }
+    }
+}
+
+/// Wall-clock durations of the fixed-cycle operations at one speed level,
+/// plus an exact-reciprocal fast path for cycle→time conversion.
+///
+/// The engine divides by the current frequency on every segment and
+/// checkpoint operation; these values hoist the identical divisions out of
+/// the per-segment loop (trivially bit-identical — the same two operands
+/// are divided, just once), and `inv_freq` replaces the one remaining
+/// per-segment division with a multiplication when the frequency is a
+/// power of two: division and multiplication by an exactly representable
+/// `2ᵏ` both produce the correctly rounded value of `x·2⁻ᵏ`, so the
+/// results are bit-identical there as well.
+#[derive(Debug, Clone, Copy)]
+struct LevelTimes {
+    store: f64,
+    compare: f64,
+    compare_store: f64,
+    rollback: f64,
+    inv_freq: f64,
+    /// Whether `x * inv_freq` is bit-identical to `x / frequency`.
+    inv_exact: bool,
+}
+
+impl LevelTimes {
+    fn new(costs: &CheckpointCosts, level: SpeedLevel) -> Self {
+        let f = level.frequency;
+        let inv = 1.0 / f;
+        Self {
+            store: costs.store_cycles / f,
+            compare: costs.compare_cycles / f,
+            compare_store: costs.cscp_cycles() / f,
+            rollback: costs.rollback_cycles / f,
+            inv_freq: inv,
+            // Power of two ⇔ zero mantissa (the level is positive, finite
+            // and normal by construction), with a representable reciprocal.
+            inv_exact: f.to_bits() & ((1u64 << 52) - 1) == 0 && inv.is_finite(),
+        }
+    }
+
+    /// Duration of one checkpoint operation of `kind` at this level.
+    #[inline]
+    fn op_time(&self, kind: CheckpointKind) -> f64 {
+        match kind {
+            CheckpointKind::Store => self.store,
+            CheckpointKind::Compare => self.compare,
+            CheckpointKind::CompareStore => self.compare_store,
+        }
+    }
+
+    /// `cycles / frequency`, bit-identical to writing the division.
+    #[inline]
+    fn time_for(&self, cycles: f64, frequency: f64) -> f64 {
+        if self.inv_exact {
+            cycles * self.inv_freq
+        } else {
+            cycles / frequency
         }
     }
 }
@@ -175,6 +234,8 @@ impl<'s> Executor<'s> {
         let mut now = 0.0_f64;
         let mut pos = 0.0_f64;
         let mut speed = dvs.slowest();
+        let mut level = dvs.level(speed);
+        let mut times = LevelTimes::new(costs, level);
         // The two processors start in a known-equal, stored state: the task
         // image itself is the first rollback target.
         let stores = &mut scratch.stores;
@@ -224,18 +285,23 @@ impl<'s> Executor<'s> {
 
         // Advances wall-clock time by `dt`, consuming fault arrivals that
         // land in the window. Returns the number of faults consumed.
-        let mut advance = |now: &mut f64,
-                           dt: f64,
-                           pending: &mut Option<f64>,
-                           vulnerable: bool,
-                           obs: &mut O|
-         -> u32 {
+        // (A fn, not a closure, so `next_fault` stays a plain local the
+        // commit-window fast path below can read between calls.)
+        fn advance<F: FaultProcess + ?Sized, O: Observer + ?Sized>(
+            faults: &mut F,
+            next_fault: &mut f64,
+            now: &mut f64,
+            dt: f64,
+            pending: &mut Option<f64>,
+            vulnerable: bool,
+            obs: &mut O,
+        ) -> u32 {
             let end = *now + dt;
             let mut hit = 0;
-            while next_fault < end {
+            while *next_fault < end {
                 if vulnerable {
                     if pending.is_none() {
-                        *pending = Some(next_fault);
+                        *pending = Some(*next_fault);
                     }
                     hit += 1;
                     // Which processor a fault corrupts is irrelevant to
@@ -244,15 +310,15 @@ impl<'s> Executor<'s> {
                     // realism.
                     let proc = (next_fault.to_bits() >> 3) as u32 & 1;
                     obs.on_event(&TraceEvent::Fault {
-                        at: next_fault,
+                        at: *next_fault,
                         processor: proc,
                     });
                 }
-                next_fault = faults.next_fault();
+                *next_fault = faults.next_fault();
             }
             *now = end;
             hit
-        };
+        }
 
         loop {
             if self.options.stop_at_deadline && now > deadline {
@@ -261,6 +327,101 @@ impl<'s> Executor<'s> {
             if ops >= self.options.max_operations {
                 out.anomaly = Some(Anomaly::OpBudgetExhausted);
                 break;
+            }
+
+            // --- Commit-window fast path ------------------------------
+            // When the policy publishes its committed schedule up to the
+            // next commit ([`Policy::commit_window`]) and the pre-sampled
+            // next fault arrival provably lands beyond it, the whole
+            // window executes here in a tight loop. Every float operation
+            // below is the exact operation the general path performs, on
+            // the same operands in the same order, so the run state stays
+            // bit-identical; the window skips only work that provably has
+            // no effect — per-segment `plan()` calls, directive
+            // validation, fault scans over empty windows and clean-compare
+            // notifications (no-ops by the `commit_window` contract).
+            // The guards are conservative (margins of 1e-6 against
+            // accumulated rounding of ~1e-10), so near-boundary windows
+            // fall back to the general path below instead of ever risking
+            // a decision the scalar path would not have made.
+            if pending_fault.is_none() {
+                if let Some(w) = policy.commit_window(&plan_ctx(now, pos, speed)) {
+                    let subs = w.subs as f64;
+                    let seg_cycles = w.compute_time * level.frequency;
+                    let sub_time = times.op_time(w.sub_kind);
+                    let span = (subs + 1.0) * w.compute_time + subs * sub_time
+                        + times.compare_store;
+                    // Conservative upper bound on the window's end time,
+                    // and lower bounds on the work remaining before the
+                    // final segment / after the whole window.
+                    let upper = (now + span) * (1.0 + 1e-9) + 1e-9;
+                    let before_final =
+                        (task.work_cycles - pos) - subs * seg_cycles * (1.0 + 1e-9);
+                    let after_window = before_final - seg_cycles * (1.0 + 1e-9);
+                    let fits = w.speed == speed
+                        && w.compute_time > 0.0
+                        && w.compute_time.is_finite()
+                        && w.sub_kind != CheckpointKind::CompareStore
+                        && next_fault > upper
+                        && upper <= deadline
+                        && ops + 2 * (w.subs as u64 + 1) <= self.options.max_operations
+                        && before_final / level.frequency > w.compute_time + 1e-6
+                        && after_window > 1e-6;
+                    if fits {
+                        let sub_cycles = costs.cycles_of(w.sub_kind);
+                        let cscp_cycles = costs.cycles_of(CheckpointKind::CompareStore);
+                        for i in 0..=w.subs {
+                            let last = i == w.subs;
+                            let kind = if last {
+                                CheckpointKind::CompareStore
+                            } else {
+                                w.sub_kind
+                            };
+                            // Segment (the scalar path with `dur ==
+                            // compute_time` and an empty fault window).
+                            obs.on_event(&TraceEvent::Segment {
+                                from: now,
+                                to: now + w.compute_time,
+                                speed,
+                            });
+                            now += w.compute_time;
+                            pos = (pos + seg_cycles).min(task.work_cycles);
+                            meter.record_cycles(seg_cycles, level);
+                            out.segments += 1;
+                            // Checkpoint operation (clean by construction).
+                            let op_cycles = if last { cscp_cycles } else { sub_cycles };
+                            let op_time = if last { times.compare_store } else { sub_time };
+                            obs.on_event(&TraceEvent::Checkpoint {
+                                kind,
+                                from: now,
+                                to: now + op_time,
+                                position: pos,
+                                mismatch: false,
+                            });
+                            now += op_time;
+                            if op_cycles > 0.0 {
+                                meter.record_cycles(op_cycles, level);
+                            }
+                            ops += 2;
+                            match kind {
+                                CheckpointKind::Store => {
+                                    out.store_checkpoints += 1;
+                                    stores.push(StorePoint { pos, clean: true });
+                                }
+                                CheckpointKind::Compare => out.compare_checkpoints += 1,
+                                CheckpointKind::CompareStore => {
+                                    out.compare_store_checkpoints += 1;
+                                    stores.clear();
+                                    stores.push(StorePoint { pos, clean: true });
+                                }
+                            }
+                            obs.on_energy_sample(now, meter.total());
+                        }
+                        policy.on_commit_window_executed();
+                        stalled_rounds = 0;
+                        continue;
+                    }
+                }
             }
 
             let directive = policy.plan(&plan_ctx(now, pos, speed));
@@ -293,9 +454,13 @@ impl<'s> Executor<'s> {
                     to: want_speed,
                 });
                 speed = want_speed;
+                level = dvs.level(speed);
+                times = LevelTimes::new(costs, level);
                 out.speed_switches += 1;
                 if dvs.switch_time > 0.0 {
                     advance(
+                        faults,
+                        &mut next_fault,
                         &mut now,
                         dvs.switch_time,
                         &mut pending_fault,
@@ -307,10 +472,8 @@ impl<'s> Executor<'s> {
                     meter.record_switch(dvs.switch_energy);
                 }
             }
-            let level = dvs.level(speed);
-
             // --- Computation segment -------------------------------------
-            let remaining_time = (task.work_cycles - pos) / level.frequency;
+            let remaining_time = times.time_for(task.work_cycles - pos, level.frequency);
             let dur = compute_time.min(remaining_time).max(0.0);
             let progressed = dur > 0.0;
             if progressed {
@@ -321,7 +484,15 @@ impl<'s> Executor<'s> {
                     to: now + dur,
                     speed,
                 });
-                out.faults += advance(&mut now, dur, &mut pending_fault, true, obs);
+                out.faults += advance(
+                    faults,
+                    &mut next_fault,
+                    &mut now,
+                    dur,
+                    &mut pending_fault,
+                    true,
+                    obs,
+                );
                 let cycles = dur * level.frequency;
                 pos = (pos + cycles).min(task.work_cycles);
                 meter.record_cycles(cycles, level);
@@ -334,7 +505,7 @@ impl<'s> Executor<'s> {
             // start; the operation's own duration is still fault-exposed.
             let snapshot_diverged = pending_fault.is_some();
             let op_cycles = costs.cycles_of(checkpoint);
-            let op_time = op_cycles / level.frequency;
+            let op_time = times.op_time(checkpoint);
             obs.on_event(&TraceEvent::Checkpoint {
                 kind: checkpoint,
                 from: now,
@@ -343,6 +514,8 @@ impl<'s> Executor<'s> {
                 mismatch: checkpoint.compares() && snapshot_diverged,
             });
             out.faults += advance(
+                faults,
+                &mut next_fault,
                 &mut now,
                 op_time,
                 &mut pending_fault,
@@ -402,7 +575,7 @@ impl<'s> Executor<'s> {
                 pos = target.pos;
                 pending_fault = None;
                 out.rollbacks += 1;
-                let rb_time = costs.rollback_cycles / level.frequency;
+                let rb_time = times.rollback;
                 obs.on_event(&TraceEvent::Rollback {
                     from: now,
                     to: now + rb_time,
@@ -410,6 +583,8 @@ impl<'s> Executor<'s> {
                 });
                 if costs.rollback_cycles > 0.0 {
                     out.faults += advance(
+                        faults,
+                        &mut next_fault,
                         &mut now,
                         rb_time,
                         &mut pending_fault,

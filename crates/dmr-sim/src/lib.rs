@@ -86,7 +86,7 @@ pub use engine::{Executor, ExecutorOptions, ExecutorScratch};
 pub use montecarlo::{replication_seed, MonteCarlo, Summary};
 pub use observe::{NoopObserver, Observer};
 pub use outcome::{Anomaly, RunOutcome};
-pub use policy::{CheckpointKind, Directive, PlanContext, Policy};
+pub use policy::{CheckpointKind, CommitWindow, Directive, PlanContext, Policy};
 pub use scenario::Scenario;
 pub use task::TaskSpec;
 pub use trace::{events_to_csv, TraceEvent, TraceRecorder};

@@ -102,6 +102,28 @@ impl Directive {
     }
 }
 
+/// A fixed stretch of a policy's committed schedule, ending at its next
+/// commit: `subs` segments of `compute_time` at `speed`, each followed by
+/// a `sub_kind` checkpoint, then one final segment followed by a
+/// [`CheckpointKind::CompareStore`].
+///
+/// Returned by [`Policy::commit_window`]; see that method for the
+/// contract a policy signs by publishing one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitWindow {
+    /// Speed level of every segment in the window.
+    pub speed: usize,
+    /// Useful computation time of every segment in the window.
+    pub compute_time: f64,
+    /// Checkpoint kind after each of the first `subs` segments. Must be
+    /// [`CheckpointKind::Store`] or [`CheckpointKind::Compare`] — the
+    /// window's whole point is that only its final operation commits.
+    pub sub_kind: CheckpointKind,
+    /// Number of `sub_kind` segments before the final commit segment
+    /// (may be zero: the very next segment commits).
+    pub subs: u32,
+}
+
 /// A checkpointing scheme: decides segment lengths, checkpoint kinds and
 /// processor speed, and reacts to detected faults.
 ///
@@ -123,6 +145,40 @@ pub trait Policy {
     fn on_compare(&mut self, ctx: &PlanContext<'_>, kind: CheckpointKind, mismatch: bool) {
         let _ = (ctx, kind, mismatch);
     }
+
+    /// The policy's committed schedule from `ctx` up to its next commit,
+    /// if it is fixed in advance — the executor's licence to run the whole
+    /// window in its fault-free fast path.
+    ///
+    /// Returning `Some(w)` is a promise that, starting from `ctx`, as long
+    /// as no fault is delivered, no comparison mismatches and every
+    /// segment runs its full `compute_time` (no task-end clamping,
+    /// deadline stop or op-budget stop — the executor verifies all of
+    /// these with conservative bounds before taking the window):
+    ///
+    /// 1. the next `w.subs + 1` calls to [`Policy::plan`] would return
+    ///    exactly `Run { speed, compute_time, sub_kind }` for the first
+    ///    `w.subs` and `Run { speed, compute_time, CompareStore }` for
+    ///    the last;
+    /// 2. clean-compare [`Policy::on_compare`] notifications during the
+    ///    window do not change the policy's observable behaviour; and
+    /// 3. one [`Policy::on_commit_window_executed`] call afterwards
+    ///    leaves the policy in the state those `plan` calls would have.
+    ///
+    /// The method takes `&mut self` so a policy may materialize internal
+    /// planning state, but any such mutation must be exactly the state a
+    /// subsequent `plan` call would have computed: the executor is free
+    /// to reject the window and fall back to per-segment planning.
+    ///
+    /// The default declines, which is always sound (merely slower).
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        let _ = ctx;
+        None
+    }
+
+    /// Notification that the executor executed a full window returned by
+    /// [`Policy::commit_window`], ending in a clean commit.
+    fn on_commit_window_executed(&mut self) {}
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -136,6 +192,14 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn on_compare(&mut self, ctx: &PlanContext<'_>, kind: CheckpointKind, mismatch: bool) {
         (**self).on_compare(ctx, kind, mismatch)
+    }
+
+    fn commit_window(&mut self, ctx: &PlanContext<'_>) -> Option<CommitWindow> {
+        (**self).commit_window(ctx)
+    }
+
+    fn on_commit_window_executed(&mut self) {
+        (**self).on_commit_window_executed()
     }
 }
 

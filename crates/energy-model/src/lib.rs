@@ -179,6 +179,10 @@ pub struct EnergyMeter {
     processors: u32,
     total: NeumaierSum,
     cycles_per_level: Vec<(f64, f64)>, // (frequency key, cycles)
+    /// Index of the last level bucket hit — segments overwhelmingly repeat
+    /// the previous segment's speed, so the per-level find is usually one
+    /// probe instead of a scan.
+    last_level: usize,
     switches: u64,
 }
 
@@ -194,6 +198,7 @@ impl EnergyMeter {
             processors,
             total: NeumaierSum::new(),
             cycles_per_level: Vec::new(),
+            last_level: 0,
             switches: 0,
         }
     }
@@ -210,6 +215,7 @@ impl EnergyMeter {
         self.processors = processors;
         self.total = NeumaierSum::new();
         self.cycles_per_level.clear();
+        self.last_level = 0;
         self.switches = 0;
     }
 
@@ -228,13 +234,38 @@ impl EnergyMeter {
         );
         self.total
             .add(self.processors as f64 * cycles * level.energy_per_cycle());
+        // Fast path: the bucket hit by the previous call. Bucket additions
+        // stay per-level in call order either way, so totals per level are
+        // bit-identical to a plain front-to-back find.
+        if let Some((f, c)) = self.cycles_per_level.get_mut(self.last_level) {
+            if *f == level.frequency {
+                *c += cycles;
+                return;
+            }
+        }
+        self.record_level_slow(cycles, level.frequency);
+    }
+
+    /// Per-level bookkeeping when the last-hit hint misses: front-to-back
+    /// find (first match, same as the pre-hint behavior), inserting a new
+    /// bucket for a never-seen frequency. The push happens at most once
+    /// per level per run; `reset` keeps the capacity, so pooled
+    /// replication loops do not allocate here after warmup.
+    #[cold]
+    fn record_level_slow(&mut self, cycles: f64, frequency: f64) {
         match self
             .cycles_per_level
-            .iter_mut()
-            .find(|(f, _)| *f == level.frequency)
+            .iter()
+            .position(|(f, _)| *f == frequency)
         {
-            Some((_, c)) => *c += cycles,
-            None => self.cycles_per_level.push((level.frequency, cycles)),
+            Some(i) => {
+                self.cycles_per_level[i].1 += cycles;
+                self.last_level = i;
+            }
+            None => {
+                self.last_level = self.cycles_per_level.len();
+                self.cycles_per_level.push((frequency, cycles));
+            }
         }
     }
 
@@ -245,6 +276,9 @@ impl EnergyMeter {
     }
 
     /// Total energy so far.
+    // Non-generic and read per executed operation from other crates:
+    // inline so a discarded reading costs nothing instead of a call.
+    #[inline]
     pub fn total(&self) -> f64 {
         self.total.value()
     }
@@ -260,6 +294,7 @@ impl EnergyMeter {
     }
 
     /// Per-processor cycles executed at the level with frequency `frequency`.
+    #[inline]
     pub fn cycles_at_frequency(&self, frequency: f64) -> f64 {
         self.cycles_per_level
             .iter()
@@ -269,6 +304,7 @@ impl EnergyMeter {
     }
 
     /// Total per-processor cycles executed at any level.
+    #[inline]
     pub fn total_cycles(&self) -> f64 {
         self.cycles_per_level.iter().map(|(_, c)| c).sum()
     }

@@ -25,7 +25,7 @@
 use crate::workload::{Replicate, Workload};
 use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
-use eacp_faults::FaultKind;
+use eacp_faults::BatchedFaults;
 use eacp_numerics::OnlineStats;
 use eacp_rtsched::executive::{
     run_executive_pooled, scenario_template, ExecutiveParams, ExecutiveScratch, JobRecord,
@@ -436,7 +436,7 @@ impl PolicyProvider for PooledPolicies {
 
 /// The pooled executive horizon driver: everything reusable is built once
 /// per block — the [`ExecutiveScratch`], the scenario template, one
-/// [`FaultKind`] stream and one [`PolicyKind`] per task — then each
+/// batched fault stream and one [`PolicyKind`] per task — then each
 /// replication resets the fault stream to its derived seed and runs one
 /// horizon through [`run_executive_pooled`].
 pub struct ExecutiveReplicator<'w> {
@@ -444,7 +444,7 @@ pub struct ExecutiveReplicator<'w> {
     params: ExecutiveParams<'w>,
     scenario: Scenario,
     scratch: ExecutiveScratch,
-    faults: FaultKind,
+    faults: BatchedFaults,
     policies: PooledPolicies,
 }
 
@@ -512,7 +512,7 @@ impl Workload for ExecutiveJob {
             scenario,
             scratch: ExecutiveScratch::new(),
             // audit:allow(panic): `from_spec` validated the fault spec.
-            faults: faults.expect("validated fault spec"),
+            faults: BatchedFaults::new(faults.expect("validated fault spec")),
             policies,
         }
     }

@@ -10,7 +10,7 @@
 //! `i` always runs with [`replication_seed`]`(base_seed, i)`.
 
 use eacp_core::policies::PolicyKind;
-use eacp_faults::{FaultKind, FaultProcess};
+use eacp_faults::{BatchedFaults, FaultProcess};
 use eacp_sim::{
     replication_seed, Executor, ExecutorOptions, ExecutorScratch, Observer, Policy, RunOutcome,
     Scenario,
@@ -200,6 +200,28 @@ impl Job {
         self.options
     }
 
+    /// Whether every replication of this job is guaranteed to produce the
+    /// same [`RunOutcome`] — the precondition of the closed-form serve
+    /// tier ([`crate::serve_closed_form`]).
+    ///
+    /// True only for spec-built jobs whose fault stream does not depend on
+    /// the replication seed: a deterministic fault schedule, or Poisson
+    /// arrivals with `λ = 0` (no arrivals ever). Every spec-built policy
+    /// is deterministic given the execution it observes (the documented
+    /// [`PolicyKind::reset`] contract), so a seed-invariant fault stream
+    /// makes the whole replication seed-invariant. Factory-built jobs may
+    /// hide randomized custom policies, so they are never invariant.
+    pub fn replication_invariant(&self) -> bool {
+        match &self.dispatch {
+            Dispatch::Spec { faults, .. } => match faults {
+                FaultSpec::Poisson { lambda } => *lambda == 0.0,
+                FaultSpec::Deterministic { .. } => true,
+                _ => false,
+            },
+            Dispatch::Factories { .. } => false,
+        }
+    }
+
     /// Runs one replication, streaming its events (and the replication
     /// bracket) into `obs`.
     ///
@@ -231,8 +253,10 @@ impl Job {
             Dispatch::Spec { policy, faults } => Some((
                 // audit:allow(panic): `from_spec` validated both specs.
                 policy.build().expect("validated policy spec"),
+                // Arrivals are drawn in blocks through the pooled batch —
+                // bit-identical to the scalar stream (see eacp-faults).
                 // audit:allow(panic): `from_spec` validated both specs.
-                faults.build(self.base_seed).expect("validated fault spec"),
+                BatchedFaults::new(faults.build(self.base_seed).expect("validated fault spec")),
             )),
             Dispatch::Factories { .. } => None,
         };
@@ -259,7 +283,7 @@ pub struct Replicator<'j> {
     job: &'j Job,
     executor: Executor<'j>,
     scratch: ExecutorScratch,
-    pooled: Option<(PolicyKind, FaultKind)>,
+    pooled: Option<(PolicyKind, BatchedFaults)>,
 }
 
 impl Replicator<'_> {

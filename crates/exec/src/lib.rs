@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod csv;
 pub mod executive;
 pub mod executive_mc;
@@ -58,6 +59,7 @@ pub mod runner;
 pub mod shard;
 pub mod workload;
 
+pub use analytic::serve_closed_form;
 pub use csv::{render_csv, render_rows, PaperRef, CSV_HEADER};
 pub use executive::{run_executive, run_executive_observed};
 pub use executive_mc::{ExecutiveJob, ExecutiveReplicator, ExecutiveSummary, TaskAggregate};
@@ -68,13 +70,13 @@ pub use executive_shard::{
 };
 pub use job::{FaultFactory, Job, PolicyFactory, Replicator};
 pub use queue::{
-    run_sweep_queued, BlockAssignment, InProcessWorker, Lease, NoopQueueObserver, QueueObserver,
-    QueueRunner, QueueStatus, WorkQueue, Worker,
+    run_sweep_queued, run_sweep_queued_tiered, BlockAssignment, InProcessWorker, Lease,
+    NoopQueueObserver, QueueObserver, QueueRunner, QueueStatus, WorkQueue, Worker,
 };
 pub use runner::{LocalRunner, Runner};
 pub use shard::{
-    coverage_dir, list_report_files, merge_dir, run_point, run_sweep, run_sweep_with, DocCoverage,
-    GridReport, PointReport, ShardId, SweepCoverage,
+    coverage_dir, list_report_files, merge_dir, run_point, run_point_tiered, run_sweep,
+    run_sweep_tiered, run_sweep_with, DocCoverage, GridReport, PointReport, ShardId, SweepCoverage,
 };
 pub use workload::{run_workload_local, run_workload_queued, Replicate, Workload};
 
@@ -82,7 +84,7 @@ pub use workload::{run_workload_local, run_workload_queued, Replicate, Workload}
 // events); re-exported here so runner-level code needs one import path.
 pub use eacp_sim::{NoopObserver, Observer, Summary};
 
-use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
+use eacp_spec::{ExperimentSpec, RunReport, ServeTier, SpecError, SummaryReport};
 
 /// Runs one experiment spec end to end, returning both the exact in-memory
 /// [`Summary`] (for bit-identical comparisons) and the serializable
@@ -93,21 +95,41 @@ use eacp_spec::{ExperimentSpec, RunReport, SpecError, SummaryReport};
 /// [`QueueRunner`], otherwise on the plain [`LocalRunner`] with
 /// `mc.threads` workers. Both honor the canonical-reduction contract, so
 /// the choice never changes a single bit of the summary.
+///
+/// Replication-invariant cells are answered by the closed-form tier
+/// ([`serve_closed_form`]) and marked `served: analytic` in the report;
+/// use [`run_tiered`] with `analytic = false` (the CLI's `--no-analytic`)
+/// to force the full Monte-Carlo loop.
 pub fn run(spec: &ExperimentSpec) -> Result<(Summary, RunReport), SpecError> {
+    run_tiered(spec, true)
+}
+
+/// [`run`] with the closed-form serve tier explicitly enabled or disabled.
+pub fn run_tiered(
+    spec: &ExperimentSpec,
+    analytic: bool,
+) -> Result<(Summary, RunReport), SpecError> {
     let job = Job::from_spec(spec)?;
-    let summary = match spec.executor.queue {
-        Some(q) => {
-            q.validate()?;
-            QueueRunner::new(q.workers)
-                .with_max_attempts(q.max_attempts)
-                .run(&job)?
+    let (summary, served) = match analytic.then(|| serve_closed_form(&job)).flatten() {
+        Some(summary) => (summary, ServeTier::Analytic),
+        None => {
+            let summary = match spec.executor.queue {
+                Some(q) => {
+                    q.validate()?;
+                    QueueRunner::new(q.workers)
+                        .with_max_attempts(q.max_attempts)
+                        .run(&job)?
+                }
+                None => LocalRunner::new(spec.mc.threads).run(&job)?,
+            };
+            (summary, ServeTier::Mc)
         }
-        None => LocalRunner::new(spec.mc.threads).run(&job)?,
     };
     let report = RunReport {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
         summary: SummaryReport::from_summary(&summary),
+        served,
         source: None,
     };
     Ok((summary, report))

@@ -36,7 +36,7 @@
 use crate::job::Job;
 use crate::runner::Runner;
 use crate::runner::{canonical_block_size, merge_blocks, run_block, run_sequential_observed};
-use crate::shard::{run_point, GridReport, PointReport, ShardId};
+use crate::shard::{run_point_tiered, GridReport, PointReport, ShardId};
 use eacp_sim::{NoopObserver, Observer, Summary};
 use eacp_spec::{SpecError, SweepSpec};
 use std::collections::VecDeque;
@@ -547,6 +547,19 @@ pub fn run_sweep_queued(
     max_attempts: u32,
     obs: &dyn QueueObserver,
 ) -> Result<GridReport, SpecError> {
+    run_sweep_queued_tiered(sweep, shard, workers, max_attempts, obs, true)
+}
+
+/// [`run_sweep_queued`] with the closed-form serve tier explicitly enabled
+/// or disabled (`analytic = false` is the CLI's `--no-analytic`).
+pub fn run_sweep_queued_tiered(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    workers: usize,
+    max_attempts: u32,
+    obs: &dyn QueueObserver,
+    analytic: bool,
+) -> Result<GridReport, SpecError> {
     let specs = sweep.expand()?;
     let total = specs.len();
     let range = match shard {
@@ -559,7 +572,7 @@ pub fn run_sweep_queued(
     let points = queue.drain(resolve_workers(workers), obs, |_worker, lease| {
         let index = lease.item;
         let spec = &specs[index];
-        let report = run_point(&runner, spec)
+        let report = run_point_tiered(&runner, spec, analytic)
             .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
         Ok(PointReport { index, report })
     })?;

@@ -246,7 +246,7 @@ pub fn run_sweep(
     shard: Option<ShardId>,
     threads: usize,
 ) -> Result<GridReport, SpecError> {
-    run_sweep_with(sweep, shard, &LocalRunner::new(threads))
+    run_sweep_tiered(sweep, shard, &LocalRunner::new(threads), true)
 }
 
 /// [`run_sweep`] on an explicit [`Runner`] — the seam the queued sweep
@@ -259,6 +259,22 @@ pub fn run_sweep_with(
     shard: Option<ShardId>,
     runner: &dyn Runner,
 ) -> Result<GridReport, SpecError> {
+    run_sweep_tiered(sweep, shard, runner, true)
+}
+
+/// [`run_sweep_with`] with the closed-form serve tier explicitly enabled
+/// or disabled (`analytic = false` is the CLI's `--no-analytic`).
+///
+/// Replication-invariant grid points — `λ = 0` corners of a fault-rate
+/// axis, deterministic-schedule cells — are answered analytically and
+/// marked `served: analytic` in their point reports; everything else runs
+/// on `runner` as before.
+pub fn run_sweep_tiered(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    runner: &dyn Runner,
+    analytic: bool,
+) -> Result<GridReport, SpecError> {
     let specs = sweep.expand()?;
     let total = specs.len();
     let range = match shard {
@@ -268,7 +284,7 @@ pub fn run_sweep_with(
     let mut points = Vec::with_capacity(range.len());
     for index in range {
         let spec = &specs[index];
-        let report = run_point(runner, spec)
+        let report = run_point_tiered(runner, spec, analytic)
             .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
         points.push(PointReport { index, report });
     }
@@ -285,12 +301,29 @@ pub fn run_sweep_with(
 /// [`RunReport`] — the single-point unit of work shared by the sweep
 /// executors and the result store's cache-or-compute path.
 pub fn run_point(runner: &dyn Runner, spec: &ExperimentSpec) -> Result<RunReport, SpecError> {
+    run_point_tiered(runner, spec, true)
+}
+
+/// [`run_point`] with the closed-form serve tier explicitly enabled or
+/// disabled.
+pub fn run_point_tiered(
+    runner: &dyn Runner,
+    spec: &ExperimentSpec,
+    analytic: bool,
+) -> Result<RunReport, SpecError> {
     let job = Job::from_spec(spec)?;
-    let summary = runner.run(&job)?;
+    let (summary, served) = match analytic
+        .then(|| crate::serve_closed_form(&job))
+        .flatten()
+    {
+        Some(summary) => (summary, eacp_spec::ServeTier::Analytic),
+        None => (runner.run(&job)?, eacp_spec::ServeTier::Mc),
+    };
     Ok(RunReport {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
         summary: SummaryReport::from_summary(&summary),
+        served,
         source: None,
     })
 }

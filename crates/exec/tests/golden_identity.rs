@@ -40,6 +40,12 @@ fn fault_specs() -> Vec<(&'static str, FaultSpec)> {
                 repeat: true,
             },
         ),
+        (
+            "deterministic",
+            FaultSpec::Deterministic {
+                times: vec![350.0, 1_200.0, 2_700.0, 6_100.0],
+            },
+        ),
     ]
 }
 

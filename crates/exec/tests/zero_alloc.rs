@@ -110,10 +110,60 @@ const MEASURED: u64 = 32;
 fn main() {
     replication_loop_never_allocates_after_warmup();
     executive_horizons_never_allocate_after_warmup();
+    batched_sampling_never_allocates_after_warmup();
     println!(
-        "zero-alloc witness: ok ({} schemes × 4 fault processes + executive horizons)",
+        "zero-alloc witness: ok ({} schemes × 4 fault processes + executive horizons \
+         + batched sampling)",
         PolicySpec::TAGS.len()
     );
+}
+
+/// The batched fault sampler in isolation: once the first refill has
+/// reserved the block buffer, draining whole batches across resets —
+/// including the constant-block refill path every `next_fault()` miss
+/// takes — must not touch the allocator. Rates are high enough that a
+/// drain crosses several refills.
+fn batched_sampling_never_allocates_after_warmup() {
+    use eacp_faults::{BatchedFaults, FaultProcess};
+
+    for (fault_name, fault_spec) in fault_specs() {
+        let kind = fault_spec.build(77).expect("valid witness fault spec");
+        let mut batched = BatchedFaults::new(kind);
+        // Warmup: first drains reserve the batch buffer.
+        for seed in 0..WARMUP {
+            batched.reset(seed);
+            for _ in 0..64 {
+                if !batched.next_fault().is_finite() {
+                    break;
+                }
+            }
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut drawn = 0u64;
+        for seed in WARMUP..WARMUP + MEASURED {
+            batched.reset(seed);
+            for _ in 0..64 {
+                if !batched.next_fault().is_finite() {
+                    break;
+                }
+                drawn += 1;
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "batched sampling × {fault_name}: {} allocation(s) over {MEASURED} seeded \
+             drains (last size {})",
+            after - before,
+            LAST_SIZE.load(Ordering::SeqCst)
+        );
+        assert!(
+            drawn > MEASURED,
+            "batched sampling × {fault_name}: measured window drew too few arrivals \
+             ({drawn}) to cross a refill"
+        );
+    }
 }
 
 /// The executive Monte-Carlo hot path: after warmup, one seeded horizon

@@ -38,9 +38,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod batch;
 pub mod sampling;
 
-pub use sampling::{sample_exponential, sample_weibull};
+pub use batch::{BatchedFaults, FaultBatch};
+pub use sampling::{
+    fill_exponential_deltas, fill_weibull_deltas, sample_exponential, sample_weibull,
+};
 
 /// An infinite, nondecreasing stream of absolute fault arrival times.
 ///

@@ -86,5 +86,5 @@ pub use model::{
 pub use presets::{
     executive_preset, executive_preset_names, paper_cell, preset, preset_names, PaperScheme,
 };
-pub use report::{RunReport, StatsReport, SummaryReport};
+pub use report::{RunReport, ServeTier, StatsReport, SummaryReport};
 pub use sweep::{ExecutiveSweepAxis, ExecutiveSweepSpec, SweepAxis, SweepSpec};

@@ -12,6 +12,57 @@ use crate::model::ExperimentSpec;
 use eacp_numerics::OnlineStats;
 use eacp_sim::Summary;
 
+/// Which execution tier produced a Monte-Carlo result.
+///
+/// The closed-form tier answers **replication-invariant** cells: when the
+/// fault stream is the same for every replication seed (a deterministic
+/// schedule, or Poisson with `λ = 0`) and the policy is deterministic
+/// given the execution it observes (every in-repo scheme is), the outcome
+/// distribution is a point mass — one simulated replication determines the
+/// whole aggregate exactly, so the executor simulates once and absorbs the
+/// outcome `N` times instead of running `N` identical simulations. The
+/// marker records which tier served a report so consumers can tell an
+/// analytic answer from a sampled one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeTier {
+    /// Full Monte-Carlo: every replication simulated.
+    #[default]
+    Mc,
+    /// Closed form: one replication simulated, aggregate derived exactly.
+    Analytic,
+}
+
+impl ServeTier {
+    /// The serialized marker (`"mc"` / `"analytic"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeTier::Mc => "mc",
+            ServeTier::Analytic => "analytic",
+        }
+    }
+
+    /// Parses the serialized marker.
+    ///
+    /// # Errors
+    ///
+    /// Unknown markers are [`SpecError`]s naming the offending value.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        match text {
+            "mc" => Ok(ServeTier::Mc),
+            "analytic" => Ok(ServeTier::Analytic),
+            other => Err(SpecError::invalid(format!(
+                "unknown serve tier {other:?} (expected mc or analytic)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Snapshot of one [`OnlineStats`] accumulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsReport {
@@ -184,6 +235,11 @@ pub struct RunReport {
     pub policy_name: String,
     /// The serializable aggregate.
     pub summary: SummaryReport,
+    /// Which execution tier produced the summary ([`ServeTier::Mc`] unless
+    /// the closed-form tier answered a replication-invariant cell).
+    /// Serialized only when analytic, so Monte-Carlo report documents keep
+    /// their historical bytes.
+    pub served: ServeTier,
     /// Where this report was loaded from (`None` for freshly computed
     /// reports). Never serialized — pure diagnostics provenance, so merge
     /// and store-verification failures can name the offending artifact.
@@ -198,6 +254,7 @@ impl PartialEq for RunReport {
         self.spec == other.spec
             && self.policy_name == other.policy_name
             && self.summary == other.summary
+            && self.served == other.served
     }
 }
 
@@ -224,11 +281,17 @@ impl RunReport {
 
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("spec", self.spec.to_json()),
             ("policy", self.policy_name.as_str().into()),
-            ("summary", self.summary.to_json()),
-        ])
+        ];
+        // Emitted only for analytic results: Monte-Carlo documents keep
+        // their historical bytes (and store cells their addresses).
+        if self.served != ServeTier::Mc {
+            fields.push(("served", self.served.as_str().into()));
+        }
+        fields.push(("summary", self.summary.to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -238,6 +301,10 @@ impl FromJson for RunReport {
             spec: ExperimentSpec::from_json(json.req("spec")?)?,
             policy_name: json.req("policy")?.as_str()?.to_owned(),
             summary: SummaryReport::from_json(json.req("summary")?)?,
+            served: match json.get("served") {
+                None => ServeTier::Mc,
+                Some(s) => ServeTier::parse(s.as_str()?)?,
+            },
             source: None,
         })
     }
@@ -268,6 +335,7 @@ mod tests {
             spec: spec.clone(),
             policy_name: spec.policy.policy_name().to_owned(),
             summary: SummaryReport::from_summary(&summary),
+            served: ServeTier::Mc,
             source: None,
         }
     }

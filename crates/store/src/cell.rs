@@ -29,7 +29,7 @@ use eacp_exec::ExecutiveSummary;
 use eacp_numerics::OnlineStats;
 use eacp_sim::{RunOutcome, Summary};
 use eacp_spec::{
-    ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FromJson, Json, SpecError, ToJson,
+    ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FromJson, Json, ServeTier, SpecError, ToJson,
 };
 use std::path::PathBuf;
 
@@ -114,6 +114,13 @@ pub struct CellEntry {
     pub spec: Json,
     /// The result.
     pub payload: CellPayload,
+    /// Which execution tier produced the payload. `ServeTier::Analytic`
+    /// marks summaries answered by the closed-form tier (replication-
+    /// invariant cells); `eacp store verify` re-derives such cells through
+    /// the same tier, so the byte-comparison stays meaningful. Serialized
+    /// only when analytic — Monte-Carlo entries keep their historical
+    /// bytes.
+    pub served: ServeTier,
     /// Where this entry was loaded from (`None` for freshly computed
     /// entries). Never serialized — diagnostics provenance, so `eacp store
     /// verify` failures can name the offending artifact.
@@ -128,17 +135,25 @@ impl PartialEq for CellEntry {
             && self.policy == other.policy
             && self.spec == other.spec
             && self.payload == other.payload
+            && self.served == other.served
     }
 }
 
 impl CellEntry {
     /// Builds the entry recording a Monte-Carlo run of `spec`.
     pub fn summary(spec: &ExperimentSpec, summary: &Summary) -> Self {
+        Self::summary_tiered(spec, summary, ServeTier::Mc)
+    }
+
+    /// [`CellEntry::summary`] carrying the tier that produced the
+    /// aggregate — `ServeTier::Analytic` for closed-form-served cells.
+    pub fn summary_tiered(spec: &ExperimentSpec, summary: &Summary, served: ServeTier) -> Self {
         Self {
             cell: CellId::for_spec(spec),
             policy: spec.policy.policy_name().to_owned(),
             spec: cell_spec_json(spec),
             payload: CellPayload::Summary(summary.clone()),
+            served,
             source: None,
         }
     }
@@ -150,6 +165,7 @@ impl CellEntry {
             policy: spec.policy.policy_name().to_owned(),
             spec: cell_spec_json(spec),
             payload: CellPayload::Outcome(outcome.clone()),
+            served: ServeTier::Mc,
             source: None,
         }
     }
@@ -162,6 +178,7 @@ impl CellEntry {
             policy: spec.policy.policy_names(spec.tasks.len()).join("+"),
             spec: executive_cell_spec_json(spec),
             payload: CellPayload::Executive(summary.clone()),
+            served: ServeTier::Mc,
             source: None,
         }
     }
@@ -242,6 +259,12 @@ impl CellEntry {
                 self.cell
             )));
         }
+        if self.served == ServeTier::Analytic && !matches!(self.payload, CellPayload::Summary(_)) {
+            return Err(SpecError::invalid(format!(
+                "cell {}: only Monte-Carlo summaries can be served analytically",
+                self.cell
+            )));
+        }
         match &self.payload {
             CellPayload::Summary(s) => {
                 if self.cell.replications == 0 {
@@ -306,15 +329,23 @@ impl ToJson for CellEntry {
             // accumulator state), so the entry embeds it verbatim.
             CellPayload::Executive(s) => ("executive", s.to_json()),
         };
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("spec_hash", self.cell.spec_hash.to_string().into()),
             ("seed", self.cell.seed.into()),
             ("replications", self.cell.replications.into()),
             ("policy", self.policy.as_str().into()),
+        ];
+        // Emitted only for analytic cells: Monte-Carlo entries keep their
+        // historical canonical bytes.
+        if self.served != ServeTier::Mc {
+            fields.push(("served", self.served.as_str().into()));
+        }
+        fields.extend([
             ("spec", self.spec.clone()),
             ("kind", kind.into()),
             ("payload", payload),
-        ])
+        ]);
+        Json::obj(fields)
     }
 }
 
@@ -343,6 +374,10 @@ impl FromJson for CellEntry {
             policy: json.req("policy")?.as_str()?.to_owned(),
             spec: json.req("spec")?.clone(),
             payload,
+            served: match json.get("served") {
+                None => ServeTier::Mc,
+                Some(s) => ServeTier::parse(s.as_str()?)?,
+            },
             source: None,
         })
     }

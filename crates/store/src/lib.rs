@@ -44,15 +44,15 @@ pub use hash::{
 };
 pub use observe::{NoopStoreObserver, StoreCounters, StoreObserver};
 pub use sweep::{
-    executive_store_coverage, run_executive_sweep_cached, run_sweep_cached, store_coverage,
-    StoreCoverage,
+    executive_store_coverage, run_executive_sweep_cached, run_sweep_cached,
+    run_sweep_cached_tiered, store_coverage, StoreCoverage,
 };
 
 use eacp_exec::{
     ExecutiveJob, ExecutiveMcReport, ExecutiveSummary, Job, LocalRunner, QueueRunner, Runner,
 };
 use eacp_sim::{RunOutcome, Summary};
-use eacp_spec::{ExecutiveSpec, ExperimentSpec, RunReport, SpecError, SummaryReport};
+use eacp_spec::{ExecutiveSpec, ExperimentSpec, RunReport, ServeTier, SpecError, SummaryReport};
 
 /// How the cache participates in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,18 +110,31 @@ pub fn run_cached(
     mode: CacheMode,
     observer: &dyn StoreObserver,
 ) -> Result<CachedRun, SpecError> {
+    run_cached_tiered(spec, store, mode, observer, true)
+}
+
+/// [`run_cached`] with the closed-form serve tier explicitly enabled or
+/// disabled (`analytic = false` is the CLI's `--no-analytic`).
+pub fn run_cached_tiered(
+    spec: &ExperimentSpec,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+    analytic: bool,
+) -> Result<CachedRun, SpecError> {
     match spec.executor.queue {
         Some(q) => {
             q.validate()?;
             let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
-            run_cached_with(spec, &runner, store, mode, observer)
+            run_cached_with_tiered(spec, &runner, store, mode, observer, analytic)
         }
-        None => run_cached_with(
+        None => run_cached_with_tiered(
             spec,
             &LocalRunner::new(spec.mc.threads),
             store,
             mode,
             observer,
+            analytic,
         ),
     }
 }
@@ -135,6 +148,24 @@ pub fn run_cached_with(
     mode: CacheMode,
     observer: &dyn StoreObserver,
 ) -> Result<CachedRun, SpecError> {
+    run_cached_with_tiered(spec, runner, store, mode, observer, true)
+}
+
+/// [`run_cached_with`] with the closed-form serve tier explicitly enabled
+/// or disabled.
+///
+/// Cells record the tier that computed them, and a hit serves whatever
+/// tier the recording run used (the marker travels in the report), so one
+/// store can hold a mix of analytic and forced-Monte-Carlo cells and
+/// `store verify` re-derives each through its own tier.
+pub fn run_cached_with_tiered(
+    spec: &ExperimentSpec,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+    analytic: bool,
+) -> Result<CachedRun, SpecError> {
     let id = CellId::for_spec(spec);
     if mode == CacheMode::ReadWrite {
         match store.get(&id)? {
@@ -145,6 +176,7 @@ pub fn run_cached_with(
                     spec: spec.clone(),
                     policy_name: entry.policy.clone(),
                     summary: SummaryReport::from_summary(&summary),
+                    served: entry.served,
                     source: entry.source,
                 };
                 return Ok(CachedRun {
@@ -160,13 +192,20 @@ pub fn run_cached_with(
         observer.on_miss(&id);
     }
     let job = Job::from_spec(spec)?;
-    let summary = runner.run(&job)?;
-    store.put(&CellEntry::summary(spec, &summary))?;
+    let (summary, served) = match analytic
+        .then(|| eacp_exec::serve_closed_form(&job))
+        .flatten()
+    {
+        Some(summary) => (summary, ServeTier::Analytic),
+        None => (runner.run(&job)?, ServeTier::Mc),
+    };
+    store.put(&CellEntry::summary_tiered(spec, &summary, served))?;
     observer.on_record(&id);
     let report = RunReport {
         spec: spec.clone(),
         policy_name: job.policy_name().to_owned(),
         summary: SummaryReport::from_summary(&summary),
+        served,
         source: None,
     };
     Ok(CachedRun {
@@ -369,7 +408,20 @@ pub fn verify_cell(store: &dyn StoreBackend, id: &CellId) -> Result<(), SpecErro
         CellPayload::Summary(_) => {
             let spec = entry.experiment_spec()?;
             let job = Job::from_spec(&spec)?;
-            CellEntry::summary(&spec, &LocalRunner::new(0).run(&job)?)
+            // Re-derive through the tier that recorded the cell: an
+            // analytic cell must reproduce analytically (a Monte-Carlo
+            // recomputation of the same aggregate can differ in the last
+            // ulp of the merged accumulators).
+            let summary = match entry.served {
+                ServeTier::Analytic => eacp_exec::serve_closed_form(&job).ok_or_else(|| {
+                    SpecError::invalid(format!(
+                        "cell {id}: marked analytic but its spec is not \
+                         replication-invariant — tampered entry"
+                    ))
+                })?,
+                ServeTier::Mc => LocalRunner::new(0).run(&job)?,
+            };
+            CellEntry::summary_tiered(&spec, &summary, entry.served)
         }
         CellPayload::Executive(_) => {
             let spec = entry.executive_spec()?;

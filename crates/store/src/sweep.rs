@@ -11,7 +11,7 @@
 use crate::backend::{Lookup, StoreBackend};
 use crate::cell::CellId;
 use crate::observe::StoreObserver;
-use crate::{run_cached_with, run_executive_cached_with, CacheMode};
+use crate::{run_cached_with_tiered, run_executive_cached_with, CacheMode};
 use eacp_exec::{
     ExecutiveGridReport, ExecutivePointReport, GridReport, PointReport, Runner, ShardId,
 };
@@ -79,6 +79,21 @@ pub fn run_sweep_cached(
     mode: CacheMode,
     observer: &dyn StoreObserver,
 ) -> Result<GridReport, SpecError> {
+    run_sweep_cached_tiered(sweep, shard, runner, store, mode, observer, true)
+}
+
+/// [`run_sweep_cached`] with the closed-form serve tier explicitly enabled
+/// or disabled (`analytic = false` is the CLI's `--no-analytic`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_cached_tiered(
+    sweep: &SweepSpec,
+    shard: Option<ShardId>,
+    runner: &dyn Runner,
+    store: &dyn StoreBackend,
+    mode: CacheMode,
+    observer: &dyn StoreObserver,
+    analytic: bool,
+) -> Result<GridReport, SpecError> {
     let specs = sweep.expand()?;
     let total = specs.len();
     let range = match shard {
@@ -88,7 +103,7 @@ pub fn run_sweep_cached(
     let mut points = Vec::with_capacity(range.len());
     for index in range {
         let spec = &specs[index];
-        let cached = run_cached_with(spec, runner, store, mode, observer)
+        let cached = run_cached_with_tiered(spec, runner, store, mode, observer, analytic)
             .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
         points.push(PointReport {
             index,
@@ -168,7 +183,7 @@ pub fn run_executive_sweep_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CacheOutcome, MemBackend, NoopStoreObserver, StoreCounters};
+    use crate::{run_cached_with, CacheOutcome, MemBackend, NoopStoreObserver, StoreCounters};
     use eacp_exec::{run_sweep_with, LocalRunner};
     use eacp_spec::{ExperimentSpec, McSpec, SweepAxis, ToJson};
 
