@@ -153,6 +153,18 @@ mod tests {
             })
         );
         assert!(classify("crates/experiments/src/bin/sweep.rs").is_some_and(|c| !c.library));
+        // The remote transport lives in a determinism crate (a fleet run
+        // must be bit-identical to a local one) but is not a hot module:
+        // it allocates per request, never per replication.
+        assert_eq!(
+            classify("crates/exec/src/remote.rs"),
+            Some(FileClass {
+                crate_root: false,
+                library: true,
+                determinism: true,
+                hot: false,
+            })
+        );
         // The result store is determinism-scoped: a cache hit must be
         // byte-identical to recomputation.
         assert!(classify("crates/store/src/fs.rs").is_some_and(|c| c.determinism && c.library));

@@ -54,10 +54,9 @@ use eacp_core::policies::PolicyKind;
 use eacp_energy::DvsConfig;
 use eacp_exec::{
     coverage_dir, executive_coverage_dir, merge_dir, merge_executive_dir, render_executive_csv,
-    run_executive_point, run_executive_sweep, run_sweep, run_sweep_queued_tiered,
-    run_sweep_tiered, ExecutiveGridReport,
-    ExecutiveJob, ExecutivePointReport, GridReport, Job, LocalRunner, PaperRef, QueueObserver,
-    QueueRunner, QueueStatus, Runner, ShardId, Summary,
+    run_executive_point, run_executive_sweep, run_sweep, run_sweep_queued_tiered, run_sweep_tiered,
+    ExecutiveGridReport, ExecutiveJob, ExecutivePointReport, GridReport, Job, LocalRunner,
+    PaperRef, QueueObserver, QueueRunner, QueueStatus, Runner, ShardId, Summary,
 };
 use eacp_rtsched::feasibility::{
     edf_density, k_fault_wcet, minimum_feasible_speed, rm_response_times,
@@ -72,10 +71,9 @@ use eacp_spec::{
 };
 use eacp_store::{
     executive_store_coverage, run_cached, run_cached_single, run_cached_tiered,
-    run_executive_cached, run_executive_sweep_cached, run_sweep_cached_tiered,
-    store_coverage, verify_store, CacheMode,
-    CacheOutcome, FsBackend, MemBackend, NoopStoreObserver, RetentionPolicy, StoreBackend,
-    StoreCounters, STORE_ENV_VAR,
+    run_executive_cached, run_executive_sweep_cached, run_sweep_cached_tiered, store_coverage,
+    verify_store, CacheMode, CacheOutcome, FsBackend, MemBackend, NoopStoreObserver,
+    RetentionPolicy, StoreBackend, StoreCounters, STORE_ENV_VAR,
 };
 
 /// Usage text for `--help`.
@@ -87,9 +85,12 @@ USAGE:
                   [--variant scp|ccp] [--seed N] [--trace] [CACHE]
   eacp mc         [SPEC] [--scheme S] [--util U] [--lambda L] [--k K] [--deadline D]
                   [--variant scp|ccp] [--reps N] [--seed N] [--threads N] [--json]
+                  [--queue [--workers N] [--endpoints H:P,... [--timeout-ms T]]]
                   [--no-analytic] [CACHE]
   eacp sweep      --spec sweep.json [--reps N] [--json] [--shard I/N] [--out DIR]
-                  [--queue [--workers N]] [--no-analytic] [CACHE]
+                  [--queue [--workers N] [--endpoints H:P,... [--timeout-ms T]]]
+                  [--no-analytic] [CACHE]
+  eacp serve      --listen HOST:PORT
   eacp merge      <DIR> [--out FILE]
   eacp queue      status <DIR>
   eacp csv        <DIR> [--out FILE]
@@ -171,11 +172,19 @@ RESULT STORE:
   retention policy, `verify` recomputes sampled cells and fails on any
   byte mismatch.
 
-QUEUED EXECUTION:
+QUEUED EXECUTION AND THE REMOTE FLEET:
   --queue schedules work through a work queue drained by a worker pool
   (--workers N, 0 = auto) with lease retry; results are bit-identical to
   the default runner for any worker count. On `mc` the queue config is
-  recorded in the effective spec (see --emit-spec).
+  recorded in the effective spec (see --emit-spec). With --endpoints
+  H:P,... each leased block is shipped over TCP to `eacp serve`
+  processes instead of executing in-process (--timeout-ms caps each
+  request, default 10000). Dead or wedged servers fail the lease; the
+  retry budget re-leases to surviving endpoints and the final attempt
+  always runs in-process, so a fleet run completes — bit-identical —
+  even with every server down. `eacp serve --listen HOST:PORT` runs one
+  stateless block server (start several, list them all in --endpoints;
+  the merged summary is byte-identical to an unqueued run).
 
 SPEC selection (run/mc):
   --spec file.json   load an ExperimentSpec document
@@ -237,6 +246,13 @@ pub struct Options {
     pub queue: bool,
     /// Worker-pool size for `--queue` (0 = automatic).
     pub workers: usize,
+    /// Comma-separated remote endpoints for `--queue` (`host:port,...`);
+    /// empty = in-process workers.
+    pub endpoints: String,
+    /// Per-request transport timeout for `--endpoints`, in milliseconds.
+    pub timeout_ms: u64,
+    /// Listen address for `eacp serve` (`host:port`; port 0 = ephemeral).
+    pub listen: String,
     /// Result-store directory (`--store`; empty = consult `$EACP_STORE`).
     pub store: String,
     /// Ignore any configured result store for this invocation.
@@ -292,6 +308,9 @@ impl Default for Options {
             shard: String::new(),
             queue: false,
             workers: 0,
+            endpoints: String::new(),
+            timeout_ms: eacp_spec::DEFAULT_REMOTE_TIMEOUT_MS,
+            listen: String::new(),
             store: String::new(),
             no_cache: false,
             no_analytic: false,
@@ -349,6 +368,11 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
             "--preset" => o.preset = val("--preset")?,
             "--shard" => o.shard = val("--shard")?,
             "--workers" => o.workers = parse_num(&val("--workers")?, "--workers")? as usize,
+            "--endpoints" => o.endpoints = val("--endpoints")?,
+            "--timeout-ms" => {
+                o.timeout_ms = parse_num(&val("--timeout-ms")?, "--timeout-ms")? as u64
+            }
+            "--listen" => o.listen = val("--listen")?,
             "--store" => o.store = val("--store")?,
             "--max-entries" => {
                 o.max_entries = parse_num(&val("--max-entries")?, "--max-entries")? as u64
@@ -378,6 +402,15 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
     }
     if o.has("--workers") && !o.queue {
         return Err("--workers only applies with --queue".to_owned());
+    }
+    if o.has("--endpoints") && !o.queue {
+        return Err("--endpoints only applies with --queue".to_owned());
+    }
+    if o.has("--endpoints") && o.endpoints.split(',').all(|e| e.trim().is_empty()) {
+        return Err("--endpoints needs at least one host:port".to_owned());
+    }
+    if o.has("--timeout-ms") && !o.has("--endpoints") {
+        return Err("--timeout-ms only applies with --endpoints".to_owned());
     }
     if o.no_cache && o.refresh {
         return Err("--no-cache conflicts with --refresh".to_owned());
@@ -410,6 +443,42 @@ pub fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<Options,
 
 fn parse_num(s: &str, name: &str) -> Result<f64, String> {
     s.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))
+}
+
+/// Builds the point runner `--queue` asks for: an in-process worker pool,
+/// or — with `--endpoints` — the remote fleet (leased blocks ship to
+/// `eacp serve` processes, wedged leases are reclaimed on a deadline, and
+/// the final attempt falls back in-process). Bit-identical either way.
+fn queue_runner_of(o: &Options) -> Result<Box<dyn Runner>, String> {
+    let q = queue_spec_of(o);
+    q.validate().map_err(|e| e.to_string())?;
+    let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
+    if q.endpoints.is_empty() {
+        return Ok(Box::new(runner));
+    }
+    let worker = eacp_exec::RemoteWorker::from_queue_spec(&q);
+    let lease_timeout = worker.lease_timeout();
+    Ok(Box::new(
+        runner.with_worker(worker).with_lease_timeout(lease_timeout),
+    ))
+}
+
+/// Desugars the `--queue [--workers N] [--endpoints ... [--timeout-ms T]]`
+/// flags into the spec's queue section, so `--emit-spec` reproduces the
+/// scheduling (and fleet) choice exactly.
+fn queue_spec_of(o: &Options) -> eacp_spec::QueueSpec {
+    eacp_spec::QueueSpec {
+        workers: o.workers,
+        endpoints: o
+            .endpoints
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(str::to_owned)
+            .collect(),
+        timeout_ms: o.timeout_ms,
+        ..Default::default()
+    }
 }
 
 fn costs_of(o: &Options) -> CostsSpec {
@@ -664,10 +733,7 @@ fn experiment_spec_with(o: &Options, flag_executor: ExecSpec) -> Result<Experime
     if o.queue {
         // Recorded in the spec so --emit-spec reproduces the scheduling
         // choice; the summary is bit-identical either way.
-        spec.executor = spec.executor.with_queue(eacp_spec::QueueSpec {
-            workers: o.workers,
-            ..Default::default()
-        });
+        spec.executor = spec.executor.with_queue(queue_spec_of(o));
     }
     spec.validate().map_err(|e| e.to_string())?;
     Ok(spec)
@@ -851,10 +917,7 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
             // Emitted point specs must reproduce the scheduling choice,
             // exactly as `mc --queue --emit-spec` records it.
             for spec in &mut specs {
-                spec.executor = spec.executor.with_queue(eacp_spec::QueueSpec {
-                    workers: o.workers,
-                    ..Default::default()
-                });
+                spec.executor = spec.executor.clone().with_queue(queue_spec_of(o));
             }
         }
         let range = shard.map_or(0..specs.len(), |s| s.range(specs.len()));
@@ -869,7 +932,7 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
         // scheduled on the chosen runner and recorded — this is what makes
         // an interrupted sweep resumable.
         let runner: Box<dyn Runner> = if o.queue {
-            Box::new(QueueRunner::new(o.workers))
+            queue_runner_of(o)?
         } else {
             Box::new(LocalRunner::new(sweep.base.mc.threads))
         };
@@ -883,6 +946,12 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
             !o.no_analytic,
         )
         .map_err(|e| e.to_string())?
+    } else if o.queue && !o.endpoints.is_empty() {
+        // Remote fleet: each grid point's canonical blocks fan out across
+        // the endpoints through the fleet point-runner.
+        let runner = queue_runner_of(o)?;
+        run_sweep_tiered(&sweep, shard, runner.as_ref(), !o.no_analytic)
+            .map_err(|e| e.to_string())?
     } else if o.queue {
         run_sweep_queued_tiered(
             &sweep,
@@ -912,6 +981,9 @@ pub fn cmd_sweep(o: &Options) -> Result<String, String> {
             s.push_str(&format!(", {} quarantined", counters.quarantined()));
         }
         s
+    } else if o.queue && !o.endpoints.is_empty() {
+        let n = queue_spec_of(o).endpoints.len();
+        format!(", fleet: {n} endpoint(s)")
     } else if o.queue {
         format!(", queued: {}", progress.render(o.workers))
     } else {
@@ -1699,6 +1771,11 @@ pub fn cmd_feasibility(o: &Options) -> Result<String, String> {
 /// `--sweep grid.json` expands an executive sweep document
 /// ([`cmd_executive_sweep`]).
 pub fn cmd_executive(o: &Options) -> Result<String, String> {
+    if o.has("--endpoints") {
+        // The remote protocol ships spec-built replication jobs; executive
+        // horizons run in-process only (their queue leases whole points).
+        return Err("--endpoints is not supported for executive workloads".to_owned());
+    }
     if !o.sweep.is_empty() {
         return cmd_executive_sweep(o);
     }
@@ -2106,6 +2183,37 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         );
     }
 
+    // The remote fleet on the same nominal job: two in-process block
+    // servers behind the real TCP transport, so the section prices the
+    // full spec-serialization + framing + loopback-socket overhead per
+    // block — the saturation telemetry for sizing a fleet. The run
+    // doubles as a live bit-identity check across execution locations.
+    let fleet_a = eacp_exec::RemoteServer::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let fleet_b = eacp_exec::RemoteServer::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let fleet_endpoints = 2usize;
+    let fleet_worker = eacp_exec::RemoteWorker::new(
+        vec![fleet_a.endpoint().to_owned(), fleet_b.endpoint().to_owned()],
+        eacp_spec::DEFAULT_REMOTE_TIMEOUT_MS,
+    )
+    .with_fallback_attempt(eacp_exec::queue::DEFAULT_MAX_ATTEMPTS);
+    let fleet_lease_timeout = fleet_worker.lease_timeout();
+    let fleet_runner = QueueRunner::new(o.workers)
+        .with_worker(fleet_worker)
+        .with_lease_timeout(fleet_lease_timeout);
+    let (remote_s, remote_summary) = best_of(Box::new(|| {
+        let started = Instant::now();
+        let s = fleet_runner.run(&pooled_job).map_err(|e| e.to_string())?;
+        Ok((started.elapsed().as_secs_f64(), s))
+    }))?;
+    if remote_summary != pooled_summary {
+        return Err(
+            "bench sanity check failed: remote fleet and local runner produced different summaries"
+                .to_owned(),
+        );
+    }
+    fleet_a.shutdown();
+    fleet_b.shutdown();
+
     // One sweep grid cell through the sweep executor, so the telemetry
     // also tracks the per-point orchestration overhead.
     let mut sweep_base = spec.clone();
@@ -2279,6 +2387,15 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
             ]),
         ),
         (
+            "remote",
+            Json::obj([
+                ("endpoints", fleet_endpoints.into()),
+                ("workers", o.workers.into()),
+                ("wall_s", remote_s.into()),
+                ("reps_per_s", (reps as f64 / remote_s.max(1e-12)).into()),
+            ]),
+        ),
+        (
             "sweep_cell",
             Json::obj([
                 ("points", sweep_points.into()),
@@ -2322,6 +2439,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
          speedup : {speedup:.2}x\n\
          high-λ  : {hl_reps} reps at λ=1.4e-2 in {hl_s:.3} s ({:.0} reps/s)\n\
          queue   : {queue_s:.3} s  ({:.0} reps/s)\n\
+         remote  : {fleet_endpoints} endpoint(s) in {remote_s:.3} s  ({:.0} reps/s)\n\
          sweep   : {sweep_points} point(s) in {sweep_s:.3} s\n\
          store   : cold {cold_s:.3} s, warm hit {:.2} ms ({:.0}x)\n\
          executive: {exec_horizons} horizons — 1 thread {exec_single_s:.3} s \
@@ -2331,6 +2449,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
         reps as f64 / boxed_s.max(1e-12),
         hl_reps as f64 / hl_s.max(1e-12),
         reps as f64 / queue_s.max(1e-12),
+        reps as f64 / remote_s.max(1e-12),
         warm_s * 1e3,
         cold_s / warm_s.max(1e-12),
         exec_horizons as f64 / exec_single_s.max(1e-12),
@@ -2343,6 +2462,7 @@ pub fn cmd_bench(o: &Options) -> Result<String, String> {
             exec_horizons as f64 / exec_single_s.max(1e-12),
             hl_reps as f64 / hl_s.max(1e-12),
             reps as f64 / queue_s.max(1e-12),
+            reps as f64 / remote_s.max(1e-12),
             o.max_regress,
         )?);
     }
@@ -2364,6 +2484,7 @@ fn check_bench_baseline(
     exec_horizons_per_s: f64,
     high_lambda_reps_per_s: f64,
     queue_reps_per_s: f64,
+    remote_reps_per_s: f64,
     max_regress: f64,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
@@ -2418,6 +2539,7 @@ fn check_bench_baseline(
     for (label, measured, section) in [
         ("high-lambda", high_lambda_reps_per_s, "high_lambda"),
         ("queue", queue_reps_per_s, "queue"),
+        ("remote", remote_reps_per_s, "remote"),
     ] {
         if let Ok(base) = doc
             .req(section)
@@ -2444,6 +2566,29 @@ fn check_bench_baseline(
     Ok(out)
 }
 
+/// `eacp serve`: run one stateless block server for the remote fleet.
+///
+/// Accepts framed `run_block` requests (spec + canonical block range),
+/// executes them in-process and streams the block `Summary` back. Serves
+/// until the process is killed; the driver's lease retry absorbs that.
+///
+/// # Errors
+///
+/// Returns a message when `--listen` is missing or the bind fails.
+pub fn cmd_serve(o: &Options) -> Result<String, String> {
+    if o.listen.is_empty() {
+        return Err("serve requires --listen HOST:PORT (use port 0 for an ephemeral port)".into());
+    }
+    eacp_exec::serve_blocking(&o.listen, |endpoint| {
+        // Announce readiness on stdout so orchestration (CI fleet-smoke,
+        // shell scripts) can scrape the bound address, then serve forever.
+        println!("eacp serve: listening on {endpoint}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(String::new())
+}
+
 /// Dispatches a full command line (without the program name).
 ///
 /// # Errors
@@ -2458,6 +2603,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, String> {
         "run" => cmd_run(&parse_options(rest)?),
         "mc" => cmd_mc(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
+        "serve" => cmd_serve(&parse_options(rest)?),
         "merge" => cmd_merge(&parse_options(rest)?),
         "queue" => cmd_queue(&parse_options(rest)?),
         "store" => cmd_store(&parse_options(rest)?),
@@ -2516,6 +2662,47 @@ mod tests {
         }
         let o = parse_options(args("--baseline b.json --max-regress 0.25").into_iter()).unwrap();
         assert_eq!(o.max_regress, 0.25);
+    }
+
+    #[test]
+    fn parse_validates_fleet_flags() {
+        // --endpoints rides on --queue, --timeout-ms on --endpoints, and
+        // a list that trims away to nothing is an error, not a silent
+        // in-process run.
+        assert!(parse_options(args("--endpoints 127.0.0.1:7117").into_iter()).is_err());
+        assert!(parse_options(args("--queue --timeout-ms 500").into_iter()).is_err());
+        assert!(parse_options(
+            ["--queue", "--endpoints", " , ,"]
+                .map(str::to_owned)
+                .into_iter()
+        )
+        .is_err());
+        let o = parse_options(
+            args("--queue --workers 4 --endpoints a:1,b:2 --timeout-ms 500").into_iter(),
+        )
+        .unwrap();
+        assert_eq!(o.endpoints, "a:1,b:2");
+        assert_eq!(o.timeout_ms, 500);
+        // The desugared spec splits, trims and drops empty entries.
+        let q = queue_spec_of(&o);
+        assert_eq!(q.endpoints, vec!["a:1".to_owned(), "b:2".to_owned()]);
+        assert_eq!(q.timeout_ms, 500);
+        assert_eq!(q.workers, 4);
+    }
+
+    #[test]
+    fn serve_requires_listen() {
+        let err = dispatch(args("serve")).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+    }
+
+    #[test]
+    fn executive_rejects_endpoints() {
+        let err = dispatch(args(
+            "executive --preset avionics-trio --mc --queue --endpoints 127.0.0.1:7117",
+        ))
+        .unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
     }
 
     #[test]

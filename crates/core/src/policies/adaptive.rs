@@ -307,7 +307,9 @@ impl Adaptive {
                         );
                         let m = match kind {
                             SubCheckpointKind::Store => num_scp(interval, &params, self.optimizer),
-                            SubCheckpointKind::Compare => num_ccp(interval, &params, self.optimizer),
+                            SubCheckpointKind::Compare => {
+                                num_ccp(interval, &params, self.optimizer)
+                            }
                         };
                         self.argmin_cache.put(argmin_key, m);
                         m

@@ -349,14 +349,13 @@ impl<'s> Executor<'s> {
                     let subs = w.subs as f64;
                     let seg_cycles = w.compute_time * level.frequency;
                     let sub_time = times.op_time(w.sub_kind);
-                    let span = (subs + 1.0) * w.compute_time + subs * sub_time
-                        + times.compare_store;
+                    let span =
+                        (subs + 1.0) * w.compute_time + subs * sub_time + times.compare_store;
                     // Conservative upper bound on the window's end time,
                     // and lower bounds on the work remaining before the
                     // final segment / after the whole window.
                     let upper = (now + span) * (1.0 + 1e-9) + 1e-9;
-                    let before_final =
-                        (task.work_cycles - pos) - subs * seg_cycles * (1.0 + 1e-9);
+                    let before_final = (task.work_cycles - pos) - subs * seg_cycles * (1.0 + 1e-9);
                     let after_window = before_final - seg_cycles * (1.0 + 1e-9);
                     let fits = w.speed == speed
                         && w.compute_time > 0.0

@@ -49,6 +49,11 @@ pub struct Job {
     replications: u64,
     base_seed: u64,
     dispatch: Dispatch,
+    /// The canonical spec the job was built from, for schedulers that
+    /// must ship the experiment elsewhere (the remote worker transport).
+    /// `from_parts` jobs carry `None`: boxed factories have no spec form
+    /// and therefore cannot leave the process.
+    spec: Option<ExperimentSpec>,
 }
 
 impl std::fmt::Debug for Job {
@@ -96,6 +101,7 @@ impl Job {
                 policy: spec.policy,
                 faults: spec.faults.clone(),
             },
+            spec: Some(spec.clone()),
         })
     }
 
@@ -167,12 +173,21 @@ impl Job {
                 policy,
                 faults: Box::new(faults),
             },
+            spec: None,
         })
     }
 
     /// The experiment's name (from the spec, or the `from_parts` caller).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The canonical [`ExperimentSpec`] this job was built from, when it
+    /// has one: `Some` for [`Job::from_spec`] jobs, `None` for the
+    /// [`Job::from_parts`] / [`Job::from_spec_boxed`] escape hatches. A
+    /// remote worker serializes this to ship the job across the wire.
+    pub fn spec(&self) -> Option<&ExperimentSpec> {
+        self.spec.as_ref()
     }
 
     /// The `Policy::name()` of the scheme under test.

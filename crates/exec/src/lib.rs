@@ -21,7 +21,9 @@
 //!   counts (see the `runner` module docs). [`QueueRunner`] schedules the
 //!   same canonical blocks through a [`WorkQueue`] drained by a worker
 //!   pool with lease retry — bit-identical results again, plus the
-//!   [`Worker`] seam a future `RemoteRunner` transport implements.
+//!   [`Worker`] seam the remote transport plugs into:
+//!   [`RemoteWorker`] ships leased blocks to `eacp serve` endpoints over
+//!   std-only TCP (see the [`remote`] module).
 //!
 //! On top sits the **sharded sweep executor** ([`run_sweep`],
 //! [`merge_dir`]): a [`SweepSpec`] grid is partitioned across machines by
@@ -55,6 +57,7 @@ pub mod executive_mc;
 pub mod executive_shard;
 pub mod job;
 pub mod queue;
+pub mod remote;
 pub mod runner;
 pub mod shard;
 pub mod workload;
@@ -73,6 +76,7 @@ pub use queue::{
     run_sweep_queued, run_sweep_queued_tiered, BlockAssignment, InProcessWorker, Lease,
     NoopQueueObserver, QueueObserver, QueueRunner, QueueStatus, WorkQueue, Worker,
 };
+pub use remote::{serve_blocking, RemoteServer, RemoteWorker};
 pub use runner::{LocalRunner, Runner};
 pub use shard::{
     coverage_dir, list_report_files, merge_dir, run_point, run_point_tiered, run_sweep,
@@ -113,12 +117,24 @@ pub fn run_tiered(
     let (summary, served) = match analytic.then(|| serve_closed_form(&job)).flatten() {
         Some(summary) => (summary, ServeTier::Analytic),
         None => {
-            let summary = match spec.executor.queue {
+            let summary = match &spec.executor.queue {
                 Some(q) => {
                     q.validate()?;
-                    QueueRunner::new(q.workers)
-                        .with_max_attempts(q.max_attempts)
-                        .run(&job)?
+                    let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
+                    if q.endpoints.is_empty() {
+                        runner.run(&job)?
+                    } else {
+                        // Remote fleet: leased blocks ship to the spec's
+                        // endpoints; the lease deadline lets peers reclaim
+                        // a wedged transport, and the final attempt falls
+                        // back in-process — bit-identical either way.
+                        let worker = RemoteWorker::from_queue_spec(q);
+                        let lease_timeout = worker.lease_timeout();
+                        runner
+                            .with_worker(worker)
+                            .with_lease_timeout(lease_timeout)
+                            .run(&job)?
+                    }
                 }
                 None => LocalRunner::new(spec.mc.threads).run(&job)?,
             };
@@ -177,6 +193,7 @@ mod tests {
         queued.executor = queued.executor.with_queue(eacp_spec::QueueSpec {
             workers: 3,
             max_attempts: 2,
+            ..Default::default()
         });
         let (a, report_a) = run(&plain).unwrap();
         let (b, report_b) = run(&queued).unwrap();
@@ -188,6 +205,7 @@ mod tests {
         queued.executor.queue = Some(eacp_spec::QueueSpec {
             workers: 1,
             max_attempts: 0,
+            ..Default::default()
         });
         assert!(run(&queued).is_err(), "zero attempt budget is invalid");
     }

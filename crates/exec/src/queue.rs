@@ -10,11 +10,21 @@
 //!   a failed (or abandoned) lease is put back on the queue and retried by
 //!   whichever worker gets to it next, up to a per-assignment attempt
 //!   budget. Exhausting the budget poisons the queue: every worker drains
-//!   out and the scheduler surfaces the fatal error.
+//!   out and the scheduler surfaces the fatal error. Two liveness guards
+//!   back the budget:
+//!   - **Drop-guard**: a [`Lease`] dropped without settling (a caller bug,
+//!     a panic mid-assignment) re-queues its assignment as a failed
+//!     attempt instead of stranding it and deadlocking the drain.
+//!   - **Lease deadline**: with
+//!     [`with_lease_timeout`](WorkQueue::with_lease_timeout), an expired
+//!     lease is reclaimed by whichever peer notices (a worker wedged in
+//!     an unbounded wait cannot settle, but its assignment still moves);
+//!     a late settle from the original holder is ignored — deterministic
+//!     re-execution makes the duplicate result bit-identical anyway.
 //! * **[`Worker`]** — *where* one assignment executes. The in-process
 //!   implementation ([`InProcessWorker`]) runs the block on the calling
-//!   thread; a `RemoteRunner`'s networked worker implements the same trait
-//!   (ship the job's spec + the block range, receive the partial summary)
+//!   thread; the networked [`RemoteWorker`](crate::remote::RemoteWorker)
+//!   ships the job's spec + the block range to an `eacp serve` process
 //!   and plugs in without touching any call site.
 //! * **[`QueueRunner`]** — the [`Runner`] built from the two: it splits a
 //!   job into the same fixed-size canonical blocks as [`LocalRunner`],
@@ -41,21 +51,83 @@ use eacp_sim::{NoopObserver, Observer, Summary};
 use eacp_spec::{SpecError, SweepSpec};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+// Lease deadlines are the one place the scheduler reads a clock. They
+// affect only *scheduling* — when an expired lease becomes reclaimable by
+// a peer — never results: the canonical merge forgets the schedule, and a
+// reclaimed assignment re-runs deterministically from its seeds.
+#[allow(clippy::disallowed_types)]
+type DeadlineClock = std::time::Instant; // audit:allow(determinism): scheduling-only deadline clock; results are schedule-invariant under the canonical reduction
 
 /// Default per-assignment attempt budget: the first attempt plus two
 /// retries.
 pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
 
-/// A leased assignment: the queue slot index, the work item, and which
-/// attempt this is (1-based — attempt 2 means the first lease failed).
-#[derive(Debug)]
-pub struct Lease<T> {
+/// A leased assignment handle: the queue slot index, the work item, and
+/// which attempt this is (1-based — attempt 2 means the first lease
+/// failed).
+///
+/// A lease must be settled back into its queue via
+/// [`WorkQueue::complete`] or [`WorkQueue::fail`]. Dropping it unsettled
+/// — a panic mid-assignment, or a caller that simply forgets — triggers
+/// the drop-guard: the assignment is re-queued as a failed attempt, so
+/// peers keep draining instead of waiting forever on a completion that
+/// cannot come.
+pub struct Lease<'q, T: Clone> {
+    queue: &'q WorkQueue<T>,
+    /// Unique id of this specific lease; a reclaimed-then-settled lease
+    /// is recognized (and ignored) by its stale ticket.
+    ticket: u64,
+    index: usize,
+    attempt: u32,
+    /// `Some` until settled; `None` disarms the drop-guard.
+    item: Option<T>,
+}
+
+impl<T: Clone> Lease<'_, T> {
     /// Index of the assignment in the queue's original item order.
-    pub index: usize,
-    /// The work item itself.
-    pub item: T,
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
     /// 1-based attempt number.
-    pub attempt: u32,
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The work item itself.
+    pub fn item(&self) -> &T {
+        // audit:allow(panic): the item is present until `complete`/`fail`
+        // consume the lease by value, so a live `&self` always holds it.
+        self.item.as_ref().expect("lease already settled")
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> std::fmt::Debug for Lease<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("index", &self.index)
+            .field("attempt", &self.attempt)
+            .field("item", &self.item)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Clone> Drop for Lease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.queue.resolve(
+                self.ticket,
+                self.index,
+                self.attempt,
+                item,
+                Some(&SpecError::invalid(
+                    "lease dropped without complete/fail (worker panicked or abandoned it)",
+                )),
+            );
+        }
+    }
 }
 
 /// A point-in-time snapshot of queue accounting, reported to
@@ -70,7 +142,7 @@ pub struct QueueStatus {
     pub leased: usize,
     /// Assignments completed successfully.
     pub completed: usize,
-    /// Failed/abandoned leases that were put back on the queue.
+    /// Failed/abandoned/expired leases that were put back on the queue.
     pub retries: u64,
 }
 
@@ -90,8 +162,9 @@ pub trait QueueObserver: Sync {
         let _ = (worker, index, status);
     }
 
-    /// Worker `worker` failed (or abandoned) assignment `index`; the
-    /// assignment went back on the queue for another attempt.
+    /// Worker `worker` failed (or abandoned) assignment `index`, or
+    /// noticed its lease deadline expire; the assignment went back on the
+    /// queue for another attempt.
     fn on_retry(
         &self,
         worker: usize,
@@ -110,11 +183,32 @@ pub struct NoopQueueObserver;
 
 impl QueueObserver for NoopQueueObserver {}
 
+/// An assignment waiting to be leased.
+struct PendingItem<T> {
+    index: usize,
+    item: T,
+    attempt: u32,
+}
+
+/// An assignment currently out on lease. Carries its own copy of the item
+/// so an expired lease can be re-queued without the holder's cooperation.
+struct InFlight<T> {
+    ticket: u64,
+    index: usize,
+    attempt: u32,
+    item: T,
+    deadline: Option<DeadlineClock>,
+}
+
 struct QueueState<T> {
-    pending: VecDeque<Lease<T>>,
-    leased: usize,
+    pending: VecDeque<PendingItem<T>>,
+    in_flight: Vec<InFlight<T>>,
     completed: usize,
     retries: u64,
+    /// Deadline expiries reclaimed but not yet reported to an observer:
+    /// `(index, expired attempt)` — drained by [`WorkQueue::take_expiries`].
+    expiries: Vec<(usize, u32)>,
+    next_ticket: u64,
     fatal: Option<SpecError>,
 }
 
@@ -130,15 +224,16 @@ pub struct WorkQueue<T> {
     ready: Condvar,
     total: usize,
     max_attempts: u32,
+    lease_timeout: Option<Duration>,
 }
 
-impl<T> WorkQueue<T> {
+impl<T: Clone> WorkQueue<T> {
     /// Creates a queue over `items` with the default attempt budget.
     pub fn new(items: impl IntoIterator<Item = T>) -> Self {
-        let pending: VecDeque<Lease<T>> = items
+        let pending: VecDeque<PendingItem<T>> = items
             .into_iter()
             .enumerate()
-            .map(|(index, item)| Lease {
+            .map(|(index, item)| PendingItem {
                 index,
                 item,
                 attempt: 1,
@@ -148,20 +243,36 @@ impl<T> WorkQueue<T> {
         Self {
             state: Mutex::new(QueueState {
                 pending,
-                leased: 0,
+                in_flight: Vec::new(),
                 completed: 0,
                 retries: 0,
+                expiries: Vec::new(),
+                next_ticket: 0,
                 fatal: None,
             }),
             ready: Condvar::new(),
             total,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
+            lease_timeout: None,
         }
     }
 
     /// Overrides the per-assignment attempt budget (clamped to ≥ 1).
     pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
         self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets a per-lease deadline: a lease not settled within `timeout`
+    /// becomes reclaimable by peers (counted as a failed attempt, reported
+    /// through [`QueueObserver::on_retry`]). This is the wedge-stall
+    /// guard — a worker stuck in an unbounded wait cannot settle, but its
+    /// assignment still moves. The deadline cannot unstick the wedged
+    /// thread itself; pair it with workers whose blocking operations carry
+    /// their own timeouts (the remote transport derives this deadline from
+    /// its per-request timeout budget).
+    pub fn with_lease_timeout(mut self, timeout: Duration) -> Self {
+        self.lease_timeout = Some(timeout.max(Duration::from_millis(1)));
         self
     }
 
@@ -184,46 +295,151 @@ impl<T> WorkQueue<T> {
         QueueStatus {
             total: self.total,
             pending: s.pending.len(),
-            leased: s.leased,
+            leased: s.in_flight.len(),
             completed: s.completed,
             retries: s.retries,
         }
     }
 
+    /// Re-queues every in-flight lease whose deadline has passed. Counts
+    /// each as a failed attempt; exhausting the budget poisons the queue.
+    fn reclaim_expired(&self, s: &mut QueueState<T>) {
+        if self.lease_timeout.is_none() {
+            return;
+        }
+        // audit:allow(determinism): scheduling-only deadline check.
+        let now = DeadlineClock::now();
+        let mut reclaimed = false;
+        let mut i = 0;
+        while i < s.in_flight.len() {
+            if s.in_flight[i].deadline.is_some_and(|d| d <= now) {
+                let e = s.in_flight.swap_remove(i);
+                s.retries += 1;
+                s.expiries.push((e.index, e.attempt));
+                reclaimed = true;
+                if e.attempt >= self.max_attempts {
+                    s.fatal = Some(SpecError::invalid(format!(
+                        "assignment {} lease expired after {} attempts \
+                         (deadline {:?}; holder never settled)",
+                        e.index,
+                        e.attempt,
+                        self.lease_timeout.unwrap_or_default(),
+                    )));
+                } else {
+                    s.pending.push_back(PendingItem {
+                        index: e.index,
+                        item: e.item,
+                        attempt: e.attempt + 1,
+                    });
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if reclaimed {
+            self.ready.notify_all();
+        }
+    }
+
     /// Leases the next pending assignment, blocking while the queue is
     /// momentarily empty but other leases are still in flight (one of them
-    /// may fail and re-queue its assignment).
+    /// may fail, expire, or re-queue its assignment).
     ///
     /// Returns `None` once the queue has drained (every assignment
     /// completed) or been poisoned by an exhausted attempt budget — in
     /// both cases the worker should exit its loop.
-    pub fn lease(&self) -> Option<Lease<T>> {
+    pub fn lease(&self) -> Option<Lease<'_, T>> {
         let mut s = self.locked();
         loop {
+            self.reclaim_expired(&mut s);
             if s.fatal.is_some() {
                 return None;
             }
-            if let Some(lease) = s.pending.pop_front() {
-                s.leased += 1;
-                return Some(lease);
+            if let Some(p) = s.pending.pop_front() {
+                let ticket = s.next_ticket;
+                s.next_ticket += 1;
+                let deadline = self
+                    .lease_timeout
+                    // audit:allow(determinism): scheduling-only deadline.
+                    .map(|t| DeadlineClock::now() + t);
+                s.in_flight.push(InFlight {
+                    ticket,
+                    index: p.index,
+                    attempt: p.attempt,
+                    item: p.item.clone(),
+                    deadline,
+                });
+                return Some(Lease {
+                    queue: self,
+                    ticket,
+                    index: p.index,
+                    attempt: p.attempt,
+                    item: Some(p.item),
+                });
             }
-            if s.leased == 0 {
+            if s.in_flight.is_empty() {
                 // Nothing pending and nothing in flight: drained.
                 return None;
             }
-            // audit:allow(panic): same poisoned-lock invariant as `locked`.
-            s = self.ready.wait(s).expect("queue lock poisoned");
+            let next_deadline = s.in_flight.iter().filter_map(|e| e.deadline).min();
+            s = match next_deadline {
+                // Sleep until the earliest deadline so an expired lease is
+                // reclaimed promptly even if nobody settles anything.
+                Some(deadline) => {
+                    // audit:allow(determinism): scheduling-only wakeup.
+                    let wait = deadline.saturating_duration_since(DeadlineClock::now());
+                    self.ready
+                        .wait_timeout(s, wait)
+                        // audit:allow(panic): same poisoned-lock invariant
+                        // as `locked`.
+                        .expect("queue lock poisoned")
+                        .0
+                }
+                // audit:allow(panic): same poisoned-lock invariant.
+                None => self.ready.wait(s).expect("queue lock poisoned"),
+            };
         }
     }
 
-    /// Marks a leased assignment as successfully completed.
-    pub fn complete(&self, lease: Lease<T>) {
+    /// Settles a lease: removes it from the in-flight set and either
+    /// counts the completion or re-queues/poisons on failure. A stale
+    /// ticket (the lease expired and a peer already reclaimed it) is
+    /// ignored — the reclaim already did the accounting, and the re-run
+    /// produces a bit-identical result.
+    fn resolve(&self, ticket: u64, index: usize, attempt: u32, item: T, error: Option<&SpecError>) {
         let mut s = self.locked();
-        s.leased -= 1;
-        s.completed += 1;
-        drop(lease);
+        let Some(pos) = s.in_flight.iter().position(|e| e.ticket == ticket) else {
+            return;
+        };
+        s.in_flight.swap_remove(pos);
+        match error {
+            None => s.completed += 1,
+            Some(error) => {
+                s.retries += 1;
+                if attempt >= self.max_attempts {
+                    s.fatal = Some(SpecError::invalid(format!(
+                        "assignment {index} failed after {attempt} attempts: {error}"
+                    )));
+                } else {
+                    s.pending.push_back(PendingItem {
+                        index,
+                        item,
+                        attempt: attempt + 1,
+                    });
+                }
+            }
+        }
+        drop(s);
         // Workers blocked in `lease` must re-check the drained condition.
         self.ready.notify_all();
+    }
+
+    /// Marks a leased assignment as successfully completed.
+    pub fn complete(&self, mut lease: Lease<'_, T>) {
+        debug_assert!(std::ptr::eq(lease.queue, self), "lease from another queue");
+        if let Some(item) = lease.item.take() {
+            self.resolve(lease.ticket, lease.index, lease.attempt, item, None);
+        }
     }
 
     /// Reports a failed (or abandoned) lease.
@@ -232,23 +448,19 @@ impl<T> WorkQueue<T> {
     /// attempt; once its attempt budget is exhausted the queue is poisoned
     /// with a fatal error naming the assignment, and every worker drains
     /// out.
-    pub fn fail(&self, lease: Lease<T>, error: &SpecError) {
-        let mut s = self.locked();
-        s.leased -= 1;
-        s.retries += 1;
-        if lease.attempt >= self.max_attempts {
-            s.fatal = Some(SpecError::invalid(format!(
-                "assignment {} failed after {} attempts: {error}",
-                lease.index, lease.attempt
-            )));
-        } else {
-            s.pending.push_back(Lease {
-                index: lease.index,
-                item: lease.item,
-                attempt: lease.attempt + 1,
-            });
+    pub fn fail(&self, mut lease: Lease<'_, T>, error: &SpecError) {
+        debug_assert!(std::ptr::eq(lease.queue, self), "lease from another queue");
+        if let Some(item) = lease.item.take() {
+            self.resolve(lease.ticket, lease.index, lease.attempt, item, Some(error));
         }
-        self.ready.notify_all();
+    }
+
+    /// Drains and returns the deadline expiries reclaimed since the last
+    /// call: `(assignment index, the attempt that expired)` pairs.
+    /// [`WorkQueue::drain`] polls this to route expiries into
+    /// [`QueueObserver::on_retry`]; external lease loops can do the same.
+    pub fn take_expiries(&self) -> Vec<(usize, u32)> {
+        std::mem::take(&mut self.locked().expiries)
     }
 
     /// The fatal error that poisoned the queue, if any.
@@ -264,75 +476,65 @@ impl<T> WorkQueue<T> {
     /// assignment (see [`WorkQueue::fail`]). The call returns once every
     /// assignment has completed, or with the fatal error once any
     /// assignment exhausts its attempt budget. A *panic* inside `run`
-    /// releases the lease on unwind (so peer workers drain out instead of
-    /// waiting forever on a completion that never comes) and then
+    /// drops the lease mid-unwind, and the lease's drop-guard re-queues
+    /// the assignment (so peer workers drain out instead of waiting
+    /// forever on a completion that never comes); the panic then
     /// propagates as a panic of the `drain` call itself.
     pub fn drain<R: Send>(
         &self,
         workers: usize,
         obs: &dyn QueueObserver,
-        run: impl Fn(usize, &Lease<T>) -> Result<R, SpecError> + Sync,
+        run: impl Fn(usize, &Lease<'_, T>) -> Result<R, SpecError> + Sync,
     ) -> Result<Vec<R>, SpecError>
     where
         T: Send,
     {
-        /// Releases a held lease on unwind; disarmed on the normal paths.
-        struct Abandon<'q, T> {
-            queue: &'q WorkQueue<T>,
-            lease: Option<Lease<T>>,
-        }
-        impl<T> Drop for Abandon<'_, T> {
-            fn drop(&mut self) {
-                if let Some(lease) = self.lease.take() {
-                    self.queue
-                        .fail(lease, &SpecError::invalid("worker panicked mid-lease"));
-                }
-            }
-        }
-
         let workers = workers.clamp(1, self.total.max(1));
+        let expired = SpecError::invalid(format!(
+            "lease deadline exceeded ({:?})",
+            self.lease_timeout.unwrap_or_default()
+        ));
+        let report_expiries = |worker: usize| {
+            for (index, attempt) in self.take_expiries() {
+                obs.on_retry(worker, index, attempt, &expired, self.status());
+            }
+        };
         let mut collected: Vec<(usize, R)> = Vec::with_capacity(self.total);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
                 let run = &run;
+                let report_expiries = &report_expiries;
                 handles.push(scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     while let Some(lease) = self.lease() {
-                        obs.on_lease(worker, lease.index, lease.attempt, self.status());
-                        let mut guard = Abandon {
-                            queue: self,
-                            lease: Some(lease),
-                        };
-                        // audit:allow(panic): the guard was constructed
-                        // with `Some(lease)` two lines up and nothing has
-                        // taken it yet.
-                        let outcome = run(worker, guard.lease.as_ref().expect("lease held"));
-                        // Disarm: from here the normal paths own the lease.
-                        // audit:allow(panic): same just-constructed guard.
-                        let lease = guard.lease.take().expect("lease held");
-                        drop(guard);
-                        match outcome {
+                        report_expiries(worker);
+                        obs.on_lease(worker, lease.index(), lease.attempt(), self.status());
+                        match run(worker, &lease) {
                             Ok(result) => {
-                                local.push((lease.index, result));
-                                let index = lease.index;
+                                let index = lease.index();
+                                local.push((index, result));
                                 self.complete(lease);
                                 obs.on_complete(worker, index, self.status());
                             }
                             Err(error) => {
-                                let (index, attempt) = (lease.index, lease.attempt);
+                                let (index, attempt) = (lease.index(), lease.attempt());
                                 self.fail(lease, &error);
                                 obs.on_retry(worker, index, attempt, &error, self.status());
                             }
                         }
                     }
+                    // An expiry may have poisoned the queue after our last
+                    // lease; report it before draining out.
+                    report_expiries(worker);
                     local
                 }));
             }
             for h in handles {
                 // audit:allow(panic): re-raises a worker's panic on the
                 // caller thread — the documented `drain` contract; the
-                // Abandon guard already released the dead worker's lease.
+                // lease drop-guard already released the dead worker's
+                // assignment.
                 collected.extend(h.join().expect("queue worker panicked"));
             }
         });
@@ -340,7 +542,9 @@ impl<T> WorkQueue<T> {
             return Err(fatal);
         }
         // Forget the lease schedule: place every result at its assignment
-        // index and hand them back in canonical order.
+        // index and hand them back in canonical order. An expired lease
+        // can complete twice (the stale holder and the reclaimer); the
+        // results are bit-identical, so last-write-wins is safe.
         let mut slots: Vec<Option<R>> = Vec::with_capacity(self.total);
         slots.resize_with(self.total, || None);
         for (index, result) in collected {
@@ -367,25 +571,34 @@ pub struct BlockAssignment {
     pub hi: u64,
 }
 
-/// Executes one leased block of a job — the `RemoteRunner` seam.
+/// Executes one leased block of a job — the remote-execution seam.
 ///
-/// [`InProcessWorker`] runs the block on the calling thread. A networked
-/// worker implements the same trait by shipping the job's spec and the
-/// block's replication range to a remote machine and deserializing the
-/// partial [`Summary`] that comes back; per-replication seeding guarantees
-/// the partial is identical wherever it ran, so swapping implementations
-/// never changes results. The seam covers the fast path
-/// ([`Runner::run`] / [`QueueRunner::run_with`]) only:
-/// [`Runner::run_observed`] streams per-replication events and therefore
-/// always executes sequentially in-process, bypassing the worker.
+/// [`InProcessWorker`] runs the block on the calling thread. The networked
+/// [`RemoteWorker`](crate::remote::RemoteWorker) implements the same trait
+/// by shipping the job's spec and the block's replication range to an
+/// `eacp serve` process and deserializing the partial [`Summary`] that
+/// comes back; per-replication seeding guarantees the partial is identical
+/// wherever it ran, so swapping implementations never changes results. The
+/// seam covers the fast path ([`Runner::run`] / [`QueueRunner::run_with`])
+/// only: [`Runner::run_observed`] streams per-replication events and
+/// therefore always executes sequentially in-process, bypassing the
+/// worker.
 pub trait Worker: Send + Sync {
     /// Short implementation name for logs and errors.
     fn name(&self) -> &'static str;
 
     /// Runs every replication in `assignment` and returns the block's
-    /// partial summary. An `Err` counts as a failed lease: the block is
-    /// re-queued and retried from scratch.
-    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError>;
+    /// partial summary. `attempt` is the lease's 1-based attempt number —
+    /// implementations may route retries differently (the remote worker
+    /// rotates endpoints and falls back in-process on the final attempt).
+    /// An `Err` counts as a failed lease: the block is re-queued and
+    /// retried from scratch.
+    fn run_assignment(
+        &self,
+        job: &Job,
+        assignment: BlockAssignment,
+        attempt: u32,
+    ) -> Result<Summary, SpecError>;
 }
 
 /// The local [`Worker`]: runs the block on the leasing thread.
@@ -397,7 +610,12 @@ impl Worker for InProcessWorker {
         "in-process"
     }
 
-    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError> {
+    fn run_assignment(
+        &self,
+        job: &Job,
+        assignment: BlockAssignment,
+        _attempt: u32,
+    ) -> Result<Summary, SpecError> {
         Ok(run_block(
             job,
             assignment.lo,
@@ -418,6 +636,7 @@ pub struct QueueRunner<W: Worker = InProcessWorker> {
     workers: usize,
     block_size: u64,
     max_attempts: u32,
+    lease_timeout: Option<Duration>,
     worker: W,
 }
 
@@ -429,6 +648,7 @@ impl QueueRunner<InProcessWorker> {
             workers,
             block_size: 0,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
+            lease_timeout: None,
             worker: InProcessWorker,
         }
     }
@@ -436,12 +656,13 @@ impl QueueRunner<InProcessWorker> {
 
 impl<W: Worker> QueueRunner<W> {
     /// Swaps the [`Worker`] implementation (failure-injecting test
-    /// workers; a networked worker later).
+    /// workers; the networked [`crate::remote::RemoteWorker`]).
     pub fn with_worker<V: Worker>(self, worker: V) -> QueueRunner<V> {
         QueueRunner {
             workers: self.workers,
             block_size: self.block_size,
             max_attempts: self.max_attempts,
+            lease_timeout: self.lease_timeout,
             worker,
         }
     }
@@ -460,6 +681,12 @@ impl<W: Worker> QueueRunner<W> {
         self
     }
 
+    /// Sets the per-lease deadline (see [`WorkQueue::with_lease_timeout`]).
+    pub fn with_lease_timeout(mut self, timeout: Duration) -> Self {
+        self.lease_timeout = Some(timeout);
+        self
+    }
+
     fn pool_size(&self, blocks: u64) -> usize {
         resolve_workers(self.workers).clamp(1, blocks.max(1) as usize)
     }
@@ -474,9 +701,13 @@ impl<W: Worker> QueueRunner<W> {
             lo: b * block,
             hi: ((b + 1) * block).min(reps),
         });
-        let queue = WorkQueue::new(assignments).with_max_attempts(self.max_attempts);
+        let mut queue = WorkQueue::new(assignments).with_max_attempts(self.max_attempts);
+        if let Some(timeout) = self.lease_timeout {
+            queue = queue.with_lease_timeout(timeout);
+        }
         let partials = queue.drain(self.pool_size(n_blocks), obs, |_worker, lease| {
-            self.worker.run_assignment(job, lease.item)
+            self.worker
+                .run_assignment(job, *lease.item(), lease.attempt())
         })?;
         Ok(merge_blocks(partials))
     }
@@ -570,7 +801,7 @@ pub fn run_sweep_queued_tiered(
     let queue = WorkQueue::new(indices).with_max_attempts(max_attempts);
     let runner = crate::LocalRunner::new(1);
     let points = queue.drain(resolve_workers(workers), obs, |_worker, lease| {
-        let index = lease.item;
+        let index = *lease.item();
         let spec = &specs[index];
         let report = run_point_tiered(&runner, spec, analytic)
             .map_err(|e| SpecError::invalid(format!("grid point {index} ({}): {e}", spec.name)))?;
@@ -653,20 +884,21 @@ mod tests {
             &self,
             job: &Job,
             assignment: BlockAssignment,
+            attempt: u32,
         ) -> Result<Summary, SpecError> {
-            let attempt = {
+            let seen = {
                 let mut seen = self.attempts.lock().unwrap();
                 let n = seen.entry(assignment.block).or_insert(0);
                 *n += 1;
                 *n
             };
-            if self.blocks.contains(&assignment.block) && attempt <= self.fail_first_attempts {
+            if self.blocks.contains(&assignment.block) && seen <= self.fail_first_attempts {
                 return Err(SpecError::invalid(format!(
-                    "injected lease failure (block {}, attempt {attempt})",
+                    "injected lease failure (block {}, attempt {seen})",
                     assignment.block
                 )));
             }
-            InProcessWorker.run_assignment(job, assignment)
+            InProcessWorker.run_assignment(job, assignment, attempt)
         }
     }
 
@@ -719,10 +951,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "queue worker panicked")]
     fn worker_panic_propagates_instead_of_deadlocking() {
-        // One worker panics mid-lease; the unwind guard releases the
-        // lease so the peers drain out, and the panic then propagates
-        // through the pool join — the failure mode is a crash with a
-        // message, never a hang on a completion that can't come.
+        // One worker panics mid-lease; the lease's drop-guard releases the
+        // assignment on unwind so the peers drain out, and the panic then
+        // propagates through the pool join — the failure mode is a crash
+        // with a message, never a hang on a completion that can't come.
         struct PanickingWorker {
             fired: StdMutex<bool>,
         }
@@ -734,6 +966,7 @@ mod tests {
                 &self,
                 job: &Job,
                 assignment: BlockAssignment,
+                attempt: u32,
             ) -> Result<Summary, SpecError> {
                 if assignment.block == 1 {
                     let mut fired = self.fired.lock().unwrap();
@@ -742,7 +975,7 @@ mod tests {
                         panic!("injected worker panic");
                     }
                 }
-                InProcessWorker.run_assignment(job, assignment)
+                InProcessWorker.run_assignment(job, assignment, attempt)
             }
         }
         let job = Job::from_spec(&spec(100)).unwrap();
@@ -777,9 +1010,9 @@ mod tests {
             }
         );
         let lease = queue.lease().unwrap();
-        assert_eq!(lease.index, 0);
-        assert_eq!(lease.item, 10);
-        assert_eq!(lease.attempt, 1);
+        assert_eq!(lease.index(), 0);
+        assert_eq!(*lease.item(), 10);
+        assert_eq!(lease.attempt(), 1);
         assert_eq!(queue.status().leased, 1);
         queue.fail(lease, &SpecError::invalid("flake"));
         let status = queue.status();
@@ -790,13 +1023,107 @@ mod tests {
             queue.lease().unwrap(),
             queue.lease().unwrap(),
         );
-        assert_eq!((a.index, b.index, c.index), (1, 2, 0));
-        assert_eq!(c.attempt, 2);
+        assert_eq!((a.index(), b.index(), c.index()), (1, 2, 0));
+        assert_eq!(c.attempt(), 2);
         for lease in [a, b, c] {
             queue.complete(lease);
         }
         assert_eq!(queue.status().completed, 3);
         assert!(queue.lease().is_none(), "drained queue leases nothing");
+    }
+
+    #[test]
+    fn dropped_lease_requeues_as_a_failed_attempt() {
+        let queue: WorkQueue<u32> = WorkQueue::new([7]);
+        let lease = queue.lease().unwrap();
+        assert_eq!(queue.status().leased, 1);
+        // Dropping without complete/fail — the bug this guard exists for.
+        drop(lease);
+        let status = queue.status();
+        assert_eq!((status.pending, status.leased, status.retries), (1, 0, 1));
+        let retried = queue.lease().unwrap();
+        assert_eq!(retried.attempt(), 2, "a drop counts as a failed attempt");
+        queue.complete(retried);
+        assert_eq!(queue.status().completed, 1);
+        assert!(queue.lease().is_none());
+        assert!(queue.fatal().is_none());
+    }
+
+    #[test]
+    fn dropped_lease_on_final_attempt_poisons_the_queue() {
+        let queue: WorkQueue<u32> = WorkQueue::new([7]).with_max_attempts(1);
+        drop(queue.lease().unwrap());
+        assert!(queue.lease().is_none(), "poisoned queue leases nothing");
+        let fatal = queue.fatal().expect("budget exhausted by the drop");
+        assert!(fatal.to_string().contains("dropped"), "{fatal}");
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_and_late_settle_is_ignored() {
+        let queue: WorkQueue<u32> =
+            WorkQueue::new([10, 20]).with_lease_timeout(Duration::from_millis(25));
+        let wedged = queue.lease().unwrap();
+        assert_eq!(wedged.index(), 0);
+        std::thread::sleep(Duration::from_millis(40));
+        // A peer leasing after the deadline reclaims the wedged
+        // assignment; it gets the other item first (FIFO), and the
+        // reclaimed one re-queues behind it with attempt 2.
+        let fresh = queue.lease().unwrap();
+        assert_eq!(fresh.index(), 1);
+        assert_eq!(queue.take_expiries(), vec![(0, 1)]);
+        assert_eq!(queue.status().retries, 1);
+        let reclaimed = queue.lease().unwrap();
+        assert_eq!((reclaimed.index(), reclaimed.attempt()), (0, 2));
+        // The wedged holder finally settles: stale, ignored.
+        queue.complete(wedged);
+        assert_eq!(queue.status().completed, 0, "stale settle must not count");
+        queue.complete(fresh);
+        queue.complete(reclaimed);
+        assert_eq!(queue.status().completed, 2);
+        assert!(queue.lease().is_none());
+        assert!(queue.fatal().is_none());
+    }
+
+    #[test]
+    fn expiry_on_final_attempt_poisons_instead_of_spinning() {
+        let queue: WorkQueue<u32> = WorkQueue::new([5])
+            .with_max_attempts(1)
+            .with_lease_timeout(Duration::from_millis(10));
+        let wedged = queue.lease().unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        // The blocking lease call notices the expiry, poisons, returns.
+        assert!(queue.lease().is_none());
+        let fatal = queue.fatal().expect("expired final attempt poisons");
+        assert!(fatal.to_string().contains("expired"), "{fatal}");
+        assert_eq!(queue.take_expiries(), vec![(0, 1)]);
+        drop(wedged);
+    }
+
+    #[test]
+    fn drain_reports_expiries_through_on_retry() {
+        // One assignment wedges on its first attempt (holds the lease past
+        // the deadline without settling); a peer reclaims and re-runs it.
+        let queue: WorkQueue<u32> = WorkQueue::new((0..4).collect::<Vec<u32>>())
+            .with_lease_timeout(Duration::from_millis(30));
+        let obs = CountingQueueObserver::default();
+        let wedged_once = std::sync::atomic::AtomicBool::new(false);
+        let out = queue
+            .drain(3, &obs, |_worker, lease| {
+                if lease.index() == 2
+                    && lease.attempt() == 1
+                    && !wedged_once.swap(true, Ordering::SeqCst)
+                {
+                    // Wedge past the deadline, then settle late (stale).
+                    std::thread::sleep(Duration::from_millis(80));
+                }
+                Ok(*lease.item() * 10)
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert!(
+            obs.retries.load(Ordering::Relaxed) >= 1,
+            "the expiry must surface through on_retry"
+        );
     }
 
     #[test]

@@ -312,10 +312,7 @@ pub fn run_point_tiered(
     analytic: bool,
 ) -> Result<RunReport, SpecError> {
     let job = Job::from_spec(spec)?;
-    let (summary, served) = match analytic
-        .then(|| crate::serve_closed_form(&job))
-        .flatten()
-    {
+    let (summary, served) = match analytic.then(|| crate::serve_closed_form(&job)).flatten() {
         Some(summary) => (summary, eacp_spec::ServeTier::Analytic),
         None => (runner.run(&job)?, eacp_spec::ServeTier::Mc),
     };

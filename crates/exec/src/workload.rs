@@ -235,7 +235,11 @@ pub fn run_workload_queued<W: Workload>(
     let queue = WorkQueue::new(assignments).with_max_attempts(max_attempts);
     let pool = crate::queue::resolve_workers(workers).clamp(1, n_blocks.max(1) as usize);
     let partials = queue.drain(pool, obs, |_worker, lease| {
-        Ok(run_workload_block(workload, lease.item.lo, lease.item.hi))
+        Ok(run_workload_block(
+            workload,
+            lease.item().lo,
+            lease.item().hi,
+        ))
     })?;
     let mut total = workload.empty_acc();
     for partial in &partials {

@@ -105,7 +105,10 @@ fn sweep_marks_only_invariant_points_analytic() {
     // And with the tier disabled, everything is MC and bit-identical on
     // the λ > 0 point.
     let forced = run_sweep_tiered(&sweep, None, &LocalRunner::new(1), false).unwrap();
-    assert!(forced.points.iter().all(|p| p.report.served == ServeTier::Mc));
+    assert!(forced
+        .points
+        .iter()
+        .all(|p| p.report.served == ServeTier::Mc));
     assert_eq!(
         grid.points[1].report.summary,
         forced.points[1].report.summary

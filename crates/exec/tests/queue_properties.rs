@@ -47,7 +47,12 @@ impl Worker for FlakyWorker {
     fn name(&self) -> &'static str {
         "flaky"
     }
-    fn run_assignment(&self, job: &Job, assignment: BlockAssignment) -> Result<Summary, SpecError> {
+    fn run_assignment(
+        &self,
+        job: &Job,
+        assignment: BlockAssignment,
+        lease_attempt: u32,
+    ) -> Result<Summary, SpecError> {
         let attempt = {
             let mut seen = self.attempts.lock().unwrap();
             let n = seen.entry(assignment.block).or_insert(0);
@@ -61,7 +66,7 @@ impl Worker for FlakyWorker {
                 assignment.block
             )));
         }
-        InProcessWorker.run_assignment(job, assignment)
+        InProcessWorker.run_assignment(job, assignment, lease_attempt)
     }
 }
 

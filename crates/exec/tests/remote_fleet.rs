@@ -1,0 +1,182 @@
+//! Fleet conformance and failure-mode tests for the remote transport:
+//!
+//! * N servers × M workers produce a `Summary` bit-identical to the
+//!   sequential `LocalRunner` — the determinism contract the whole
+//!   transport rides on.
+//! * Dead endpoints (connection refused), black holes (accepts, never
+//!   replies) and a server killed mid-lease are all absorbed by endpoint
+//!   rotation, the lease retry budget and the in-process fallback.
+//! * Transport errors carry full provenance: endpoint, lease attempt,
+//!   transport try, and protocol phase.
+
+use eacp_exec::{Job, LocalRunner, QueueRunner, RemoteServer, RemoteWorker, Runner};
+use eacp_spec::{ExperimentSpec, McSpec, QueueSpec, SweepAxis, SweepSpec};
+use std::io::Read;
+use std::net::TcpListener;
+
+fn spec(reps: u64, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper_nominal();
+    spec.mc = McSpec {
+        replications: reps,
+        seed,
+        threads: 1,
+    };
+    spec
+}
+
+fn fleet_runner(
+    endpoints: Vec<String>,
+    workers: usize,
+    timeout_ms: u64,
+    max_attempts: u32,
+) -> QueueRunner<RemoteWorker> {
+    let worker = RemoteWorker::new(endpoints, timeout_ms).with_fallback_attempt(max_attempts);
+    let lease_timeout = worker.lease_timeout();
+    QueueRunner::new(workers)
+        .with_max_attempts(max_attempts)
+        .with_worker(worker)
+        .with_lease_timeout(lease_timeout)
+}
+
+/// A `host:port` that refuses connections (bound, then released).
+fn closed_port() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let endpoint = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    endpoint
+}
+
+#[test]
+fn two_servers_times_1_4_and_16_workers_match_local_runner() {
+    let s1 = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let s2 = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let endpoints = vec![s1.endpoint().to_owned(), s2.endpoint().to_owned()];
+    let spec = spec(640, 7);
+    let job = Job::from_spec(&spec).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    for workers in [1usize, 4, 16] {
+        let fleet = fleet_runner(endpoints.clone(), workers, 5_000, 3)
+            .run(&job)
+            .unwrap();
+        assert_eq!(fleet, reference, "2 servers x {workers} workers");
+    }
+}
+
+#[test]
+fn dead_endpoint_is_absorbed_by_rotation() {
+    let live = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let endpoints = vec![closed_port(), live.endpoint().to_owned()];
+    let job = Job::from_spec(&spec(200, 3)).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    let fleet = fleet_runner(endpoints, 4, 2_000, 3).run(&job).unwrap();
+    assert_eq!(fleet, reference, "half-dead fleet still bit-identical");
+}
+
+#[test]
+fn server_killed_mid_lease_is_recovered_by_the_retry_budget() {
+    let live = RemoteServer::bind("127.0.0.1:0").unwrap();
+    // A "server" that accepts one connection, reads the request, and dies
+    // without replying — then its port refuses further connections. This
+    // is a deterministic stand-in for SIGKILL mid-lease.
+    let killer = TcpListener::bind("127.0.0.1:0").unwrap();
+    let killer_endpoint = killer.local_addr().unwrap().to_string();
+    let kill = std::thread::spawn(move || {
+        if let Ok((mut conn, _)) = killer.accept() {
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf);
+        }
+        // Dropping the listener (and the half-read connection) closes the
+        // port: every later connect is refused immediately.
+    });
+    let endpoints = vec![killer_endpoint, live.endpoint().to_owned()];
+    let job = Job::from_spec(&spec(320, 5)).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    let fleet = fleet_runner(endpoints, 4, 2_000, 3).run(&job).unwrap();
+    assert_eq!(fleet, reference, "mid-lease kill must not change a bit");
+    kill.join().unwrap();
+}
+
+#[test]
+fn black_hole_endpoint_times_out_and_falls_back_in_process() {
+    // Bound but never accepted: connects land in the backlog and succeed,
+    // writes buffer, reads time out — the wedged-transport case the lease
+    // deadline and read timeout exist for.
+    let hole = TcpListener::bind("127.0.0.1:0").unwrap();
+    let endpoint = hole.local_addr().unwrap().to_string();
+    let job = Job::from_spec(&spec(48, 9)).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    let fleet = fleet_runner(vec![endpoint], 2, 200, 2).run(&job).unwrap();
+    assert_eq!(fleet, reference);
+    drop(hole);
+}
+
+#[test]
+fn fully_dead_fleet_degrades_to_in_process_execution() {
+    let endpoints = vec![closed_port(), closed_port()];
+    let job = Job::from_spec(&spec(64, 1)).unwrap();
+    let reference = LocalRunner::new(1).run(&job).unwrap();
+    let fleet = fleet_runner(endpoints, 3, 300, 2).run(&job).unwrap();
+    assert_eq!(fleet, reference, "no servers at all still completes");
+}
+
+#[test]
+fn transport_errors_carry_endpoint_attempt_and_phase_provenance() {
+    let dead = closed_port();
+    let job = Job::from_spec(&spec(16, 2)).unwrap();
+    // No fallback: exhaust the budget so the provenance surfaces.
+    let worker = RemoteWorker::new(vec![dead.clone()], 300);
+    let err = QueueRunner::new(1)
+        .with_max_attempts(2)
+        .with_worker(worker)
+        .run(&job)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains(&dead), "endpoint missing: {err}");
+    assert!(err.contains("connect failed"), "phase missing: {err}");
+    assert!(err.contains("lease attempt 2"), "attempt missing: {err}");
+    assert!(err.contains("transport try 1/1"), "try missing: {err}");
+    assert!(err.contains("after 2 attempts"), "budget missing: {err}");
+}
+
+#[test]
+fn endpoints_spec_routes_through_the_fleet_bit_identically() {
+    let server = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let plain = spec(320, 5);
+    let mut remote = plain.clone();
+    remote.executor.queue = Some(QueueSpec {
+        workers: 4,
+        max_attempts: 3,
+        endpoints: vec![server.endpoint().to_owned()],
+        timeout_ms: 5_000,
+    });
+    let (a, report) = eacp_exec::run(&remote).unwrap();
+    let (b, _) = eacp_exec::run(&plain).unwrap();
+    assert_eq!(a, b, "spec-routed fleet run must equal the local run");
+    // Provenance: the report records the fleet scheduling.
+    let q = report.spec.executor.queue.expect("queue section preserved");
+    assert_eq!(q.endpoints.len(), 1);
+}
+
+#[test]
+fn remote_sweep_matches_sequential_sweep() {
+    let s1 = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let s2 = RemoteServer::bind("127.0.0.1:0").unwrap();
+    let mut base = spec(40, 11);
+    base.name = "fleet-sweep".into();
+    let sweep = SweepSpec {
+        base,
+        axes: vec![
+            SweepAxis::Lambda(vec![1.0e-4, 1.4e-3]),
+            SweepAxis::K(vec![1, 5]),
+        ],
+    };
+    let sequential = eacp_exec::run_sweep(&sweep, None, 1).unwrap();
+    let runner = fleet_runner(
+        vec![s1.endpoint().to_owned(), s2.endpoint().to_owned()],
+        4,
+        5_000,
+        3,
+    );
+    let remote = eacp_exec::run_sweep_with(&sweep, None, &runner).unwrap();
+    assert_eq!(remote, sequential, "grid bytes are location-independent");
+}

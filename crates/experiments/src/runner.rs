@@ -239,7 +239,7 @@ pub fn run_cell_exec(
         .iter()
         .map(|&scheme| {
             let experiment =
-                cell_experiment_exec(config, spec, scheme, replications, seed, executor);
+                cell_experiment_exec(config, spec, scheme, replications, seed, executor.clone());
             let (summary, report) =
                 // audit:allow(panic): specs are assembled from validated
                 // table constants; eacp_exec::run only errs on invalid specs.
@@ -296,7 +296,7 @@ pub fn run_table_exec(
                 spec,
                 replications,
                 seed.wrapping_add(i as u64),
-                executor,
+                executor.clone(),
             )
         })
         .collect();

@@ -206,9 +206,7 @@ impl FaultProcess for BatchedFaults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        BurstProcess, DeterministicFaults, PhasedPoisson, PoissonProcess, WeibullRenewal,
-    };
+    use crate::{BurstProcess, DeterministicFaults, PhasedPoisson, PoissonProcess, WeibullRenewal};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -829,6 +829,7 @@ mod tests {
             queue: Some(QueueSpec {
                 workers: 3,
                 max_attempts: 5,
+                ..Default::default()
             }),
         });
         let back = ExecutiveSpec::from_json_str(&spec.to_json_string()).unwrap();
@@ -860,6 +861,7 @@ mod tests {
             queue: Some(QueueSpec {
                 workers: 0,
                 max_attempts: 0,
+                ..Default::default()
             }),
             ..ExecutiveMcSpec::default()
         });

@@ -81,7 +81,7 @@ pub use executive::{
 pub use json::{FromJson, Json, ToJson};
 pub use model::{
     CostsSpec, DvsSpec, ExecSpec, ExperimentSpec, FaultSpec, McSpec, OptimizerSpec, PolicySpec,
-    QueueSpec, ScenarioSpec, WorkSpec,
+    QueueSpec, ScenarioSpec, WorkSpec, DEFAULT_REMOTE_TIMEOUT_MS,
 };
 pub use presets::{
     executive_preset, executive_preset_names, paper_cell, preset, preset_names, PaperScheme,

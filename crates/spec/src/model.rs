@@ -1143,6 +1143,10 @@ impl FromJson for McSpec {
     }
 }
 
+/// Default per-request transport timeout for remote queue endpoints, in
+/// milliseconds (applies to connect, write and read individually).
+pub const DEFAULT_REMOTE_TIMEOUT_MS: u64 = 10_000;
+
 /// Work-queue scheduling configuration for the execution layer.
 ///
 /// When present on an [`ExecSpec`], the experiment's replications are
@@ -1150,13 +1154,21 @@ impl FromJson for McSpec {
 /// canonical reduction blocks drained by a worker pool with lease retry —
 /// instead of the plain multi-threaded runner. Results are bit-identical
 /// either way; the queue buys failure tolerance and the seam for remote
-/// workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// workers. With `endpoints` set, leased blocks are shipped to `eacp
+/// serve` processes at those addresses instead of running in-process;
+/// the summary is still bit-identical (per-replication seeding makes a
+/// block's partial the same wherever it runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueSpec {
     /// Worker-pool size (0 = available parallelism).
     pub workers: usize,
     /// Per-assignment attempt budget (first attempt + retries; ≥ 1).
     pub max_attempts: u32,
+    /// Remote worker endpoints (`host:port`). Empty = in-process workers.
+    pub endpoints: Vec<String>,
+    /// Per-request transport timeout in milliseconds (connect, write and
+    /// read each get this budget). Only meaningful with `endpoints`.
+    pub timeout_ms: u64,
 }
 
 impl Default for QueueSpec {
@@ -1164,7 +1176,29 @@ impl Default for QueueSpec {
         Self {
             workers: 0,
             max_attempts: 3,
+            endpoints: Vec::new(),
+            timeout_ms: DEFAULT_REMOTE_TIMEOUT_MS,
         }
+    }
+}
+
+/// Checks one `host:port` endpoint string.
+fn validate_endpoint(endpoint: &str) -> Result<(), SpecError> {
+    let bad = |why: &str| {
+        Err(SpecError::invalid(format!(
+            "queue endpoint {endpoint:?} {why} (expected host:port)"
+        )))
+    };
+    let Some((host, port)) = endpoint.rsplit_once(':') else {
+        return bad("has no port");
+    };
+    if host.is_empty() {
+        return bad("has an empty host");
+    }
+    match port.parse::<u16>() {
+        Ok(0) => bad("has port 0"),
+        Ok(_) => Ok(()),
+        Err(_) => bad("has a non-numeric port"),
     }
 }
 
@@ -1176,16 +1210,42 @@ impl QueueSpec {
                 "queue max_attempts must be at least 1 (the first attempt)",
             ));
         }
+        for endpoint in &self.endpoints {
+            validate_endpoint(endpoint)?;
+        }
+        if !self.endpoints.is_empty() && self.timeout_ms == 0 {
+            return Err(SpecError::invalid(
+                "queue timeout_ms must be positive with remote endpoints",
+            ));
+        }
         Ok(())
     }
 }
 
 impl ToJson for QueueSpec {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("workers", self.workers.into()),
             ("max_attempts", self.max_attempts.into()),
-        ])
+        ];
+        // The remote fields are emitted only when they depart from the
+        // in-process defaults, so documents written before the remote
+        // transport existed round-trip byte-identically.
+        if !self.endpoints.is_empty() {
+            fields.push((
+                "endpoints",
+                Json::Array(
+                    self.endpoints
+                        .iter()
+                        .map(|e| Json::Str(e.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        if self.timeout_ms != DEFAULT_REMOTE_TIMEOUT_MS {
+            fields.push(("timeout_ms", self.timeout_ms.into()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -1197,13 +1257,24 @@ impl FromJson for QueueSpec {
             max_attempts: json
                 .get("max_attempts")
                 .map_or(Ok(d.max_attempts), Json::as_u32)?,
+            endpoints: match json.get("endpoints") {
+                None => d.endpoints,
+                Some(v) => v
+                    .as_array()?
+                    .iter()
+                    .map(|e| e.as_str().map(str::to_owned))
+                    .collect::<Result<_, _>>()?,
+            },
+            timeout_ms: json
+                .get("timeout_ms")
+                .map_or(Ok(d.timeout_ms), Json::as_u64)?,
         })
     }
 }
 
 /// Executor semantics switches (mirrors [`ExecutorOptions`]), plus the
 /// execution-layer scheduling choice ([`QueueSpec`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecSpec {
     /// Whether faults can strike during checkpoint/rollback operations.
     pub faults_during_overhead: bool,
@@ -1552,16 +1623,21 @@ mod tests {
         queued.executor = queued.executor.with_queue(QueueSpec {
             workers: 3,
             max_attempts: 5,
+            ..QueueSpec::default()
         });
         let text = queued.to_json_string();
         assert!(text.contains("\"queue\""), "{text}");
+        // In-process queue configs keep their pre-remote wire shape.
+        assert!(!text.contains("endpoints"), "{text}");
+        assert!(!text.contains("timeout_ms"), "{text}");
         let back = ExperimentSpec::from_json_str(&text).unwrap();
         assert_eq!(back, queued);
         assert_eq!(
             back.executor.queue,
             Some(QueueSpec {
                 workers: 3,
-                max_attempts: 5
+                max_attempts: 5,
+                ..QueueSpec::default()
             })
         );
         back.validate().unwrap();
@@ -1571,6 +1647,7 @@ mod tests {
         bad.executor.queue = Some(QueueSpec {
             workers: 1,
             max_attempts: 0,
+            ..QueueSpec::default()
         });
         assert!(matches!(bad.validate(), Err(SpecError::Invalid(_))));
 
@@ -1581,9 +1658,51 @@ mod tests {
             exec.queue,
             Some(QueueSpec {
                 workers: 2,
-                max_attempts: 3
+                max_attempts: 3,
+                ..QueueSpec::default()
             })
         );
+    }
+
+    #[test]
+    fn remote_queue_endpoints_round_trip_and_validate() {
+        let mut queued = ExperimentSpec::paper_nominal();
+        queued.executor = queued.executor.with_queue(QueueSpec {
+            workers: 4,
+            endpoints: vec!["10.0.0.1:7401".into(), "fleet.local:7402".into()],
+            timeout_ms: 2_500,
+            ..QueueSpec::default()
+        });
+        queued.validate().unwrap();
+        let text = queued.to_json_string();
+        assert!(text.contains("endpoints"), "{text}");
+        assert!(text.contains("timeout_ms"), "{text}");
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, queued);
+
+        for bad_endpoint in ["", "no-port", ":7401", "host:", "host:x", "host:0"] {
+            let q = QueueSpec {
+                endpoints: vec![bad_endpoint.into()],
+                ..QueueSpec::default()
+            };
+            assert!(
+                matches!(q.validate(), Err(SpecError::Invalid(_))),
+                "{bad_endpoint:?} must be rejected"
+            );
+        }
+        let zero_timeout = QueueSpec {
+            endpoints: vec!["h:1".into()],
+            timeout_ms: 0,
+            ..QueueSpec::default()
+        };
+        assert!(zero_timeout.validate().is_err());
+        // IPv6 addresses use rsplit: the last colon separates the port.
+        QueueSpec {
+            endpoints: vec!["::1:7401".into()],
+            ..QueueSpec::default()
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

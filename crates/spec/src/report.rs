@@ -115,6 +115,76 @@ impl FromJson for StatsReport {
     }
 }
 
+/// Lossless [`OnlineStats`] serialization: the raw accumulator state
+/// (`count, mean, m2, min, max`), not the derived variance that
+/// [`StatsReport`] renders. Round-trips bit for bit — this is the codec
+/// the result store and the remote execution transport both rely on to
+/// keep a deserialized [`Summary`] byte-identical to the computed one.
+impl ToJson for OnlineStats {
+    fn to_json(&self) -> Json {
+        let (count, mean, m2, min, max) = self.raw_parts();
+        Json::obj([
+            ("count", count.into()),
+            ("mean", mean.into()),
+            ("m2", m2.into()),
+            ("min", min.into()),
+            ("max", max.into()),
+        ])
+    }
+}
+
+impl FromJson for OnlineStats {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(OnlineStats::from_raw_parts(
+            json.req("count")?.as_u64()?,
+            json.req("mean")?.as_f64()?,
+            json.req("m2")?.as_f64()?,
+            json.req("min")?.as_f64()?,
+            json.req("max")?.as_f64()?,
+        ))
+    }
+}
+
+/// Lossless [`Summary`] serialization via [`OnlineStats`] raw parts —
+/// the exact-accumulator dual of the human-facing [`SummaryReport`].
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("replications", self.replications.into()),
+            ("timely", self.timely.into()),
+            ("completed", self.completed.into()),
+            ("aborted", self.aborted.into()),
+            ("anomalies", self.anomalies.into()),
+            ("energy_timely", self.energy_timely.to_json()),
+            ("energy_all", self.energy_all.to_json()),
+            ("finish_timely", self.finish_timely.to_json()),
+            ("faults", self.faults.to_json()),
+            ("rollbacks", self.rollbacks.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("fast_fraction", self.fast_fraction.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(json: &Json) -> Result<Self, SpecError> {
+        Ok(Summary {
+            replications: json.req("replications")?.as_u64()?,
+            timely: json.req("timely")?.as_u64()?,
+            completed: json.req("completed")?.as_u64()?,
+            aborted: json.req("aborted")?.as_u64()?,
+            anomalies: json.req("anomalies")?.as_u64()?,
+            energy_timely: OnlineStats::from_json(json.req("energy_timely")?)?,
+            energy_all: OnlineStats::from_json(json.req("energy_all")?)?,
+            finish_timely: OnlineStats::from_json(json.req("finish_timely")?)?,
+            faults: OnlineStats::from_json(json.req("faults")?)?,
+            rollbacks: OnlineStats::from_json(json.req("rollbacks")?)?,
+            checkpoints: OnlineStats::from_json(json.req("checkpoints")?)?,
+            fast_fraction: OnlineStats::from_json(json.req("fast_fraction")?)?,
+        })
+    }
+}
+
 /// The serializable mirror of a Monte-Carlo [`Summary`].
 ///
 /// `p_timely` and the 95% Wilson interval are derived quantities, embedded

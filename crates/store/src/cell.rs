@@ -26,7 +26,6 @@ use crate::hash::{
     cell_spec_json, executive_cell_spec_json, executive_spec_hash, sha256, spec_hash, SpecHash,
 };
 use eacp_exec::ExecutiveSummary;
-use eacp_numerics::OnlineStats;
 use eacp_sim::{RunOutcome, Summary};
 use eacp_spec::{
     ExecutiveMcSpec, ExecutiveSpec, ExperimentSpec, FromJson, Json, ServeTier, SpecError, ToJson,
@@ -323,7 +322,7 @@ impl CellEntry {
 impl ToJson for CellEntry {
     fn to_json(&self) -> Json {
         let (kind, payload) = match &self.payload {
-            CellPayload::Summary(s) => ("summary", summary_to_json(s)),
+            CellPayload::Summary(s) => ("summary", s.to_json()),
             CellPayload::Outcome(o) => ("outcome", outcome_to_json(o)),
             // ExecutiveSummary's own ToJson is already lossless (raw
             // accumulator state), so the entry embeds it verbatim.
@@ -357,7 +356,7 @@ impl FromJson for CellEntry {
             replications: json.req("replications")?.as_u64()?,
         };
         let payload = match json.req("kind")?.as_str()? {
-            "summary" => CellPayload::Summary(summary_from_json(json.req("payload")?)?),
+            "summary" => CellPayload::Summary(Summary::from_json(json.req("payload")?)?),
             "outcome" => CellPayload::Outcome(outcome_from_json(json.req("payload")?)?),
             "executive" => {
                 CellPayload::Executive(ExecutiveSummary::from_json(json.req("payload")?)?)
@@ -383,62 +382,9 @@ impl FromJson for CellEntry {
     }
 }
 
-/// Lossless [`OnlineStats`] snapshot: the raw accumulator state, not the
-/// derived variance.
-fn stats_to_json(s: &OnlineStats) -> Json {
-    let (count, mean, m2, min, max) = s.raw_parts();
-    Json::obj([
-        ("count", count.into()),
-        ("mean", mean.into()),
-        ("m2", m2.into()),
-        ("min", min.into()),
-        ("max", max.into()),
-    ])
-}
-
-fn stats_from_json(json: &Json) -> Result<OnlineStats, SpecError> {
-    Ok(OnlineStats::from_raw_parts(
-        json.req("count")?.as_u64()?,
-        json.req("mean")?.as_f64()?,
-        json.req("m2")?.as_f64()?,
-        json.req("min")?.as_f64()?,
-        json.req("max")?.as_f64()?,
-    ))
-}
-
-fn summary_to_json(s: &Summary) -> Json {
-    Json::obj([
-        ("replications", s.replications.into()),
-        ("timely", s.timely.into()),
-        ("completed", s.completed.into()),
-        ("aborted", s.aborted.into()),
-        ("anomalies", s.anomalies.into()),
-        ("energy_timely", stats_to_json(&s.energy_timely)),
-        ("energy_all", stats_to_json(&s.energy_all)),
-        ("finish_timely", stats_to_json(&s.finish_timely)),
-        ("faults", stats_to_json(&s.faults)),
-        ("rollbacks", stats_to_json(&s.rollbacks)),
-        ("checkpoints", stats_to_json(&s.checkpoints)),
-        ("fast_fraction", stats_to_json(&s.fast_fraction)),
-    ])
-}
-
-fn summary_from_json(json: &Json) -> Result<Summary, SpecError> {
-    Ok(Summary {
-        replications: json.req("replications")?.as_u64()?,
-        timely: json.req("timely")?.as_u64()?,
-        completed: json.req("completed")?.as_u64()?,
-        aborted: json.req("aborted")?.as_u64()?,
-        anomalies: json.req("anomalies")?.as_u64()?,
-        energy_timely: stats_from_json(json.req("energy_timely")?)?,
-        energy_all: stats_from_json(json.req("energy_all")?)?,
-        finish_timely: stats_from_json(json.req("finish_timely")?)?,
-        faults: stats_from_json(json.req("faults")?)?,
-        rollbacks: stats_from_json(json.req("rollbacks")?)?,
-        checkpoints: stats_from_json(json.req("checkpoints")?)?,
-        fast_fraction: stats_from_json(json.req("fast_fraction")?)?,
-    })
-}
+// Summary/OnlineStats cells persist through the spec layer's lossless
+// `ToJson`/`FromJson` impls (raw accumulator state, same wire shape as
+// the remote execution transport) — see `eacp_spec::report`.
 
 /// Anomalous runs are never recorded (they indicate policy bugs, and the
 /// store must not launder one into a cache hit), so the serialized outcome

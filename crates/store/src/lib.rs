@@ -122,11 +122,21 @@ pub fn run_cached_tiered(
     observer: &dyn StoreObserver,
     analytic: bool,
 ) -> Result<CachedRun, SpecError> {
-    match spec.executor.queue {
+    match &spec.executor.queue {
         Some(q) => {
             q.validate()?;
             let runner = QueueRunner::new(q.workers).with_max_attempts(q.max_attempts);
-            run_cached_with_tiered(spec, &runner, store, mode, observer, analytic)
+            if q.endpoints.is_empty() {
+                run_cached_with_tiered(spec, &runner, store, mode, observer, analytic)
+            } else {
+                // Remote fleet on a cache miss: same worker wiring as
+                // `eacp_exec::run_tiered`, same bit-identical summary, so
+                // the cell bytes are location-independent too.
+                let worker = eacp_exec::RemoteWorker::from_queue_spec(q);
+                let lease_timeout = worker.lease_timeout();
+                let runner = runner.with_worker(worker).with_lease_timeout(lease_timeout);
+                run_cached_with_tiered(spec, &runner, store, mode, observer, analytic)
+            }
         }
         None => run_cached_with_tiered(
             spec,
@@ -670,6 +680,7 @@ mod tests {
             queue: Some(eacp_spec::QueueSpec {
                 workers: 4,
                 max_attempts: 2,
+                ..Default::default()
             }),
         });
         for variant in [&renamed, &reseeded, &rescheduled] {

@@ -56,7 +56,10 @@ fn analytic_cell_records_serves_and_verifies_through_its_tier() {
     match store.get(&id).unwrap() {
         eacp_store::Lookup::Hit { entry, .. } => {
             assert_eq!(entry.served, ServeTier::Analytic);
-            assert!(entry.to_json().pretty().contains("\"served\": \"analytic\""));
+            assert!(entry
+                .to_json()
+                .pretty()
+                .contains("\"served\": \"analytic\""));
         }
         other => panic!("expected a hit, got {other:?}"),
     }

@@ -106,6 +106,7 @@ proptest! {
         neutral.executor = neutral.executor.with_queue(QueueSpec {
             workers: (seed % 5) as usize,
             max_attempts: 1 + (seed % 3) as u32,
+            ..Default::default()
         });
         prop_assert_eq!(spec_hash(&neutral), base, "result-neutral field leaked into the hash");
     }
